@@ -1,0 +1,50 @@
+// Reproduces Fig. 2: probability of failure for SRAM structures at
+// different granularities (bit, 4B word, 32B block) versus supply voltage,
+// in the 65nm technology of [4], plus the yield-driven Vccmin of a 32KB
+// cache for both technology nodes.
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "faults/yield.h"
+
+using namespace voltcache;
+
+int main() {
+    bench::printHeader("Figure 2",
+                       "P_fail vs VCC at bit / 4B word / 32B block granularity (65nm, "
+                       "from [4]) and Vccmin at the 99.9% yield target");
+
+    const FailureModel model65(Technology::Node65nm);
+    TextTable table({"VCC (mV)", "P_fail(bit)", "P_fail(4B word)", "P_fail(32B block)"});
+    for (int mv = 1000; mv >= 400; mv -= 50) {
+        const Voltage v = Voltage::fromMillivolts(mv);
+        table.addRow({std::to_string(mv), formatSci(model65.pFailBit(v), 2),
+                      formatSci(model65.pFailStructure(v, granularity::kWord4B), 2),
+                      formatSci(model65.pFailStructure(v, granularity::kBlock32B), 2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\nYield-driven Vccmin (999 of 1000 dies fault-free):\n");
+    TextTable vccmin({"Structure", "bits", "Vccmin 45nm (mV)", "Vccmin 65nm (mV)"});
+    const YieldAnalyzer analyzer45{FailureModel{Technology::Node45nm}};
+    const YieldAnalyzer analyzer65{FailureModel{Technology::Node65nm}};
+    const struct {
+        const char* name;
+        std::uint64_t bits;
+    } structures[] = {{"single bit", granularity::kBit},
+                      {"4B word", granularity::kWord4B},
+                      {"32B block", granularity::kBlock32B},
+                      {"32KB cache", granularity::kCache32KB}};
+    for (const auto& s : structures) {
+        vccmin.addRow({s.name, std::to_string(s.bits),
+                       formatDouble(analyzer45.vccmin(s.bits).millivolts(), 0),
+                       formatDouble(analyzer65.vccmin(s.bits).millivolts(), 0)});
+    }
+    std::fputs(vccmin.render().c_str(), stdout);
+    std::printf("\nPaper anchor: the 45nm 32KB cache requires Vccmin = 760mV.\n"
+                "Shape check: P_fail(block) >> P_fail(word) >> P_fail(bit); all rise\n"
+                "exponentially as VCC drops, forcing fine-grained protection below "
+                "500mV.\n");
+    return 0;
+}

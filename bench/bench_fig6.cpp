@@ -1,0 +1,128 @@
+// Reproduces Fig. 6: (a) the worst-case distribution of the 32KB
+// instruction cache's effective capacity when executing basicmath at 400mV,
+// together with the application's per-interval code footprint (1M
+// instruction intervals); (b) the distribution of basic-block sizes after
+// the BBR transformations versus the distribution of fault-free chunk
+// sizes. Shape check: despite the defects, the remaining fault-free words
+// comfortably cover each interval's working set; blocks of ~5 instructions
+// dominate and fit typical chunks.
+#include <set>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "compiler/cfg.h"
+#include "compiler/passes.h"
+#include "cpu/simulator.h"
+#include "linker/linker.h"
+#include "power/dvfs.h"
+#include "schemes/conventional.h"
+
+using namespace voltcache;
+using voltcache::literals::operator""_mV;
+
+namespace {
+
+/// Tracks the unique code words fetched in fixed instruction intervals.
+class FootprintObserver final : public TraceObserver {
+public:
+    explicit FootprintObserver(std::uint64_t interval) : interval_(interval) {}
+
+    void onInstruction(std::uint32_t pc, const Instruction&) override {
+        words_.insert(pc / 4);
+        if (++count_ >= interval_) {
+            footprints_.push_back(static_cast<std::uint32_t>(words_.size()));
+            words_.clear();
+            count_ = 0;
+        }
+    }
+
+    void finalize() {
+        if (!words_.empty()) {
+            footprints_.push_back(static_cast<std::uint32_t>(words_.size()));
+        }
+    }
+
+    [[nodiscard]] const std::vector<std::uint32_t>& footprints() const noexcept {
+        return footprints_;
+    }
+
+private:
+    std::uint64_t interval_;
+    std::uint64_t count_ = 0;
+    std::set<std::uint32_t> words_;
+    std::vector<std::uint32_t> footprints_;
+};
+
+} // namespace
+
+int main() {
+    const std::uint32_t trials = std::max<std::uint32_t>(bench::envTrials() * 20, 40);
+    bench::printHeader("Figure 6",
+                       "I-cache effective capacity and block/chunk size distributions "
+                       "(basicmath @ 400mV)");
+
+    // (a) effective-capacity distribution over Monte Carlo fault maps.
+    const FaultMapGenerator generator;
+    Rng rng(2024);
+    Histogram capacity(0.6, 0.85, 10);
+    Histogram chunkSizes(0.0, 16.0, 16);
+    RunningStats chunkStats;
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+        const FaultMap map = generator.generate(rng, 400_mV, 1024, 8);
+        capacity.add(map.effectiveCapacityFraction());
+        for (const auto& chunk : map.faultFreeChunks()) {
+            chunkSizes.add(chunk.length);
+            chunkStats.add(chunk.length);
+        }
+    }
+    std::printf("(a) effective capacity fraction over %u fault maps at 400mV "
+                "(P_fail = 1e-2/bit):\n%s\n",
+                trials, capacity.render(40).c_str());
+
+    // The application's per-interval instruction footprint.
+    const WorkloadScale scale = bench::envScale();
+    Module module = buildBenchmark("basicmath", scale);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+    const LinkOutput linked = link(bbrModule);
+    L2Cache l2;
+    CacheOrganization org;
+    ConventionalICache icache(org, l2);
+    ConventionalDCache dcache(org, l2);
+    Simulator sim(linked.image, bbrModule.data, icache, dcache);
+    const std::uint64_t interval = scale == WorkloadScale::Tiny ? 100000 : 1000000;
+    FootprintObserver observer(interval);
+    sim.setObserver(&observer);
+    (void)sim.run();
+    observer.finalize();
+
+    RunningStats footprint;
+    for (const auto words : observer.footprints()) footprint.add(words);
+    std::printf("basicmath code footprint per %lluk-instruction interval: mean %.0f "
+                "words, max %.0f words\n",
+                static_cast<unsigned long long>(interval / 1000), footprint.mean(),
+                footprint.max());
+    std::printf("available fault-free words at 400mV: ~%.0f of 8192 (%.1f%%)\n\n",
+                8192 * capacity.sampleMean(), capacity.sampleMean() * 100.0);
+
+    // (b) basic-block size vs fault-free chunk size distributions.
+    Histogram blockSizes(0.0, 16.0, 16);
+    RunningStats blockStats;
+    for (const auto size : blockSizesWords(bbrModule)) {
+        blockSizes.add(size);
+        blockStats.add(size);
+    }
+    std::printf("(b) basic-block sizes after BBR transformation (words):\n%s",
+                blockSizes.render(40).c_str());
+    std::printf("    mean %.1f words (paper: typical blocks of 5-6 instructions)\n\n",
+                blockStats.mean());
+    std::printf("fault-free chunk sizes at 400mV (words, clipped at 16):\n%s",
+                chunkSizes.render(40).c_str());
+    std::printf("    mean %.1f words\n\n", chunkStats.mean());
+    std::printf("Shape check: the interval footprint sits well below the remaining\n"
+                "fault-free capacity, and most blocks fit most chunks — sharing is\n"
+                "needed only for the largest blocks, as in the paper.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks of the library's hot paths: fault-map
+// generation, BIST, scheme access loops, BBR linking, and end-to-end
+// simulation throughput. These guard the Monte Carlo harness's performance
+// (a full paper-scale sweep runs ~100k simulations).
+#include <benchmark/benchmark.h>
+
+#include "compiler/passes.h"
+#include "core/system.h"
+#include "cpu/simulator.h"
+#include "faults/bist.h"
+#include "linker/linker.h"
+#include "schemes/conventional.h"
+#include "schemes/factory.h"
+#include "schemes/ffw.h"
+#include "schemes/word_disable.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace voltcache;
+using voltcache::literals::operator""_mV;
+
+void BM_FaultMapGeneration(benchmark::State& state) {
+    const FaultMapGenerator generator;
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generator.generate(rng, 400_mV, 1024, 8));
+    }
+    state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_FaultMapGeneration);
+
+void BM_BistMarch(benchmark::State& state) {
+    Rng rng(2);
+    DefectiveSramArray array(1024, 8);
+    array.injectRandomDefects(rng, 1e-2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Bist::run(array));
+    }
+    state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_BistMarch);
+
+void BM_FfwReadLoop(benchmark::State& state) {
+    const FaultMapGenerator generator;
+    Rng rng(3);
+    const CacheOrganization org;
+    const FaultMap map = generator.generate(rng, 400_mV, org.lines(), org.wordsPerBlock());
+    L2Cache l2;
+    FfwDCache dcache(org, map, l2);
+    std::uint32_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dcache.read(addr));
+        addr = (addr + 4) % (64 * 1024);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FfwReadLoop);
+
+void BM_SimpleWdisReadLoop(benchmark::State& state) {
+    const FaultMapGenerator generator;
+    Rng rng(3);
+    const CacheOrganization org;
+    const FaultMap map = generator.generate(rng, 400_mV, org.lines(), org.wordsPerBlock());
+    L2Cache l2;
+    SimpleWordDisableDCache dcache(org, map, l2);
+    std::uint32_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dcache.read(addr));
+        addr = (addr + 4) % (64 * 1024);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimpleWdisReadLoop);
+
+void BM_BbrLink(benchmark::State& state) {
+    Module module = buildBenchmark("basicmath", WorkloadScale::Tiny);
+    applyBbrTransforms(module);
+    const FaultMapGenerator generator;
+    Rng rng(4);
+    const FaultMap map = generator.generate(rng, 400_mV, 1024, 8);
+    LinkOptions options;
+    options.bbrPlacement = true;
+    options.icacheFaultMap = &map;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(link(module, options));
+    }
+}
+BENCHMARK(BM_BbrLink);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+    const Module module = buildBenchmark("crc32", WorkloadScale::Tiny);
+    const LinkOutput linked = link(module);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        L2Cache l2;
+        CacheOrganization org;
+        ConventionalICache icache(org, l2);
+        ConventionalDCache dcache(org, l2);
+        Simulator sim(linked.image, module.data, icache, dcache);
+        const RunStats stats = sim.run();
+        instructions += stats.instructions;
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSystemLeg(benchmark::State& state) {
+    const Module module = buildBenchmark("basicmath", WorkloadScale::Tiny);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        SystemConfig config;
+        config.scheme = SchemeKind::FfwBbr;
+        config.op = DvfsTable::at(400_mV);
+        config.faultMapSeed = seed++;
+        benchmark::DoNotOptimize(simulateSystem(module, &bbrModule, config));
+    }
+}
+BENCHMARK(BM_EndToEndSystemLeg)->Unit(benchmark::kMillisecond);
+
+} // namespace

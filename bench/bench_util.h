@@ -1,0 +1,75 @@
+// Shared helpers for the reproduction harness binaries. Each binary
+// regenerates one table or figure of the paper; environment variables scale
+// the Monte Carlo effort:
+//   VOLTCACHE_TRIALS  fault maps per DVFS point   (default 3; paper: 1000)
+//   VOLTCACHE_SCALE   tiny | small | reference    (default small)
+//   VOLTCACHE_BENCHMARKS  comma-separated subset  (default: all ten)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "workload/workload.h"
+
+namespace voltcache::bench {
+
+inline std::uint32_t envTrials(std::uint32_t fallback = 3) {
+    if (const char* value = std::getenv("VOLTCACHE_TRIALS")) {
+        return static_cast<std::uint32_t>(std::strtoul(value, nullptr, 0));
+    }
+    return fallback;
+}
+
+inline WorkloadScale envScale(WorkloadScale fallback = WorkloadScale::Small) {
+    if (const char* value = std::getenv("VOLTCACHE_SCALE")) {
+        const std::string scale = value;
+        if (scale == "tiny") return WorkloadScale::Tiny;
+        if (scale == "small") return WorkloadScale::Small;
+        if (scale == "reference") return WorkloadScale::Reference;
+    }
+    return fallback;
+}
+
+inline std::vector<std::string> envBenchmarks() {
+    std::vector<std::string> names;
+    if (const char* value = std::getenv("VOLTCACHE_BENCHMARKS")) {
+        std::string raw = value;
+        std::size_t pos = 0;
+        while (pos < raw.size()) {
+            const std::size_t comma = raw.find(',', pos);
+            const std::size_t end = comma == std::string::npos ? raw.size() : comma;
+            if (end > pos) names.push_back(raw.substr(pos, end - pos));
+            pos = end + 1;
+        }
+    }
+    return names;
+}
+
+inline SweepConfig defaultSweepConfig() {
+    SweepConfig config;
+    config.trials = envTrials();
+    config.scale = envScale();
+    config.benchmarks = envBenchmarks();
+    return config;
+}
+
+inline void printHeader(const char* artifact, const char* caption) {
+    std::printf("================================================================\n");
+    std::printf("voltcache reproduction — %s\n", artifact);
+    std::printf("%s\n", caption);
+    std::printf("================================================================\n\n");
+}
+
+inline const char* scaleName(WorkloadScale scale) {
+    switch (scale) {
+        case WorkloadScale::Tiny: return "tiny";
+        case WorkloadScale::Small: return "small";
+        case WorkloadScale::Reference: return "reference";
+    }
+    return "?";
+}
+
+} // namespace voltcache::bench

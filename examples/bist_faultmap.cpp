@@ -1,0 +1,71 @@
+// The paper's deployment flow, end to end (Section IV preamble): run BIST
+// over an SRAM array with manufacturing defects, record the discovered
+// defective words in an off-chip fault map, reload that map at a DVFS
+// switch, and link a program against it with BBR.
+//
+//   $ ./bist_faultmap [pBit] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "compiler/passes.h"
+#include "faults/bist.h"
+#include "faults/fault_map_io.h"
+#include "linker/linker.h"
+#include "workload/workload.h"
+
+using namespace voltcache;
+
+int main(int argc, char** argv) {
+    const double pBit = argc > 1 ? std::strtod(argv[1], nullptr) : 1e-2;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 3;
+
+    // 1. A 32KB I-cache data array with random stuck-at cell defects.
+    Rng rng(seed);
+    DefectiveSramArray array(1024, 8);
+    const std::uint32_t injected = array.injectRandomDefects(rng, pBit);
+    std::printf("array: 32KB (1024 x 8 words), %u stuck-at cells injected "
+                "(p_bit = %.0e)\n",
+                injected, pBit);
+
+    // 2. March C- BIST discovers the defective words.
+    const Bist::Result bist = Bist::run(array);
+    std::printf("BIST: %llu writes + %llu reads -> %u defective words found\n",
+                static_cast<unsigned long long>(bist.writes),
+                static_cast<unsigned long long>(bist.reads),
+                bist.map.totalFaultyWords());
+    const FaultMap truth = array.groundTruthWordFaults();
+    std::printf("ground truth: %u defective words — BIST %s\n", truth.totalFaultyWords(),
+                bist.map == truth ? "found exactly the injected set"
+                                  : "MISSED defects (bug!)");
+
+    // 3. Store the map off-chip (here: the v1 text format) and reload it —
+    //    what the processor does on every DVFS transition.
+    const std::string stored = faultMapToString(bist.map);
+    std::printf("stored fault map: %zu bytes; first rows:\n", stored.size());
+    std::istringstream preview(stored);
+    std::string line;
+    for (int i = 0; i < 6 && std::getline(preview, line); ++i) {
+        std::printf("    %s\n", line.c_str());
+    }
+    const FaultMap reloaded = faultMapFromString(stored);
+    std::printf("reload round trip: %s\n\n",
+                reloaded == bist.map ? "identical" : "MISMATCH (bug!)");
+
+    // 4. Link a real program against the reloaded map with BBR.
+    Module module = buildBenchmark("crc32", WorkloadScale::Tiny);
+    applyBbrTransforms(module);
+    LinkOptions options;
+    options.bbrPlacement = true;
+    options.icacheFaultMap = &reloaded;
+    try {
+        const LinkOutput out = link(module, options);
+        std::printf("BBR link against the BIST map: %u blocks placed, %u gap words, "
+                    "%u placement violations\n",
+                    out.stats.blocksPlaced, out.stats.gapWords,
+                    countPlacementViolations(out.image, reloaded));
+    } catch (const LinkError& e) {
+        std::printf("BBR link failed (yield loss at this defect density): %s\n", e.what());
+    }
+    return 0;
+}

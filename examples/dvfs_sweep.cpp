@@ -1,0 +1,82 @@
+// DVFS sweep: the paper's end-to-end story for one benchmark — walk every
+// Table II operating point and show what each fault-tolerance scheme pays
+// (runtime) and saves (energy per instruction) relative to the conventional
+// cache pinned at Vccmin = 760mV.
+//
+//   $ ./dvfs_sweep [benchmark] [trials]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/system.h"
+#include "workload/workload.h"
+
+using namespace voltcache;
+
+int main(int argc, char** argv) {
+    const std::string benchmark = argc > 1 ? argv[1] : "adpcm";
+    const std::uint32_t trials =
+        argc > 2 ? static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 0)) : 3;
+
+    std::printf("DVFS sweep of '%s' (%u fault maps per point)\n\n", benchmark.c_str(),
+                trials);
+    Module module = buildBenchmark(benchmark, WorkloadScale::Small);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+
+    SystemConfig base;
+    base.scheme = SchemeKind::Conventional760;
+    const SystemResult ref = simulateSystem(module, nullptr, base);
+    std::printf("baseline: conventional 6T cache at 760mV/1607MHz — EPI %.1f pJ, "
+                "runtime %.2f ms\n\n",
+                ref.epi * 1e12, ref.runtimeSeconds * 1e3);
+
+    const std::vector<SchemeKind> schemes = {
+        SchemeKind::Robust8T, SchemeKind::SimpleWordDisable, SchemeKind::WilkersonPlus,
+        SchemeKind::FbaPlus, SchemeKind::IdcPlus, SchemeKind::FfwBbr};
+
+    TextTable table({"voltage", "scheme", "runtime (ms)", "EPI (pJ)", "EPI vs 760mV",
+                     "L2/1k instr", "yield losses"});
+    for (const auto& point : DvfsTable::lowVoltagePoints()) {
+        for (const SchemeKind scheme : schemes) {
+            RunningStats runtime;
+            RunningStats epi;
+            RunningStats l2k;
+            std::uint32_t failures = 0;
+            for (std::uint32_t trial = 0; trial < trials; ++trial) {
+                SystemConfig config = base;
+                config.scheme = scheme;
+                config.op = point;
+                config.faultMapSeed = 1000 + trial;
+                const SystemResult result =
+                    simulateSystem(module, &bbrModule, config);
+                if (result.linkFailed) {
+                    ++failures;
+                    continue;
+                }
+                runtime.add(result.runtimeSeconds * 1e3);
+                epi.add(result.epi * 1e12);
+                l2k.add(result.run.l2AccessesPerKilo());
+            }
+            if (runtime.count() == 0) {
+                table.addRow({formatDouble(point.voltage.millivolts(), 0) + "mV",
+                              std::string(schemeName(scheme)), "-", "-", "-", "-",
+                              std::to_string(failures)});
+                continue;
+            }
+            table.addRow({formatDouble(point.voltage.millivolts(), 0) + "mV",
+                          std::string(schemeName(scheme)), formatDouble(runtime.mean(), 3),
+                          formatDouble(epi.mean(), 1),
+                          formatPercent(epi.mean() / (ref.epi * 1e12) - 1.0),
+                          formatDouble(l2k.mean(), 1), std::to_string(failures)});
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nReading guide: runtime grows as the clock slows, but EPI falls with\n"
+                "V^2 until a scheme's fault handling floods the L2 — the paper's\n"
+                "ffw+bbr keeps both in check all the way to 400mV.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+// Byte-address <-> cache-coordinate mapping for one cache organization.
+//
+// Physical frame numbering is `line = way * sets + set`, which makes the
+// flat word index (line * wordsPerBlock + wordOffset) equal to
+// `wordAddr mod cacheWords` in direct-mapped mode — the invariant BBR's
+// Algorithm 1 relies on (cacheAddr = memAddr mod csize) and the layout the
+// FaultMap uses.
+#pragma once
+
+#include <cstdint>
+
+#include "sram/cacti_lite.h"
+
+namespace voltcache {
+
+class AddressMapper {
+public:
+    explicit AddressMapper(const CacheOrganization& org) noexcept
+        : blockBytes_(org.blockBytes),
+          wordBytes_(org.wordBytes),
+          sets_(org.sets()),
+          assoc_(org.associativity),
+          wordsPerBlock_(org.wordsPerBlock()) {}
+
+    [[nodiscard]] std::uint32_t set(std::uint32_t addr) const noexcept {
+        return (addr / blockBytes_) % sets_;
+    }
+    [[nodiscard]] std::uint32_t tag(std::uint32_t addr) const noexcept {
+        return addr / blockBytes_ / sets_;
+    }
+    [[nodiscard]] std::uint32_t wordOffset(std::uint32_t addr) const noexcept {
+        return (addr % blockBytes_) / wordBytes_;
+    }
+    [[nodiscard]] std::uint32_t blockAddress(std::uint32_t addr) const noexcept {
+        return addr / blockBytes_;
+    }
+
+    /// Direct-mapped way selection: the low log2(assoc) bits of the tag
+    /// (Fig. 7's DAC-style combination of tag LSBs with the set index).
+    [[nodiscard]] std::uint32_t directWay(std::uint32_t addr) const noexcept {
+        return tag(addr) % assoc_;
+    }
+
+    /// Physical frame index of a (set, way), matching FaultMap line order.
+    [[nodiscard]] std::uint32_t physicalLine(std::uint32_t set, std::uint32_t way)
+        const noexcept {
+        return way * sets_ + set;
+    }
+
+    [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
+    [[nodiscard]] std::uint32_t associativity() const noexcept { return assoc_; }
+    [[nodiscard]] std::uint32_t wordsPerBlock() const noexcept { return wordsPerBlock_; }
+
+private:
+    std::uint32_t blockBytes_;
+    std::uint32_t wordBytes_;
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::uint32_t wordsPerBlock_;
+};
+
+} // namespace voltcache

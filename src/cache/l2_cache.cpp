@@ -1,0 +1,57 @@
+#include "cache/l2_cache.h"
+
+namespace voltcache {
+
+L2Cache::L2Cache() : L2Cache(Config{}) {}
+
+L2Cache::L2Cache(Config config)
+    : config_(config),
+      mapper_(config.org),
+      tags_(config.org.sets(), config.org.associativity) {
+    dirty_.assign(static_cast<std::size_t>(config.org.sets()) * config.org.associativity,
+                  false);
+}
+
+L2Cache::Result L2Cache::accessInternal(std::uint32_t addr, bool isWrite) {
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    Result result;
+    result.latencyCycles = config_.hitLatencyCycles;
+
+    const auto lookup = tags_.lookup(set, tag);
+    const std::size_t base = static_cast<std::size_t>(set) * mapper_.associativity();
+    if (lookup.hit) {
+        result.hit = true;
+        tags_.touch(set, lookup.way);
+        if (isWrite) dirty_[base + lookup.way] = true;
+        return result;
+    }
+
+    ++stats_.misses;
+    result.dram = true;
+    result.latencyCycles += config_.dramLatencyCycles;
+    const auto fill = tags_.fill(set, tag);
+    if (fill.evictedValid && dirty_[base + fill.way]) {
+        result.dirtyWriteback = true;
+        ++stats_.writebacks;
+    }
+    dirty_[base + fill.way] = isWrite;
+    return result;
+}
+
+L2Cache::Result L2Cache::read(std::uint32_t addr) {
+    ++stats_.reads;
+    return accessInternal(addr, false);
+}
+
+L2Cache::Result L2Cache::write(std::uint32_t addr) {
+    ++stats_.writes;
+    return accessInternal(addr, true);
+}
+
+void L2Cache::invalidateAll() {
+    tags_.invalidateAll();
+    dirty_.assign(dirty_.size(), false);
+}
+
+} // namespace voltcache

@@ -1,0 +1,74 @@
+// Unified L2 (Table I: 512KB, 8-way, 32B blocks, LRU, 10 cycles, write-back).
+//
+// The L2 sits on a fixed voltage rail and is frequency-synchronized with the
+// core, so its latency in core cycles is constant across DVFS points, while
+// DRAM latency is fixed in nanoseconds and therefore *shrinks* in core
+// cycles as the core slows down (configure per operating point).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/address.h"
+#include "cache/tag_array.h"
+
+namespace voltcache {
+
+/// Table I's unified L2 organization: 512KB, 8-way, 32B blocks.
+[[nodiscard]] inline CacheOrganization defaultL2Organization() noexcept {
+    CacheOrganization org;
+    org.sizeBytes = 512 * 1024;
+    org.blockBytes = 32;
+    org.associativity = 8;
+    return org;
+}
+
+class L2Cache {
+public:
+    struct Config {
+        CacheOrganization org = defaultL2Organization();
+        std::uint32_t hitLatencyCycles = 10;
+        std::uint32_t dramLatencyCycles = 100; ///< set per DVFS point by the System
+    };
+
+    struct Result {
+        bool hit = false;
+        bool dram = false;           ///< a DRAM fill happened
+        bool dirtyWriteback = false; ///< a dirty victim went to DRAM
+        std::uint32_t latencyCycles = 0;
+    };
+
+    struct Stats {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t writebacks = 0;
+        [[nodiscard]] std::uint64_t accesses() const noexcept { return reads + writes; }
+    };
+
+    L2Cache(); ///< Table I configuration
+    explicit L2Cache(Config config);
+
+    /// Demand read (L1 fill or word-miss fetch).
+    Result read(std::uint32_t addr);
+
+    /// Write-through traffic from the L1D. Write-allocate on miss, marking
+    /// the line dirty (the L2 itself is write-back toward DRAM).
+    Result write(std::uint32_t addr);
+
+    void invalidateAll();
+    void setDramLatency(std::uint32_t cycles) { config_.dramLatencyCycles = cycles; }
+
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+private:
+    Result accessInternal(std::uint32_t addr, bool isWrite);
+
+    Config config_;
+    AddressMapper mapper_;
+    TagArray tags_;
+    std::vector<bool> dirty_; ///< per (set * ways + way)
+    Stats stats_;
+};
+
+} // namespace voltcache

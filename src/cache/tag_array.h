@@ -1,0 +1,68 @@
+// Set-associative tag store with true-LRU replacement (Table I: both L1s
+// and the L2 are LRU). Fault-tolerance schemes compose this with their own
+// per-line metadata; the direct-probe API supports the dual-mode (Fig. 7)
+// I-cache, where software picks the exact (set, way).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace voltcache {
+
+class TagArray {
+public:
+    TagArray(std::uint32_t sets, std::uint32_t ways);
+
+    struct Lookup {
+        bool hit = false;
+        std::uint32_t way = 0;
+    };
+
+    /// Associative lookup; does not update recency.
+    [[nodiscard]] Lookup lookup(std::uint32_t set, std::uint32_t tag) const;
+
+    /// Mark (set, way) most recently used.
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    struct Fill {
+        std::uint32_t way = 0;
+        bool evictedValid = false;
+        std::uint32_t evictedTag = 0;
+    };
+
+    /// Allocate the LRU victim (invalid ways first) among ways permitted by
+    /// `wayMask` (bit i == way i allowed; default all). Marks it MRU.
+    Fill fill(std::uint32_t set, std::uint32_t tag, std::uint32_t wayMask = ~0u);
+
+    /// Direct probe of one way (direct-mapped mode).
+    [[nodiscard]] bool probeWay(std::uint32_t set, std::uint32_t way,
+                                std::uint32_t tag) const;
+    /// Direct fill of one way (direct-mapped mode). Returns evicted state.
+    Fill fillAt(std::uint32_t set, std::uint32_t way, std::uint32_t tag);
+
+    void invalidate(std::uint32_t set, std::uint32_t way);
+    void invalidateAll();
+
+    [[nodiscard]] bool valid(std::uint32_t set, std::uint32_t way) const;
+    [[nodiscard]] std::uint32_t tagAt(std::uint32_t set, std::uint32_t way) const;
+
+    [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
+    [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+
+private:
+    struct Entry {
+        std::uint32_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    [[nodiscard]] const Entry& entry(std::uint32_t set, std::uint32_t way) const;
+    [[nodiscard]] Entry& entry(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint64_t useCounter_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace voltcache

@@ -1,0 +1,41 @@
+// Contract-check helpers in the spirit of the C++ Core Guidelines GSL
+// (I.6/I.8): Expects() for preconditions, Ensures() for postconditions.
+// Violations throw voltcache::ContractViolation so tests can observe them
+// and Monte Carlo drivers can fail loudly instead of corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace voltcache {
+
+/// Thrown when a precondition or postcondition stated with VC_EXPECTS /
+/// VC_ENSURES does not hold. Carries the failed expression and location.
+class ContractViolation : public std::logic_error {
+public:
+    ContractViolation(const char* kind, const char* expr, const char* file, int line)
+        : std::logic_error(std::string(kind) + " failed: " + expr + " at " + file + ":" +
+                           std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contractFail(const char* kind, const char* expr, const char* file,
+                                      int line) {
+    throw ContractViolation(kind, expr, file, line);
+}
+} // namespace detail
+
+} // namespace voltcache
+
+/// Precondition check. Always on: the simulator's correctness (and the
+/// statistical validity of experiment output) depends on these holding.
+#define VC_EXPECTS(cond)                                                                \
+    do {                                                                                \
+        if (!(cond)) ::voltcache::detail::contractFail("Expects", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+/// Postcondition check.
+#define VC_ENSURES(cond)                                                                \
+    do {                                                                                \
+        if (!(cond)) ::voltcache::detail::contractFail("Ensures", #cond, __FILE__, __LINE__); \
+    } while (false)

@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    VC_EXPECTS(hi > lo);
+    VC_EXPECTS(bins >= 1);
+    counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) {
+    VC_EXPECTS(weight >= 0.0);
+    const double pos = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+    auto bin = static_cast<std::ptrdiff_t>(std::floor(pos));
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(bin)] += weight;
+    total_ += weight;
+    weightedSum_ += x * weight;
+}
+
+double Histogram::binLow(std::size_t bin) const {
+    VC_EXPECTS(bin < counts_.size());
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::binHigh(std::size_t bin) const {
+    VC_EXPECTS(bin < counts_.size());
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+double Histogram::count(std::size_t bin) const {
+    VC_EXPECTS(bin < counts_.size());
+    return counts_[bin];
+}
+
+std::vector<double> Histogram::normalized() const {
+    std::vector<double> out(counts_.size(), 0.0);
+    if (total_ <= 0.0) return out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+    return out;
+}
+
+double Histogram::sampleMean() const noexcept {
+    return total_ > 0.0 ? weightedSum_ / total_ : 0.0;
+}
+
+std::string Histogram::render(std::size_t width) const {
+    const auto fractions = normalized();
+    const double peak = fractions.empty()
+                            ? 0.0
+                            : *std::max_element(fractions.begin(), fractions.end());
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = peak > 0.0 ? static_cast<std::size_t>(
+                                          std::lround(fractions[i] / peak *
+                                                      static_cast<double>(width)))
+                                    : 0;
+        std::snprintf(line, sizeof line, "  [%8.3f, %8.3f) %6.2f%% |", binLow(i), binHigh(i),
+                      fractions[i] * 100.0);
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace voltcache

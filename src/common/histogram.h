@@ -1,0 +1,43 @@
+// Fixed-bin histogram used for the paper's distribution plots: spatial
+// locality / word reuse (Fig. 3), effective I-cache capacity (Fig. 6a) and
+// basic-block vs fault-free-chunk sizes (Fig. 6b).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace voltcache {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins. Samples outside the
+/// range clamp to the first/last bin so no observation is silently dropped.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x, double weight = 1.0);
+
+    [[nodiscard]] std::size_t binCount() const noexcept { return counts_.size(); }
+    [[nodiscard]] double binLow(std::size_t bin) const;
+    [[nodiscard]] double binHigh(std::size_t bin) const;
+    [[nodiscard]] double count(std::size_t bin) const;
+    [[nodiscard]] double totalWeight() const noexcept { return total_; }
+
+    /// Fraction of total weight in each bin; all zeros if empty.
+    [[nodiscard]] std::vector<double> normalized() const;
+
+    /// Weighted mean of observed samples (exact, not bin-centered).
+    [[nodiscard]] double sampleMean() const noexcept;
+
+    /// Render a terminal bar chart, one row per bin.
+    [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+    double weightedSum_ = 0.0;
+};
+
+} // namespace voltcache

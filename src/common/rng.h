@@ -1,0 +1,101 @@
+// Deterministic, fast pseudo-random number generation for Monte Carlo fault
+// injection. xoshiro256** (Blackman & Vigna) seeded through SplitMix64 so a
+// single 64-bit seed yields a well-mixed state. Determinism matters: a
+// (seed, voltage, array) triple must always produce the same fault map so
+// experiments are reproducible and the linker/BBR placement computed for a
+// map matches the map the timing simulation later injects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace voltcache {
+
+/// SplitMix64: used only to expand a user seed into xoshiro state.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — 256-bit state, period 2^256-1, passes BigCrush.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Rng(std::uint64_t seed = 0x5eedDefa017ULL) noexcept { reseed(seed); }
+
+    constexpr void reseed(std::uint64_t seed) noexcept {
+        SplitMix64 mixer(seed);
+        for (auto& word : state_) word = mixer.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept { return next(); }
+
+    constexpr std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1): 53 top bits scaled by 2^-53.
+    constexpr double nextDouble() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction
+    /// (bias negligible for 64-bit inputs at our bounds).
+    constexpr std::uint64_t nextBelow(std::uint64_t bound) noexcept {
+        if (bound == 0) return 0;
+        const auto wide = static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(wide >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    constexpr std::int64_t nextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(nextBelow(span));
+    }
+
+    /// Bernoulli trial with success probability p.
+    constexpr bool nextBernoulli(double p) noexcept { return nextDouble() < p; }
+
+    /// Derive an independent child stream, e.g. one per Monte Carlo trial.
+    constexpr Rng fork(std::uint64_t streamId) noexcept {
+        Rng child(0);
+        SplitMix64 mixer(next() ^ (0x9e3779b97f4a7c15ULL * (streamId + 1)));
+        for (auto& word : child.state_) word = mixer.next();
+        return child;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace voltcache

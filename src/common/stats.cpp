@@ -1,0 +1,149 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderror() const noexcept {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+namespace {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |err| < 1.15e-9).
+double normalQuantile(double p) {
+    VC_EXPECTS(p > 0.0 && p < 1.0);
+    static constexpr std::array<double, 6> a = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                                -2.759285104469687e+02, 1.383577518672690e+02,
+                                                -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr std::array<double, 5> b = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                                -1.556989798598866e+02, 6.680131188771972e+01,
+                                                -1.328068155288572e+01};
+    static constexpr std::array<double, 6> c = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                                -2.400758277161838e+00, -2.549732539343734e+00,
+                                                4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr std::array<double, 4> d = {7.784695709041462e-03, 3.224671290700398e-01,
+                                                2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double pLow = 0.02425;
+    if (p < pLow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - pLow) return -normalQuantile(1.0 - p);
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+} // namespace
+
+double studentTCritical(std::size_t df, double level) {
+    VC_EXPECTS(df >= 1);
+    VC_EXPECTS(level > 0.0 && level < 1.0);
+    // Exact two-sided 95% values for small df; other levels / large df use
+    // the Cornish-Fisher expansion around the normal quantile.
+    if (level > 0.9499 && level < 0.9501 && df <= 30) {
+        static constexpr std::array<double, 30> table = {
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+            2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+            2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+        return table[df - 1];
+    }
+    const double z = normalQuantile(0.5 + level / 2.0);
+    const auto n = static_cast<double>(df);
+    const double z3 = z * z * z;
+    const double z5 = z3 * z * z;
+    const double z7 = z5 * z * z;
+    // Cornish-Fisher expansion of the t quantile in powers of 1/df.
+    return z + (z3 + z) / (4.0 * n) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n) +
+           (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * n * n * n);
+}
+
+ConfidenceInterval confidenceInterval(const RunningStats& stats, double level) {
+    ConfidenceInterval ci;
+    ci.mean = stats.mean();
+    ci.level = level;
+    if (stats.count() >= 2) {
+        ci.halfWidth = studentTCritical(stats.count() - 1, level) * stats.stderror();
+    }
+    return ci;
+}
+
+double mean(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double logSum = 0.0;
+    for (double x : xs) {
+        VC_EXPECTS(x > 0.0);
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) noexcept {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double q) {
+    VC_EXPECTS(!xs.empty());
+    VC_EXPECTS(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+} // namespace voltcache

@@ -1,0 +1,75 @@
+// Statistics used by the Monte Carlo experiment harness: running moments,
+// geometric means (the paper reports EPI as a geomean across simulations),
+// and Student-t confidence intervals (the paper targets a 95% CI with 5%
+// margin of error over up to 1000 fault maps).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace voltcache {
+
+/// Welford-style running mean/variance accumulator. Numerically stable for
+/// long Monte Carlo runs.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    /// Standard error of the mean.
+    [[nodiscard]] double stderror() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+    /// Merge another accumulator (parallel reduction).
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Two-sided confidence interval around a sample mean.
+struct ConfidenceInterval {
+    double mean = 0.0;
+    double halfWidth = 0.0; ///< mean ± halfWidth covers the interval
+    double level = 0.95;
+
+    [[nodiscard]] double lo() const noexcept { return mean - halfWidth; }
+    [[nodiscard]] double hi() const noexcept { return mean + halfWidth; }
+    /// Margin of error relative to the mean (the paper requires ≤ 5%).
+    [[nodiscard]] double relativeMargin() const noexcept {
+        return mean != 0.0 ? halfWidth / mean : 0.0;
+    }
+};
+
+/// Student-t critical value for a two-sided interval at `level` confidence
+/// with `df` degrees of freedom. Exact table for small df, asymptotic
+/// (Cornish-Fisher expansion of the normal quantile) beyond.
+[[nodiscard]] double studentTCritical(std::size_t df, double level = 0.95);
+
+/// Confidence interval of the mean of the accumulated samples.
+[[nodiscard]] ConfidenceInterval confidenceInterval(const RunningStats& stats,
+                                                    double level = 0.95);
+
+/// Arithmetic mean of a sample set; 0 for an empty set.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Geometric mean; all inputs must be positive.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Percentile (nearest-rank, q in [0,1]) of a sample set; sorts a copy.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+} // namespace voltcache

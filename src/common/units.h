@@ -1,0 +1,64 @@
+// Lightweight unit wrappers. Voltages appear in three roles (operating
+// point, threshold, Vccmin) and mixing millivolts with volts has historically
+// been a silent-corruption bug class in power models — so Voltage is a strong
+// type with explicit constructors and named accessors.
+#pragma once
+
+#include <compare>
+
+namespace voltcache {
+
+/// Supply voltage. Stored in volts; constructed explicitly from either unit.
+class Voltage {
+public:
+    constexpr Voltage() noexcept = default;
+
+    [[nodiscard]] static constexpr Voltage fromVolts(double v) noexcept { return Voltage(v); }
+    [[nodiscard]] static constexpr Voltage fromMillivolts(double mv) noexcept {
+        return Voltage(mv / 1000.0);
+    }
+
+    [[nodiscard]] constexpr double volts() const noexcept { return volts_; }
+    [[nodiscard]] constexpr double millivolts() const noexcept { return volts_ * 1000.0; }
+
+    constexpr auto operator<=>(const Voltage&) const noexcept = default;
+
+private:
+    explicit constexpr Voltage(double v) noexcept : volts_(v) {}
+    double volts_ = 0.0;
+};
+
+namespace literals {
+/// 760_mV style literals for test and benchmark readability.
+constexpr Voltage operator""_mV(unsigned long long mv) noexcept {
+    return Voltage::fromMillivolts(static_cast<double>(mv));
+}
+constexpr Voltage operator""_mV(long double mv) noexcept {
+    return Voltage::fromMillivolts(static_cast<double>(mv));
+}
+} // namespace literals
+
+/// Clock frequency in hertz.
+class Frequency {
+public:
+    constexpr Frequency() noexcept = default;
+
+    [[nodiscard]] static constexpr Frequency fromHertz(double hz) noexcept {
+        return Frequency(hz);
+    }
+    [[nodiscard]] static constexpr Frequency fromMegahertz(double mhz) noexcept {
+        return Frequency(mhz * 1e6);
+    }
+
+    [[nodiscard]] constexpr double hertz() const noexcept { return hz_; }
+    [[nodiscard]] constexpr double megahertz() const noexcept { return hz_ / 1e6; }
+    [[nodiscard]] constexpr double periodSeconds() const noexcept { return 1.0 / hz_; }
+
+    constexpr auto operator<=>(const Frequency&) const noexcept = default;
+
+private:
+    explicit constexpr Frequency(double hz) noexcept : hz_(hz) {}
+    double hz_ = 0.0;
+};
+
+} // namespace voltcache

@@ -1,0 +1,54 @@
+#include "compiler/cfg.h"
+
+#include "common/contracts.h"
+#include "isa/builder.h"
+
+namespace voltcache {
+
+BlockSuccessors successorsOf(const Function& fn, std::uint32_t blockIndex) {
+    VC_EXPECTS(blockIndex < fn.blocks.size());
+    const BasicBlock& block = fn.blocks[blockIndex];
+    BlockSuccessors successors;
+    for (std::size_t i = 0; i < block.insts.size(); ++i) {
+        const Instruction& inst = block.insts[i];
+        if (isConditionalBranch(inst.op)) {
+            const auto* reloc = block.relocFor(static_cast<std::uint32_t>(i));
+            VC_EXPECTS(reloc != nullptr && reloc->kind == RelocKind::BlockTarget);
+            successors.targets.push_back(reloc->targetBlock);
+        } else if (inst.op == Opcode::Jal && inst.rd == regs::r0) {
+            // Unconditional jump (not a call).
+            const auto* reloc = block.relocFor(static_cast<std::uint32_t>(i));
+            if (reloc != nullptr && reloc->kind == RelocKind::BlockTarget) {
+                successors.targets.push_back(reloc->targetBlock);
+            }
+        }
+    }
+    if (block.insts.empty()) {
+        successors.fallsThrough = true;
+        return successors;
+    }
+    const Instruction& last = block.insts.back();
+    if (last.op == Opcode::Halt) {
+        successors.halts = true;
+    } else if (last.op == Opcode::Jalr) {
+        successors.returns = true;
+    } else if (!(last.op == Opcode::Jal && last.rd == regs::r0)) {
+        // Conditional branch or plain instruction at the end: may continue
+        // into the next layout block. A call (Jal ra) also falls through
+        // after the callee returns.
+        successors.fallsThrough = true;
+    }
+    return successors;
+}
+
+std::vector<std::uint32_t> blockSizesWords(const Module& module) {
+    std::vector<std::uint32_t> sizes;
+    for (const auto& fn : module.functions) {
+        for (const auto& block : fn.blocks) {
+            if (block.sizeWords() > 0) sizes.push_back(block.sizeWords());
+        }
+    }
+    return sizes;
+}
+
+} // namespace voltcache

@@ -1,0 +1,28 @@
+// Control-flow graph view over a Function's basic blocks, used by the BBR
+// transformation passes and by the Fig. 6 basic-block statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/module.h"
+
+namespace voltcache {
+
+/// Successor edges of one basic block.
+struct BlockSuccessors {
+    std::vector<std::uint32_t> targets; ///< explicit branch/jump targets
+    bool fallsThrough = false;          ///< control may continue to block+1
+    bool returns = false;               ///< ends in Jalr (return / indirect)
+    bool halts = false;
+};
+
+/// Compute the successors of block `blockIndex` in `fn` from its terminator
+/// and relocations. Calls (Jal ra) are not successors — control returns.
+[[nodiscard]] BlockSuccessors successorsOf(const Function& fn, std::uint32_t blockIndex);
+
+/// Static basic-block size distribution (in words, code + literals) across
+/// a module — the x-axis of Fig. 6(b).
+[[nodiscard]] std::vector<std::uint32_t> blockSizesWords(const Module& module);
+
+} // namespace voltcache

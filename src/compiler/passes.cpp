@@ -1,0 +1,210 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/contracts.h"
+#include "compiler/cfg.h"
+#include "isa/builder.h"
+
+namespace voltcache {
+
+TransformStats& TransformStats::operator+=(const TransformStats& other) noexcept {
+    jumpsInserted += other.jumpsInserted;
+    blocksBroken += other.blocksBroken;
+    piecesCreated += other.piecesCreated;
+    literalsMoved += other.literalsMoved;
+    return *this;
+}
+
+TransformStats insertFallthroughJumps(Module& module) {
+    TransformStats stats;
+    for (auto& fn : module.functions) {
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            auto& block = fn.blocks[b];
+            if (!block.hasFallthrough()) continue;
+            if (b + 1 == fn.blocks.size()) {
+                throw std::invalid_argument("function '" + fn.name +
+                                            "' falls through past its last block");
+            }
+            Relocation reloc;
+            reloc.instIndex = static_cast<std::uint32_t>(block.insts.size());
+            reloc.kind = RelocKind::BlockTarget;
+            reloc.targetBlock = static_cast<std::uint32_t>(b + 1);
+            block.relocs.push_back(reloc);
+            block.insts.push_back(Instruction{Opcode::Jal, regs::r0, 0, 0, 0});
+            ++stats.jumpsInserted;
+        }
+    }
+    return stats;
+}
+
+TransformStats moveLiteralPools(Module& module) {
+    TransformStats stats;
+    for (auto& fn : module.functions) {
+        if (fn.sharedLiteralPool.empty()) continue;
+        for (auto& block : fn.blocks) {
+            for (auto& reloc : block.relocs) {
+                if (reloc.kind != RelocKind::SharedLiteral) continue;
+                const std::int32_t value = fn.sharedLiteralPool[reloc.literalIndex];
+                // Dedup within this block's pool.
+                std::uint32_t slot = 0;
+                for (; slot < block.literalPool.size(); ++slot) {
+                    if (block.literalPool[slot] == value) break;
+                }
+                if (slot == block.literalPool.size()) {
+                    block.literalPool.push_back(value);
+                    ++stats.literalsMoved;
+                }
+                reloc.kind = RelocKind::BlockLiteral;
+                reloc.literalIndex = slot;
+            }
+        }
+        fn.sharedLiteralPool.clear();
+    }
+    return stats;
+}
+
+namespace {
+
+/// One planned piece of a split block: instructions [instBegin, instEnd)
+/// plus the literal slots (original indices) those instructions reference.
+struct PiecePlan {
+    std::uint32_t instBegin = 0;
+    std::uint32_t instEnd = 0;
+    std::vector<std::uint32_t> literalSlots;
+};
+
+/// Greedy plan: accumulate instructions (and the literals they pull in)
+/// until adding the next instruction would exceed maxWords - 1 (one word
+/// reserved for the chaining jump).
+std::vector<PiecePlan> planSplit(const BasicBlock& block, std::uint32_t maxWords) {
+    std::vector<PiecePlan> pieces;
+    PiecePlan current;
+    auto pieceWords = [](const PiecePlan& piece) {
+        return (piece.instEnd - piece.instBegin) +
+               static_cast<std::uint32_t>(piece.literalSlots.size());
+    };
+    for (std::uint32_t i = 0; i < block.insts.size(); ++i) {
+        std::uint32_t extraLiterals = 0;
+        const Relocation* literalReloc = nullptr;
+        if (const auto* reloc = block.relocFor(i);
+            reloc != nullptr && reloc->kind == RelocKind::BlockLiteral) {
+            literalReloc = reloc;
+            if (std::find(current.literalSlots.begin(), current.literalSlots.end(),
+                          reloc->literalIndex) == current.literalSlots.end()) {
+                extraLiterals = 1;
+            }
+        }
+        const bool wouldOverflow =
+            pieceWords(current) + 1 + extraLiterals + 1 /*chaining jump*/ > maxWords;
+        if (wouldOverflow && current.instEnd > current.instBegin) {
+            pieces.push_back(current);
+            current = PiecePlan{};
+            current.instBegin = i;
+            current.instEnd = i;
+            if (literalReloc != nullptr) extraLiterals = 1;
+        }
+        current.instEnd = i + 1;
+        if (literalReloc != nullptr && extraLiterals == 1) {
+            current.literalSlots.push_back(literalReloc->literalIndex);
+        }
+    }
+    pieces.push_back(current);
+    return pieces;
+}
+
+} // namespace
+
+TransformStats breakLargeBlocks(Module& module, std::uint32_t maxWords) {
+    VC_EXPECTS(maxWords >= 4);
+    TransformStats stats;
+    for (auto& fn : module.functions) {
+        // Pass 1: plan every block's split and the old->new index mapping.
+        std::vector<std::vector<PiecePlan>> plans(fn.blocks.size());
+        std::vector<std::uint32_t> firstPieceIndex(fn.blocks.size());
+        std::uint32_t nextIndex = 0;
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            firstPieceIndex[b] = nextIndex;
+            if (fn.blocks[b].sizeWords() > maxWords) {
+                plans[b] = planSplit(fn.blocks[b], maxWords);
+            } else {
+                PiecePlan whole;
+                whole.instEnd = static_cast<std::uint32_t>(fn.blocks[b].insts.size());
+                for (std::uint32_t l = 0;
+                     l < static_cast<std::uint32_t>(fn.blocks[b].literalPool.size()); ++l) {
+                    whole.literalSlots.push_back(l);
+                }
+                plans[b] = {whole};
+            }
+            nextIndex += static_cast<std::uint32_t>(plans[b].size());
+        }
+
+        // Pass 2: materialize with final indices.
+        std::vector<BasicBlock> newBlocks;
+        newBlocks.reserve(nextIndex);
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const BasicBlock& old = fn.blocks[b];
+            const auto& pieces = plans[b];
+            if (pieces.size() > 1) {
+                ++stats.blocksBroken;
+                stats.piecesCreated += static_cast<std::uint32_t>(pieces.size() - 1);
+            }
+            for (std::size_t p = 0; p < pieces.size(); ++p) {
+                const PiecePlan& plan = pieces[p];
+                BasicBlock piece;
+                piece.label = p == 0 ? old.label : old.label + "_p" + std::to_string(p);
+                piece.insts.assign(old.insts.begin() + plan.instBegin,
+                                   old.insts.begin() + plan.instEnd);
+                // Literals referenced by this piece, renumbered locally.
+                for (std::uint32_t slot : plan.literalSlots) {
+                    piece.literalPool.push_back(old.literalPool[slot]);
+                }
+                for (const auto& oldReloc : old.relocs) {
+                    if (oldReloc.instIndex < plan.instBegin ||
+                        oldReloc.instIndex >= plan.instEnd) {
+                        continue;
+                    }
+                    Relocation reloc = oldReloc;
+                    reloc.instIndex -= plan.instBegin;
+                    if (reloc.kind == RelocKind::BlockTarget) {
+                        reloc.targetBlock = firstPieceIndex[reloc.targetBlock];
+                    } else if (reloc.kind == RelocKind::BlockLiteral) {
+                        const auto it = std::find(plan.literalSlots.begin(),
+                                                  plan.literalSlots.end(),
+                                                  reloc.literalIndex);
+                        VC_ENSURES(it != plan.literalSlots.end());
+                        reloc.literalIndex = static_cast<std::uint32_t>(
+                            it - plan.literalSlots.begin());
+                    }
+                    piece.relocs.push_back(reloc);
+                }
+                if (p + 1 < pieces.size()) {
+                    // Chain to the next piece with an unconditional jump.
+                    Relocation chain;
+                    chain.instIndex = static_cast<std::uint32_t>(piece.insts.size());
+                    chain.kind = RelocKind::BlockTarget;
+                    chain.targetBlock =
+                        firstPieceIndex[b] + static_cast<std::uint32_t>(p + 1);
+                    piece.relocs.push_back(chain);
+                    piece.insts.push_back(Instruction{Opcode::Jal, regs::r0, 0, 0, 0});
+                }
+                newBlocks.push_back(std::move(piece));
+            }
+        }
+        fn.blocks = std::move(newBlocks);
+    }
+    return stats;
+}
+
+TransformStats applyBbrTransforms(Module& module, std::uint32_t maxBlockWords) {
+    TransformStats stats;
+    stats += moveLiteralPools(module);
+    stats += insertFallthroughJumps(module);
+    stats += breakLargeBlocks(module, maxBlockWords);
+    module.validate();
+    return stats;
+}
+
+} // namespace voltcache

@@ -1,0 +1,53 @@
+// The three BBR code transformations (paper Section IV-B2, Fig. 8):
+//   (1) inserting jumps    — seal every fall-through edge with an explicit
+//                            unconditional jump so blocks can move freely,
+//   (2) breaking blocks    — split blocks too large for the fault-free
+//                            chunks the linker will find,
+//   (3) moving literal pools — copy each function's shared pool into the
+//                            referencing blocks so PC-relative loads stay in
+//                            reach after relocation.
+//
+// applyBbrTransforms() runs all three in dependency order. Like the paper's
+// implementation, the transformations change nothing unless explicitly
+// invoked — baseline schemes link the untransformed module.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/module.h"
+
+namespace voltcache {
+
+struct TransformStats {
+    std::uint32_t jumpsInserted = 0;
+    std::uint32_t blocksBroken = 0;   ///< original blocks that were split
+    std::uint32_t piecesCreated = 0;  ///< extra blocks created by splitting
+    std::uint32_t literalsMoved = 0;  ///< pool slots copied into blocks
+
+    TransformStats& operator+=(const TransformStats& other) noexcept;
+};
+
+/// (1) Append `jal r0, next` to every block that can fall through. Throws
+/// std::invalid_argument if a function's last block falls through.
+TransformStats insertFallthroughJumps(Module& module);
+
+/// (2) Split every block larger than `maxWords` (code + literals) into a
+/// chain of pieces of at most `maxWords` words, linked by unconditional
+/// jumps. Requires maxWords >= 4 (one instruction + one literal + jump).
+TransformStats breakLargeBlocks(Module& module, std::uint32_t maxWords);
+
+/// (3) Distribute each function's shared literal pool into per-block pools,
+/// rewriting SharedLiteral relocations to BlockLiteral.
+TransformStats moveLiteralPools(Module& module);
+
+/// Default split threshold: placeable with high probability even at 400mV
+/// (P_fail(word) = 27.5%), yet far above the typical 5-6 instruction block.
+inline constexpr std::uint32_t kDefaultMaxBlockWords = 12;
+
+/// Full BBR pipeline: moveLiteralPools -> insertFallthroughJumps ->
+/// breakLargeBlocks. The result has no fall-through edges and no block
+/// larger than maxBlockWords, i.e. it is ready for BBR placement.
+TransformStats applyBbrTransforms(Module& module,
+                                  std::uint32_t maxBlockWords = kDefaultMaxBlockWords);
+
+} // namespace voltcache

@@ -1,0 +1,186 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+namespace {
+
+int mv(Voltage v) { return static_cast<int>(std::lround(v.millivolts())); }
+
+/// Chip seed: identical for every scheme and benchmark so comparisons are
+/// paired; distinct per (voltage, trial).
+std::uint64_t chipSeed(std::uint64_t base, int voltageMv, std::uint32_t trial) {
+    SplitMix64 mixer(base ^ (static_cast<std::uint64_t>(voltageMv) << 32) ^ trial);
+    return mixer.next();
+}
+
+struct LegMetrics {
+    bool linkFailed = false;
+    double normRuntime = 0.0;
+    double l2PerKilo = 0.0;
+    double normEpi = 0.0;
+    double busyFrac = 0.0;
+    double ifetchFrac = 0.0;
+    double dmemFrac = 0.0;
+    double branchFrac = 0.0;
+};
+
+void accumulate(SweepCell& cell, const LegMetrics& metrics) {
+    if (metrics.linkFailed) {
+        ++cell.linkFailures;
+        return;
+    }
+    ++cell.runs;
+    cell.normRuntime.add(metrics.normRuntime);
+    cell.l2PerKilo.add(metrics.l2PerKilo);
+    cell.normEpi.add(metrics.normEpi);
+    cell.busyFrac.add(metrics.busyFrac);
+    cell.ifetchFrac.add(metrics.ifetchFrac);
+    cell.dmemFrac.add(metrics.dmemFrac);
+    cell.branchFrac.add(metrics.branchFrac);
+}
+
+} // namespace
+
+const SweepCell& SweepResult::cell(SchemeKind kind, Voltage v) const {
+    const auto it = cells.find({kind, mv(v)});
+    if (it == cells.end()) {
+        throw std::out_of_range("SweepResult::cell: no data for this (scheme, voltage)");
+    }
+    return it->second;
+}
+
+std::vector<SchemeKind> paperSchemes() {
+    return {SchemeKind::Robust8T,  SchemeKind::SimpleWordDisable, SchemeKind::WilkersonPlus,
+            SchemeKind::FbaPlus,   SchemeKind::IdcPlus,           SchemeKind::FfwBbr};
+}
+
+SweepResult runSweep(const SweepConfig& config) {
+    std::vector<std::string> benchmarks = config.benchmarks;
+    if (benchmarks.empty()) {
+        for (const auto& info : benchmarkList()) benchmarks.emplace_back(info.name);
+    }
+    std::vector<SchemeKind> schemes = config.schemes;
+    if (schemes.empty()) schemes = paperSchemes();
+    std::vector<OperatingPoint> points = config.points;
+    if (points.empty()) {
+        const auto low = DvfsTable::lowVoltagePoints();
+        points.assign(low.begin(), low.end());
+    }
+
+    SweepResult result;
+    std::mutex resultMutex;
+
+    auto runBenchmark = [&](const std::string& name) {
+        Module module = buildBenchmark(name, config.scale);
+        Module bbrModule = module; // deep copy
+        applyBbrTransforms(bbrModule, config.systemTemplate.maxBlockWords);
+
+        // Conventional cache pinned at Vccmin = 760mV: the Fig. 12
+        // normalization baseline (and the functional reference checksum).
+        SystemConfig base = config.systemTemplate;
+        base.scheme = SchemeKind::Conventional760;
+        base.op = DvfsTable::vccminBaseline();
+        base.maxInstructions = config.maxInstructions;
+        const SystemResult ref760 = simulateSystem(module, nullptr, base);
+        VC_ENSURES(!ref760.linkFailed);
+
+        std::map<std::pair<SchemeKind, int>, SweepCell> localCells;
+        std::map<std::tuple<std::string, SchemeKind, int>, SweepCell> localPerBench;
+
+        for (const auto& point : points) {
+            SystemConfig defectFree = base;
+            defectFree.scheme = SchemeKind::DefectFree;
+            defectFree.op = point;
+            const SystemResult df = simulateSystem(module, nullptr, defectFree);
+
+            for (const SchemeKind scheme : schemes) {
+                for (std::uint32_t trial = 0; trial < config.trials; ++trial) {
+                    SystemConfig leg = base;
+                    leg.scheme = scheme;
+                    leg.op = point;
+                    leg.faultMapSeed = chipSeed(config.baseSeed, mv(point.voltage), trial);
+                    const SystemResult res = simulateSystem(module, &bbrModule, leg);
+
+                    LegMetrics metrics;
+                    metrics.linkFailed = res.linkFailed;
+                    if (!res.linkFailed) {
+                        // Functional correctness: every scheme must compute
+                        // the same answer as the 760mV reference.
+                        if (res.run.halted && ref760.run.halted &&
+                            res.checksum != ref760.checksum) {
+                            throw std::logic_error("checksum mismatch in '" + name +
+                                                   "': scheme corrupted execution");
+                        }
+                        metrics.normRuntime = res.runtimeSeconds / df.runtimeSeconds;
+                        metrics.l2PerKilo = res.run.l2AccessesPerKilo();
+                        metrics.normEpi = res.epi / ref760.epi;
+                        const auto cycles = static_cast<double>(res.run.cycles);
+                        metrics.busyFrac =
+                            static_cast<double>(res.run.busyCycles()) / cycles;
+                        metrics.ifetchFrac =
+                            static_cast<double>(res.run.ifetchStallCycles) / cycles;
+                        metrics.dmemFrac =
+                            static_cast<double>(res.run.dmemStallCycles) / cycles;
+                        metrics.branchFrac =
+                            static_cast<double>(res.run.branchStallCycles) / cycles;
+                    }
+                    accumulate(localCells[{scheme, mv(point.voltage)}], metrics);
+                    accumulate(localPerBench[{name, scheme, mv(point.voltage)}], metrics);
+
+                    // Defect-free kinds are deterministic: one trial suffices.
+                    if (scheme == SchemeKind::Robust8T) break;
+                }
+            }
+        }
+
+        const std::scoped_lock lock(resultMutex);
+        for (auto& [key, cell] : localCells) {
+            SweepCell& global = result.cells[key];
+            global.normRuntime.merge(cell.normRuntime);
+            global.l2PerKilo.merge(cell.l2PerKilo);
+            global.normEpi.merge(cell.normEpi);
+            global.busyFrac.merge(cell.busyFrac);
+            global.ifetchFrac.merge(cell.ifetchFrac);
+            global.dmemFrac.merge(cell.dmemFrac);
+            global.branchFrac.merge(cell.branchFrac);
+            global.linkFailures += cell.linkFailures;
+            global.runs += cell.runs;
+        }
+        for (auto& [key, cell] : localPerBench) result.perBenchmark[key] = cell;
+    };
+
+    unsigned threadCount = config.threads != 0 ? config.threads
+                                               : std::thread::hardware_concurrency();
+    if (threadCount == 0) threadCount = 4;
+    threadCount = std::min<unsigned>(threadCount,
+                                     static_cast<unsigned>(benchmarks.size()));
+
+    if (threadCount <= 1) {
+        for (const auto& name : benchmarks) runBenchmark(name);
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(threadCount);
+        std::atomic<std::size_t> next{0};
+        for (unsigned t = 0; t < threadCount; ++t) {
+            workers.emplace_back([&] {
+                while (true) {
+                    const std::size_t index = next.fetch_add(1);
+                    if (index >= benchmarks.size()) return;
+                    runBenchmark(benchmarks[index]);
+                }
+            });
+        }
+        for (auto& worker : workers) worker.join();
+    }
+    return result;
+}
+
+} // namespace voltcache

@@ -1,0 +1,63 @@
+// Monte Carlo evaluation sweep (paper Section V): for every (benchmark,
+// scheme, DVFS operating point), simulate several chips (fault-map seeds)
+// and aggregate the Fig. 10 / Fig. 11 / Fig. 12 metrics:
+//   * runtime normalized to the defect-free baseline at the same voltage,
+//   * L2 accesses per 1000 instructions,
+//   * EPI normalized to the conventional cache pinned at Vccmin = 760mV.
+// The same seed produces the same fault maps for every scheme, so schemes
+// are compared on identical chips (paired samples).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/system.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+
+struct SweepConfig {
+    std::vector<std::string> benchmarks;    ///< empty = all ten
+    std::vector<SchemeKind> schemes;        ///< empty = the Fig. 10 set
+    std::vector<OperatingPoint> points;     ///< empty = Table II 560..400mV
+    WorkloadScale scale = WorkloadScale::Small;
+    std::uint32_t trials = 5;               ///< fault maps per operating point
+    std::uint64_t baseSeed = 0xC0FFEE;
+    std::uint64_t maxInstructions = 0;
+    unsigned threads = 0;                   ///< 0 = hardware concurrency
+    SystemConfig systemTemplate = {};       ///< org / energy / pipeline knobs
+};
+
+/// Aggregated results of one (scheme, voltage) cell.
+struct SweepCell {
+    RunningStats normRuntime;  ///< runtime / defect-free runtime at same V
+    RunningStats l2PerKilo;    ///< Fig. 11 metric
+    RunningStats normEpi;      ///< EPI / conventional-760mV EPI
+    std::uint32_t linkFailures = 0;
+    std::uint32_t runs = 0;
+    // Mean runtime-component fractions (busy / I-stall / D-stall / branch).
+    RunningStats busyFrac;
+    RunningStats ifetchFrac;
+    RunningStats dmemFrac;
+    RunningStats branchFrac;
+};
+
+struct SweepResult {
+    /// cell key: (schemeKind, voltage mV rounded)
+    std::map<std::pair<SchemeKind, int>, SweepCell> cells;
+    /// Per-benchmark per-cell normalized EPI means (for geomean reporting).
+    std::map<std::tuple<std::string, SchemeKind, int>, SweepCell> perBenchmark;
+
+    [[nodiscard]] const SweepCell& cell(SchemeKind kind, Voltage v) const;
+};
+
+/// Run the full grid. Deterministic for a fixed config (parallelism only
+/// changes scheduling, not seeds).
+[[nodiscard]] SweepResult runSweep(const SweepConfig& config);
+
+/// The scheme list of Figs. 10-12 (excluding the two baselines).
+[[nodiscard]] std::vector<SchemeKind> paperSchemes();
+
+} // namespace voltcache

@@ -1,0 +1,84 @@
+#include "core/system.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/contracts.h"
+#include "faults/fault_map.h"
+#include "schemes/static_overheads.h"
+
+namespace voltcache {
+
+std::uint32_t dramLatencyCycles(double dramLatencyNs, Frequency f) noexcept {
+    return static_cast<std::uint32_t>(
+        std::lround(dramLatencyNs * 1e-9 * f.hertz()));
+}
+
+SystemResult simulateSystem(const Module& module, const Module* bbrModule,
+                            const SystemConfig& config) {
+    SystemResult result;
+    const CacheOrganization& org = config.l1Org;
+
+    // One fault map per L1 cache, drawn from the chip's seed at this DVFS
+    // point. Defect-free schemes get clean maps (and 760mV is clean by
+    // construction: P_fail there is ~1e-8.4 per bit).
+    Rng rng(config.faultMapSeed);
+    FaultMapGenerator generator{FailureModel{}};
+    const bool defectFree = config.scheme == SchemeKind::DefectFree ||
+                            config.scheme == SchemeKind::Conventional760 ||
+                            config.scheme == SchemeKind::Robust8T;
+    FaultMap dcacheMap(org.lines(), org.wordsPerBlock());
+    FaultMap icacheMap(org.lines(), org.wordsPerBlock());
+    if (!defectFree) {
+        dcacheMap = generator.generate(rng, config.op.voltage, org.lines(),
+                                       org.wordsPerBlock());
+        icacheMap = generator.generate(rng, config.op.voltage, org.lines(),
+                                       org.wordsPerBlock());
+    }
+
+    L2Cache::Config l2Config;
+    l2Config.dramLatencyCycles = dramLatencyCycles(config.dramLatencyNs, config.op.frequency);
+    L2Cache l2(l2Config);
+
+    SchemePair pair = makeSchemes(config.scheme, org, dcacheMap, icacheMap, l2);
+
+    std::optional<LinkOutput> linked;
+    try {
+        if (pair.needsBbrLinking) {
+            VC_EXPECTS(bbrModule != nullptr);
+            LinkOptions options;
+            options.bbrPlacement = true;
+            options.icacheFaultMap = &icacheMap;
+            linked = link(*bbrModule, options);
+        } else {
+            linked = link(module);
+        }
+    } catch (const LinkError&) {
+        // No fault-free chunk large enough for some basic block: this chip
+        // cannot run BBR at this voltage — a yield loss the Monte Carlo
+        // aggregation counts rather than a simulation result.
+        result.linkFailed = true;
+        return result;
+    }
+    result.linkStats = linked->stats;
+
+    PipelineConfig pipeline = config.pipeline;
+    pipeline.maxInstructions = config.maxInstructions;
+    const Module& running = pair.needsBbrLinking ? *bbrModule : module;
+    Simulator simulator(linked->image, running.data, *pair.icache, *pair.dcache, pipeline);
+    result.run = simulator.run();
+    result.checksum = simulator.reg(1);
+    result.icacheStats = pair.icache->stats();
+    result.dcacheStats = pair.dcache->stats();
+
+    const EnergyModel energyModel(config.energy);
+    result.energyBreakdown = energyModel.energyOf(result.run.activity, config.op,
+                                                  pair.l1StaticFactor, pair.l1DynamicFactor);
+    result.epi = result.energyBreakdown.total() /
+                 static_cast<double>(result.run.activity.instructions);
+    result.runtimeSeconds =
+        static_cast<double>(result.run.cycles) * config.op.frequency.periodSeconds();
+    return result;
+}
+
+} // namespace voltcache

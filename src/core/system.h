@@ -1,0 +1,51 @@
+// Top-level system assembly: one simulated processor leg = (benchmark
+// module, fault-tolerance scheme, DVFS operating point, fault-map seed).
+// This is the unit of work the Monte Carlo sweep repeats (paper Section V).
+#pragma once
+
+#include <cstdint>
+
+#include "compiler/passes.h"
+#include "cpu/simulator.h"
+#include "isa/module.h"
+#include "linker/linker.h"
+#include "power/dvfs.h"
+#include "power/energy_model.h"
+#include "schemes/factory.h"
+
+namespace voltcache {
+
+struct SystemConfig {
+    CacheOrganization l1Org;          ///< Table I: 32KB/4-way/32B (both L1s)
+    SchemeKind scheme = SchemeKind::DefectFree;
+    OperatingPoint op = DvfsTable::vccminBaseline();
+    std::uint64_t faultMapSeed = 1;   ///< same seed == same chip across schemes
+    std::uint64_t maxInstructions = 0;
+    double dramLatencyNs = 60.0;      ///< fixed wall-clock DRAM latency
+    std::uint32_t maxBlockWords = kDefaultMaxBlockWords;
+    EnergyParams energy = {};
+    PipelineConfig pipeline = {};
+};
+
+struct SystemResult {
+    bool linkFailed = false; ///< BBR could not place the binary (yield loss)
+    RunStats run;
+    LinkStats linkStats;
+    L1Stats icacheStats;
+    L1Stats dcacheStats;
+    double epi = 0.0;            ///< joules per instruction
+    double runtimeSeconds = 0.0; ///< cycles / core frequency
+    EnergyBreakdown energyBreakdown;
+    std::int32_t checksum = 0;   ///< r1 at Halt — functional-correctness witness
+};
+
+/// Simulate one leg. `module` is the untransformed program (what baseline
+/// schemes run); `bbrModule` is its BBR-transformed twin (required when the
+/// scheme needs BBR linking, ignored otherwise).
+[[nodiscard]] SystemResult simulateSystem(const Module& module, const Module* bbrModule,
+                                          const SystemConfig& config);
+
+/// Convenience: dramLatencyNs converted to core cycles at frequency f.
+[[nodiscard]] std::uint32_t dramLatencyCycles(double dramLatencyNs, Frequency f) noexcept;
+
+} // namespace voltcache

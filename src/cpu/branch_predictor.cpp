@@ -1,0 +1,93 @@
+#include "cpu/branch_predictor.h"
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+BranchPredictor::BranchPredictor() : BranchPredictor(Config{}) {}
+
+BranchPredictor::BranchPredictor(Config config)
+    : config_(config),
+      bht_(config.bhtEntries, 2), // weakly taken
+      btbTags_(config.btbEntries / config.btbWays, config.btbWays),
+      btbTargets_(config.btbEntries, 0) {
+    VC_EXPECTS(config.bhtEntries > 0 && (config.bhtEntries & (config.bhtEntries - 1)) == 0);
+    VC_EXPECTS(config.btbEntries % config.btbWays == 0);
+    ras_.reserve(config.rasEntries);
+}
+
+std::uint32_t BranchPredictor::bhtIndex(std::uint32_t pc) const noexcept {
+    return (pc >> 2) & (config_.bhtEntries - 1);
+}
+
+BranchPredictor::Prediction BranchPredictor::btbLookup(std::uint32_t pc, bool taken) {
+    Prediction prediction;
+    prediction.taken = taken;
+    const std::uint32_t sets = btbTags_.sets();
+    const std::uint32_t set = (pc >> 2) % sets;
+    const std::uint32_t tag = (pc >> 2) / sets;
+    if (const auto hit = btbTags_.lookup(set, tag); hit.hit) {
+        prediction.targetKnown = true;
+        prediction.target = btbTargets_[set * btbTags_.ways() + hit.way];
+    }
+    return prediction;
+}
+
+void BranchPredictor::btbUpdate(std::uint32_t pc, std::uint32_t target) {
+    const std::uint32_t sets = btbTags_.sets();
+    const std::uint32_t set = (pc >> 2) % sets;
+    const std::uint32_t tag = (pc >> 2) / sets;
+    if (const auto hit = btbTags_.lookup(set, tag); hit.hit) {
+        btbTags_.touch(set, hit.way);
+        btbTargets_[set * btbTags_.ways() + hit.way] = target;
+        return;
+    }
+    const auto fill = btbTags_.fill(set, tag);
+    btbTargets_[set * btbTags_.ways() + fill.way] = target;
+}
+
+BranchPredictor::Prediction BranchPredictor::predictBranch(std::uint32_t pc) {
+    ++stats_.lookups;
+    const bool taken = bht_[bhtIndex(pc)] >= 2;
+    return btbLookup(pc, taken);
+}
+
+BranchPredictor::Prediction BranchPredictor::predictJump(std::uint32_t pc) {
+    ++stats_.lookups;
+    return btbLookup(pc, true);
+}
+
+BranchPredictor::Prediction BranchPredictor::predictReturn(std::uint32_t pc) {
+    ++stats_.lookups;
+    if (!ras_.empty()) {
+        Prediction prediction;
+        prediction.taken = true;
+        prediction.targetKnown = true;
+        prediction.target = ras_.back();
+        ras_.pop_back();
+        return prediction;
+    }
+    return btbLookup(pc, true);
+}
+
+void BranchPredictor::pushReturnAddress(std::uint32_t addr) {
+    if (ras_.size() == config_.rasEntries) ras_.erase(ras_.begin());
+    ras_.push_back(addr);
+}
+
+bool BranchPredictor::resolve(const Prediction& prediction, std::uint32_t pc, bool taken,
+                              std::uint32_t target, bool chargeMispredict) {
+    // Direction training (2-bit saturating counter).
+    std::uint8_t& counter = bht_[bhtIndex(pc)];
+    if (taken && counter < 3) ++counter;
+    if (!taken && counter > 0) --counter;
+    if (taken) btbUpdate(pc, target);
+
+    const bool correct =
+        prediction.taken == taken &&
+        (!taken || (prediction.targetKnown && prediction.target == target));
+    if (!correct && chargeMispredict) ++stats_.mispredicts;
+    return correct;
+}
+
+} // namespace voltcache

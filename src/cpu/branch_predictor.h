@@ -1,0 +1,75 @@
+// Branch prediction per Table I: 4096-entry branch history table (2-bit
+// saturating counters) + 512-entry 8-way branch target buffer, plus a small
+// return-address stack for Jalr returns (present in the gem5 arm-detailed
+// model the paper simulates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/tag_array.h"
+
+namespace voltcache {
+
+class BranchPredictor {
+public:
+    struct Config {
+        std::uint32_t bhtEntries = 4096;
+        std::uint32_t btbEntries = 512;
+        std::uint32_t btbWays = 8;
+        std::uint32_t rasEntries = 8;
+    };
+
+    struct Prediction {
+        bool taken = false;
+        bool targetKnown = false; ///< BTB (or RAS) supplied a target
+        std::uint32_t target = 0;
+    };
+
+    struct Stats {
+        std::uint64_t lookups = 0;
+        std::uint64_t mispredicts = 0; ///< wrong direction or wrong target
+        [[nodiscard]] double mispredictRate() const noexcept {
+            return lookups > 0 ? static_cast<double>(mispredicts) /
+                                     static_cast<double>(lookups)
+                               : 0.0;
+        }
+    };
+
+    BranchPredictor(); ///< Table I configuration
+    explicit BranchPredictor(Config config);
+
+    /// Predict a conditional branch at `pc`.
+    [[nodiscard]] Prediction predictBranch(std::uint32_t pc);
+    /// Predict an unconditional jump/call at `pc` (direction always taken).
+    [[nodiscard]] Prediction predictJump(std::uint32_t pc);
+    /// Predict a Jalr (return / indirect) at `pc` via the RAS, then BTB.
+    [[nodiscard]] Prediction predictReturn(std::uint32_t pc);
+
+    /// Resolve: update BHT/BTB with the actual outcome; returns true if the
+    /// earlier prediction was correct (same direction, and for taken
+    /// control flow a known, matching target). `chargeMispredict` controls
+    /// whether an incorrect prediction counts in the stats — direct jumps
+    /// with a cold BTB redirect cheaply in decode and are not charged.
+    bool resolve(const Prediction& prediction, std::uint32_t pc, bool taken,
+                 std::uint32_t target, bool chargeMispredict = true);
+
+    /// Call/return bookkeeping for the RAS.
+    void pushReturnAddress(std::uint32_t addr);
+
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+private:
+    [[nodiscard]] std::uint32_t bhtIndex(std::uint32_t pc) const noexcept;
+    [[nodiscard]] Prediction btbLookup(std::uint32_t pc, bool taken);
+    void btbUpdate(std::uint32_t pc, std::uint32_t target);
+
+    Config config_;
+    std::vector<std::uint8_t> bht_; ///< 2-bit saturating counters
+    TagArray btbTags_;
+    std::vector<std::uint32_t> btbTargets_;
+    std::vector<std::uint32_t> ras_;
+    Stats stats_;
+};
+
+} // namespace voltcache

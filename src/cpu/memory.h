@@ -1,0 +1,43 @@
+// Sparse, paged data memory for the functional simulator. Word-granular to
+// match the ISA and the caches. Unwritten memory reads as zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace voltcache {
+
+class Memory {
+public:
+    static constexpr std::uint32_t kPageWords = 1024; ///< 4KB pages
+
+    /// Read the word at a 4-byte-aligned byte address.
+    [[nodiscard]] std::int32_t read(std::uint32_t byteAddr) const;
+
+    /// Write the word at a 4-byte-aligned byte address.
+    void write(std::uint32_t byteAddr, std::int32_t value);
+
+    /// Bulk-load consecutive words starting at `baseAddr` (image / data
+    /// segment initialization).
+    void load(std::uint32_t baseAddr, const std::vector<std::int32_t>& words);
+
+    [[nodiscard]] std::size_t pageCount() const noexcept { return pages_.size(); }
+
+private:
+    using Page = std::array<std::int32_t, kPageWords>;
+
+    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+/// Thrown on misaligned or otherwise invalid memory operations — indicates
+/// a benchmark-program bug, so it must surface loudly.
+class MemoryFault : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+} // namespace voltcache

@@ -1,0 +1,338 @@
+#include "cpu/simulator.h"
+
+#include <limits>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+namespace {
+
+/// Which source registers an opcode actually reads.
+struct SourceUse {
+    bool rs1 = false;
+    bool rs2 = false;
+};
+
+SourceUse sourcesOf(const Instruction& inst) {
+    const Opcode op = inst.op;
+    if (op <= Opcode::Sltu) return {true, true};                  // R-type
+    if (op <= Opcode::Slti) return {true, false};                 // ALU-imm
+    if (op == Opcode::Lui || op == Opcode::Ldl) return {false, false};
+    if (op == Opcode::Lw) return {true, false};
+    if (op == Opcode::Sw) return {true, true};
+    if (isConditionalBranch(op)) return {true, true};
+    if (op == Opcode::Jalr) return {true, false};
+    return {false, false}; // Jal, Nop, Halt
+}
+
+std::int32_t aluOp(Opcode op, std::int32_t a, std::int32_t b) {
+    const auto ua = static_cast<std::uint32_t>(a);
+    const auto ub = static_cast<std::uint32_t>(b);
+    switch (op) {
+        case Opcode::Add:
+        case Opcode::Addi: return static_cast<std::int32_t>(ua + ub);
+        case Opcode::Sub: return static_cast<std::int32_t>(ua - ub);
+        case Opcode::And:
+        case Opcode::Andi: return a & b;
+        case Opcode::Or:
+        case Opcode::Ori: return a | b;
+        case Opcode::Xor:
+        case Opcode::Xori: return a ^ b;
+        case Opcode::Sll:
+        case Opcode::Slli: return static_cast<std::int32_t>(ua << (ub & 31));
+        case Opcode::Srl:
+        case Opcode::Srli: return static_cast<std::int32_t>(ua >> (ub & 31));
+        case Opcode::Sra:
+        case Opcode::Srai: return a >> (ub & 31);
+        case Opcode::Mul:
+            return static_cast<std::int32_t>(ua * ub);
+        case Opcode::Div:
+            if (b == 0) return -1; // RISC-V convention
+            if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return a;
+            return a / b;
+        case Opcode::Rem:
+            if (b == 0) return a;
+            if (a == std::numeric_limits<std::int32_t>::min() && b == -1) return 0;
+            return a % b;
+        case Opcode::Slt:
+        case Opcode::Slti: return a < b ? 1 : 0;
+        case Opcode::Sltu: return ua < ub ? 1 : 0;
+        default: VC_ENSURES(false); return 0;
+    }
+}
+
+bool branchTaken(Opcode op, std::int32_t a, std::int32_t b) {
+    const auto ua = static_cast<std::uint32_t>(a);
+    const auto ub = static_cast<std::uint32_t>(b);
+    switch (op) {
+        case Opcode::Beq: return a == b;
+        case Opcode::Bne: return a != b;
+        case Opcode::Blt: return a < b;
+        case Opcode::Bge: return a >= b;
+        case Opcode::Bltu: return ua < ub;
+        case Opcode::Bgeu: return ua >= ub;
+        default: VC_ENSURES(false); return false;
+    }
+}
+
+} // namespace
+
+Simulator::Simulator(const Image& image, const std::vector<DataSegment>& data,
+                     InstrCacheScheme& icache, DataCacheScheme& dcache,
+                     PipelineConfig config)
+    : image_(&image),
+      icache_(&icache),
+      dcache_(&dcache),
+      config_(config),
+      predictor_(config.predictor) {
+    memory_.load(image.baseAddr(), image.encodedWords());
+    for (const auto& segment : data) {
+        std::vector<std::int32_t> words(segment.words.begin(), segment.words.end());
+        memory_.load(segment.baseAddr, words);
+    }
+    pc_ = image.entryAddr();
+}
+
+std::int32_t Simulator::reg(unsigned index) const {
+    VC_EXPECTS(index < kNumRegisters);
+    return regs_[index];
+}
+
+void Simulator::advanceTo(std::uint64_t targetCycle, StallCause cause) {
+    if (targetCycle <= cycle_) return;
+    const std::uint64_t stall = targetCycle - cycle_;
+    switch (cause) {
+        case StallCause::IFetch: stats_.ifetchStallCycles += stall; break;
+        case StallCause::Branch: stats_.branchStallCycles += stall; break;
+        case StallCause::Dmem: stats_.dmemStallCycles += stall; break;
+        case StallCause::Exec: stats_.execStallCycles += stall; break;
+        case StallCause::None: break;
+    }
+    cycle_ = targetCycle;
+    slotsUsed_ = 0;
+    memOpsThisCycle_ = 0;
+    branchesThisCycle_ = 0;
+}
+
+void Simulator::setReg(unsigned index, std::int32_t value, std::uint64_t readyCycle,
+                       bool fromLoad) {
+    if (index == kZeroRegister) return;
+    regs_[index] = value;
+    regReady_[index] = readyCycle;
+    regFromLoad_[index] = fromLoad;
+}
+
+std::uint64_t Simulator::sourceReady(const Instruction& inst, StallCause& cause) const {
+    const SourceUse use = sourcesOf(inst);
+    std::uint64_t ready = 0;
+    cause = StallCause::Exec;
+    if (use.rs1 && regReady_[inst.rs1] > ready) {
+        ready = regReady_[inst.rs1];
+        cause = regFromLoad_[inst.rs1] ? StallCause::Dmem : StallCause::Exec;
+    }
+    if (use.rs2 && regReady_[inst.rs2] > ready) {
+        ready = regReady_[inst.rs2];
+        cause = regFromLoad_[inst.rs2] ? StallCause::Dmem : StallCause::Exec;
+    }
+    return ready;
+}
+
+RunStats Simulator::run() {
+    const std::uint32_t iHitLatency = kL1HitLatencyCycles + icache_->latencyOverhead();
+    const std::uint32_t takenBubble =
+        config_.takenBranchFetchBubble ? iHitLatency - 1 : 0;
+    bool running = true;
+
+    while (running) {
+        if (config_.maxInstructions != 0 && stats_.instructions >= config_.maxInstructions) {
+            break;
+        }
+        const Instruction& inst = image_->fetch(pc_);
+
+        // --- Instruction fetch: one I-cache access per cache-line entry. ---
+        const std::uint64_t fetchBlock = pc_ / 32;
+        if (fetchBlock != lastFetchBlock_) {
+            lastFetchBlock_ = fetchBlock;
+            const AccessResult fetch = icache_->fetch(pc_);
+            ++stats_.activity.l1iAccesses;
+            stats_.activity.l2Accesses += fetch.l2Reads;
+            if (fetch.dram) ++stats_.activity.dramAccesses;
+            if (fetch.auxProbe) ++stats_.activity.auxAccesses;
+            if (!fetch.l1Hit) {
+                // Miss penalty beyond the pipelined hit latency stalls fetch.
+                const std::uint64_t penalty = fetch.latencyCycles - iHitLatency;
+                if (cycle_ + penalty > frontendReady_) {
+                    frontendReady_ = cycle_ + penalty;
+                    frontendCause_ = StallCause::IFetch;
+                }
+            }
+        }
+        advanceTo(frontendReady_, frontendCause_);
+
+        // --- Register dependences. ---
+        StallCause depCause = StallCause::Exec;
+        const std::uint64_t depReady = sourceReady(inst, depCause);
+        advanceTo(depReady, depCause);
+
+        // --- Issue-width and structural constraints. ---
+        if (slotsUsed_ >= config_.issueWidth ||
+            (isMemory(inst.op) && memOpsThisCycle_ >= 1) ||
+            (isControlFlow(inst.op) && branchesThisCycle_ >= 1)) {
+            advanceTo(cycle_ + 1, StallCause::None);
+        }
+        if (isMemory(inst.op) && config_.dcachePortOccupancy) {
+            const std::uint64_t portFree = dportBusyUntil_;
+            if (portFree > cycle_) advanceTo(portFree, StallCause::Dmem);
+            dportBusyUntil_ = cycle_ + 1 + dcache_->latencyOverhead();
+        }
+        ++slotsUsed_;
+        if (isMemory(inst.op)) ++memOpsThisCycle_;
+        if (isControlFlow(inst.op)) ++branchesThisCycle_;
+
+        if (observer_ != nullptr) observer_->onInstruction(pc_, inst);
+        ++stats_.instructions;
+
+        // --- Execute. ---
+        std::uint32_t nextPc = pc_ + 4;
+        switch (inst.op) {
+            case Opcode::Nop: break;
+            case Opcode::Halt:
+                stats_.halted = true;
+                running = false;
+                break;
+            case Opcode::Lui:
+                setReg(inst.rd, inst.imm << 10, cycle_ + 1, false);
+                break;
+            case Opcode::Lw:
+            case Opcode::Ldl: {
+                const std::uint32_t addr =
+                    inst.op == Opcode::Lw
+                        ? static_cast<std::uint32_t>(regs_[inst.rs1] + inst.imm)
+                        : pc_ + static_cast<std::uint32_t>(inst.imm) * 4;
+                if (observer_ != nullptr) observer_->onDataAccess(addr, false);
+                const AccessResult res = dcache_->read(addr);
+                ++stats_.loads;
+                ++stats_.activity.l1dAccesses;
+                stats_.activity.l2Accesses += res.l2Reads;
+                if (res.dram) ++stats_.activity.dramAccesses;
+                if (res.auxProbe) ++stats_.activity.auxAccesses;
+                setReg(inst.rd, memory_.read(addr), cycle_ + res.latencyCycles, true);
+                if (config_.extraDcacheCycleStalls && dcache_->latencyOverhead() > 0) {
+                    // The pipe has no slot for the extra cache cycle(s): they
+                    // bubble behind every load, used or not — nothing issues
+                    // while the lengthened MEM stage drains.
+                    advanceTo(cycle_ + 1 + dcache_->latencyOverhead(), StallCause::Dmem);
+                }
+                break;
+            }
+            case Opcode::Sw: {
+                const std::uint32_t addr =
+                    static_cast<std::uint32_t>(regs_[inst.rs1] + inst.imm);
+                if (observer_ != nullptr) observer_->onDataAccess(addr, true);
+                memory_.write(addr, regs_[inst.rs2]);
+                const AccessResult res = dcache_->write(addr);
+                ++stats_.stores;
+                ++stats_.activity.l1dAccesses;
+                stats_.activity.l2WriteThroughs += res.l2Writes;
+                stats_.activity.l2Accesses += res.l2Reads;
+                if (res.dram) ++stats_.activity.dramAccesses;
+                if (res.auxProbe) ++stats_.activity.auxAccesses;
+                // Ideal write buffer: the store retires without stalling.
+                break;
+            }
+            case Opcode::Jal: {
+                const std::uint32_t target =
+                    pc_ + static_cast<std::uint32_t>(inst.imm) * 4;
+                const auto prediction = predictor_.predictJump(pc_);
+                const bool correct =
+                    predictor_.resolve(prediction, pc_, true, target,
+                                       /*chargeMispredict=*/false);
+                if (inst.rd != kZeroRegister) {
+                    setReg(inst.rd, static_cast<std::int32_t>(pc_ + 4), cycle_ + 1, false);
+                    predictor_.pushReturnAddress(pc_ + 4);
+                }
+                if (!correct) {
+                    // Direct jump with a cold BTB: the target is extracted
+                    // in decode — an I-fetch-latency redirect bubble.
+                    frontendReady_ = cycle_ + 1 + iHitLatency;
+                    frontendCause_ = StallCause::Branch;
+                } else if (takenBubble > 0) {
+                    frontendReady_ = std::max(frontendReady_, cycle_ + takenBubble);
+                    frontendCause_ = StallCause::Branch;
+                }
+                nextPc = target;
+                break;
+            }
+            case Opcode::Jalr: {
+                const std::uint32_t target = static_cast<std::uint32_t>(
+                                                 regs_[inst.rs1] + inst.imm) &
+                                             ~3u;
+                const auto prediction = predictor_.predictReturn(pc_);
+                const bool correct = predictor_.resolve(prediction, pc_, true, target,
+                                                        /*chargeMispredict=*/true);
+                if (inst.rd != kZeroRegister) {
+                    setReg(inst.rd, static_cast<std::int32_t>(pc_ + 4), cycle_ + 1, false);
+                    predictor_.pushReturnAddress(pc_ + 4);
+                }
+                if (!correct) {
+                    ++stats_.mispredicts;
+                    frontendReady_ = cycle_ + 1 + config_.mispredictPenalty + iHitLatency +
+                                     icache_->latencyOverhead();
+                    frontendCause_ = StallCause::Branch;
+                } else if (takenBubble > 0) {
+                    frontendReady_ = std::max(frontendReady_, cycle_ + takenBubble);
+                    frontendCause_ = StallCause::Branch;
+                }
+                nextPc = target;
+                break;
+            }
+            default: {
+                if (isConditionalBranch(inst.op)) {
+                    const bool taken = branchTaken(inst.op, regs_[inst.rs1], regs_[inst.rs2]);
+                    const std::uint32_t target =
+                        pc_ + static_cast<std::uint32_t>(inst.imm) * 4;
+                    const auto prediction = predictor_.predictBranch(pc_);
+                    const bool correct = predictor_.resolve(prediction, pc_, taken, target,
+                                                            /*chargeMispredict=*/true);
+                    ++stats_.condBranches;
+                    if (taken) {
+                        ++stats_.takenBranches;
+                        nextPc = target;
+                    }
+                    if (!correct) {
+                        ++stats_.mispredicts;
+                        // The refill pays the I-fetch latency plus the extra
+                        // drain of the deeper front end (the overhead stage
+                        // lengthens both refetch and flush).
+                        frontendReady_ = cycle_ + 1 + config_.mispredictPenalty +
+                                         iHitLatency + icache_->latencyOverhead();
+                        frontendCause_ = StallCause::Branch;
+                    } else if (taken && takenBubble > 0) {
+                        frontendReady_ = std::max(frontendReady_, cycle_ + takenBubble);
+                        frontendCause_ = StallCause::Branch;
+                    }
+                    break;
+                }
+                // Plain ALU op (R-type or ALU-imm).
+                const bool immediate = inst.op >= Opcode::Addi && inst.op <= Opcode::Slti;
+                const std::int32_t b = immediate ? inst.imm : regs_[inst.rs2];
+                std::uint32_t latency = 1;
+                if (inst.op == Opcode::Mul) latency = config_.mulLatency;
+                if (inst.op == Opcode::Div || inst.op == Opcode::Rem) {
+                    latency = config_.divLatency;
+                }
+                setReg(inst.rd, aluOp(inst.op, regs_[inst.rs1], b), cycle_ + latency, false);
+                break;
+            }
+        }
+        pc_ = nextPc;
+    }
+
+    stats_.cycles = cycle_ + 1;
+    stats_.activity.instructions = stats_.instructions;
+    stats_.activity.cycles = stats_.cycles;
+    return stats_;
+}
+
+} // namespace voltcache

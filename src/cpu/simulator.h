@@ -1,0 +1,162 @@
+// Two-wide in-order timing simulator (paper Table I: gem5 "arm-detailed"
+// 2-way superscalar, modelling an ARM Cortex-A9-class embedded core).
+//
+// The model executes the program functionally, instruction by instruction,
+// while tracking cycle time with a scoreboard:
+//   * up to 2 instructions issue per cycle, at most 1 memory op and 1
+//     control-flow op per cycle;
+//   * register dependences stall issue until the producer's latency elapses
+//     (ALU 1, MUL 3, DIV 12, loads = L1 latency or miss latency);
+//   * instruction fetch is pipelined within a cache line; crossing into a
+//     new line costs an I-cache access whose miss latency stalls the front
+//     end; taken control flow redirects fetch (free on a correct BTB/RAS
+//     hit, an I-cache-latency bubble on a BTB miss, full pipeline refill
+//     plus I-cache latency on a mispredict);
+//   * stores drain through an ideal write buffer (write-through traffic is
+//     counted but does not stall).
+//
+// Stalled cycles are attributed to I-fetch, D-memory, branch, or execution
+// components, giving the runtime decomposition of Fig. 10 (method of [35]).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/branch_predictor.h"
+#include "cpu/memory.h"
+#include "isa/instruction.h"
+#include "isa/module.h"
+#include "linker/image.h"
+#include "power/energy_model.h"
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+struct PipelineConfig {
+    std::uint32_t issueWidth = 2;
+    std::uint32_t mispredictPenalty = 5; ///< refill cycles beyond the I-fetch latency
+    std::uint32_t mulLatency = 3;
+    std::uint32_t divLatency = 12;
+    std::uint64_t maxInstructions = 0; ///< 0 = run to Halt
+    /// Even a correctly-predicted taken transfer restarts the fetch
+    /// pipeline: it costs (I-cache hit latency - 1) bubble cycles, as on
+    /// in-order embedded cores. This is what makes every +1 cycle of L1I
+    /// latency so expensive in Fig. 10.
+    bool takenBranchFetchBubble = true;
+    /// A scheme's extra L1D cycle is *array* time (Fig. 9: the wire-delay
+    /// slack is gone), not a pipeline register — the single D-port can then
+    /// only start a new access every (1 + overhead) cycles.
+    bool dcachePortOccupancy = true;
+    /// The pipeline is designed around the 2-cycle L1D (Table I): a scheme
+    /// that adds a cache cycle inserts that bubble on EVERY load, dependent
+    /// or not — the paper's central claim that L1 latency is the critical
+    /// parameter (Section VI-B: ">40% performance loss ... mostly due to
+    /// the 1 cycle extra latency").
+    bool extraDcacheCycleStalls = true;
+    BranchPredictor::Config predictor = {};
+};
+
+/// Cycle decomposition + event counts of one run.
+struct RunStats {
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    bool halted = false; ///< false = stopped at maxInstructions
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t mispredicts = 0;
+
+    // Runtime components (cycles), per the measurement approach of [35].
+    std::uint64_t ifetchStallCycles = 0;
+    std::uint64_t dmemStallCycles = 0;
+    std::uint64_t branchStallCycles = 0;
+    std::uint64_t execStallCycles = 0;
+
+    ActivityCounts activity; ///< energy-model event counts
+
+    [[nodiscard]] double ipc() const noexcept {
+        return cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles)
+                          : 0.0;
+    }
+    [[nodiscard]] std::uint64_t busyCycles() const noexcept {
+        const std::uint64_t stalls =
+            ifetchStallCycles + dmemStallCycles + branchStallCycles + execStallCycles;
+        return cycles > stalls ? cycles - stalls : 0;
+    }
+    /// L2 accesses per 1000 instructions — the Fig. 11 metric (demand reads
+    /// only; write-through traffic is accounted separately).
+    [[nodiscard]] double l2AccessesPerKilo() const noexcept {
+        return instructions > 0 ? 1000.0 * static_cast<double>(activity.l2Accesses) /
+                                      static_cast<double>(instructions)
+                                : 0.0;
+    }
+};
+
+/// Hook for workload analyses (Fig. 3 locality profiling, Fig. 6 working
+/// sets). Callbacks fire in program order.
+class TraceObserver {
+public:
+    virtual ~TraceObserver() = default;
+    virtual void onInstruction(std::uint32_t pc, const Instruction& inst) {
+        (void)pc;
+        (void)inst;
+    }
+    virtual void onDataAccess(std::uint32_t addr, bool isWrite) {
+        (void)addr;
+        (void)isWrite;
+    }
+};
+
+class Simulator {
+public:
+    /// The image provides code and initial memory contents; `extraData`
+    /// segments (from Module::data) are loaded on top.
+    Simulator(const Image& image, const std::vector<DataSegment>& data,
+              InstrCacheScheme& icache, DataCacheScheme& dcache, PipelineConfig config = {});
+
+    void setObserver(TraceObserver* observer) noexcept { observer_ = observer; }
+
+    /// Run from the image entry point until Halt (or maxInstructions).
+    RunStats run();
+
+    [[nodiscard]] const Memory& memory() const noexcept { return memory_; }
+    [[nodiscard]] std::int32_t reg(unsigned index) const;
+    [[nodiscard]] const BranchPredictor& predictor() const noexcept { return predictor_; }
+
+private:
+    enum class StallCause : std::uint8_t { None, IFetch, Branch, Dmem, Exec };
+
+    void advanceTo(std::uint64_t targetCycle, StallCause cause);
+    void setReg(unsigned index, std::int32_t value, std::uint64_t readyCycle, bool fromLoad);
+    [[nodiscard]] std::uint64_t sourceReady(const Instruction& inst, StallCause& cause) const;
+
+    const Image* image_;
+    InstrCacheScheme* icache_;
+    DataCacheScheme* dcache_;
+    PipelineConfig config_;
+    BranchPredictor predictor_;
+    Memory memory_;
+    TraceObserver* observer_ = nullptr;
+
+    // Architectural state.
+    std::array<std::int32_t, kNumRegisters> regs_{};
+    std::uint32_t pc_ = 0;
+
+    // Timing state.
+    std::uint64_t cycle_ = 0;
+    std::uint32_t slotsUsed_ = 0;
+    std::uint32_t memOpsThisCycle_ = 0;
+    std::uint32_t branchesThisCycle_ = 0;
+    std::array<std::uint64_t, kNumRegisters> regReady_{};
+    std::array<bool, kNumRegisters> regFromLoad_{};
+    std::uint64_t frontendReady_ = 0;
+    StallCause frontendCause_ = StallCause::None;
+    std::uint64_t lastFetchBlock_ = ~std::uint64_t{0};
+    std::uint64_t dportBusyUntil_ = 0;
+
+    RunStats stats_;
+};
+
+} // namespace voltcache

@@ -1,0 +1,119 @@
+#include "faults/bist.h"
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+namespace {
+
+constexpr std::uint32_t kAllZeros = 0x00000000u;
+constexpr std::uint32_t kAllOnes = 0xFFFFFFFFu;
+constexpr std::uint32_t kCheckerA = 0xAAAAAAAAu;
+constexpr std::uint32_t kCheckerB = 0x55555555u;
+
+std::uint32_t wordMask(unsigned bitsPerWord) {
+    return bitsPerWord >= 32 ? 0xFFFFFFFFu : ((1u << bitsPerWord) - 1u);
+}
+
+} // namespace
+
+DefectiveSramArray::DefectiveSramArray(std::uint32_t lines, std::uint32_t wordsPerLine,
+                                       unsigned bitsPerWord)
+    : lines_(lines), wordsPerLine_(wordsPerLine), bitsPerWord_(bitsPerWord) {
+    VC_EXPECTS(lines > 0);
+    VC_EXPECTS(wordsPerLine > 0);
+    VC_EXPECTS(bitsPerWord >= 1 && bitsPerWord <= 32);
+    const std::size_t words = static_cast<std::size_t>(lines) * wordsPerLine;
+    data_.assign(words, 0);
+    stuckMask_.assign(words, 0);
+    stuckValue_.assign(words, 0);
+}
+
+void DefectiveSramArray::injectStuckAt(std::uint32_t flatWord, unsigned bit, bool value) {
+    VC_EXPECTS(flatWord < totalWords());
+    VC_EXPECTS(bit < bitsPerWord_);
+    stuckMask_[flatWord] |= (1u << bit);
+    if (value) {
+        stuckValue_[flatWord] |= (1u << bit);
+    } else {
+        stuckValue_[flatWord] &= ~(1u << bit);
+    }
+}
+
+std::uint32_t DefectiveSramArray::injectRandomDefects(Rng& rng, double pBit) {
+    VC_EXPECTS(pBit >= 0.0 && pBit <= 1.0);
+    std::uint32_t injected = 0;
+    for (std::uint32_t word = 0; word < totalWords(); ++word) {
+        for (unsigned bit = 0; bit < bitsPerWord_; ++bit) {
+            if (rng.nextBernoulli(pBit)) {
+                injectStuckAt(word, bit, rng.nextBernoulli(0.5));
+                ++injected;
+            }
+        }
+    }
+    return injected;
+}
+
+void DefectiveSramArray::write(std::uint32_t flatWord, std::uint32_t value) {
+    VC_EXPECTS(flatWord < totalWords());
+    data_[flatWord] = value & wordMask(bitsPerWord_);
+}
+
+std::uint32_t DefectiveSramArray::read(std::uint32_t flatWord) const {
+    VC_EXPECTS(flatWord < totalWords());
+    const std::uint32_t stored = data_[flatWord];
+    return (stored & ~stuckMask_[flatWord]) | (stuckValue_[flatWord] & stuckMask_[flatWord]);
+}
+
+FaultMap DefectiveSramArray::groundTruthWordFaults() const {
+    // FaultMap caps wordsPerLine at 32; reshape wider arrays line-major.
+    FaultMap map(lines_, wordsPerLine_);
+    for (std::uint32_t word = 0; word < totalWords(); ++word) {
+        if (stuckMask_[word] != 0) map.setFaultyFlat(word);
+    }
+    return map;
+}
+
+Bist::Result Bist::run(DefectiveSramArray& array) {
+    Result result{FaultMap(array.lines(), array.wordsPerLine()), 0, 0};
+    const std::uint32_t mask = wordMask(array.bitsPerWord());
+    const std::uint32_t words = array.totalWords();
+
+    auto writeAll = [&](std::uint32_t pattern, bool ascending) {
+        for (std::uint32_t i = 0; i < words; ++i) {
+            const std::uint32_t idx = ascending ? i : words - 1 - i;
+            array.write(idx, pattern & mask);
+            ++result.writes;
+        }
+    };
+    auto readCompareWrite = [&](std::uint32_t expect, std::uint32_t next, bool ascending,
+                                bool alsoWrite) {
+        for (std::uint32_t i = 0; i < words; ++i) {
+            const std::uint32_t idx = ascending ? i : words - 1 - i;
+            ++result.reads;
+            if (array.read(idx) != (expect & mask)) result.map.setFaultyFlat(idx);
+            if (alsoWrite) {
+                array.write(idx, next & mask);
+                ++result.writes;
+            }
+        }
+    };
+
+    // March C-: ⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0).
+    writeAll(kAllZeros, true);
+    readCompareWrite(kAllZeros, kAllOnes, true, true);
+    readCompareWrite(kAllOnes, kAllZeros, true, true);
+    readCompareWrite(kAllZeros, kAllOnes, false, true);
+    readCompareWrite(kAllOnes, kAllZeros, false, true);
+    readCompareWrite(kAllZeros, 0, true, false);
+
+    // Checkerboard passes.
+    writeAll(kCheckerA, true);
+    readCompareWrite(kCheckerA, 0, true, false);
+    writeAll(kCheckerB, true);
+    readCompareWrite(kCheckerB, 0, true, false);
+
+    return result;
+}
+
+} // namespace voltcache

@@ -1,0 +1,71 @@
+// Built-in self-test (paper Section IV preamble, citing [4], [23]).
+//
+// The paper discovers defective words by running BIST at every supported
+// DVFS point: write test patterns, read them back, and record any word whose
+// read response differs. We model the device under test as a behavioural
+// SRAM array whose cells may be stuck-at-0/1 at the current voltage, and the
+// tester as a word-level March C- sequence extended with checkerboard
+// passes. For stuck-at faults the solid 0/1 passes are already exhaustive;
+// the checkerboard passes document coverage of polarity-dependent coupling
+// the March elements alone would miss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/fault_map.h"
+
+namespace voltcache {
+
+/// Behavioural SRAM data array with injected stuck-at cell defects.
+/// Reads return the stored value with stuck bits forced to their stuck
+/// polarity; writes store the value unmodified (the defect acts on the
+/// cell's observable state, which suffices for read-response testing).
+class DefectiveSramArray {
+public:
+    DefectiveSramArray(std::uint32_t lines, std::uint32_t wordsPerLine,
+                       unsigned bitsPerWord = 32);
+
+    [[nodiscard]] std::uint32_t lines() const noexcept { return lines_; }
+    [[nodiscard]] std::uint32_t wordsPerLine() const noexcept { return wordsPerLine_; }
+    [[nodiscard]] unsigned bitsPerWord() const noexcept { return bitsPerWord_; }
+    [[nodiscard]] std::uint32_t totalWords() const noexcept { return lines_ * wordsPerLine_; }
+
+    /// Force one bit of one word to read as `value` regardless of writes.
+    void injectStuckAt(std::uint32_t flatWord, unsigned bit, bool value);
+
+    /// Bernoulli defect injection: each bit independently becomes stuck (at
+    /// a random polarity) with probability pBit. Returns defect count.
+    std::uint32_t injectRandomDefects(Rng& rng, double pBit);
+
+    void write(std::uint32_t flatWord, std::uint32_t value);
+    [[nodiscard]] std::uint32_t read(std::uint32_t flatWord) const;
+
+    /// Ground truth at word granularity (any stuck bit makes a word faulty).
+    [[nodiscard]] FaultMap groundTruthWordFaults() const;
+
+private:
+    std::uint32_t lines_;
+    std::uint32_t wordsPerLine_;
+    unsigned bitsPerWord_;
+    std::vector<std::uint32_t> data_;
+    std::vector<std::uint32_t> stuckMask_;  ///< 1 = bit is stuck
+    std::vector<std::uint32_t> stuckValue_; ///< polarity of stuck bits
+};
+
+/// Word-level BIST engine producing the fault map consumed by FFW / BBR.
+class Bist {
+public:
+    struct Result {
+        FaultMap map;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    /// March C- {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)} plus
+    /// checkerboard write/read passes. Marks a word faulty on any mismatch.
+    [[nodiscard]] static Result run(DefectiveSramArray& array);
+};
+
+} // namespace voltcache

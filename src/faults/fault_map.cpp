@@ -1,0 +1,87 @@
+#include "faults/fault_map.h"
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+FaultMap::FaultMap(std::uint32_t lines, std::uint32_t wordsPerLine)
+    : lines_(lines), wordsPerLine_(wordsPerLine) {
+    VC_EXPECTS(lines > 0);
+    VC_EXPECTS(wordsPerLine > 0 && wordsPerLine <= 32);
+    faulty_.assign(static_cast<std::size_t>(lines) * wordsPerLine, false);
+}
+
+std::uint32_t FaultMap::flatIndex(std::uint32_t line, std::uint32_t word) const {
+    VC_EXPECTS(line < lines_);
+    VC_EXPECTS(word < wordsPerLine_);
+    return line * wordsPerLine_ + word;
+}
+
+void FaultMap::setFaulty(std::uint32_t line, std::uint32_t word, bool faulty) {
+    setFaultyFlat(flatIndex(line, word), faulty);
+}
+
+bool FaultMap::isFaulty(std::uint32_t line, std::uint32_t word) const {
+    return faulty_[flatIndex(line, word)];
+}
+
+void FaultMap::setFaultyFlat(std::uint32_t flatWord, bool faulty) {
+    VC_EXPECTS(flatWord < totalWords());
+    if (faulty_[flatWord] == faulty) return;
+    faulty_[flatWord] = faulty;
+    faultyWords_ += faulty ? 1 : -1;
+}
+
+bool FaultMap::isFaultyFlat(std::uint32_t flatWord) const {
+    VC_EXPECTS(flatWord < totalWords());
+    return faulty_[flatWord];
+}
+
+std::uint32_t FaultMap::lineFaultMask(std::uint32_t line) const {
+    std::uint32_t mask = 0;
+    for (std::uint32_t w = 0; w < wordsPerLine_; ++w) {
+        if (isFaulty(line, w)) mask |= (1u << w);
+    }
+    return mask;
+}
+
+std::uint32_t FaultMap::faultFreeCount(std::uint32_t line) const {
+    std::uint32_t count = 0;
+    for (std::uint32_t w = 0; w < wordsPerLine_; ++w) {
+        if (!isFaulty(line, w)) ++count;
+    }
+    return count;
+}
+
+double FaultMap::effectiveCapacityFraction() const noexcept {
+    return static_cast<double>(totalFaultFreeWords()) / static_cast<double>(totalWords());
+}
+
+std::vector<FaultFreeChunk> FaultMap::faultFreeChunks() const {
+    std::vector<FaultFreeChunk> chunks;
+    std::uint32_t runStart = 0;
+    std::uint32_t runLength = 0;
+    for (std::uint32_t i = 0; i < totalWords(); ++i) {
+        if (!faulty_[i]) {
+            if (runLength == 0) runStart = i;
+            ++runLength;
+        } else if (runLength > 0) {
+            chunks.push_back({runStart, runLength});
+            runLength = 0;
+        }
+    }
+    if (runLength > 0) chunks.push_back({runStart, runLength});
+    return chunks;
+}
+
+FaultMap FaultMapGenerator::generate(Rng& rng, Voltage v, std::uint32_t lines,
+                                     std::uint32_t wordsPerLine) const {
+    const double pWord = model_.pFailStructure(v, bitsPerWord_);
+    FaultMap map(lines, wordsPerLine);
+    for (std::uint32_t flat = 0; flat < map.totalWords(); ++flat) {
+        if (rng.nextBernoulli(pWord)) map.setFaultyFlat(flat);
+    }
+    return map;
+}
+
+} // namespace voltcache

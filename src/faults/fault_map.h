@@ -1,0 +1,95 @@
+// Word-granularity fault maps (paper Section IV preamble and Fig. 4's FMAP).
+//
+// BIST runs at every supported DVFS operating point and records which 32-bit
+// words of a cache data array are defective. The resulting map is consumed
+// three ways:
+//   * FFW loads it into the FMAP array next to the D-cache tags,
+//   * the linker reads it to place basic blocks for BBR,
+//   * the word-disable/FBA/IDC baselines consult it on every access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/failure_model.h"
+
+namespace voltcache {
+
+/// A contiguous run of fault-free words in the flattened cache word space.
+struct FaultFreeChunk {
+    std::uint32_t startWord = 0; ///< flat word index of the first word
+    std::uint32_t length = 0;    ///< number of consecutive fault-free words
+};
+
+/// Defect bitmap over a cache data array organised as `lines` physical
+/// frames of `wordsPerLine` words each. Flat word index order is line-major,
+/// which equals direct-mapped cache address order (cacheAddr = memAddr mod
+/// cacheWords), as required by BBR's Algorithm 1.
+class FaultMap {
+public:
+    FaultMap(std::uint32_t lines, std::uint32_t wordsPerLine);
+
+    [[nodiscard]] std::uint32_t lines() const noexcept { return lines_; }
+    [[nodiscard]] std::uint32_t wordsPerLine() const noexcept { return wordsPerLine_; }
+    [[nodiscard]] std::uint32_t totalWords() const noexcept { return lines_ * wordsPerLine_; }
+
+    void setFaulty(std::uint32_t line, std::uint32_t word, bool faulty = true);
+    [[nodiscard]] bool isFaulty(std::uint32_t line, std::uint32_t word) const;
+
+    void setFaultyFlat(std::uint32_t flatWord, bool faulty = true);
+    [[nodiscard]] bool isFaultyFlat(std::uint32_t flatWord) const;
+
+    /// Bitmask of defective words in a line; bit i set == word i faulty.
+    /// Requires wordsPerLine <= 32 (8 for the paper's 32B/4B geometry).
+    [[nodiscard]] std::uint32_t lineFaultMask(std::uint32_t line) const;
+
+    /// Number of usable (fault-free) words in a line.
+    [[nodiscard]] std::uint32_t faultFreeCount(std::uint32_t line) const;
+
+    [[nodiscard]] std::uint32_t totalFaultyWords() const noexcept { return faultyWords_; }
+    [[nodiscard]] std::uint32_t totalFaultFreeWords() const noexcept {
+        return totalWords() - faultyWords_;
+    }
+    /// Fraction of words usable — the "effective capacity" of Fig. 6a.
+    [[nodiscard]] double effectiveCapacityFraction() const noexcept;
+
+    /// Maximal runs of consecutive fault-free words over the flat index
+    /// space (no wraparound merging; Algorithm 1 handles the modular scan).
+    [[nodiscard]] std::vector<FaultFreeChunk> faultFreeChunks() const;
+
+    /// True if no word is defective.
+    [[nodiscard]] bool clean() const noexcept { return faultyWords_ == 0; }
+
+    bool operator==(const FaultMap& other) const = default;
+
+private:
+    [[nodiscard]] std::uint32_t flatIndex(std::uint32_t line, std::uint32_t word) const;
+
+    std::uint32_t lines_;
+    std::uint32_t wordsPerLine_;
+    std::uint32_t faultyWords_ = 0;
+    std::vector<bool> faulty_;
+};
+
+/// Monte Carlo fault-map generation (paper Section V): each word fails
+/// independently with probability 1-(1-p_bit)^32 at the given voltage.
+class FaultMapGenerator {
+public:
+    explicit FaultMapGenerator(FailureModel model = FailureModel{},
+                               unsigned bitsPerWord = 32) noexcept
+        : model_(model), bitsPerWord_(bitsPerWord) {}
+
+    /// Draw one fault map for an array of `lines` x `wordsPerLine` words.
+    [[nodiscard]] FaultMap generate(Rng& rng, Voltage v, std::uint32_t lines,
+                                    std::uint32_t wordsPerLine) const;
+
+    [[nodiscard]] const FailureModel& model() const noexcept { return model_; }
+    [[nodiscard]] unsigned bitsPerWord() const noexcept { return bitsPerWord_; }
+
+private:
+    FailureModel model_;
+    unsigned bitsPerWord_;
+};
+
+} // namespace voltcache

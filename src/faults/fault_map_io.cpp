@@ -1,0 +1,79 @@
+#include "faults/fault_map_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace voltcache {
+
+namespace {
+constexpr std::string_view kMagic = "voltcache-faultmap v1";
+}
+
+void saveFaultMap(const FaultMap& map, std::ostream& out) {
+    out << kMagic << '\n';
+    out << "lines " << map.lines() << " words " << map.wordsPerLine() << '\n';
+    for (std::uint32_t line = 0; line < map.lines(); ++line) {
+        for (std::uint32_t word = 0; word < map.wordsPerLine(); ++word) {
+            out << (map.isFaulty(line, word) ? 'X' : '.');
+        }
+        out << '\n';
+    }
+}
+
+std::string faultMapToString(const FaultMap& map) {
+    std::ostringstream out;
+    saveFaultMap(map, out);
+    return out.str();
+}
+
+FaultMap loadFaultMap(std::istream& in) {
+    std::string header;
+    if (!std::getline(in, header) || header != kMagic) {
+        throw FaultMapFormatError("missing 'voltcache-faultmap v1' header");
+    }
+    std::string key1;
+    std::string key2;
+    std::uint32_t lines = 0;
+    std::uint32_t words = 0;
+    std::string dims;
+    if (!std::getline(in, dims)) throw FaultMapFormatError("missing dimensions line");
+    std::istringstream dimStream(dims);
+    if (!(dimStream >> key1 >> lines >> key2 >> words) || key1 != "lines" ||
+        key2 != "words") {
+        throw FaultMapFormatError("bad dimensions line: '" + dims + "'");
+    }
+    if (lines == 0 || words == 0 || words > 32) {
+        throw FaultMapFormatError("dimensions out of range");
+    }
+    FaultMap map(lines, words);
+    for (std::uint32_t line = 0; line < lines; ++line) {
+        std::string row;
+        if (!std::getline(in, row)) {
+            throw FaultMapFormatError("truncated: expected " + std::to_string(lines) +
+                                      " rows, got " + std::to_string(line));
+        }
+        if (row.size() != words) {
+            throw FaultMapFormatError("row " + std::to_string(line) + " has " +
+                                      std::to_string(row.size()) + " cells, expected " +
+                                      std::to_string(words));
+        }
+        for (std::uint32_t word = 0; word < words; ++word) {
+            if (row[word] == 'X') {
+                map.setFaulty(line, word);
+            } else if (row[word] != '.') {
+                throw FaultMapFormatError("row " + std::to_string(line) +
+                                          ": unexpected character '" +
+                                          std::string(1, row[word]) + "'");
+            }
+        }
+    }
+    return map;
+}
+
+FaultMap faultMapFromString(const std::string& text) {
+    std::istringstream in(text);
+    return loadFaultMap(in);
+}
+
+} // namespace voltcache

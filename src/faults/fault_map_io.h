@@ -1,0 +1,33 @@
+// Fault-map persistence. The paper stores per-operating-point fault maps in
+// off-chip storage after BIST and loads them into FMAP on a DVFS switch
+// (Section IV, citing [2]); this module provides that storage format — a
+// small, self-describing, human-diffable text encoding.
+//
+//   voltcache-faultmap v1
+//   lines <N> words <W>
+//   <N> rows of W characters, '.' = fault-free, 'X' = defective
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "faults/fault_map.h"
+
+namespace voltcache {
+
+/// Malformed input to loadFaultMap.
+class FaultMapFormatError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Serialize to the v1 text format.
+void saveFaultMap(const FaultMap& map, std::ostream& out);
+[[nodiscard]] std::string faultMapToString(const FaultMap& map);
+
+/// Parse the v1 text format; throws FaultMapFormatError on any deviation.
+[[nodiscard]] FaultMap loadFaultMap(std::istream& in);
+[[nodiscard]] FaultMap faultMapFromString(const std::string& text);
+
+} // namespace voltcache

@@ -1,0 +1,33 @@
+#include "faults/yield.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+double YieldAnalyzer::yield(Voltage v, std::uint64_t bits) const noexcept {
+    const double p = model_.pFailBit(v);
+    if (p >= 1.0) return 0.0;
+    return std::exp(static_cast<double>(bits) * std::log1p(-p));
+}
+
+Voltage YieldAnalyzer::vccmin(std::uint64_t bits, double targetYield) const {
+    VC_EXPECTS(bits > 0);
+    VC_EXPECTS(targetYield > 0.0 && targetYield < 1.0);
+    double lo = 0.2;
+    double hi = 1.4;
+    VC_ENSURES(yield(Voltage::fromVolts(hi), bits) >= targetYield);
+    // ~40 bisection steps: 1.2V span / 2^40 << 1mV.
+    for (int step = 0; step < 48; ++step) {
+        const double mid = 0.5 * (lo + hi);
+        if (yield(Voltage::fromVolts(mid), bits) >= targetYield) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return Voltage::fromVolts(hi);
+}
+
+} // namespace voltcache

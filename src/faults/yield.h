@@ -1,0 +1,46 @@
+// Chip-yield analysis (paper Section II-B, Fig. 2).
+//
+// A die ships only if every protected cell works, so the yield of an
+// unprotected structure of n cells at voltage V is (1-p_bit(V))^n. The paper
+// requires 999 of every 1000 dies fault-free, which pins the conventional
+// 32KB cache's Vccmin at 760mV. Vccmin for arbitrary structures is found by
+// bisection on the (monotone) yield curve.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "faults/failure_model.h"
+
+namespace voltcache {
+
+/// The paper's manufacturing-yield target: 999 out of 1000 dies fault-free.
+inline constexpr double kPaperYieldTarget = 0.999;
+
+class YieldAnalyzer {
+public:
+    explicit YieldAnalyzer(FailureModel model = FailureModel{}) noexcept : model_(model) {}
+
+    /// Probability that a structure of `bits` cells is fully functional.
+    [[nodiscard]] double yield(Voltage v, std::uint64_t bits) const noexcept;
+
+    /// Lowest voltage at which `yield(v, bits) >= targetYield`, found by
+    /// bisection over [0.2V, 1.4V] to sub-millivolt precision.
+    [[nodiscard]] Voltage vccmin(std::uint64_t bits,
+                                 double targetYield = kPaperYieldTarget) const;
+
+    [[nodiscard]] const FailureModel& model() const noexcept { return model_; }
+
+private:
+    FailureModel model_;
+};
+
+/// Bit counts for the granularities plotted in Fig. 2.
+namespace granularity {
+inline constexpr std::uint64_t kBit = 1;
+inline constexpr std::uint64_t kWord4B = 32;
+inline constexpr std::uint64_t kBlock32B = 256;
+inline constexpr std::uint64_t kCache32KB = 32ULL * 1024 * 8;
+} // namespace granularity
+
+} // namespace voltcache

@@ -1,0 +1,349 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "isa/builder.h"
+
+namespace voltcache {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+    throw AsmError("line " + std::to_string(line) + ": " + what);
+}
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+/// Split a line's operand field at commas, trimming each piece.
+std::vector<std::string> splitOperands(std::string_view text) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? text.size() : comma;
+        const std::string_view piece = trim(text.substr(pos, end - pos));
+        if (!piece.empty()) out.emplace_back(piece);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/// One pre-parsed statement.
+struct Statement {
+    std::size_t line = 0;
+    std::string mnemonic; // lower-cased, or ".func"/".data"/... / "label:"
+    std::vector<std::string> operands;
+};
+
+Reg parseReg(std::size_t line, const std::string& token) {
+    if (token == "sp") return regs::sp;
+    if (token == "ra") return regs::ra;
+    if (token.size() >= 2 && token[0] == 'r') {
+        const int n = std::atoi(token.c_str() + 1);
+        const bool digits =
+            std::all_of(token.begin() + 1, token.end(),
+                        [](char c) { return std::isdigit(static_cast<unsigned char>(c)); });
+        if (digits && n >= 0 && n < static_cast<int>(kNumRegisters)) {
+            return static_cast<Reg>(n);
+        }
+    }
+    fail(line, "bad register '" + token + "'");
+}
+
+std::int32_t parseImm(std::size_t line, const std::string& token) {
+    try {
+        std::size_t used = 0;
+        const long long value = std::stoll(token, &used, 0); // handles 0x / decimal
+        if (used != token.size()) fail(line, "bad immediate '" + token + "'");
+        if (value < INT32_MIN || value > UINT32_MAX) {
+            fail(line, "immediate out of 32-bit range: " + token);
+        }
+        return static_cast<std::int32_t>(value);
+    } catch (const AsmError&) {
+        throw;
+    } catch (const std::exception&) {
+        fail(line, "bad immediate '" + token + "'");
+    }
+}
+
+/// "imm(reg)" -> {imm, reg}.
+std::pair<std::int32_t, Reg> parseMem(std::size_t line, const std::string& token) {
+    const std::size_t open = token.find('(');
+    const std::size_t close = token.find(')', open);
+    if (open == std::string::npos || close == std::string::npos || close + 1 != token.size()) {
+        fail(line, "expected imm(reg), got '" + token + "'");
+    }
+    const std::string immText = token.substr(0, open);
+    const std::int32_t imm = immText.empty() ? 0 : parseImm(line, immText);
+    return {imm, parseReg(line, token.substr(open + 1, close - open - 1))};
+}
+
+const std::map<std::string, Opcode, std::less<>>& rTypeOps() {
+    static const std::map<std::string, Opcode, std::less<>> ops = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub},   {"and", Opcode::And},
+        {"or", Opcode::Or},   {"xor", Opcode::Xor},   {"sll", Opcode::Sll},
+        {"srl", Opcode::Srl}, {"sra", Opcode::Sra},   {"mul", Opcode::Mul},
+        {"div", Opcode::Div}, {"rem", Opcode::Rem},   {"slt", Opcode::Slt},
+        {"sltu", Opcode::Sltu}};
+    return ops;
+}
+
+const std::map<std::string, Opcode, std::less<>>& iTypeOps() {
+    static const std::map<std::string, Opcode, std::less<>> ops = {
+        {"addi", Opcode::Addi}, {"andi", Opcode::Andi}, {"ori", Opcode::Ori},
+        {"xori", Opcode::Xori}, {"slli", Opcode::Slli}, {"srli", Opcode::Srli},
+        {"srai", Opcode::Srai}, {"slti", Opcode::Slti}};
+    return ops;
+}
+
+const std::map<std::string, Opcode, std::less<>>& branchOps() {
+    static const std::map<std::string, Opcode, std::less<>> ops = {
+        {"beq", Opcode::Beq},   {"bne", Opcode::Bne},   {"blt", Opcode::Blt},
+        {"bge", Opcode::Bge},   {"bltu", Opcode::Bltu}, {"bgeu", Opcode::Bgeu}};
+    return ops;
+}
+
+/// A function's statements, pre-split from the source.
+struct FunctionSource {
+    std::string name;
+    std::size_t line = 0;
+    std::vector<Statement> statements;
+};
+
+class Assembler {
+public:
+    explicit Assembler(std::string_view source) { lex(source); }
+
+    Module run() {
+        for (const auto& fn : functions_) emitFunction(fn);
+        for (auto& segment : dataSegments_) builder_.data(segment.first, segment.second);
+        if (!entryName_.empty()) builder_.setEntry(entryName_);
+        return builder_.take();
+    }
+
+private:
+    void lex(std::string_view source) {
+        std::size_t lineNo = 0;
+        std::size_t pos = 0;
+        FunctionSource* current = nullptr;
+        std::vector<std::int32_t>* currentData = nullptr;
+        while (pos <= source.size()) {
+            const std::size_t eol = source.find('\n', pos);
+            std::string_view raw =
+                source.substr(pos, eol == std::string_view::npos ? source.size() - pos
+                                                                 : eol - pos);
+            ++lineNo;
+            pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+
+            const std::size_t comment = raw.find_first_of("#;");
+            if (comment != std::string_view::npos) raw = raw.substr(0, comment);
+            const std::string_view text = trim(raw);
+            if (text.empty()) continue;
+
+            Statement statement;
+            statement.line = lineNo;
+            const std::size_t space = text.find_first_of(" \t");
+            std::string head(text.substr(0, space));
+            std::transform(head.begin(), head.end(), head.begin(),
+                           [](unsigned char c) { return std::tolower(c); });
+            const std::string_view rest =
+                space == std::string_view::npos ? std::string_view{} : trim(text.substr(space));
+
+            if (head == ".func") {
+                if (rest.empty()) fail(lineNo, ".func needs a name");
+                functions_.push_back(FunctionSource{std::string(rest), lineNo, {}});
+                current = &functions_.back();
+                currentData = nullptr;
+                continue;
+            }
+            if (head == ".entry") {
+                if (rest.empty()) fail(lineNo, ".entry needs a function name");
+                entryName_ = std::string(rest);
+                continue;
+            }
+            if (head == ".data") {
+                if (rest.empty()) fail(lineNo, ".data needs a byte address");
+                const std::int32_t addr = parseImm(lineNo, std::string(rest));
+                dataSegments_.emplace_back(static_cast<std::uint32_t>(addr),
+                                           std::vector<std::int32_t>{});
+                currentData = &dataSegments_.back().second;
+                current = nullptr;
+                continue;
+            }
+            if (head == ".word") {
+                if (currentData == nullptr) fail(lineNo, ".word outside a .data segment");
+                std::size_t wordPos = 0;
+                const std::string values(rest);
+                while (wordPos < values.size()) {
+                    const std::size_t wordEnd = values.find_first_of(" \t", wordPos);
+                    const std::string token = values.substr(
+                        wordPos, wordEnd == std::string::npos ? std::string::npos
+                                                              : wordEnd - wordPos);
+                    if (!token.empty()) currentData->push_back(parseImm(lineNo, token));
+                    if (wordEnd == std::string::npos) break;
+                    wordPos = values.find_first_not_of(" \t", wordEnd);
+                    if (wordPos == std::string::npos) break;
+                }
+                continue;
+            }
+            if (current == nullptr) fail(lineNo, "statement outside a .func");
+            statement.mnemonic = head;
+            statement.operands = splitOperands(rest);
+            current->statements.push_back(std::move(statement));
+        }
+    }
+
+    void emitFunction(const FunctionSource& source) {
+        FunctionBuilder f = builder_.function(source.name);
+        // Pass 1: create a block per label.
+        std::map<std::string, BlockHandle, std::less<>> labels;
+        for (const auto& statement : source.statements) {
+            if (statement.mnemonic.size() > 1 && statement.mnemonic.back() == ':') {
+                const std::string label =
+                    statement.mnemonic.substr(0, statement.mnemonic.size() - 1);
+                if (labels.contains(label)) {
+                    fail(statement.line, "duplicate label '" + label + "'");
+                }
+                labels.emplace(label, f.newBlock(label));
+            }
+        }
+        auto target = [&](std::size_t line, const std::string& label) {
+            const auto it = labels.find(label);
+            if (it == labels.end()) fail(line, "unknown label '" + label + "'");
+            return it->second;
+        };
+        auto expect = [&](const Statement& s, std::size_t count) -> const Statement& {
+            if (s.operands.size() != count) {
+                fail(s.line, s.mnemonic + " expects " + std::to_string(count) +
+                                 " operands, got " + std::to_string(s.operands.size()));
+            }
+            return s;
+        };
+
+        // Pass 2: emit.
+        for (const auto& s : source.statements) {
+            const std::size_t line = s.line;
+            if (s.mnemonic.size() > 1 && s.mnemonic.back() == ':') {
+                f.at(target(line, s.mnemonic.substr(0, s.mnemonic.size() - 1)));
+                continue;
+            }
+            if (const auto it = rTypeOps().find(s.mnemonic); it != rTypeOps().end()) {
+                expect(s, 3);
+                const Reg rd = parseReg(line, s.operands[0]);
+                const Reg rs1 = parseReg(line, s.operands[1]);
+                const Reg rs2 = parseReg(line, s.operands[2]);
+                switch (it->second) {
+                    case Opcode::Add: f.add(rd, rs1, rs2); break;
+                    case Opcode::Sub: f.sub(rd, rs1, rs2); break;
+                    case Opcode::And: f.and_(rd, rs1, rs2); break;
+                    case Opcode::Or: f.or_(rd, rs1, rs2); break;
+                    case Opcode::Xor: f.xor_(rd, rs1, rs2); break;
+                    case Opcode::Sll: f.sll(rd, rs1, rs2); break;
+                    case Opcode::Srl: f.srl(rd, rs1, rs2); break;
+                    case Opcode::Sra: f.sra(rd, rs1, rs2); break;
+                    case Opcode::Mul: f.mul(rd, rs1, rs2); break;
+                    case Opcode::Div: f.div(rd, rs1, rs2); break;
+                    case Opcode::Rem: f.rem(rd, rs1, rs2); break;
+                    case Opcode::Slt: f.slt(rd, rs1, rs2); break;
+                    default: f.sltu(rd, rs1, rs2); break;
+                }
+                continue;
+            }
+            if (const auto it = iTypeOps().find(s.mnemonic); it != iTypeOps().end()) {
+                expect(s, 3);
+                const Reg rd = parseReg(line, s.operands[0]);
+                const Reg rs1 = parseReg(line, s.operands[1]);
+                const std::int32_t imm = parseImm(line, s.operands[2]);
+                switch (it->second) {
+                    case Opcode::Addi: f.addi(rd, rs1, imm); break;
+                    case Opcode::Andi: f.andi(rd, rs1, imm); break;
+                    case Opcode::Ori: f.ori(rd, rs1, imm); break;
+                    case Opcode::Xori: f.xori(rd, rs1, imm); break;
+                    case Opcode::Slli: f.slli(rd, rs1, imm); break;
+                    case Opcode::Srli: f.srli(rd, rs1, imm); break;
+                    case Opcode::Srai: f.srai(rd, rs1, imm); break;
+                    default: f.slti(rd, rs1, imm); break;
+                }
+                continue;
+            }
+            if (const auto it = branchOps().find(s.mnemonic); it != branchOps().end()) {
+                expect(s, 3);
+                const Reg rs1 = parseReg(line, s.operands[0]);
+                const Reg rs2 = parseReg(line, s.operands[1]);
+                const BlockHandle block = target(line, s.operands[2]);
+                switch (it->second) {
+                    case Opcode::Beq: f.beq(rs1, rs2, block); break;
+                    case Opcode::Bne: f.bne(rs1, rs2, block); break;
+                    case Opcode::Blt: f.blt(rs1, rs2, block); break;
+                    case Opcode::Bge: f.bge(rs1, rs2, block); break;
+                    case Opcode::Bltu: f.bltu(rs1, rs2, block); break;
+                    default: f.bgeu(rs1, rs2, block); break;
+                }
+                continue;
+            }
+            if (s.mnemonic == "lw") {
+                expect(s, 2);
+                const auto [imm, base] = parseMem(line, s.operands[1]);
+                f.lw(parseReg(line, s.operands[0]), base, imm);
+            } else if (s.mnemonic == "sw") {
+                expect(s, 2);
+                const auto [imm, base] = parseMem(line, s.operands[1]);
+                f.sw(parseReg(line, s.operands[0]), base, imm);
+            } else if (s.mnemonic == "ldl") {
+                expect(s, 2);
+                if (s.operands[1].empty() || s.operands[1][0] != '=') {
+                    fail(line, "ldl expects '=constant'");
+                }
+                f.ldlConst(parseReg(line, s.operands[0]),
+                           parseImm(line, s.operands[1].substr(1)));
+            } else if (s.mnemonic == "li") {
+                expect(s, 2);
+                f.li(parseReg(line, s.operands[0]), parseImm(line, s.operands[1]));
+            } else if (s.mnemonic == "mv") {
+                expect(s, 2);
+                f.mv(parseReg(line, s.operands[0]), parseReg(line, s.operands[1]));
+            } else if (s.mnemonic == "jmp") {
+                expect(s, 1);
+                f.jmp(target(line, s.operands[0]));
+            } else if (s.mnemonic == "call") {
+                expect(s, 1);
+                f.call(s.operands[0]);
+            } else if (s.mnemonic == "ret") {
+                expect(s, 0);
+                f.ret();
+            } else if (s.mnemonic == "nop") {
+                expect(s, 0);
+                f.nop();
+            } else if (s.mnemonic == "halt") {
+                expect(s, 0);
+                f.halt();
+            } else {
+                fail(line, "unknown mnemonic '" + s.mnemonic + "'");
+            }
+        }
+    }
+
+    ModuleBuilder builder_;
+    std::vector<FunctionSource> functions_;
+    std::vector<std::pair<std::uint32_t, std::vector<std::int32_t>>> dataSegments_;
+    std::string entryName_;
+};
+
+} // namespace
+
+Module assemble(std::string_view source) { return Assembler(source).run(); }
+
+} // namespace voltcache

@@ -1,0 +1,45 @@
+// Text assembler for vr32: parses a small .s dialect into a Module, the
+// same object form the builder DSL produces — so hand-written or generated
+// assembly can flow through the BBR compiler/linker tool chain.
+//
+// Syntax (one statement per line; '#' or ';' start comments):
+//
+//   .func NAME            start a function (first one is the entry, or use
+//   .entry NAME           to pick another)
+//   LABEL:                start a new basic block
+//   add r1, r2, r3        R-type ops: add sub and or xor sll srl sra mul
+//                         div rem slt sltu
+//   addi r1, r2, -5       immediate ops: addi andi ori xori slli srli srai
+//                         slti; constants are decimal or 0x hex
+//   lw r1, 8(r2)          loads/stores with imm(base) addressing
+//   sw r3, -4(sp)         register names: r0..r15, sp (=r14), ra (=r15)
+//   ldl r1, =123456       PC-relative literal load; '=value' allocates (and
+//                         dedups) a slot in the function's shared pool
+//   beq r1, r2, LABEL     branches target labels of the same function
+//   jmp LABEL             unconditional jump (jal r0)
+//   call NAME             function call (jal ra)
+//   ret / nop / halt
+//   li r1, 0x12345678     pseudo: addi or lui+ori as needed
+//   mv r1, r2             pseudo: addi r1, r2, 0
+//   .data 0x100000        start a data segment at a byte address
+//   .word 1 2 0x3 -4      words appended to the current data segment
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/module.h"
+
+namespace voltcache {
+
+/// Parse error with a 1-based line number in what().
+class AsmError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Assemble a full source text into a validated Module.
+[[nodiscard]] Module assemble(std::string_view source);
+
+} // namespace voltcache

@@ -1,0 +1,139 @@
+#include "isa/builder.h"
+
+namespace voltcache {
+
+BlockHandle FunctionBuilder::newBlock(std::string label) {
+    auto& fn = function();
+    BasicBlock block;
+    block.label = label.empty() ? "bb" + std::to_string(fn.blocks.size()) : std::move(label);
+    fn.blocks.push_back(std::move(block));
+    return BlockHandle{static_cast<std::uint32_t>(fn.blocks.size() - 1)};
+}
+
+FunctionBuilder& FunctionBuilder::at(BlockHandle blockHandle) {
+    VC_EXPECTS(blockHandle.index < function().blocks.size());
+    current_ = blockHandle.index;
+    return *this;
+}
+
+const std::string& FunctionBuilder::name() const noexcept {
+    return owner_->module_.functions[functionIndex_].name;
+}
+
+Function& FunctionBuilder::function() { return owner_->module_.functions[functionIndex_]; }
+
+BasicBlock& FunctionBuilder::block() { return function().blocks[current_]; }
+
+FunctionBuilder& FunctionBuilder::emitR(Opcode op, Reg rd, Reg rs1, Reg rs2) {
+    block().insts.push_back(Instruction{op, rd, rs1, rs2, 0});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::emitI(Opcode op, Reg rd, Reg rs1, std::int32_t imm) {
+    block().insts.push_back(Instruction{op, rd, rs1, 0, imm});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::emitB(Opcode op, Reg rs1, Reg rs2, BlockHandle target) {
+    auto& bb = block();
+    Relocation reloc;
+    reloc.instIndex = static_cast<std::uint32_t>(bb.insts.size());
+    reloc.kind = RelocKind::BlockTarget;
+    reloc.targetBlock = target.index;
+    bb.relocs.push_back(reloc);
+    bb.insts.push_back(Instruction{op, 0, rs1, rs2, 0});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::li(Reg rd, std::int32_t value) {
+    constexpr std::int32_t kMax = (1 << (kImmBitsIType - 1)) - 1;
+    constexpr std::int32_t kMin = -(1 << (kImmBitsIType - 1));
+    if (value >= kMin && value <= kMax) return addi(rd, regs::r0, value);
+    // lui loads bits [31:10] (rd = imm22 << 10); ori fills bits [9:0].
+    // C++20 guarantees arithmetic right shift, so value >> 10 is the
+    // sign-preserving 22-bit upper immediate.
+    emitI(Opcode::Lui, rd, 0, value >> 10);
+    return ori(rd, rd, value & 0x3FF);
+}
+
+FunctionBuilder& FunctionBuilder::ldlConst(Reg rd, std::int32_t value) {
+    auto& fn = function();
+    // Reuse an existing pool slot with the same value.
+    std::uint32_t slot = 0;
+    for (; slot < fn.sharedLiteralPool.size(); ++slot) {
+        if (fn.sharedLiteralPool[slot] == value) break;
+    }
+    if (slot == fn.sharedLiteralPool.size()) fn.sharedLiteralPool.push_back(value);
+    auto& bb = block();
+    Relocation reloc;
+    reloc.instIndex = static_cast<std::uint32_t>(bb.insts.size());
+    reloc.kind = RelocKind::SharedLiteral;
+    reloc.literalIndex = slot;
+    bb.relocs.push_back(reloc);
+    bb.insts.push_back(Instruction{Opcode::Ldl, rd, 0, 0, 0});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::sw(Reg rs2, Reg rs1, std::int32_t imm) {
+    block().insts.push_back(Instruction{Opcode::Sw, 0, rs1, rs2, imm});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::jmp(BlockHandle target) {
+    auto& bb = block();
+    Relocation reloc;
+    reloc.instIndex = static_cast<std::uint32_t>(bb.insts.size());
+    reloc.kind = RelocKind::BlockTarget;
+    reloc.targetBlock = target.index;
+    bb.relocs.push_back(reloc);
+    bb.insts.push_back(Instruction{Opcode::Jal, regs::r0, 0, 0, 0});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::call(const std::string& functionName) {
+    auto& bb = block();
+    Relocation reloc;
+    reloc.instIndex = static_cast<std::uint32_t>(bb.insts.size());
+    reloc.kind = RelocKind::FunctionTarget;
+    reloc.targetFunction = functionName;
+    bb.relocs.push_back(reloc);
+    bb.insts.push_back(Instruction{Opcode::Jal, regs::ra, 0, 0, 0});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::ret() {
+    block().insts.push_back(Instruction{Opcode::Jalr, regs::r0, regs::ra, 0, 0});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::halt() {
+    block().insts.push_back(Instruction{Opcode::Halt, 0, 0, 0, 0});
+    return *this;
+}
+
+FunctionBuilder& FunctionBuilder::nop() {
+    block().insts.push_back(Instruction{Opcode::Nop, 0, 0, 0, 0});
+    return *this;
+}
+
+FunctionBuilder ModuleBuilder::function(std::string name) {
+    VC_EXPECTS(module_.findFunction(name) == nullptr);
+    Function fn;
+    fn.name = std::move(name);
+    module_.functions.push_back(std::move(fn));
+    FunctionBuilder builder(*this, static_cast<std::uint32_t>(module_.functions.size() - 1));
+    builder.newBlock("entry");
+    return builder;
+}
+
+void ModuleBuilder::data(std::uint32_t baseAddr, std::vector<std::int32_t> words) {
+    VC_EXPECTS(baseAddr % 4 == 0);
+    module_.data.push_back(DataSegment{baseAddr, std::move(words)});
+}
+
+Module ModuleBuilder::take() {
+    module_.validate();
+    return std::move(module_);
+}
+
+} // namespace voltcache

@@ -1,0 +1,171 @@
+// Fluent assembler used to author the benchmark programs in C++ (replacing
+// the paper's gcc/LLVM-compiled SPEC/MiBench binaries). Produces Modules
+// with symbolic relocations, i.e. the same object-level form a compiler
+// front end would hand to the BBR linker.
+//
+// Usage sketch:
+//   ModuleBuilder mb;
+//   auto f = mb.function("main");
+//   auto loop = f.newBlock("loop"), done = f.newBlock("done");
+//   f.li(r1, 100);
+//   f.jmp(loop);
+//   f.at(loop);
+//   f.addi(r1, r1, -1);
+//   f.bne(r1, r0, loop);
+//   f.jmpFallthrough(done);   // explicit for clarity; passes can also insert
+//   f.at(done); f.halt();
+//   Module module = mb.take();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/contracts.h"
+#include "isa/module.h"
+
+namespace voltcache {
+
+/// Register name type for the builder. Plain integers keep call sites terse.
+using Reg = std::uint8_t;
+
+namespace regs {
+inline constexpr Reg r0 = 0, r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6, r7 = 7,
+                     r8 = 8, r9 = 9, r10 = 10, r11 = 11, r12 = 12, r13 = 13, r14 = 14,
+                     sp = 14, // stack pointer (alias of r14)
+                     ra = 15; // link register
+} // namespace regs
+
+class ModuleBuilder;
+
+/// Opaque handle to a block being built (index in layout order).
+struct BlockHandle {
+    std::uint32_t index = 0;
+};
+
+class FunctionBuilder {
+public:
+    /// Create a new block appended in layout order; does not change the
+    /// emission cursor.
+    BlockHandle newBlock(std::string label = {});
+
+    /// Move the emission cursor to a block.
+    FunctionBuilder& at(BlockHandle block);
+    [[nodiscard]] BlockHandle current() const noexcept { return BlockHandle{current_}; }
+
+    // --- R-type ---
+    FunctionBuilder& add(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Add, rd, rs1, rs2); }
+    FunctionBuilder& sub(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Sub, rd, rs1, rs2); }
+    FunctionBuilder& and_(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::And, rd, rs1, rs2); }
+    FunctionBuilder& or_(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Or, rd, rs1, rs2); }
+    FunctionBuilder& xor_(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Xor, rd, rs1, rs2); }
+    FunctionBuilder& sll(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Sll, rd, rs1, rs2); }
+    FunctionBuilder& srl(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Srl, rd, rs1, rs2); }
+    FunctionBuilder& sra(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Sra, rd, rs1, rs2); }
+    FunctionBuilder& mul(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Mul, rd, rs1, rs2); }
+    FunctionBuilder& div(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Div, rd, rs1, rs2); }
+    FunctionBuilder& rem(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Rem, rd, rs1, rs2); }
+    FunctionBuilder& slt(Reg rd, Reg rs1, Reg rs2) { return emitR(Opcode::Slt, rd, rs1, rs2); }
+    FunctionBuilder& sltu(Reg rd, Reg rs1, Reg rs2) {
+        return emitR(Opcode::Sltu, rd, rs1, rs2);
+    }
+
+    // --- I-type ---
+    FunctionBuilder& addi(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Addi, rd, rs1, imm);
+    }
+    FunctionBuilder& andi(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Andi, rd, rs1, imm);
+    }
+    FunctionBuilder& ori(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Ori, rd, rs1, imm);
+    }
+    FunctionBuilder& xori(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Xori, rd, rs1, imm);
+    }
+    FunctionBuilder& slli(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Slli, rd, rs1, imm);
+    }
+    FunctionBuilder& srli(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Srli, rd, rs1, imm);
+    }
+    FunctionBuilder& srai(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Srai, rd, rs1, imm);
+    }
+    FunctionBuilder& slti(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Slti, rd, rs1, imm);
+    }
+
+    /// mv rd, rs — materialized as addi rd, rs, 0.
+    FunctionBuilder& mv(Reg rd, Reg rs) { return addi(rd, rs, 0); }
+
+    /// Load a 32-bit constant: addi when it fits 18 signed bits, otherwise
+    /// lui+ori. (Benchmarks use ldlConst for pool-worthy constants.)
+    FunctionBuilder& li(Reg rd, std::int32_t value);
+
+    /// Load a constant through the function's shared literal pool — the
+    /// PC-relative pattern BBR's MoveLiteralPools transformation exists for.
+    FunctionBuilder& ldlConst(Reg rd, std::int32_t value);
+
+    // --- memory ---
+    FunctionBuilder& lw(Reg rd, Reg rs1, std::int32_t imm) {
+        return emitI(Opcode::Lw, rd, rs1, imm);
+    }
+    FunctionBuilder& sw(Reg rs2, Reg rs1, std::int32_t imm);
+
+    // --- control flow (targets are symbolic block handles) ---
+    FunctionBuilder& beq(Reg a, Reg b, BlockHandle t) { return emitB(Opcode::Beq, a, b, t); }
+    FunctionBuilder& bne(Reg a, Reg b, BlockHandle t) { return emitB(Opcode::Bne, a, b, t); }
+    FunctionBuilder& blt(Reg a, Reg b, BlockHandle t) { return emitB(Opcode::Blt, a, b, t); }
+    FunctionBuilder& bge(Reg a, Reg b, BlockHandle t) { return emitB(Opcode::Bge, a, b, t); }
+    FunctionBuilder& bltu(Reg a, Reg b, BlockHandle t) { return emitB(Opcode::Bltu, a, b, t); }
+    FunctionBuilder& bgeu(Reg a, Reg b, BlockHandle t) { return emitB(Opcode::Bgeu, a, b, t); }
+
+    /// Unconditional jump to a block (jal r0).
+    FunctionBuilder& jmp(BlockHandle target);
+    /// Call another function by name (jal ra).
+    FunctionBuilder& call(const std::string& functionName);
+    /// Return (jalr r0, ra, 0).
+    FunctionBuilder& ret();
+    FunctionBuilder& halt();
+    FunctionBuilder& nop();
+
+    /// Name of the function being built.
+    [[nodiscard]] const std::string& name() const noexcept;
+
+private:
+    friend class ModuleBuilder;
+    FunctionBuilder(ModuleBuilder& owner, std::uint32_t functionIndex) noexcept
+        : owner_(&owner), functionIndex_(functionIndex) {}
+
+    FunctionBuilder& emitR(Opcode op, Reg rd, Reg rs1, Reg rs2);
+    FunctionBuilder& emitI(Opcode op, Reg rd, Reg rs1, std::int32_t imm);
+    FunctionBuilder& emitB(Opcode op, Reg rs1, Reg rs2, BlockHandle target);
+    BasicBlock& block();
+    Function& function();
+
+    ModuleBuilder* owner_;
+    std::uint32_t functionIndex_;
+    std::uint32_t current_ = 0;
+};
+
+class ModuleBuilder {
+public:
+    /// Start a new function; its entry block is created automatically and
+    /// selected as the emission cursor.
+    FunctionBuilder function(std::string name);
+
+    /// Add an initialized data segment (byte address, word aligned).
+    void data(std::uint32_t baseAddr, std::vector<std::int32_t> words);
+
+    void setEntry(std::string functionName) { module_.entryFunction = std::move(functionName); }
+
+    /// Validate and take the finished module.
+    [[nodiscard]] Module take();
+
+private:
+    friend class FunctionBuilder;
+    Module module_;
+};
+
+} // namespace voltcache

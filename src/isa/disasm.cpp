@@ -1,0 +1,97 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+namespace voltcache {
+
+namespace {
+
+std::string reg(unsigned r) { return "r" + std::to_string(r); }
+
+} // namespace
+
+std::string disassemble(const Instruction& inst) {
+    const std::string m(mnemonic(inst.op));
+    char buf[96];
+    switch (inst.op) {
+        case Opcode::Nop:
+        case Opcode::Halt: return m;
+        case Opcode::Lui:
+            std::snprintf(buf, sizeof buf, "%s %s, 0x%x", m.c_str(), reg(inst.rd).c_str(),
+                          static_cast<unsigned>(inst.imm));
+            return buf;
+        case Opcode::Jal:
+            std::snprintf(buf, sizeof buf, "%s %s, %+d", m.c_str(), reg(inst.rd).c_str(),
+                          inst.imm);
+            return buf;
+        case Opcode::Jalr:
+            std::snprintf(buf, sizeof buf, "%s %s, %s, %d", m.c_str(), reg(inst.rd).c_str(),
+                          reg(inst.rs1).c_str(), inst.imm);
+            return buf;
+        case Opcode::Lw:
+        case Opcode::Ldl:
+            std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", m.c_str(), reg(inst.rd).c_str(),
+                          inst.imm, inst.op == Opcode::Ldl ? "pc" : reg(inst.rs1).c_str());
+            return buf;
+        case Opcode::Sw:
+            std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", m.c_str(), reg(inst.rs2).c_str(),
+                          inst.imm, reg(inst.rs1).c_str());
+            return buf;
+        default:
+            if (isConditionalBranch(inst.op)) {
+                std::snprintf(buf, sizeof buf, "%s %s, %s, %+d", m.c_str(),
+                              reg(inst.rs1).c_str(), reg(inst.rs2).c_str(), inst.imm);
+                return buf;
+            }
+            if (inst.op >= Opcode::Addi && inst.op <= Opcode::Slti) {
+                std::snprintf(buf, sizeof buf, "%s %s, %s, %d", m.c_str(),
+                              reg(inst.rd).c_str(), reg(inst.rs1).c_str(), inst.imm);
+                return buf;
+            }
+            std::snprintf(buf, sizeof buf, "%s %s, %s, %s", m.c_str(), reg(inst.rd).c_str(),
+                          reg(inst.rs1).c_str(), reg(inst.rs2).c_str());
+            return buf;
+    }
+}
+
+std::string disassemble(const Module& module) {
+    std::string out;
+    for (const auto& fn : module.functions) {
+        out += fn.name + ":\n";
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const auto& block = fn.blocks[b];
+            out += "  ." + block.label + ":\n";
+            for (std::size_t i = 0; i < block.insts.size(); ++i) {
+                out += "    " + disassemble(block.insts[i]);
+                if (const auto* reloc = block.relocFor(static_cast<std::uint32_t>(i))) {
+                    switch (reloc->kind) {
+                        case RelocKind::BlockTarget:
+                            out += "  -> ." + fn.blocks[reloc->targetBlock].label;
+                            break;
+                        case RelocKind::FunctionTarget:
+                            out += "  -> " + reloc->targetFunction;
+                            break;
+                        case RelocKind::SharedLiteral:
+                            out += "  -> lit[" + std::to_string(reloc->literalIndex) + "]=" +
+                                   std::to_string(fn.sharedLiteralPool[reloc->literalIndex]);
+                            break;
+                        case RelocKind::BlockLiteral:
+                            out += "  -> blit[" + std::to_string(reloc->literalIndex) + "]=" +
+                                   std::to_string(block.literalPool[reloc->literalIndex]);
+                            break;
+                    }
+                }
+                out += '\n';
+            }
+            for (std::size_t l = 0; l < block.literalPool.size(); ++l) {
+                out += "    .word " + std::to_string(block.literalPool[l]) + '\n';
+            }
+        }
+        for (std::size_t l = 0; l < fn.sharedLiteralPool.size(); ++l) {
+            out += "  .pool " + std::to_string(fn.sharedLiteralPool[l]) + '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace voltcache

@@ -1,0 +1,17 @@
+// Disassembly helpers for diagnostics, linker map files, and tests.
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.h"
+#include "isa/module.h"
+
+namespace voltcache {
+
+/// One instruction, e.g. "addi r3, r0, 42" or "beq r1, r2, +12".
+[[nodiscard]] std::string disassemble(const Instruction& inst);
+
+/// A whole module, block by block, with relocations annotated.
+[[nodiscard]] std::string disassemble(const Module& module);
+
+} // namespace voltcache

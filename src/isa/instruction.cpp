@@ -1,0 +1,147 @@
+#include "isa/instruction.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+namespace {
+
+// Wire format, 32 bits:
+//   [31:26] opcode
+//   R-type:  rd[25:22] rs1[21:18] rs2[17:14]
+//   I-type:  rd[25:22] rs1[21:18] imm18[17:0]   (ALU-imm, Lw, Ldl, Jalr)
+//   S-type:  rs2[25:22] rs1[21:18] imm18[17:0]  (Sw)
+//   B-type:  rs1[25:22] rs2[21:18] imm18[17:0]  (branches)
+//   J/U-type: rd[25:22] imm22[21:0]             (Jal, Lui)
+
+enum class Format : std::uint8_t { R, I, S, B, JU, None };
+
+Format formatOf(Opcode op) {
+    if (op <= Opcode::Sltu) return Format::R;
+    if (op <= Opcode::Slti) return Format::I;
+    if (op == Opcode::Lui || op == Opcode::Jal) return Format::JU;
+    if (op == Opcode::Lw || op == Opcode::Ldl || op == Opcode::Jalr) return Format::I;
+    if (op == Opcode::Sw) return Format::S;
+    if (isConditionalBranch(op)) return Format::B;
+    return Format::None; // Nop, Halt
+}
+
+bool fitsSigned(std::int64_t value, int bits) {
+    const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+    const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+std::uint32_t maskBits(std::int32_t value, int bits) {
+    return static_cast<std::uint32_t>(value) & ((1u << bits) - 1u);
+}
+
+std::int32_t signExtend(std::uint32_t value, int bits) {
+    const std::uint32_t sign = 1u << (bits - 1);
+    return static_cast<std::int32_t>((value ^ sign) - sign);
+}
+
+void checkRegister(unsigned reg, const char* field) {
+    if (reg >= kNumRegisters) {
+        throw EncodingError(std::string("register field out of range: ") + field);
+    }
+}
+
+} // namespace
+
+std::string_view mnemonic(Opcode op) noexcept {
+    static constexpr std::array<std::string_view, kOpcodeCount> kNames = {
+        "add",  "sub",  "and",  "or",   "xor",  "sll",  "srl", "sra",  "mul",
+        "div",  "rem",  "slt",  "sltu", "addi", "andi", "ori", "xori", "slli",
+        "srli", "srai", "slti", "lui",  "lw",   "sw",   "ldl", "beq",  "bne",
+        "blt",  "bge",  "bltu", "bgeu", "jal",  "jalr", "nop", "halt"};
+    return kNames[static_cast<std::uint8_t>(op)];
+}
+
+std::uint32_t encode(const Instruction& inst) {
+    checkRegister(inst.rd, "rd");
+    checkRegister(inst.rs1, "rs1");
+    checkRegister(inst.rs2, "rs2");
+    std::uint32_t word = static_cast<std::uint32_t>(inst.op) << 26;
+    switch (formatOf(inst.op)) {
+        case Format::R:
+            word |= static_cast<std::uint32_t>(inst.rd) << 22;
+            word |= static_cast<std::uint32_t>(inst.rs1) << 18;
+            word |= static_cast<std::uint32_t>(inst.rs2) << 14;
+            break;
+        case Format::I:
+            if (!fitsSigned(inst.imm, kImmBitsIType)) {
+                throw EncodingError("I-type immediate out of 18-bit range");
+            }
+            word |= static_cast<std::uint32_t>(inst.rd) << 22;
+            word |= static_cast<std::uint32_t>(inst.rs1) << 18;
+            word |= maskBits(inst.imm, kImmBitsIType);
+            break;
+        case Format::S:
+            if (!fitsSigned(inst.imm, kImmBitsIType)) {
+                throw EncodingError("S-type immediate out of 18-bit range");
+            }
+            word |= static_cast<std::uint32_t>(inst.rs2) << 22;
+            word |= static_cast<std::uint32_t>(inst.rs1) << 18;
+            word |= maskBits(inst.imm, kImmBitsIType);
+            break;
+        case Format::B:
+            if (!fitsSigned(inst.imm, kImmBitsIType)) {
+                throw EncodingError("branch displacement out of 18-bit range");
+            }
+            word |= static_cast<std::uint32_t>(inst.rs1) << 22;
+            word |= static_cast<std::uint32_t>(inst.rs2) << 18;
+            word |= maskBits(inst.imm, kImmBitsIType);
+            break;
+        case Format::JU:
+            if (!fitsSigned(inst.imm, kImmBitsJType)) {
+                throw EncodingError("J/U-type immediate out of 22-bit range");
+            }
+            word |= static_cast<std::uint32_t>(inst.rd) << 22;
+            word |= maskBits(inst.imm, kImmBitsJType);
+            break;
+        case Format::None: break;
+    }
+    return word;
+}
+
+Instruction decode(std::uint32_t word) {
+    const auto opBits = word >> 26;
+    if (opBits >= kOpcodeCount) throw EncodingError("unknown opcode");
+    Instruction inst;
+    inst.op = static_cast<Opcode>(opBits);
+    switch (formatOf(inst.op)) {
+        case Format::R:
+            inst.rd = static_cast<std::uint8_t>((word >> 22) & 0xF);
+            inst.rs1 = static_cast<std::uint8_t>((word >> 18) & 0xF);
+            inst.rs2 = static_cast<std::uint8_t>((word >> 14) & 0xF);
+            break;
+        case Format::I:
+            inst.rd = static_cast<std::uint8_t>((word >> 22) & 0xF);
+            inst.rs1 = static_cast<std::uint8_t>((word >> 18) & 0xF);
+            inst.imm = signExtend(word & 0x3FFFF, kImmBitsIType);
+            break;
+        case Format::S:
+            inst.rs2 = static_cast<std::uint8_t>((word >> 22) & 0xF);
+            inst.rs1 = static_cast<std::uint8_t>((word >> 18) & 0xF);
+            inst.imm = signExtend(word & 0x3FFFF, kImmBitsIType);
+            break;
+        case Format::B:
+            inst.rs1 = static_cast<std::uint8_t>((word >> 22) & 0xF);
+            inst.rs2 = static_cast<std::uint8_t>((word >> 18) & 0xF);
+            inst.imm = signExtend(word & 0x3FFFF, kImmBitsIType);
+            break;
+        case Format::JU:
+            inst.rd = static_cast<std::uint8_t>((word >> 22) & 0xF);
+            inst.imm = signExtend(word & 0x3FFFFF, kImmBitsJType);
+            break;
+        case Format::None: break;
+    }
+    return inst;
+}
+
+} // namespace voltcache

@@ -1,0 +1,100 @@
+// The "vr32" mini-RISC ISA.
+//
+// The paper evaluates an ARM system but notes BBR applies to any ISA given
+// binary control (Section IV-B2). We define a compact 32-bit RISC that keeps
+// the two ARM properties BBR's code transformations exist for:
+//   * fall-through control flow between basic blocks (transformation 1),
+//   * PC-relative literal-pool loads with a limited ±4KB reach
+//     (transformation 3).
+//
+// Properties:
+//   * 16 general-purpose registers; r0 reads as zero, r15 is the link
+//     register by convention.
+//   * fixed 32-bit instructions, one per 4-byte word (matching the caches'
+//     4B word granularity).
+//   * word-sized loads/stores only — the paper's caches are managed at
+//     32-bit word granularity.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+namespace voltcache {
+
+enum class Opcode : std::uint8_t {
+    // R-type: rd = rs1 op rs2
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Mul, Div, Rem, Slt, Sltu,
+    // I-type: rd = rs1 op imm (imm: 18-bit signed)
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+    // U-type: rd = imm22 << 10
+    Lui,
+    // Memory: Lw rd = mem[rs1 + imm]; Sw mem[rs1 + imm] = rs2
+    Lw, Sw,
+    // Ldl rd = mem[pc + imm]: PC-relative literal-pool load. The linker
+    // must keep |imm| within the ±4KB page reach (paper Fig. 8).
+    Ldl,
+    // B-type: conditional PC-relative branches (imm: signed word offset)
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // J-type: Jal rd = pc+4, pc += imm (imm: signed word offset).
+    // Jalr: rd = pc+4, pc = rs1 + imm (returns, indirect calls).
+    Jal, Jalr,
+    // System
+    Nop, Halt,
+};
+
+inline constexpr unsigned kOpcodeCount = static_cast<unsigned>(Opcode::Halt) + 1;
+inline constexpr unsigned kNumRegisters = 16;
+inline constexpr unsigned kZeroRegister = 0;
+inline constexpr unsigned kLinkRegister = 15;
+
+/// Immediate field widths (signed bits available per format).
+inline constexpr int kImmBitsIType = 18; ///< Addi… / Lw / Sw / Ldl / branches
+inline constexpr int kImmBitsJType = 22; ///< Jal / Lui
+
+/// Decoded instruction. `imm` for control flow holds a *word* offset
+/// relative to the instruction's own address (post-link), or is paired with
+/// a symbolic target before linking (see BlockRef in module.h).
+struct Instruction {
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int32_t imm = 0;
+
+    bool operator==(const Instruction&) const = default;
+};
+
+/// Instruction classification helpers.
+[[nodiscard]] constexpr bool isConditionalBranch(Opcode op) noexcept {
+    return op >= Opcode::Beq && op <= Opcode::Bgeu;
+}
+[[nodiscard]] constexpr bool isControlFlow(Opcode op) noexcept {
+    return isConditionalBranch(op) || op == Opcode::Jal || op == Opcode::Jalr ||
+           op == Opcode::Halt;
+}
+[[nodiscard]] constexpr bool isLoad(Opcode op) noexcept {
+    return op == Opcode::Lw || op == Opcode::Ldl;
+}
+[[nodiscard]] constexpr bool isStore(Opcode op) noexcept { return op == Opcode::Sw; }
+[[nodiscard]] constexpr bool isMemory(Opcode op) noexcept {
+    return isLoad(op) || isStore(op);
+}
+
+/// Mnemonic for disassembly and diagnostics.
+[[nodiscard]] std::string_view mnemonic(Opcode op) noexcept;
+
+/// Pack to the 32-bit wire format. Throws EncodingError when a field is out
+/// of range (e.g. a branch displacement beyond 18 signed bits).
+[[nodiscard]] std::uint32_t encode(const Instruction& inst);
+
+/// Unpack from the wire format. Round-trips with encode().
+[[nodiscard]] Instruction decode(std::uint32_t word);
+
+/// Thrown when an instruction field cannot be represented.
+class EncodingError : public std::invalid_argument {
+public:
+    using std::invalid_argument::invalid_argument;
+};
+
+} // namespace voltcache

@@ -1,0 +1,125 @@
+#include "isa/module.h"
+
+#include <stdexcept>
+
+namespace voltcache {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw std::invalid_argument(what); }
+
+} // namespace
+
+bool BasicBlock::hasFallthrough() const noexcept {
+    if (insts.empty()) return true;
+    const Opcode last = insts.back().op;
+    // A conditional branch still falls through on the not-taken path; only
+    // an unconditional transfer seals the block.
+    return !(last == Opcode::Jal || last == Opcode::Jalr || last == Opcode::Halt);
+}
+
+const Relocation* BasicBlock::relocFor(std::uint32_t instIndex) const noexcept {
+    for (const auto& reloc : relocs) {
+        if (reloc.instIndex == instIndex) return &reloc;
+    }
+    return nullptr;
+}
+
+Relocation* BasicBlock::relocFor(std::uint32_t instIndex) noexcept {
+    for (auto& reloc : relocs) {
+        if (reloc.instIndex == instIndex) return &reloc;
+    }
+    return nullptr;
+}
+
+std::uint32_t Function::totalWords() const noexcept {
+    std::uint32_t words = 0;
+    for (const auto& block : blocks) words += block.sizeWords();
+    return words + static_cast<std::uint32_t>(sharedLiteralPool.size());
+}
+
+const Function* Module::findFunction(std::string_view name) const noexcept {
+    for (const auto& fn : functions) {
+        if (fn.name == name) return &fn;
+    }
+    return nullptr;
+}
+
+Function* Module::findFunction(std::string_view name) noexcept {
+    for (auto& fn : functions) {
+        if (fn.name == name) return &fn;
+    }
+    return nullptr;
+}
+
+std::uint32_t Module::totalCodeWords() const noexcept {
+    std::uint32_t words = 0;
+    for (const auto& fn : functions) words += fn.totalWords();
+    return words;
+}
+
+void Module::validate() const {
+    if (findFunction(entryFunction) == nullptr) {
+        fail("entry function '" + entryFunction + "' not found");
+    }
+    for (const auto& fn : functions) {
+        if (fn.blocks.empty()) fail("function '" + fn.name + "' has no blocks");
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const auto& block = fn.blocks[b];
+            const std::string where = fn.name + ":" + block.label;
+            for (const auto& reloc : block.relocs) {
+                if (reloc.instIndex >= block.insts.size()) {
+                    fail(where + ": relocation points past block end");
+                }
+                const Opcode op = block.insts[reloc.instIndex].op;
+                switch (reloc.kind) {
+                    case RelocKind::BlockTarget:
+                        if (!isConditionalBranch(op) && op != Opcode::Jal) {
+                            fail(where + ": block-target reloc on non-branch");
+                        }
+                        if (reloc.targetBlock >= fn.blocks.size()) {
+                            fail(where + ": branch to nonexistent block");
+                        }
+                        break;
+                    case RelocKind::FunctionTarget:
+                        if (op != Opcode::Jal) fail(where + ": call reloc on non-jal");
+                        if (findFunction(reloc.targetFunction) == nullptr) {
+                            fail(where + ": call to unknown function '" +
+                                 reloc.targetFunction + "'");
+                        }
+                        break;
+                    case RelocKind::SharedLiteral:
+                        if (op != Opcode::Ldl) fail(where + ": literal reloc on non-ldl");
+                        if (reloc.literalIndex >= fn.sharedLiteralPool.size()) {
+                            fail(where + ": shared literal index out of range");
+                        }
+                        break;
+                    case RelocKind::BlockLiteral:
+                        if (op != Opcode::Ldl) fail(where + ": literal reloc on non-ldl");
+                        if (reloc.literalIndex >= block.literalPool.size()) {
+                            fail(where + ": block literal index out of range");
+                        }
+                        break;
+                }
+            }
+            // Every control-flow instruction that needs a target must have a
+            // relocation (Jalr and Halt are target-free).
+            for (std::size_t i = 0; i < block.insts.size(); ++i) {
+                const Opcode op = block.insts[i].op;
+                if ((isConditionalBranch(op) || op == Opcode::Jal) &&
+                    block.relocFor(static_cast<std::uint32_t>(i)) == nullptr) {
+                    fail(where + ": branch/jal without relocation");
+                }
+                if (op == Opcode::Ldl &&
+                    block.relocFor(static_cast<std::uint32_t>(i)) == nullptr) {
+                    fail(where + ": ldl without literal relocation");
+                }
+            }
+        }
+    }
+    for (const auto& segment : data) {
+        if (segment.baseAddr % 4 != 0) fail("data segment not word aligned");
+    }
+}
+
+} // namespace voltcache

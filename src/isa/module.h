@@ -1,0 +1,92 @@
+// Object-level program representation (paper Section IV-B2, Fig. 8).
+//
+// A Module is the output of "compilation": functions made of basic blocks,
+// with *symbolic* control-flow targets and literal references recorded as
+// relocations. This is exactly the currency BBR needs — the linker may place
+// each basic block at any address (subject to fault-free chunks) and then
+// resolve the relocations.
+//
+// Literal pools: as on ARM, the front end emits one shared pool per function
+// (at the function's end); Ldl instructions reference pool slots through
+// SharedLiteral relocations. The MoveLiteralPools pass rewrites these into
+// per-block pools (BlockLiteral) so each block stays within the ±4KB
+// PC-relative reach after relocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace voltcache {
+
+enum class RelocKind : std::uint8_t {
+    BlockTarget,    ///< branch/jump to a basic block of the same function
+    FunctionTarget, ///< Jal call to another function's entry block
+    SharedLiteral,  ///< Ldl of a slot in the function's shared literal pool
+    BlockLiteral,   ///< Ldl of a slot in this block's own literal pool
+};
+
+/// One unresolved reference inside a basic block.
+struct Relocation {
+    std::uint32_t instIndex = 0; ///< instruction within the block
+    RelocKind kind = RelocKind::BlockTarget;
+    std::uint32_t targetBlock = 0;  ///< BlockTarget: block index in this function
+    std::string targetFunction;    ///< FunctionTarget: callee name
+    std::uint32_t literalIndex = 0; ///< Shared/BlockLiteral: pool slot
+};
+
+struct BasicBlock {
+    std::string label;
+    std::vector<Instruction> insts;
+    std::vector<Relocation> relocs;
+    std::vector<std::int32_t> literalPool; ///< words emitted after the code
+
+    /// Words this block occupies when placed (code + its literal pool).
+    [[nodiscard]] std::uint32_t sizeWords() const noexcept {
+        return static_cast<std::uint32_t>(insts.size() + literalPool.size());
+    }
+
+    /// True if control can fall off the end into the next block in layout
+    /// order (no unconditional terminator). BBR forbids this post-transform.
+    [[nodiscard]] bool hasFallthrough() const noexcept;
+
+    /// Relocation attached to instruction `instIndex`, if any.
+    [[nodiscard]] const Relocation* relocFor(std::uint32_t instIndex) const noexcept;
+    [[nodiscard]] Relocation* relocFor(std::uint32_t instIndex) noexcept;
+};
+
+struct Function {
+    std::string name;
+    std::vector<BasicBlock> blocks; ///< layout order; blocks[0] is the entry
+    std::vector<std::int32_t> sharedLiteralPool;
+
+    [[nodiscard]] std::uint32_t totalWords() const noexcept;
+};
+
+/// Initial data-memory contents.
+struct DataSegment {
+    std::uint32_t baseAddr = 0; ///< byte address, word aligned
+    std::vector<std::int32_t> words;
+};
+
+struct Module {
+    std::vector<Function> functions;
+    std::vector<DataSegment> data;
+    std::string entryFunction = "main";
+
+    [[nodiscard]] const Function* findFunction(std::string_view name) const noexcept;
+    [[nodiscard]] Function* findFunction(std::string_view name) noexcept;
+
+    /// Static instruction + literal word count across all functions.
+    [[nodiscard]] std::uint32_t totalCodeWords() const noexcept;
+
+    /// Structural checks: relocation targets exist, entry function exists,
+    /// control-flow instructions carry relocations, data segments aligned.
+    /// Throws std::invalid_argument describing the first violation.
+    void validate() const;
+};
+
+} // namespace voltcache

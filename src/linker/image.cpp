@@ -1,0 +1,58 @@
+#include "linker/image.h"
+
+#include <stdexcept>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+Image::Image(std::uint32_t baseAddr, std::uint32_t sizeWords) : baseAddr_(baseAddr) {
+    VC_EXPECTS(baseAddr % 4 == 0);
+    words_.assign(sizeWords, ImageWord{});
+}
+
+const ImageWord& Image::at(std::uint32_t byteAddr) const {
+    VC_EXPECTS(contains(byteAddr));
+    VC_EXPECTS(byteAddr % 4 == 0);
+    return words_[(byteAddr - baseAddr_) / 4];
+}
+
+ImageWord& Image::at(std::uint32_t byteAddr) {
+    VC_EXPECTS(contains(byteAddr));
+    VC_EXPECTS(byteAddr % 4 == 0);
+    return words_[(byteAddr - baseAddr_) / 4];
+}
+
+const Instruction& Image::fetch(std::uint32_t byteAddr) const {
+    const ImageWord& word = at(byteAddr);
+    if (word.kind != ImageWord::Kind::Instruction) {
+        throw std::logic_error("Image::fetch: address " + std::to_string(byteAddr) +
+                               " is not an instruction (control flow escaped the code)");
+    }
+    return word.inst;
+}
+
+std::vector<std::int32_t> Image::encodedWords() const {
+    std::vector<std::int32_t> out;
+    out.reserve(words_.size());
+    for (const auto& word : words_) {
+        switch (word.kind) {
+            case ImageWord::Kind::Instruction:
+                out.push_back(static_cast<std::int32_t>(encode(word.inst)));
+                break;
+            case ImageWord::Kind::Literal: out.push_back(word.value); break;
+            case ImageWord::Kind::Gap: out.push_back(0); break;
+        }
+    }
+    return out;
+}
+
+std::uint32_t Image::occupiedWords() const noexcept {
+    std::uint32_t count = 0;
+    for (const auto& word : words_) {
+        if (word.kind != ImageWord::Kind::Gap) ++count;
+    }
+    return count;
+}
+
+} // namespace voltcache

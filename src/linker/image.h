@@ -1,0 +1,84 @@
+// Linked executable image: every basic block placed at a final byte
+// address, all relocations resolved. Consumed by the CPU (fetch + initial
+// memory contents) and by the BBR placement verifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace voltcache {
+
+/// One word of the linked image.
+struct ImageWord {
+    enum class Kind : std::uint8_t {
+        Gap,         ///< padding inserted between blocks; never fetched
+        Instruction, ///< executable code
+        Literal,     ///< literal-pool data (read via Ldl through the D-cache)
+    };
+    Kind kind = Kind::Gap;
+    Instruction inst;         ///< valid when kind == Instruction
+    std::int32_t value = 0;   ///< valid when kind == Literal
+};
+
+/// Where one basic block landed (diagnostics, Fig. 6 statistics).
+struct PlacedBlock {
+    std::uint32_t functionIndex = 0;
+    std::uint32_t blockIndex = 0;
+    std::uint32_t byteAddr = 0;
+    std::uint32_t codeWords = 0;
+    std::uint32_t literalWords = 0;
+
+    [[nodiscard]] std::uint32_t sizeWords() const noexcept {
+        return codeWords + literalWords;
+    }
+};
+
+class Image {
+public:
+    Image(std::uint32_t baseAddr, std::uint32_t sizeWords);
+
+    [[nodiscard]] std::uint32_t baseAddr() const noexcept { return baseAddr_; }
+    [[nodiscard]] std::uint32_t limitAddr() const noexcept {
+        return baseAddr_ + static_cast<std::uint32_t>(words_.size()) * 4;
+    }
+    [[nodiscard]] std::uint32_t sizeWords() const noexcept {
+        return static_cast<std::uint32_t>(words_.size());
+    }
+
+    [[nodiscard]] bool contains(std::uint32_t byteAddr) const noexcept {
+        return byteAddr >= baseAddr_ && byteAddr < limitAddr();
+    }
+
+    [[nodiscard]] const ImageWord& at(std::uint32_t byteAddr) const;
+    [[nodiscard]] ImageWord& at(std::uint32_t byteAddr);
+
+    /// Fetch helper: the instruction at `byteAddr`. Throws std::logic_error
+    /// if the word is not an instruction (control flow escaped the code).
+    [[nodiscard]] const Instruction& fetch(std::uint32_t byteAddr) const;
+
+    [[nodiscard]] std::uint32_t entryAddr() const noexcept { return entryAddr_; }
+    void setEntryAddr(std::uint32_t addr) noexcept { entryAddr_ = addr; }
+
+    [[nodiscard]] const std::vector<PlacedBlock>& placements() const noexcept {
+        return placements_;
+    }
+    void addPlacement(PlacedBlock placement) { placements_.push_back(placement); }
+
+    /// Encoded memory contents (for initializing the simulator's memory):
+    /// instructions via encode(), literals as-is, gaps as zero.
+    [[nodiscard]] std::vector<std::int32_t> encodedWords() const;
+
+    /// Words of executable code + literals (excludes gaps).
+    [[nodiscard]] std::uint32_t occupiedWords() const noexcept;
+
+private:
+    std::uint32_t baseAddr_;
+    std::uint32_t entryAddr_ = 0;
+    std::vector<ImageWord> words_;
+    std::vector<PlacedBlock> placements_;
+};
+
+} // namespace voltcache

@@ -1,0 +1,63 @@
+// The BBR-aware linker (paper Section IV-B2, Algorithm 1).
+//
+// Treats each basic block (code + its literal pool) as a relocatable
+// section. In conventional mode, blocks are placed back to back. In BBR
+// mode, the linker scans the instruction-cache fault map from the current
+// position and places each block at the first address whose words all map
+// to fault-free cache words (first-fit, wrapping around the cache modulo
+// csize — exactly Algorithm 1), inserting gaps between blocks. It then
+// resolves all relocations: branch displacements, call targets, and
+// PC-relative literal loads (whose ±4KB page reach is enforced).
+#pragma once
+
+#include <stdexcept>
+
+#include "faults/fault_map.h"
+#include "isa/module.h"
+#include "linker/image.h"
+
+namespace voltcache {
+
+/// A block could not be placed (no fault-free chunk is large enough), a
+/// literal went out of reach, or the module shape is unsuitable (e.g. BBR
+/// placement requested on untransformed fall-through code). In the Monte
+/// Carlo harness an unplaceable map counts as a yield loss.
+class LinkError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct LinkOptions {
+    std::uint32_t codeBase = 0x0; ///< byte address of the first code word
+    /// Avoid addresses mapping to defective I-cache words (Algorithm 1).
+    bool bbrPlacement = false;
+    /// Required when bbrPlacement: the I-cache fault map at the target DVFS
+    /// point (also defines csize = map->totalWords()).
+    const FaultMap* icacheFaultMap = nullptr;
+    /// PC-relative literal reach: one 4KB page (paper Fig. 8), in words.
+    std::uint32_t literalReachWords = 1024;
+};
+
+struct LinkStats {
+    std::uint32_t blocksPlaced = 0;
+    std::uint32_t gapWords = 0;       ///< padding inserted by BBR placement
+    std::uint32_t imageWords = 0;     ///< total image span including gaps
+    std::uint32_t codeWords = 0;      ///< instructions + literals
+    std::uint32_t largestBlockWords = 0;
+};
+
+struct LinkOutput {
+    Image image;
+    LinkStats stats;
+};
+
+/// Link a (validated) module into an executable image.
+[[nodiscard]] LinkOutput link(const Module& module, const LinkOptions& options = {});
+
+/// Check that every non-gap word of a linked image maps to a fault-free
+/// cache word — the BBR invariant the I-cache enforces at fetch time.
+/// Returns the number of violating words (0 == correctly placed).
+[[nodiscard]] std::uint32_t countPlacementViolations(const Image& image,
+                                                     const FaultMap& icacheFaultMap);
+
+} // namespace voltcache

@@ -1,0 +1,45 @@
+#include "power/energy_model.h"
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+EnergyBreakdown EnergyModel::energyOf(const ActivityCounts& activity, const OperatingPoint& op,
+                                      double l1StaticFactor, double l1DynamicFactor) const {
+    VC_EXPECTS(activity.instructions > 0);
+    VC_EXPECTS(l1StaticFactor > 0.0 && l1DynamicFactor > 0.0);
+
+    const double vRatio = op.voltage.volts() / params_.referenceVoltage.volts();
+    const double dynScale = vRatio * vRatio; // energy per event ∝ V^2
+    const double runtimeSeconds =
+        static_cast<double>(activity.cycles) * op.frequency.periodSeconds();
+
+    EnergyBreakdown e;
+    e.coreDynamic = params_.coreDynamicPerInstr * dynScale *
+                    static_cast<double>(activity.instructions);
+    e.l1Dynamic = params_.l1AccessEnergy * l1DynamicFactor * dynScale *
+                  static_cast<double>(activity.l1iAccesses + activity.l1dAccesses);
+    // L2 sits on a fixed rail: per-access energy does not scale with the
+    // core voltage — which is what makes extra L1->L2 traffic so costly at
+    // low voltage (paper Section VI-C).
+    e.l2Dynamic = params_.l2AccessEnergy * static_cast<double>(activity.l2Accesses) +
+                  params_.l2WriteEnergy * static_cast<double>(activity.l2WriteThroughs);
+    e.dramDynamic = params_.dramAccessEnergy * static_cast<double>(activity.dramAccesses);
+    e.auxDynamic =
+        params_.auxAccessEnergy * dynScale * static_cast<double>(activity.auxAccesses);
+
+    // Static: core+L1 on the scaled rail (∝ V), L2 on the fixed rail.
+    const double corePart = params_.coreL1StaticPower * (1.0 - kL1StaticShare);
+    const double l1Part = params_.coreL1StaticPower * kL1StaticShare * l1StaticFactor;
+    e.coreL1Static = (corePart + l1Part) * vRatio * runtimeSeconds;
+    e.l2Static = params_.l2StaticPower * runtimeSeconds;
+    return e;
+}
+
+double EnergyModel::epi(const ActivityCounts& activity, const OperatingPoint& op,
+                        double l1StaticFactor, double l1DynamicFactor) const {
+    return energyOf(activity, op, l1StaticFactor, l1DynamicFactor).total() /
+           static_cast<double>(activity.instructions);
+}
+
+} // namespace voltcache

@@ -1,0 +1,96 @@
+// McPAT-lite processor energy model (paper Sections V, VI-C).
+//
+// Scaling rules are the paper's stated assumptions:
+//   * dynamic power scales quadratically with supply voltage and linearly
+//     with frequency  =>  dynamic energy per event scales with V^2,
+//   * static power scales linearly with supply voltage,
+//   * the L2 is on a fixed voltage rail (frequency-synchronized), so its
+//     per-access energy and static power do NOT voltage-scale — this is why
+//     extra L1->L2 traffic becomes so expensive at low voltage.
+//
+// Reference per-event energies are 45nm-plausible values for an ARM
+// Cortex-A9-class 2-way superscalar at the paper's 760mV/1607MHz baseline;
+// the static fraction (~6% of baseline EPI) is calibrated so the defect-free
+// EPI curve and the paper's headline numbers (64% reduction for FFW+BBR vs
+// 62% for 8T at 400mV) land in the published range.
+#pragma once
+
+#include "power/dvfs.h"
+
+namespace voltcache {
+
+/// Event counts accumulated over one simulation, the interface between the
+/// timing simulator and the energy model.
+struct ActivityCounts {
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1dAccesses = 0;     ///< loads + stores presented to the L1D
+    std::uint64_t l2Accesses = 0;      ///< demand fills + word misses (Fig. 11 metric)
+    std::uint64_t l2WriteThroughs = 0; ///< store traffic of the write-through L1D
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t auxAccesses = 0;     ///< scheme side-structure probes (FBA/IDC/FFW remap)
+};
+
+/// Reference (760mV, 1607MHz) energy parameters. Units: joules / watts.
+struct EnergyParams {
+    double coreDynamicPerInstr = 100e-12; ///< pipeline+RF+ALU energy per instruction
+    double l1AccessEnergy = 20e-12;       ///< per L1 read/write (either cache; CACTI-
+                                          ///< class 32KB/4-way read energy at 45nm)
+    double l2AccessEnergy = 60e-12;       ///< per demand L2 read (fixed rail — no V scaling)
+    double l2WriteEnergy = 20e-12;        ///< per write-through word (combining buffer
+                                          ///< drains bursts; no tag/way read needed)
+    double dramAccessEnergy = 2000e-12;   ///< per off-chip access
+    double auxAccessEnergy = 1e-12;       ///< per fault-scheme side-structure probe
+    double coreL1StaticPower = 4e-3;      ///< core + both L1s, at the reference voltage
+    double l2StaticPower = 1e-3;          ///< fixed-rail L2 leakage
+
+    /// The voltage the dynamic/static reference values are quoted at.
+    Voltage referenceVoltage = Voltage::fromMillivolts(760);
+};
+
+/// Energy of one simulation, split by component (joules).
+struct EnergyBreakdown {
+    double coreDynamic = 0.0;
+    double l1Dynamic = 0.0;
+    double l2Dynamic = 0.0;
+    double dramDynamic = 0.0;
+    double auxDynamic = 0.0;
+    double coreL1Static = 0.0;
+    double l2Static = 0.0;
+
+    [[nodiscard]] double total() const noexcept {
+        return coreDynamic + l1Dynamic + l2Dynamic + dramDynamic + auxDynamic + coreL1Static +
+               l2Static;
+    }
+};
+
+class EnergyModel {
+public:
+    explicit EnergyModel(EnergyParams params = {}) noexcept : params_(params) {}
+
+    /// Total energy of a run at operating point `op`.
+    /// `l1StaticFactor` is the scheme's Table III static-power multiplier
+    /// applied to the L1 share of the core+L1 leakage; `l1DynamicFactor`
+    /// scales L1 access energy for schemes with larger read paths.
+    [[nodiscard]] EnergyBreakdown energyOf(const ActivityCounts& activity,
+                                           const OperatingPoint& op,
+                                           double l1StaticFactor = 1.0,
+                                           double l1DynamicFactor = 1.0) const;
+
+    /// Energy per instruction (joules/instruction).
+    [[nodiscard]] double epi(const ActivityCounts& activity, const OperatingPoint& op,
+                             double l1StaticFactor = 1.0,
+                             double l1DynamicFactor = 1.0) const;
+
+    [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
+
+    /// Fraction of coreL1StaticPower attributed to the two L1s (the part a
+    /// scheme's Table III static multiplier applies to).
+    static constexpr double kL1StaticShare = 0.35;
+
+private:
+    EnergyParams params_;
+};
+
+} // namespace voltcache

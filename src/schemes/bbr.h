@@ -1,0 +1,60 @@
+// Basic block relocation instruction cache (paper Section IV-B, Fig. 7).
+//
+// At high voltage the cache runs 4-way set-associative. When the processor
+// drops into low-voltage mode, all contents are invalidated and the cache
+// switches to direct-mapped (DAC-style [27]: the least significant tag bits
+// select the way), which gives the linker exact control of where every
+// instruction lands. A BBR-linked binary never places a word on a defective
+// cache word, so the fetch path needs no fault handling at all — by default
+// this cache *enforces* that invariant and throws PlacementViolation if a
+// fetch ever touches a defective word (it would indicate a linker bug).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "cache/address.h"
+#include "cache/tag_array.h"
+#include "faults/fault_map.h"
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+/// A fetch touched a defective I-cache word in direct-mapped mode — the
+/// binary was not (correctly) linked for this fault map.
+class PlacementViolation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+class BbrICache final : public InstrCacheScheme {
+public:
+    enum class Mode : std::uint8_t { SetAssociative, DirectMapped };
+
+    BbrICache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l2,
+              Mode mode = Mode::DirectMapped, bool enforcePlacement = true);
+
+    AccessResult fetch(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    /// Mode switch invalidates all contents (paper Section IV-B2). In a run
+    /// the mode is fixed for the whole low-voltage episode, so the switch
+    /// cost is negligible.
+    void switchMode(Mode mode);
+    [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "bbr"; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override { return 0; }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+
+private:
+    AddressMapper mapper_;
+    TagArray tags_;
+    FaultMap faultMap_;
+    L2Cache* l2_;
+    Mode mode_;
+    bool enforcePlacement_;
+    L1Stats stats_;
+};
+
+} // namespace voltcache

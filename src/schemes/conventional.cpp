@@ -1,0 +1,87 @@
+#include "schemes/conventional.h"
+
+namespace voltcache {
+
+ConventionalDCache::ConventionalDCache(const CacheOrganization& org, L2Cache& l2,
+                                       std::uint32_t latencyOverhead, std::string name)
+    : mapper_(org),
+      tags_(org.sets(), org.associativity),
+      l2_(&l2),
+      latencyOverhead_(latencyOverhead),
+      name_(std::move(name)) {}
+
+AccessResult ConventionalDCache::read(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles + latencyOverhead_;
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        ++stats_.hits;
+        result.l1Hit = true;
+        return result;
+    }
+    ++stats_.lineMisses;
+    ++stats_.l2Reads;
+    const auto l2 = l2_->read(addr);
+    tags_.fill(set, tag);
+    result.l2Reads = 1;
+    result.dram = l2.dram;
+    result.latencyCycles += l2.latencyCycles;
+    return result;
+}
+
+AccessResult ConventionalDCache::write(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles + latencyOverhead_;
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        ++stats_.hits;
+        result.l1Hit = true;
+    }
+    // Write-through, no-write-allocate (Table I).
+    const auto l2 = l2_->write(addr);
+    result.l2Writes = 1;
+    result.dram = l2.dram;
+    return result;
+}
+
+void ConventionalDCache::invalidateAll() { tags_.invalidateAll(); }
+
+ConventionalICache::ConventionalICache(const CacheOrganization& org, L2Cache& l2,
+                                       std::uint32_t latencyOverhead, std::string name)
+    : mapper_(org),
+      tags_(org.sets(), org.associativity),
+      l2_(&l2),
+      latencyOverhead_(latencyOverhead),
+      name_(std::move(name)) {}
+
+AccessResult ConventionalICache::fetch(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles + latencyOverhead_;
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        ++stats_.hits;
+        result.l1Hit = true;
+        return result;
+    }
+    ++stats_.lineMisses;
+    ++stats_.l2Reads;
+    const auto l2 = l2_->read(addr);
+    tags_.fill(set, tag);
+    result.l2Reads = 1;
+    result.dram = l2.dram;
+    result.latencyCycles += l2.latencyCycles;
+    return result;
+}
+
+void ConventionalICache::invalidateAll() { tags_.invalidateAll(); }
+
+} // namespace voltcache

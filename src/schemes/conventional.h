@@ -1,0 +1,64 @@
+// Defect-free cache schemes: the conventional 6T cache (valid at 760mV, and
+// as the paper's "unrealistic defect-free baseline" at any voltage) and the
+// robust 8T cache (defect-free down to 400mV but +1 cycle and +28% area).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/address.h"
+#include "cache/tag_array.h"
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+/// Plain 4-way LRU write-through data cache with no defects.
+class ConventionalDCache final : public DataCacheScheme {
+public:
+    ConventionalDCache(const CacheOrganization& org, L2Cache& l2,
+                       std::uint32_t latencyOverhead = 0, std::string name = "conventional");
+
+    AccessResult read(std::uint32_t addr) override;
+    AccessResult write(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override {
+        return latencyOverhead_;
+    }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+
+private:
+    AddressMapper mapper_;
+    TagArray tags_;
+    L2Cache* l2_;
+    std::uint32_t latencyOverhead_;
+    std::string name_;
+    L1Stats stats_;
+};
+
+/// Plain 4-way LRU instruction cache with no defects.
+class ConventionalICache final : public InstrCacheScheme {
+public:
+    ConventionalICache(const CacheOrganization& org, L2Cache& l2,
+                       std::uint32_t latencyOverhead = 0, std::string name = "conventional");
+
+    AccessResult fetch(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override {
+        return latencyOverhead_;
+    }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+
+private:
+    AddressMapper mapper_;
+    TagArray tags_;
+    L2Cache* l2_;
+    std::uint32_t latencyOverhead_;
+    std::string name_;
+    L1Stats stats_;
+};
+
+} // namespace voltcache

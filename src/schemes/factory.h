@@ -1,0 +1,32 @@
+// Assembles the (data-cache, instruction-cache) scheme pair evaluated under
+// each Fig. 10-12 legend entry.
+#pragma once
+
+#include <memory>
+
+#include "faults/fault_map.h"
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+struct SchemePair {
+    std::unique_ptr<DataCacheScheme> dcache;
+    std::unique_ptr<InstrCacheScheme> icache;
+    /// Combined Table III static-power multiplier for the two L1s.
+    double l1StaticFactor = 1.0;
+    /// Per-access L1 dynamic-energy multiplier: larger arrays (8T: +30%
+    /// cells) and wider read paths (FMAP/StoredPattern, buffer probes)
+    /// cost proportionally more per access.
+    double l1DynamicFactor = 1.0;
+    /// True when the binary must be BBR-linked against the I-cache fault map.
+    bool needsBbrLinking = false;
+};
+
+/// Build the scheme pair for one experiment leg. The fault maps must match
+/// the organization (lines x wordsPerBlock); defect-free kinds ignore them.
+/// FBA+/IDC+ receive the paper's optimistic 1024 entries.
+[[nodiscard]] SchemePair makeSchemes(SchemeKind kind, const CacheOrganization& org,
+                                     const FaultMap& dcacheMap, const FaultMap& icacheMap,
+                                     L2Cache& l2);
+
+} // namespace voltcache

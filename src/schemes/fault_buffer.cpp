@@ -1,0 +1,244 @@
+#include "schemes/fault_buffer.h"
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+WordBuffer::WordBuffer(std::uint32_t entries, std::uint32_t ways)
+    : entries_(entries), ways_(ways), sets_(entries / ways) {
+    VC_EXPECTS(entries > 0);
+    VC_EXPECTS(ways > 0 && entries % ways == 0);
+    store_.assign(entries, Entry{});
+}
+
+WordBuffer::Entry* WordBuffer::findEntry(std::uint32_t wordAddr) {
+    const std::uint32_t set = wordAddr % sets_;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+        Entry& entry = store_[base + way];
+        if (entry.valid && entry.wordAddr == wordAddr) return &entry;
+    }
+    return nullptr;
+}
+
+bool WordBuffer::probe(std::uint32_t wordAddr) {
+    ++probes_;
+    if (Entry* entry = findEntry(wordAddr)) {
+        entry->lastUse = ++useCounter_;
+        ++hits_;
+        return true;
+    }
+    return false;
+}
+
+void WordBuffer::insert(std::uint32_t wordAddr) {
+    if (Entry* entry = findEntry(wordAddr)) {
+        entry->lastUse = ++useCounter_;
+        return;
+    }
+    const std::uint32_t set = wordAddr % sets_;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    Entry* victim = &store_[base];
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+        Entry& entry = store_[base + way];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.lastUse < victim->lastUse) victim = &entry;
+    }
+    victim->valid = true;
+    victim->wordAddr = wordAddr;
+    victim->lastUse = ++useCounter_;
+}
+
+void WordBuffer::invalidate(std::uint32_t wordAddr) {
+    if (Entry* entry = findEntry(wordAddr)) entry->valid = false;
+}
+
+void WordBuffer::clear() {
+    for (auto& entry : store_) entry.valid = false;
+}
+
+FaultBufferConfig fbaConfig(std::uint32_t entries) {
+    return FaultBufferConfig{entries, entries, entries >= 1024 ? "fba+" : "fba"};
+}
+
+FaultBufferConfig idcConfig(std::uint32_t entries, std::uint32_t ways) {
+    return FaultBufferConfig{entries, ways, entries >= 1024 ? "idc+" : "idc"};
+}
+
+FaultBufferDCache::FaultBufferDCache(const CacheOrganization& org, FaultMap faultMap,
+                                     L2Cache& l2, FaultBufferConfig config)
+    : mapper_(org),
+      tags_(org.sets(), org.associativity),
+      faultMap_(std::move(faultMap)),
+      l2_(&l2),
+      config_(std::move(config)),
+      buffer_(config_.entries, config_.ways) {
+    VC_EXPECTS(faultMap_.lines() == org.lines());
+}
+
+AccessResult FaultBufferDCache::read(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles + latencyOverhead();
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+    const std::uint32_t wordAddr = addr / 4;
+
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        if (!faultMap_.isFaulty(mapper_.physicalLine(set, hit.way), word)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+            return result;
+        }
+        // Defective word: redirect to the buffer.
+        result.auxProbe = true;
+        if (buffer_.probe(wordAddr)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+            result.auxHit = true;
+            return result;
+        }
+        ++stats_.wordMisses;
+        ++stats_.l2Reads;
+        const auto l2 = l2_->read(addr);
+        buffer_.insert(wordAddr);
+        result.l2Reads = 1;
+        result.dram = l2.dram;
+        result.latencyCycles += l2.latencyCycles;
+        return result;
+    }
+
+    ++stats_.lineMisses;
+    ++stats_.l2Reads;
+    const auto l2 = l2_->read(addr);
+    const auto fill = tags_.fill(set, tag);
+    const std::uint32_t frame = mapper_.physicalLine(set, fill.way);
+    if (fill.evictedValid) {
+        // Buffer entries are substitute storage for the evicted line's
+        // defective words: they leave with it.
+        const std::uint32_t evictedBlock = fill.evictedTag * mapper_.sets() + set;
+        for (std::uint32_t w = 0; w < mapper_.wordsPerBlock(); ++w) {
+            if (faultMap_.isFaulty(frame, w)) {
+                buffer_.invalidate(evictedBlock * mapper_.wordsPerBlock() + w);
+            }
+        }
+    }
+    // If the fill was triggered by a defective word, capture it now — the
+    // block just travelled past the buffer.
+    if (faultMap_.isFaulty(frame, word)) {
+        result.auxProbe = true;
+        buffer_.insert(wordAddr);
+    }
+    result.l2Reads = 1;
+    result.dram = l2.dram;
+    result.latencyCycles += l2.latencyCycles;
+    return result;
+}
+
+AccessResult FaultBufferDCache::write(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles + latencyOverhead();
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        if (!faultMap_.isFaulty(mapper_.physicalLine(set, hit.way), word)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+        } else {
+            // Keep a buffered copy coherent; no allocation on writes.
+            result.auxProbe = true;
+            if (buffer_.probe(addr / 4)) result.auxHit = true;
+        }
+    }
+    const auto l2 = l2_->write(addr);
+    result.l2Writes = 1;
+    result.dram = l2.dram;
+    return result;
+}
+
+void FaultBufferDCache::invalidateAll() {
+    tags_.invalidateAll();
+    buffer_.clear();
+}
+
+FaultBufferICache::FaultBufferICache(const CacheOrganization& org, FaultMap faultMap,
+                                     L2Cache& l2, FaultBufferConfig config)
+    : mapper_(org),
+      tags_(org.sets(), org.associativity),
+      faultMap_(std::move(faultMap)),
+      l2_(&l2),
+      config_(std::move(config)),
+      buffer_(config_.entries, config_.ways) {
+    VC_EXPECTS(faultMap_.lines() == org.lines());
+}
+
+AccessResult FaultBufferICache::fetch(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles + latencyOverhead();
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+    const std::uint32_t wordAddr = addr / 4;
+
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        if (!faultMap_.isFaulty(mapper_.physicalLine(set, hit.way), word)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+            return result;
+        }
+        result.auxProbe = true;
+        if (buffer_.probe(wordAddr)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+            result.auxHit = true;
+            return result;
+        }
+        ++stats_.wordMisses;
+        ++stats_.l2Reads;
+        const auto l2 = l2_->read(addr);
+        buffer_.insert(wordAddr);
+        result.l2Reads = 1;
+        result.dram = l2.dram;
+        result.latencyCycles += l2.latencyCycles;
+        return result;
+    }
+
+    ++stats_.lineMisses;
+    ++stats_.l2Reads;
+    const auto l2 = l2_->read(addr);
+    const auto fill = tags_.fill(set, tag);
+    const std::uint32_t frame = mapper_.physicalLine(set, fill.way);
+    if (fill.evictedValid) {
+        const std::uint32_t evictedBlock = fill.evictedTag * mapper_.sets() + set;
+        for (std::uint32_t w = 0; w < mapper_.wordsPerBlock(); ++w) {
+            if (faultMap_.isFaulty(frame, w)) {
+                buffer_.invalidate(evictedBlock * mapper_.wordsPerBlock() + w);
+            }
+        }
+    }
+    if (faultMap_.isFaulty(frame, word)) {
+        result.auxProbe = true;
+        buffer_.insert(wordAddr);
+    }
+    result.l2Reads = 1;
+    result.dram = l2.dram;
+    result.latencyCycles += l2.latencyCycles;
+    return result;
+}
+
+void FaultBufferICache::invalidateAll() {
+    tags_.invalidateAll();
+    buffer_.clear();
+}
+
+} // namespace voltcache

@@ -1,0 +1,164 @@
+#include "schemes/ffw.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+FfwDCache::FfwDCache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l2,
+                     FfwConfig config)
+    : mapper_(org),
+      tags_(org.sets(), org.associativity),
+      faultMap_(std::move(faultMap)),
+      l2_(&l2),
+      config_(config) {
+    VC_EXPECTS(faultMap_.lines() == org.lines());
+    VC_EXPECTS(faultMap_.wordsPerLine() == org.wordsPerBlock());
+    lineState_.assign(org.lines(), LineState{});
+    freeCount_.assign(org.lines(), 0);
+    usableWayMask_.assign(org.sets(), 0);
+    for (std::uint32_t set = 0; set < org.sets(); ++set) {
+        for (std::uint32_t way = 0; way < org.associativity; ++way) {
+            const std::uint32_t frame = mapper_.physicalLine(set, way);
+            const auto free = static_cast<std::uint8_t>(faultMap_.faultFreeCount(frame));
+            freeCount_[frame] = free;
+            // A frame with zero usable entries can hold nothing: it is
+            // excluded from allocation for the whole low-voltage episode.
+            if (free > 0) usableWayMask_[set] |= (1u << way);
+        }
+    }
+}
+
+FfwDCache::Window FfwDCache::recentered(std::uint32_t frame, std::uint32_t missedWord) const {
+    const std::uint32_t k = freeCount_[frame];
+    const std::uint32_t wordsPerBlock = mapper_.wordsPerBlock();
+    VC_EXPECTS(k >= 1 && k <= wordsPerBlock);
+    // The missing word stands in the middle of the new window (Fig. 5),
+    // clamped so the window stays inside the block.
+    const std::uint32_t half = (k - 1) / 2;
+    std::uint32_t start = missedWord > half ? missedWord - half : 0;
+    start = std::min(start, wordsPerBlock - k);
+    return Window{start, k};
+}
+
+void FfwDCache::setWindow(std::uint32_t frame, Window window) {
+    lineState_[frame].windowStart = static_cast<std::uint8_t>(window.start);
+    lineState_[frame].windowLength = static_cast<std::uint8_t>(window.length);
+}
+
+FfwDCache::Window FfwDCache::windowOf(std::uint32_t set, std::uint32_t way) const {
+    const LineState& state = lineState_[frameOf(set, way)];
+    return Window{state.windowStart, state.windowLength};
+}
+
+std::uint32_t FfwDCache::storedPattern(std::uint32_t set, std::uint32_t way) const {
+    const auto window = windowOf(set, way);
+    if (window.length == 0) return 0;
+    return ((1u << window.length) - 1u) << window.start;
+}
+
+std::uint32_t FfwDCache::physicalEntryFor(std::uint32_t set, std::uint32_t way,
+                                          std::uint32_t logicalWord) const {
+    const auto window = windowOf(set, way);
+    VC_EXPECTS(window.contains(logicalWord));
+    const std::uint32_t frame = frameOf(set, way);
+    // The logical word's rank inside the window selects the rank-th
+    // fault-free entry of the frame (Fig. 4's remap example).
+    std::uint32_t rank = logicalWord - window.start;
+    for (std::uint32_t entry = 0; entry < mapper_.wordsPerBlock(); ++entry) {
+        if (faultMap_.isFaulty(frame, entry)) continue;
+        if (rank == 0) return entry;
+        --rank;
+    }
+    VC_ENSURES(false); // window.length <= freeCount guarantees we return above
+    return 0;
+}
+
+AccessResult FfwDCache::read(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles;
+    result.auxProbe = true; // FMAP + StoredPattern are read in parallel
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        const std::uint32_t frame = frameOf(set, hit.way);
+        const LineState& state = lineState_[frame];
+        if (word >= state.windowStart &&
+            word < static_cast<std::uint32_t>(state.windowStart) + state.windowLength) {
+            ++stats_.hits;
+            result.l1Hit = true;
+            return result;
+        }
+        // Word miss: fetch from L2; the missing word is forwarded to the
+        // CPU and the window recenters on it off the critical path.
+        ++stats_.wordMisses;
+        ++stats_.l2Reads;
+        const auto l2 = l2_->read(addr);
+        if (config_.recenterOnWordMiss) setWindow(frame, recentered(frame, word));
+        result.l2Reads = 1;
+        result.dram = l2.dram;
+        result.latencyCycles += l2.latencyCycles;
+        return result;
+    }
+
+    ++stats_.lineMisses;
+    ++stats_.l2Reads;
+    const auto l2 = l2_->read(addr);
+    result.l2Reads = 1;
+    result.dram = l2.dram;
+    result.latencyCycles += l2.latencyCycles;
+
+    if (usableWayMask_[set] == 0) {
+        // Every frame in the set is fully defective: serve from L2 without
+        // allocating (the set is effectively disabled).
+        return result;
+    }
+    const auto fill = tags_.fill(set, tag, usableWayMask_[set]);
+    const std::uint32_t frame = frameOf(set, fill.way);
+    switch (config_.fillPolicy) {
+        case FfwConfig::FillPolicy::CenterOnMiss:
+            setWindow(frame, recentered(frame, word));
+            break;
+        case FfwConfig::FillPolicy::FirstK:
+            setWindow(frame, Window{0, freeCount_[frame]});
+            break;
+    }
+    return result;
+}
+
+AccessResult FfwDCache::write(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles;
+    result.auxProbe = true;
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        const std::uint32_t frame = frameOf(set, hit.way);
+        const LineState& state = lineState_[frame];
+        if (word >= state.windowStart &&
+            word < static_cast<std::uint32_t>(state.windowStart) + state.windowLength) {
+            ++stats_.hits;
+            result.l1Hit = true;
+        } else if (config_.updateOnWriteMiss) {
+            setWindow(frame, recentered(frame, word));
+        }
+    }
+    // Write-through, no-write-allocate.
+    const auto l2 = l2_->write(addr);
+    result.l2Writes = 1;
+    result.dram = l2.dram;
+    return result;
+}
+
+void FfwDCache::invalidateAll() { tags_.invalidateAll(); }
+
+} // namespace voltcache

@@ -1,0 +1,111 @@
+// Fault-free window data cache (paper Section IV-A, Figs. 4-5).
+//
+// Each physical frame knows its defective words (FMAP) and which logical
+// words it currently holds (StoredPattern). A frame with k fault-free word
+// entries stores a *window* of k contiguous logical words of the block,
+// scattered into the fault-free entries in order. On an access:
+//
+//   tag hit, word inside window  -> L1 hit at the baseline 2-cycle latency
+//                                   (remap logic is off the critical path,
+//                                   Fig. 9) — zero latency overhead;
+//   tag hit, word outside window -> "word miss": read from L2, then recenter
+//                                   the window on the missed word (the
+//                                   missing word stands in the middle,
+//                                   Fig. 5) — update is on the miss path;
+//   tag miss                     -> normal fill; the new window is chosen by
+//                                   FillPolicy (see below).
+//
+// The cache is write-through with no-write-allocate, which is what makes
+// dropping non-window words safe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/address.h"
+#include "cache/tag_array.h"
+#include "faults/fault_map.h"
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+struct FfwConfig {
+    /// Window placement on a line fill.
+    enum class FillPolicy : std::uint8_t {
+        /// Center the window on the word that caused the fill (the fill
+        /// brings the whole block past the cache, so this is free).
+        CenterOnMiss,
+        /// The paper's Fig. 5 illustration: the first k contiguous words.
+        /// If the requested word falls outside, the very next read of it
+        /// word-misses and recenters.
+        FirstK,
+    };
+    FillPolicy fillPolicy = FillPolicy::CenterOnMiss;
+    /// Recenter the window when a word miss occurs (the paper's mechanism).
+    /// Disable for the "static window" ablation.
+    bool recenterOnWordMiss = true;
+    /// Also recenter on write misses to absent words (off: writes are pure
+    /// write-through and never move the window — the paper's reads-drive-
+    /// locality design).
+    bool updateOnWriteMiss = false;
+};
+
+class FfwDCache final : public DataCacheScheme {
+public:
+    FfwDCache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l2,
+              FfwConfig config = {});
+
+    AccessResult read(std::uint32_t addr) override;
+    AccessResult write(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "ffw"; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override { return 0; }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+
+    /// The current window of a frame: [start, start+length) logical words.
+    struct Window {
+        std::uint32_t start = 0;
+        std::uint32_t length = 0;
+        [[nodiscard]] bool contains(std::uint32_t word) const noexcept {
+            return word >= start && word < start + length;
+        }
+    };
+    [[nodiscard]] Window windowOf(std::uint32_t set, std::uint32_t way) const;
+
+    /// StoredPattern bitmask (bit i == logical word i present), as held by
+    /// the StoredPattern array in Fig. 4.
+    [[nodiscard]] std::uint32_t storedPattern(std::uint32_t set, std::uint32_t way) const;
+
+    /// The word-remap computation of Fig. 4: physical word entry holding a
+    /// logical word (which must be inside the window). This models the
+    /// "word remapping logic" output fed to the data array's column MUX.
+    [[nodiscard]] std::uint32_t physicalEntryFor(std::uint32_t set, std::uint32_t way,
+                                                 std::uint32_t logicalWord) const;
+
+    [[nodiscard]] const FfwConfig& config() const noexcept { return config_; }
+
+private:
+    struct LineState {
+        std::uint8_t windowStart = 0;
+        std::uint8_t windowLength = 0;
+    };
+
+    [[nodiscard]] std::uint32_t frameOf(std::uint32_t set, std::uint32_t way) const {
+        return mapper_.physicalLine(set, way);
+    }
+    [[nodiscard]] Window recentered(std::uint32_t frame, std::uint32_t missedWord) const;
+    void setWindow(std::uint32_t frame, Window window);
+
+    AddressMapper mapper_;
+    TagArray tags_;
+    FaultMap faultMap_;
+    L2Cache* l2_;
+    FfwConfig config_;
+    std::vector<LineState> lineState_;    ///< per physical frame
+    std::vector<std::uint8_t> freeCount_;      ///< fault-free entries per frame
+    std::vector<std::uint32_t> usableWayMask_; ///< per set: ways with >=1 entry
+    L1Stats stats_;
+};
+
+} // namespace voltcache

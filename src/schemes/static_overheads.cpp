@@ -1,0 +1,125 @@
+#include "schemes/static_overheads.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace voltcache {
+
+namespace {
+
+// Table III verbatim.
+constexpr std::array<StaticOverhead, 7> kPaperTable = {{
+    {"8T", 1.280, 1.002, 1},
+    {"ffw", 1.052, 1.064, 0},
+    {"bbr", 1.011, 1.001, 0},
+    {"fba64", 1.120, 1.061, 1},
+    {"wilkerson", 1.034, 1.045, 1},
+    {"idc64", 1.137, 1.059, 1},
+    {"simple-wdis", 1.033, 1.036, 0},
+}};
+
+StaticOverhead fromEstimate(std::string_view name, const AreaLeakEstimate& scheme,
+                            const AreaLeakEstimate& base, std::uint32_t latency) {
+    return StaticOverhead{name, scheme.totalArea() / base.totalArea(),
+                          scheme.totalLeak() / base.totalLeak(), latency};
+}
+
+} // namespace
+
+std::span<const StaticOverhead> paperOverheads() noexcept { return kPaperTable; }
+
+const StaticOverhead& paperOverhead(std::string_view scheme) {
+    for (const auto& row : kPaperTable) {
+        if (row.scheme == scheme) return row;
+    }
+    throw std::out_of_range("paperOverhead: unknown scheme '" + std::string(scheme) + "'");
+}
+
+std::vector<StaticOverhead> modelOverheads(const CacheOrganization& org) {
+    const AreaLeakEstimate base = CactiLite::estimate(org);
+
+    CacheOrganization org8T = org;
+    org8T.dataCell = SramCell::C8T;
+    org8T.tagCell = SramCell::C8T;
+
+    // Every fault-tolerance scheme implements its tag array (and auxiliary
+    // structures) in robust 8T cells (paper Section V).
+    CacheOrganization orgTag8T = org;
+    orgTag8T.tagCell = SramCell::C8T;
+
+    const std::uint64_t words = org.totalWords();
+    const std::uint64_t lines = org.lines();
+
+    std::vector<StaticOverhead> rows;
+    rows.reserve(kPaperTable.size());
+
+    // 8T cache: full cell substitution, no auxiliary structures.
+    rows.push_back(fromEstimate("8T", CactiLite::estimate(org8T), base, 1));
+
+    // FFW: FMAP (1b/word) + StoredPattern (1b/word) as tag extensions, plus
+    // the word-remap logic (Fig. 4).
+    rows.push_back(fromEstimate(
+        "ffw",
+        CactiLite::estimate(orgTag8T,
+                            {{"fmap", words, SramCell::C8T, AuxPlacement::TagExtension},
+                             {"stored-pattern", words, SramCell::C8T,
+                              AuxPlacement::TagExtension}},
+                            /*logicAreaFrac=*/0.001, /*logicLeakFrac=*/0.001),
+        base, 0));
+
+    // BBR: dual-mode way-select muxes only (Fig. 7).
+    rows.push_back(fromEstimate(
+        "bbr", CactiLite::estimate(orgTag8T, {}, /*logicAreaFrac=*/0.001,
+                                   /*logicLeakFrac=*/0.001),
+        base, 0));
+
+    // FBA (64 entries): CAM word-location tags (~26b: block address + word
+    // offset), 32b data words, plus the per-word fault map.
+    rows.push_back(fromEstimate(
+        "fba64",
+        CactiLite::estimate(orgTag8T,
+                            {{"fba-cam-tags", 64 * 26, SramCell::CCAM, AuxPlacement::CamArray},
+                             {"fba-data", 64 * 32, SramCell::C8T, AuxPlacement::SmallArray},
+                             {"fmap", words, SramCell::C8T, AuxPlacement::TagExtension}},
+                            /*logicAreaFrac=*/0.001, /*logicLeakFrac=*/0.001),
+        base, 1));
+
+    // Wilkerson word-disable: per-word defect map, one extra tag bit per
+    // line (address space halves) and pairing/alignment metadata.
+    rows.push_back(fromEstimate(
+        "wilkerson",
+        CactiLite::estimate(orgTag8T,
+                            {{"defect-map", words, SramCell::C8T, AuxPlacement::TagExtension},
+                             {"pair-meta", lines * 3, SramCell::C8T,
+                              AuxPlacement::TagExtension}},
+                            /*logicAreaFrac=*/0.002, /*logicLeakFrac=*/0.002),
+        base, 1));
+
+    // IDC (64 entries): multi-ported set-associative auxiliary cache probed
+    // in parallel with the L1 (word data + tag + per-line defect marks).
+    rows.push_back(fromEstimate(
+        "idc64",
+        CactiLite::estimate(orgTag8T,
+                            {{"idc-entries", 64 * 60, SramCell::C8T, AuxPlacement::MultiPort}},
+                            /*logicAreaFrac=*/0.001, /*logicLeakFrac=*/0.001),
+        base, 1));
+
+    // Simple word disable: the per-word fault map alone.
+    rows.push_back(fromEstimate(
+        "simple-wdis",
+        CactiLite::estimate(orgTag8T,
+                            {{"fmap", words, SramCell::C8T, AuxPlacement::TagExtension}},
+                            /*logicAreaFrac=*/0.001, /*logicLeakFrac=*/0.001),
+        base, 0));
+
+    return rows;
+}
+
+double combinedL1StaticFactor(std::string_view dScheme, std::string_view iScheme) {
+    return (paperOverhead(dScheme).staticPowerFactor +
+            paperOverhead(iScheme).staticPowerFactor) /
+           2.0;
+}
+
+} // namespace voltcache

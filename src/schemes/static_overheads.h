@@ -1,0 +1,49 @@
+// Static design overheads per scheme (paper Table III).
+//
+// Two sources are provided:
+//  * paperOverheads() — the published Table III values verbatim. The energy
+//    and runtime experiments consume these, mirroring how we also use the
+//    paper's exact Table II frequencies.
+//  * modelOverheads() — the same quantities computed structurally from
+//    CactiLite component estimates (each scheme's auxiliary arrays, cell
+//    substitutions, and control logic). Tests assert the model tracks the
+//    published table, which validates the CactiLite calibration.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sram/cacti_lite.h"
+
+namespace voltcache {
+
+/// One Table III row. Area / static power are normalized to the
+/// conventional 6T cache of the same organization; latency in extra cycles.
+struct StaticOverhead {
+    std::string_view scheme;
+    double areaFactor = 1.0;
+    double staticPowerFactor = 1.0;
+    std::uint32_t latencyCycles = 0;
+};
+
+/// Table III verbatim (low-voltage mode).
+[[nodiscard]] std::span<const StaticOverhead> paperOverheads() noexcept;
+
+/// Look up one scheme's Table III row by its table name
+/// ("8T", "ffw", "bbr", "fba64", "wilkerson", "idc64", "simple-wdis").
+/// Throws std::out_of_range for unknown names.
+[[nodiscard]] const StaticOverhead& paperOverhead(std::string_view scheme);
+
+/// The same rows computed from the CactiLite structural model for the given
+/// baseline organization (the paper's 32KB/4-way/32B L1).
+[[nodiscard]] std::vector<StaticOverhead> modelOverheads(
+    const CacheOrganization& org = CacheOrganization{});
+
+/// Combined L1 static-power factor for a (D-cache scheme, I-cache scheme)
+/// pair, averaged over the two same-sized L1s — the multiplier handed to
+/// EnergyModel::energyOf.
+[[nodiscard]] double combinedL1StaticFactor(std::string_view dScheme,
+                                            std::string_view iScheme);
+
+} // namespace voltcache

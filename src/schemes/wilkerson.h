@@ -1,0 +1,87 @@
+// Wilkerson-style word disable (paper Section III-B, from [4]).
+//
+// Two consecutive physical ways combine into one logical line: a logical
+// word is served from whichever pair member has that word fault-free.
+// Capacity halves (4-way -> 2 logical ways) and the combining mux adds one
+// cycle (Table III). A word position defective in BOTH pair members is
+// unrepairable — plain word disable cannot ship such a die, which is why
+// the paper says it "cannot achieve 99.9% chip yield below 480mV". The
+// evaluated Wilkerson+ variant applies simple word disable as a
+// supplementary technique: unrepairable words always miss to the L2.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/address.h"
+#include "cache/tag_array.h"
+#include "faults/fault_map.h"
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+/// Pairing metadata shared by the D- and I-side variants.
+class WilkersonPairing {
+public:
+    WilkersonPairing(const CacheOrganization& org, const FaultMap& map);
+
+    [[nodiscard]] std::uint32_t logicalWays() const noexcept { return logicalWays_; }
+
+    /// True if `word` of logical way `lway` in `set` is defective in both
+    /// pair members (served like simple word disable).
+    [[nodiscard]] bool unrepairable(std::uint32_t set, std::uint32_t lway,
+                                    std::uint32_t word) const;
+
+    /// Count of unrepairable word positions across the whole cache — the
+    /// quantity that kills plain word-disable yield at low voltage.
+    [[nodiscard]] std::uint32_t unrepairableCount() const noexcept { return unrepairable_; }
+
+private:
+    AddressMapper mapper_;
+    const FaultMap* map_;
+    std::uint32_t logicalWays_;
+    std::uint32_t unrepairable_ = 0;
+};
+
+class WilkersonDCache final : public DataCacheScheme {
+public:
+    WilkersonDCache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l2);
+
+    AccessResult read(std::uint32_t addr) override;
+    AccessResult write(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "wilkerson+"; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override { return 1; }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+    [[nodiscard]] const WilkersonPairing& pairing() const noexcept { return pairing_; }
+
+private:
+    AddressMapper mapper_;
+    FaultMap faultMap_;
+    WilkersonPairing pairing_;
+    TagArray tags_; ///< logical ways only
+    L2Cache* l2_;
+    L1Stats stats_;
+};
+
+class WilkersonICache final : public InstrCacheScheme {
+public:
+    WilkersonICache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l2);
+
+    AccessResult fetch(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "wilkerson+"; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override { return 1; }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+
+private:
+    AddressMapper mapper_;
+    FaultMap faultMap_;
+    WilkersonPairing pairing_;
+    TagArray tags_;
+    L2Cache* l2_;
+    L1Stats stats_;
+};
+
+} // namespace voltcache

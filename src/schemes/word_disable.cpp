@@ -1,0 +1,125 @@
+#include "schemes/word_disable.h"
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+SimpleWordDisableDCache::SimpleWordDisableDCache(const CacheOrganization& org,
+                                                 FaultMap faultMap, L2Cache& l2)
+    : mapper_(org),
+      tags_(org.sets(), org.associativity),
+      faultMap_(std::move(faultMap)),
+      l2_(&l2) {
+    VC_EXPECTS(faultMap_.lines() == org.lines());
+    VC_EXPECTS(faultMap_.wordsPerLine() == org.wordsPerBlock());
+}
+
+bool SimpleWordDisableDCache::wordFaulty(std::uint32_t set, std::uint32_t way,
+                                         std::uint32_t word) const {
+    return faultMap_.isFaulty(mapper_.physicalLine(set, way), word);
+}
+
+AccessResult SimpleWordDisableDCache::read(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles;
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        if (!wordFaulty(set, hit.way, word)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+            return result;
+        }
+        // Defective word: handled like a normal cache miss, every time.
+        ++stats_.wordMisses;
+        ++stats_.l2Reads;
+        const auto l2 = l2_->read(addr);
+        result.l2Reads = 1;
+        result.dram = l2.dram;
+        result.latencyCycles += l2.latencyCycles;
+        return result;
+    }
+
+    ++stats_.lineMisses;
+    ++stats_.l2Reads;
+    const auto l2 = l2_->read(addr);
+    tags_.fill(set, tag);
+    result.l2Reads = 1;
+    result.dram = l2.dram;
+    result.latencyCycles += l2.latencyCycles;
+    return result;
+}
+
+AccessResult SimpleWordDisableDCache::write(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles;
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        if (!wordFaulty(set, hit.way, word)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+        }
+    }
+    const auto l2 = l2_->write(addr);
+    result.l2Writes = 1;
+    result.dram = l2.dram;
+    return result;
+}
+
+void SimpleWordDisableDCache::invalidateAll() { tags_.invalidateAll(); }
+
+SimpleWordDisableICache::SimpleWordDisableICache(const CacheOrganization& org,
+                                                 FaultMap faultMap, L2Cache& l2)
+    : mapper_(org),
+      tags_(org.sets(), org.associativity),
+      faultMap_(std::move(faultMap)),
+      l2_(&l2) {
+    VC_EXPECTS(faultMap_.lines() == org.lines());
+    VC_EXPECTS(faultMap_.wordsPerLine() == org.wordsPerBlock());
+}
+
+AccessResult SimpleWordDisableICache::fetch(std::uint32_t addr) {
+    ++stats_.accesses;
+    AccessResult result;
+    result.latencyCycles = kL1HitLatencyCycles;
+    const std::uint32_t set = mapper_.set(addr);
+    const std::uint32_t tag = mapper_.tag(addr);
+    const std::uint32_t word = mapper_.wordOffset(addr);
+
+    if (const auto hit = tags_.lookup(set, tag); hit.hit) {
+        tags_.touch(set, hit.way);
+        if (!faultMap_.isFaulty(mapper_.physicalLine(set, hit.way), word)) {
+            ++stats_.hits;
+            result.l1Hit = true;
+            return result;
+        }
+        ++stats_.wordMisses;
+        ++stats_.l2Reads;
+        const auto l2 = l2_->read(addr);
+        result.l2Reads = 1;
+        result.dram = l2.dram;
+        result.latencyCycles += l2.latencyCycles;
+        return result;
+    }
+
+    ++stats_.lineMisses;
+    ++stats_.l2Reads;
+    const auto l2 = l2_->read(addr);
+    tags_.fill(set, tag);
+    result.l2Reads = 1;
+    result.dram = l2.dram;
+    result.latencyCycles += l2.latencyCycles;
+    return result;
+}
+
+void SimpleWordDisableICache::invalidateAll() { tags_.invalidateAll(); }
+
+} // namespace voltcache

@@ -1,0 +1,64 @@
+// Simple word disable (paper Section III-B, from Mahmood & Kim [2]).
+//
+// Each word carries a defect mark loaded from the BIST fault map. A tag hit
+// on a defective word is NOT a hit: the access is handled like a normal
+// cache miss (served by the L2 every time — the word can never be cached).
+// Fault-free words of a partially-defective line remain fully usable, so
+// capacity degrades gracefully. Zero latency overhead (Table III), but L2
+// traffic explodes once nearly every line is defective (Fig. 10 after
+// 480mV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/address.h"
+#include "cache/tag_array.h"
+#include "faults/fault_map.h"
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+class SimpleWordDisableDCache final : public DataCacheScheme {
+public:
+    SimpleWordDisableDCache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l2);
+
+    AccessResult read(std::uint32_t addr) override;
+    AccessResult write(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "simple-wdis"; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override { return 0; }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+
+private:
+    [[nodiscard]] bool wordFaulty(std::uint32_t set, std::uint32_t way,
+                                  std::uint32_t word) const;
+
+    AddressMapper mapper_;
+    TagArray tags_;
+    FaultMap faultMap_;
+    L2Cache* l2_;
+    L1Stats stats_;
+};
+
+class SimpleWordDisableICache final : public InstrCacheScheme {
+public:
+    SimpleWordDisableICache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l2);
+
+    AccessResult fetch(std::uint32_t addr) override;
+    void invalidateAll() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override { return "simple-wdis"; }
+    [[nodiscard]] std::uint32_t latencyOverhead() const noexcept override { return 0; }
+    [[nodiscard]] const L1Stats& stats() const noexcept override { return stats_; }
+
+private:
+    AddressMapper mapper_;
+    TagArray tags_;
+    FaultMap faultMap_;
+    L2Cache* l2_;
+    L1Stats stats_;
+};
+
+} // namespace voltcache

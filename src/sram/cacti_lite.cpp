@@ -1,0 +1,187 @@
+#include "sram/cacti_lite.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+namespace {
+
+// ---- Calibration (see header). All areas in 6T-bit-equivalent units. ----
+
+// Periphery (decoders, sense amps, inter-bank wires) is 1/14 of the packed
+// array area: makes the all-8T cache land at exactly 128.0% (Table III).
+constexpr double kPeripheryFrac = 1.0 / 14.0;
+// Tag macros pack at 0.431 of data-array density (CACTI's area optimizer
+// trades density for speed on small arrays): makes tag 6T->8T cost 1.0%.
+constexpr double kTagDensity = 0.431;
+// Tag-extension aux arrays (FMAP/StoredPattern columns) pack at 0.574:
+// makes FFW's 16384 extension bits cost 4.2% (Table III).
+constexpr double kAuxDensityTagExt = 0.574;
+// Standalone small arrays pay their own periphery: ~1.3x density penalty.
+constexpr double kSmallArrayDensity = 1.3;
+// Fully-associative CAM arrays in CACTI are ~7x less dense than SRAM once
+// match lines, priority encoders, and per-entry comparators are counted.
+constexpr double kCamPacking = 7.0;
+// Multi-ported lookup structures (IDC is probed in parallel with the L1):
+// ~7x area, ~4x leakage per bit versus a single-ported array.
+constexpr double kMultiPortArea = 7.0;
+constexpr double kMultiPortLeak = 4.0;
+// Array periphery leakage as a fraction of cell leakage.
+constexpr double kPeriphLeakFrac = 0.10;
+// Small / tag-extension arrays leak ~20% more per bit (their periphery is
+// not amortized over many columns).
+constexpr double kAuxLeak = 1.20;
+
+// ---- Timing calibration (FO4), anchored to Fig. 9. ----
+constexpr double kDecodeBaseFo4 = 2.0;
+constexpr double kDecodePerLog2RowFo4 = 0.9; // 32KB data array: 2 + 0.9*10 = 11.0
+constexpr double kWirePathFo4 = 25.0;        // wordline+bitline of the 32KB 6T data array
+constexpr double kSenseFo4 = 6.2;            // data array to column mux: 42.2 total
+constexpr double kColumnMuxFo4 = 3.3;
+constexpr double kOutputDriveFo4 = 3.0;
+constexpr double kTagMatchFo4 = 9.044; // 19b compare + 4-way match encode; with the 8T
+                                       // tag macro's 23.8 FO4 array this puts both FFW
+                                       // side paths at Fig. 9's 39.4 FO4
+constexpr double kWayMuxFo4 = 3.3;      // MUX1 / MUX3
+constexpr double kWordMuxFo4 = 3.3;     // MUX2
+constexpr double kRemapLogicFo4 = 3.3;  // popcount-select word remap (Fig. 4)
+
+// Reference array for wire-delay scaling: the paper's 32KB 6T data array.
+constexpr double kRefArrayArea = 32.0 * 1024 * 8;
+
+double auxAreaUnits(const AuxStructure& aux) {
+    const double cellArea = cellTraits(aux.cell).areaRel;
+    const double bits = static_cast<double>(aux.bits);
+    switch (aux.placement) {
+        case AuxPlacement::TagExtension: return bits * cellArea * kAuxDensityTagExt;
+        case AuxPlacement::SmallArray: return bits * cellArea * kSmallArrayDensity;
+        case AuxPlacement::CamArray: return bits * cellArea * kCamPacking;
+        case AuxPlacement::MultiPort: return bits * cellArea * kMultiPortArea;
+    }
+    return 0.0;
+}
+
+double auxLeakUnits(const AuxStructure& aux) {
+    const double cellLeak = cellTraits(aux.cell).leakageRel;
+    const double bits = static_cast<double>(aux.bits);
+    switch (aux.placement) {
+        case AuxPlacement::TagExtension:
+        case AuxPlacement::SmallArray: return bits * cellLeak * kAuxLeak;
+        case AuxPlacement::CamArray: return bits * cellLeak; // CAM cell leak already 4x
+        case AuxPlacement::MultiPort: return bits * cellLeak * kMultiPortLeak;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+std::uint32_t CacheOrganization::offsetBits() const noexcept {
+    return static_cast<std::uint32_t>(std::bit_width(blockBytes) - 1);
+}
+
+std::uint32_t CacheOrganization::indexBits() const noexcept {
+    return static_cast<std::uint32_t>(std::bit_width(sets()) - 1);
+}
+
+std::uint32_t CacheOrganization::tagBits() const noexcept {
+    return addressBits - offsetBits() - indexBits();
+}
+
+std::uint32_t CacheOrganization::tagArrayBitsPerLine() const noexcept {
+    // tag + valid + ~2 bits/line of LRU state (log2(4!) per 4-way set).
+    return tagBits() + 1 + 2;
+}
+
+AreaLeakEstimate CactiLite::estimate(const CacheOrganization& org,
+                                     const std::vector<AuxStructure>& aux,
+                                     double logicAreaFrac, double logicLeakFrac) {
+    VC_EXPECTS(logicAreaFrac >= 0.0 && logicLeakFrac >= 0.0);
+    AreaLeakEstimate est;
+    const double dataBits = static_cast<double>(org.dataArrayBits());
+    const double tagBits = static_cast<double>(org.tagArrayBits());
+
+    est.dataArea = dataBits * cellTraits(org.dataCell).areaRel;
+    est.tagArea = tagBits * cellTraits(org.tagCell).areaRel * kTagDensity;
+    for (const auto& structure : aux) est.auxArea += auxAreaUnits(structure);
+    // Periphery sized for the packed 6T-equivalent arrays; it does not grow
+    // when cells are swapped (same decoders and sense amps drive 8T arrays).
+    est.peripheryArea = kPeripheryFrac * (dataBits + tagBits * kTagDensity);
+
+    est.dataLeak = dataBits * cellTraits(org.dataCell).leakageRel;
+    est.tagLeak = tagBits * cellTraits(org.tagCell).leakageRel;
+    for (const auto& structure : aux) est.auxLeak += auxLeakUnits(structure);
+    est.peripheryLeak = kPeriphLeakFrac * (dataBits + tagBits);
+
+    // Random control logic, sized relative to the 6T baseline cache.
+    const double baseArea =
+        dataBits + tagBits * kTagDensity + kPeripheryFrac * (dataBits + tagBits * kTagDensity);
+    const double baseLeak = (dataBits + tagBits) * (1.0 + kPeriphLeakFrac);
+    est.logicArea = logicAreaFrac * baseArea;
+    est.logicLeak = logicLeakFrac * baseLeak;
+    return est;
+}
+
+ArrayTiming CactiLite::arrayTiming(std::uint64_t bits, std::uint32_t rows, SramCell cell) {
+    VC_EXPECTS(bits > 0);
+    VC_EXPECTS(rows > 0);
+    ArrayTiming t;
+    const double log2Rows = std::log2(static_cast<double>(rows));
+    t.decodeFo4 = kDecodeBaseFo4 + kDecodePerLog2RowFo4 * log2Rows;
+    const double areaUnits = static_cast<double>(bits) * cellTraits(cell).areaRel;
+    t.wordlineBitlineFo4 = kWirePathFo4 * std::sqrt(areaUnits / kRefArrayArea);
+    t.senseFo4 = kSenseFo4;
+    t.columnMuxFo4 = kColumnMuxFo4;
+    t.outputDriveFo4 = kOutputDriveFo4;
+    return t;
+}
+
+double FfwTimeline::tagMatchReadyFo4() const noexcept {
+    return tagArray.toColumnMuxFo4() + tagCompareFo4;
+}
+
+double FfwTimeline::hitSignalReadyFo4() const noexcept {
+    // MUX1 needs the matched way index; the pattern array read overlaps.
+    return std::max(tagMatchReadyFo4(), storedPatternArray.toColumnMuxFo4()) + wayMuxFo4 +
+           wordMuxFo4;
+}
+
+double FfwTimeline::remappedOffsetReadyFo4() const noexcept {
+    return std::max(tagMatchReadyFo4(), faultPatternArray.toColumnMuxFo4()) + wayMuxFo4 +
+           remapLogicFo4;
+}
+
+bool FfwTimeline::zeroLatencyOverhead() const noexcept {
+    return hitSignalReadyFo4() <= dataColumnMuxNeededFo4() &&
+           remappedOffsetReadyFo4() <= dataColumnMuxNeededFo4();
+}
+
+FfwTimeline CactiLite::ffwTimeline(const CacheOrganization& org) {
+    FfwTimeline t;
+    t.dataArray = arrayTiming(org.dataArrayBits(), org.lines(), org.dataCell);
+    t.tagArray = arrayTiming(org.tagArrayBits(), org.sets(), SramCell::C8T);
+    // One bit per word for each of StoredPattern and FMAP.
+    t.storedPatternArray = arrayTiming(org.totalWords(), org.sets(), SramCell::C8T);
+    t.faultPatternArray = arrayTiming(org.totalWords(), org.sets(), SramCell::C8T);
+    t.tagCompareFo4 = kTagMatchFo4;
+    t.wayMuxFo4 = kWayMuxFo4;
+    t.wordMuxFo4 = kWordMuxFo4;
+    t.remapLogicFo4 = kRemapLogicFo4;
+    return t;
+}
+
+CactiLite::BbrTiming CactiLite::bbrTiming(const CacheOrganization& org) {
+    BbrTiming t;
+    const ArrayTiming tag = arrayTiming(org.tagArrayBits(), org.sets(), SramCell::C8T);
+    const ArrayTiming data = arrayTiming(org.dataArrayBits(), org.lines(), org.dataCell);
+    // Direct-mapped mode muxes the low tag bits into the way select (Fig. 7).
+    t.tagPathFo4 = tag.toColumnMuxFo4() + kTagMatchFo4;
+    t.dataPathFo4 = data.toColumnMuxFo4();
+    t.addedMuxFo4 = kWayMuxFo4;
+    return t;
+}
+
+} // namespace voltcache

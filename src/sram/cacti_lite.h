@@ -1,0 +1,169 @@
+// CACTI-lite: parametric cache area / timing / leakage model standing in
+// for CACTI 6.5 (paper Section V, VI-A; Fig. 9; Table III).
+//
+// The model is structural — area and leakage are sums over named components
+// (data array, tag array, auxiliary fault-tolerance arrays, periphery) and
+// timing is a sum over pipeline-free critical-path segments (decode,
+// wordline+bitline, sense, muxes). A handful of packing/port factors are
+// calibrated once (see calibration notes below) so that the 32KB/4-way/32B
+// baseline reproduces the paper's published values:
+//
+//   * 8T cache total area = 128.0% of the 6T baseline given +30% cell area
+//     => periphery is 1/15 of total area (Table III row 1),
+//   * FFW's tag-8T conversion costs 1.0% and FMAP+StoredPattern 4.2% of
+//     total area => tag-side arrays pack at 0.431 (tag) / 0.574 (extension)
+//     of main-array density (Table III row 2),
+//   * the data array's row-address-to-column-mux path is 42.2 FO4 and the
+//     pattern/fault paths 39.4 FO4 (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sram/cells.h"
+
+namespace voltcache {
+
+/// Geometry of one cache. Defaults are the paper's L1 (Table I).
+struct CacheOrganization {
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t blockBytes = 32;
+    std::uint32_t associativity = 4;
+    std::uint32_t wordBytes = 4;
+    std::uint32_t addressBits = 32;
+    SramCell dataCell = SramCell::C6T;
+    SramCell tagCell = SramCell::C6T;
+
+    [[nodiscard]] std::uint32_t lines() const noexcept { return sizeBytes / blockBytes; }
+    [[nodiscard]] std::uint32_t sets() const noexcept { return lines() / associativity; }
+    [[nodiscard]] std::uint32_t wordsPerBlock() const noexcept {
+        return blockBytes / wordBytes;
+    }
+    [[nodiscard]] std::uint32_t totalWords() const noexcept { return sizeBytes / wordBytes; }
+    [[nodiscard]] std::uint32_t offsetBits() const noexcept;
+    [[nodiscard]] std::uint32_t indexBits() const noexcept;
+    [[nodiscard]] std::uint32_t tagBits() const noexcept;
+    /// Tag storage per line: tag + valid + per-way LRU state.
+    [[nodiscard]] std::uint32_t tagArrayBitsPerLine() const noexcept;
+    [[nodiscard]] std::uint64_t dataArrayBits() const noexcept {
+        return static_cast<std::uint64_t>(sizeBytes) * 8;
+    }
+    [[nodiscard]] std::uint64_t tagArrayBits() const noexcept {
+        return static_cast<std::uint64_t>(lines()) * tagArrayBitsPerLine();
+    }
+};
+
+/// How an auxiliary (fault-tolerance) array is physically realized; selects
+/// the packing and leakage factors applied to it.
+enum class AuxPlacement : std::uint8_t {
+    TagExtension, ///< extra columns in the tag macro (FMAP, StoredPattern…)
+    SmallArray,   ///< standalone small SRAM array (FBA data words…)
+    CamArray,     ///< fully-associative CAM (FBA word-location tags)
+    MultiPort,    ///< multi-ported lookup structure (IDC entries)
+};
+
+/// One named auxiliary structure added by a fault-tolerance scheme.
+struct AuxStructure {
+    std::string name;
+    std::uint64_t bits = 0;
+    SramCell cell = SramCell::C8T;
+    AuxPlacement placement = AuxPlacement::TagExtension;
+};
+
+/// Area/leakage breakdown, in 6T-bit-equivalent units so ratios are unitless.
+struct AreaLeakEstimate {
+    double dataArea = 0.0;
+    double tagArea = 0.0;
+    double auxArea = 0.0;
+    double logicArea = 0.0;
+    double peripheryArea = 0.0;
+    double dataLeak = 0.0;
+    double tagLeak = 0.0;
+    double auxLeak = 0.0;
+    double logicLeak = 0.0;
+    double peripheryLeak = 0.0;
+
+    [[nodiscard]] double totalArea() const noexcept {
+        return dataArea + tagArea + auxArea + logicArea + peripheryArea;
+    }
+    [[nodiscard]] double totalLeak() const noexcept {
+        return dataLeak + tagLeak + auxLeak + logicLeak + peripheryLeak;
+    }
+};
+
+/// Critical-path segment delays of one SRAM array, in FO4 units (Fig. 9).
+struct ArrayTiming {
+    double decodeFo4 = 0.0;
+    double wordlineBitlineFo4 = 0.0;
+    double senseFo4 = 0.0;
+    double columnMuxFo4 = 0.0;
+    double outputDriveFo4 = 0.0;
+
+    /// Row-address arrival to column-mux select input: the reference point
+    /// Fig. 9 quotes as 42.2 FO4 for the 32KB data array.
+    [[nodiscard]] double toColumnMuxFo4() const noexcept {
+        return decodeFo4 + wordlineBitlineFo4 + senseFo4;
+    }
+    [[nodiscard]] double totalFo4() const noexcept {
+        return toColumnMuxFo4() + columnMuxFo4 + outputDriveFo4;
+    }
+};
+
+/// The Fig. 9 timeline: when each FFW critical path delivers its result.
+struct FfwTimeline {
+    ArrayTiming dataArray;
+    ArrayTiming tagArray;
+    ArrayTiming storedPatternArray;
+    ArrayTiming faultPatternArray;
+    double tagCompareFo4 = 0.0;
+    double wayMuxFo4 = 0.0;   ///< MUX1 / MUX3 (way select by matched index)
+    double wordMuxFo4 = 0.0;  ///< MUX2 (word-offset select)
+    double remapLogicFo4 = 0.0;
+
+    /// Tag match (way index) available.
+    [[nodiscard]] double tagMatchReadyFo4() const noexcept;
+    /// Hit signal: StoredPattern -> MUX1 -> MUX2 (paper: 39.4 FO4).
+    [[nodiscard]] double hitSignalReadyFo4() const noexcept;
+    /// Remapped word offset: FMAP -> MUX3 -> remap logic (paper: 39.4 FO4).
+    [[nodiscard]] double remappedOffsetReadyFo4() const noexcept;
+    /// Data array output needs its column-mux select (paper: 42.2 FO4).
+    [[nodiscard]] double dataColumnMuxNeededFo4() const noexcept {
+        return dataArray.toColumnMuxFo4();
+    }
+    /// True when FFW adds no cycles: both side paths beat the data array.
+    [[nodiscard]] bool zeroLatencyOverhead() const noexcept;
+};
+
+class CactiLite {
+public:
+    /// Area/leakage of a cache plus its scheme-specific auxiliary arrays.
+    /// `logicAreaFrac`/`logicLeakFrac` account for random control logic as a
+    /// fraction of the baseline cache (e.g. FFW remap logic: 0.001).
+    [[nodiscard]] static AreaLeakEstimate estimate(const CacheOrganization& org,
+                                                   const std::vector<AuxStructure>& aux = {},
+                                                   double logicAreaFrac = 0.0,
+                                                   double logicLeakFrac = 0.0);
+
+    /// Timing of a single array of `bits` cells organised in `rows` rows.
+    [[nodiscard]] static ArrayTiming arrayTiming(std::uint64_t bits, std::uint32_t rows,
+                                                 SramCell cell = SramCell::C6T);
+
+    /// The FFW D-cache timeline of Fig. 9 for the given organization.
+    [[nodiscard]] static FfwTimeline ffwTimeline(const CacheOrganization& org);
+
+    /// Extra FO4 the BBR dual-mode I-cache adds to the *tag-side* path (one
+    /// way-select mux, Fig. 7); returns the slack against the data array to
+    /// show the zero-cycle claim.
+    struct BbrTiming {
+        double tagPathFo4 = 0.0;
+        double dataPathFo4 = 0.0;
+        double addedMuxFo4 = 0.0;
+        [[nodiscard]] bool zeroLatencyOverhead() const noexcept {
+            return tagPathFo4 + addedMuxFo4 <= dataPathFo4;
+        }
+    };
+    [[nodiscard]] static BbrTiming bbrTiming(const CacheOrganization& org);
+};
+
+} // namespace voltcache

@@ -1,0 +1,23 @@
+#include "sram/cells.h"
+
+namespace voltcache {
+
+namespace {
+// Area ratios: 8T +30% [34]; 10T ~ +66% [7]; ST ~ 2x [8]. CAM (9T/10T
+// NOR-type match cell) ~ 2x area and ~4x effective static power once the
+// always-precharged match lines are amortized per bit — this is what makes
+// FBA/IDC tag arrays expensive (paper Section III-B).
+constexpr CellTraits kTraits[] = {
+    {"6T", 1.00, 1.000, 0.000},
+    {"8T", 1.30, 1.002, 0.360},
+    {"10T", 1.66, 1.050, 0.420},
+    {"ST", 2.00, 1.100, 0.500},
+    {"CAM", 2.00, 4.000, 0.360},
+};
+} // namespace
+
+const CellTraits& cellTraits(SramCell cell) noexcept {
+    return kTraits[static_cast<std::uint8_t>(cell)];
+}
+
+} // namespace voltcache

@@ -1,0 +1,32 @@
+// SRAM cell circuit library (paper Sections II-A, III-A, VI-A).
+//
+// Each cell topology trades area and leakage for low-voltage robustness:
+//   6T  — baseline; fails per FailureModel's curve.
+//   8T  — read-decoupled; +30% cell area [34], one extra leakage path whose
+//         two stacked transistors nearly cancel it (+0.2% net leakage [34]);
+//         robust to 400mV for 32KB arrays (paper's working assumption).
+//   10T — charge-sharing variant [7]: bigger and more robust still.
+//   ST  — Schmitt-trigger cell [8]: ~2x area, sub-300mV operation.
+//   CAM — content-addressable (match-line) cell used by FBA's word-location
+//         tags [2]; large and leaky because match lines burn static power.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace voltcache {
+
+enum class SramCell : std::uint8_t { C6T, C8T, C10T, CST, CCAM };
+
+/// Per-cell physical traits, normalized to the 6T cell.
+struct CellTraits {
+    std::string_view name;
+    double areaRel;    ///< layout area per bit relative to 6T
+    double leakageRel; ///< static (leakage) power per bit relative to 6T
+    double vccminShiftVolts; ///< how much lower this cell's failure curve sits
+};
+
+/// Look up the traits of a cell topology.
+[[nodiscard]] const CellTraits& cellTraits(SramCell cell) noexcept;
+
+} // namespace voltcache

@@ -1,0 +1,51 @@
+#include "sram/delay_model.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+DelayModel::DelayModel(double vthVolts, double alpha, Voltage refVoltage,
+                       Frequency refFrequency) noexcept
+    : vthVolts_(vthVolts),
+      alpha_(alpha),
+      refVoltage_(refVoltage),
+      refFrequency_(refFrequency) {}
+
+Frequency DelayModel::frequencyAt(Voltage v) const {
+    VC_EXPECTS(v.volts() > vthVolts_);
+    const double vRef = refVoltage_.volts();
+    const double vv = v.volts();
+    // f ∝ (V - Vth)^alpha / V, normalized to the reference point.
+    const double rel = (vRef / vv) * std::pow((vv - vthVolts_) / (vRef - vthVolts_), alpha_);
+    return Frequency::fromHertz(refFrequency_.hertz() * rel);
+}
+
+double DelayModel::fo4DelaySeconds(Voltage v) const {
+    return frequencyAt(v).periodSeconds() / kFo4PerCycle;
+}
+
+std::optional<Frequency> DelayModel::paperFrequency(Voltage v) noexcept {
+    struct Point {
+        double mv;
+        double mhz;
+    };
+    static constexpr std::array<Point, 6> kTable2 = {{
+        {760.0, 1607.0},
+        {560.0, 1089.0},
+        {520.0, 958.0},
+        {480.0, 818.0},
+        {440.0, 638.0},
+        {400.0, 475.0},
+    }};
+    for (const auto& point : kTable2) {
+        if (std::abs(v.millivolts() - point.mv) < 0.5) {
+            return Frequency::fromMegahertz(point.mhz);
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace voltcache

@@ -1,0 +1,51 @@
+// Logic delay / clock frequency versus supply voltage (paper Section V).
+//
+// The paper measures FO4 inverter delay in HSPICE and assumes 20 FO4 delays
+// per cycle. We reproduce its Table II frequency column two ways:
+//
+//  * an alpha-power-law model   f(V) ∝ (V - Vth)^alpha / V
+//    fit to the published points: Vth = 0.30V, alpha = 1.2193 anchored at
+//    760mV -> 1607MHz. Worst-case error vs Table II is 2.1% (at 440mV); the
+//    520/560/400mV points match to <0.1%.
+//  * the exact Table II lookup (`paperFrequency`), which the energy /
+//    runtime experiments use so they integrate the same numbers the paper
+//    integrated.
+#pragma once
+
+#include <optional>
+
+#include "common/units.h"
+
+namespace voltcache {
+
+/// FO4 delays per pipeline cycle assumed by the paper.
+inline constexpr double kFo4PerCycle = 20.0;
+
+class DelayModel {
+public:
+    /// Parameters default to the fit described above.
+    explicit DelayModel(double vthVolts = 0.30, double alpha = 1.2193,
+                        Voltage refVoltage = Voltage::fromMillivolts(760),
+                        Frequency refFrequency = Frequency::fromMegahertz(1607)) noexcept;
+
+    /// Clock frequency at voltage v under the alpha-power law.
+    [[nodiscard]] Frequency frequencyAt(Voltage v) const;
+
+    /// FO4 inverter delay at voltage v, in seconds.
+    [[nodiscard]] double fo4DelaySeconds(Voltage v) const;
+
+    /// Exact Table II frequency for one of the paper's six DVFS operating
+    /// points (nullopt for other voltages).
+    [[nodiscard]] static std::optional<Frequency> paperFrequency(Voltage v) noexcept;
+
+    [[nodiscard]] double vth() const noexcept { return vthVolts_; }
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+private:
+    double vthVolts_;
+    double alpha_;
+    Voltage refVoltage_;
+    Frequency refFrequency_;
+};
+
+} // namespace voltcache

@@ -1,0 +1,154 @@
+// adpcm (MiBench): IMA ADPCM encoder over LCG-generated 16-bit samples.
+// Streams the input and output buffers while reusing the 89-entry step
+// table and 16-entry index-adjust table on every sample.
+#include "workload/stdlib.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+
+using namespace regs;
+
+namespace {
+
+constexpr std::int32_t kStepTableBase = static_cast<std::int32_t>(layout::kDataBase);
+constexpr std::int32_t kIndexTableBase = static_cast<std::int32_t>(layout::kDataBase) + 0x400;
+
+/// IMA-style exponential step table (89 entries, ~1.1x growth as in the
+/// standard table; exact values are irrelevant to cache behaviour).
+std::vector<std::int32_t> stepTable() {
+    std::vector<std::int32_t> table(89);
+    double step = 7.0;
+    for (auto& entry : table) {
+        entry = static_cast<std::int32_t>(step);
+        step *= 1.1;
+        if (step > 32767.0) step = 32767.0;
+    }
+    return table;
+}
+
+std::vector<std::int32_t> indexTable() {
+    return {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+}
+
+} // namespace
+
+Module buildAdpcm(WorkloadScale scale) {
+    const std::uint32_t samples = scalePick(scale, 1024, 8192, 32768);
+
+    ModuleBuilder mb;
+    {
+        auto f = mb.function("main");
+        auto loop = f.newBlock("sample_loop");
+        auto negated = f.newBlock("negated");
+        auto quant = f.newBlock("quantize");
+        auto q2 = f.newBlock("q2");
+        auto q3 = f.newBlock("q3");
+        auto q4 = f.newBlock("q4");
+        auto applySign = f.newBlock("apply_sign");
+        auto applyAdd = f.newBlock("apply_add");
+        auto clampLo = f.newBlock("clamp_lo");
+        auto clampHi = f.newBlock("clamp_hi");
+        auto updateIndex = f.newBlock("update_index");
+        auto idxLo = f.newBlock("idx_lo");
+        auto idxHi = f.newBlock("idx_hi");
+        auto emit = f.newBlock("emit");
+        auto done = f.newBlock("done");
+        emitProlog(f);
+        // r8 = in cursor, r9 = in end, r10 = predictor, r11 = step index,
+        // r12 = checksum, r13 = out cursor
+        f.li(r8, static_cast<std::int32_t>(layout::kHeapBase));
+        f.li(r9, static_cast<std::int32_t>(layout::kHeapBase + samples * 4));
+        f.mv(r10, r0);
+        f.mv(r11, r0);
+        f.mv(r12, r0);
+        f.li(r13, static_cast<std::int32_t>(layout::kHeapBase + samples * 8));
+        f.mv(r1, r8);
+        f.li(r2, static_cast<std::int32_t>(samples));
+        f.li(r3, 0xadc);
+        f.call("fill_random");
+        f.jmp(loop);
+
+        f.at(loop);
+        f.bgeu(r8, r9, done);
+        f.lw(r1, r8, 0);
+        f.slli(r1, r1, 16);
+        f.srai(r1, r1, 16); // sign-extended 16-bit sample
+        f.sub(r2, r1, r10); // delta = sample - predictor
+        f.mv(r3, r0);       // sign
+        f.bge(r2, r0, quant); // falls through to 'negated'
+        f.at(negated);
+        f.addi(r3, r0, 8);
+        f.sub(r2, r0, r2); // delta = -delta; falls through to 'quant'
+        f.at(quant);
+        // step = stepTable[index]
+        f.li(r7, kStepTableBase);
+        f.slli(r4, r11, 2);
+        f.add(r7, r7, r4);
+        f.lw(r4, r7, 0);   // step
+        f.mv(r5, r0);      // code
+        f.srli(r6, r4, 3); // diff = step >> 3
+        f.blt(r2, r4, q2);
+        f.addi(r5, r5, 4);
+        f.sub(r2, r2, r4);
+        f.add(r6, r6, r4); // falls through
+        f.at(q2);
+        f.srli(r7, r4, 1);
+        f.blt(r2, r7, q3);
+        f.addi(r5, r5, 2);
+        f.sub(r2, r2, r7);
+        f.add(r6, r6, r7); // falls through
+        f.at(q3);
+        f.srli(r7, r4, 2);
+        f.blt(r2, r7, q4);
+        f.addi(r5, r5, 1);
+        f.add(r6, r6, r7); // falls through
+        f.at(q4);
+        f.beq(r3, r0, applyAdd); // falls through to 'applySign'
+        f.at(applySign);
+        f.sub(r10, r10, r6); // predictor -= diff
+        f.jmp(clampLo);
+
+        f.at(applyAdd);
+        f.add(r10, r10, r6); // predictor += diff; falls through
+        f.at(clampLo);
+        f.ldlConst(r7, -32768);
+        f.bge(r10, r7, clampHi);
+        f.mv(r10, r7); // falls through
+        f.at(clampHi);
+        f.ldlConst(r7, 32767);
+        f.bge(r7, r10, updateIndex);
+        f.mv(r10, r7); // falls through
+        f.at(updateIndex);
+        f.or_(r5, r5, r3); // code |= sign
+        f.li(r7, kIndexTableBase);
+        f.slli(r4, r5, 2);
+        f.add(r7, r7, r4);
+        f.lw(r7, r7, 0);
+        f.add(r11, r11, r7); // index += indexTable[code]
+        f.bge(r11, r0, idxHi); // falls through to 'idx_lo'
+        f.at(idxLo);
+        f.mv(r11, r0);
+        f.jmp(emit);
+
+        f.at(idxHi);
+        f.addi(r7, r0, 88);
+        f.bge(r7, r11, emit);
+        f.mv(r11, r7); // falls through
+        f.at(emit);
+        f.sw(r5, r13, 0); // out[i] = code
+        f.add(r12, r12, r5);
+        f.addi(r8, r8, 4);
+        f.addi(r13, r13, 4);
+        f.jmp(loop);
+
+        f.at(done);
+        f.mv(r1, r12);
+        f.halt();
+    }
+    appendStdlib(mb);
+    mb.data(kStepTableBase, stepTable());
+    mb.data(kIndexTableBase, indexTable());
+    return mb.take();
+}
+
+} // namespace voltcache

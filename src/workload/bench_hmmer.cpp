@@ -1,0 +1,147 @@
+// hmmer_r (models SPEC2006 456.hmmer): Viterbi-style dynamic-programming
+// recurrence over profile rows. As in the original's padded per-state
+// structs, row cells are 2-word records (score + traceback slot) and the
+// per-position model scores live in 4-word records of which two words are
+// read — so scans touch ~50% of each cache line (hmmer's Fig. 3 band of
+// 30-60%), while the prev/cur rows and score tables are reused every
+// observation.
+#include "workload/stdlib.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+
+using namespace regs;
+
+Module buildHmmer(WorkloadScale scale) {
+    const std::uint32_t modelLength = scalePick(scale, 64, 128, 192);
+    const std::uint32_t observations = scalePick(scale, 30, 150, 400);
+
+    const std::uint32_t L = modelLength;
+    const auto heap = layout::kHeapBase;
+    const auto prevBase = static_cast<std::int32_t>(heap);               // L 2-word cells
+    const auto curBase = static_cast<std::int32_t>(heap + 2 * L * 4);    // L 2-word cells
+    const auto scoreBase = static_cast<std::int32_t>(heap + 4 * L * 4);  // L 4-word records
+    const auto emitBase = static_cast<std::int32_t>(heap + 8 * L * 4);   // 256 words
+
+    ModuleBuilder mb;
+    {
+        auto f = mb.function("main");
+        auto maskLoop = f.newBlock("mask_loop");
+        auto maskDone = f.newBlock("mask_done");
+        auto tLoop = f.newBlock("t_loop");
+        auto jLoop = f.newBlock("j_loop");
+        auto useM2 = f.newBlock("use_m2");
+        auto cont1 = f.newBlock("cont1");
+        auto useM3 = f.newBlock("use_m3");
+        auto cont2 = f.newBlock("cont2");
+        auto jDone = f.newBlock("j_done");
+        auto done = f.newBlock("done");
+        emitProlog(f);
+        // r8 = L, r9 = prev row, r10 = cur row, r11 = t, r12 = checksum,
+        // r13 = observation xorshift state
+        f.li(r8, static_cast<std::int32_t>(L));
+        f.li(r9, prevBase);
+        f.li(r10, curBase);
+        f.mv(r11, r0);
+        f.mv(r12, r0);
+        f.li(r13, 0x7a3d);
+        // model tables: random bytes (score records + emissions)
+        f.li(r1, scoreBase);
+        f.li(r2, static_cast<std::int32_t>(4 * L + 256));
+        f.li(r3, 0x4dc7);
+        f.call("fill_random");
+        f.li(r4, scoreBase);
+        f.li(r5, static_cast<std::int32_t>(4 * L + 256));
+        f.jmp(maskLoop);
+
+        f.at(maskLoop);
+        f.beq(r5, r0, maskDone);
+        f.lw(r6, r4, 0);
+        f.andi(r6, r6, 0xFF);
+        f.sw(r6, r4, 0);
+        f.addi(r4, r4, 4);
+        f.addi(r5, r5, -1);
+        f.jmp(maskLoop);
+
+        f.at(maskDone);
+        f.jmp(tLoop);
+
+        f.at(tLoop);
+        f.li(r1, static_cast<std::int32_t>(observations));
+        f.bge(r11, r1, done);
+        // next observation
+        f.slli(r1, r13, 13);
+        f.xor_(r13, r13, r1);
+        f.srli(r1, r13, 17);
+        f.xor_(r13, r13, r1);
+        f.slli(r1, r13, 5);
+        f.xor_(r13, r13, r1);
+        // boundary: cur[0] = prev[0] + 1
+        f.lw(r2, r9, 0);
+        f.addi(r2, r2, 1);
+        f.sw(r2, r10, 0);
+        f.addi(r1, r0, 1); // j = 1
+        f.jmp(jLoop);
+
+        f.at(jLoop);
+        f.bge(r1, r8, jDone);
+        f.slli(r2, r1, 3); // cell byte offset (2-word cells)
+        f.add(r6, r9, r2);
+        f.lw(r3, r6, -8); // prev[j-1].score
+        f.slli(r5, r1, 4); // score-record byte offset (4-word records)
+        f.li(r6, scoreBase);
+        f.add(r6, r6, r5);
+        f.lw(r4, r6, 0);   // record.tscore
+        f.add(r3, r3, r4); // m1 = prev[j-1] + tscore[j]
+        f.add(r7, r10, r2);
+        f.lw(r4, r7, -8);  // cur[j-1].score
+        f.addi(r4, r4, 3); // m2 = cur[j-1] + gap
+        f.blt(r3, r4, useM2);
+        f.jmp(cont1);
+
+        f.at(useM2);
+        f.mv(r3, r4); // falls through
+        f.at(cont1);
+        f.add(r7, r9, r2);
+        f.lw(r4, r7, 0); // prev[j].score
+        f.lw(r5, r6, 4); // record.iscore
+        f.add(r4, r4, r5); // m3 = prev[j] + iscore[j]
+        f.blt(r3, r4, useM3);
+        f.jmp(cont2);
+
+        f.at(useM3);
+        f.mv(r3, r4); // falls through
+        f.at(cont2);
+        f.andi(r4, r13, 255);
+        f.add(r4, r4, r1);
+        f.andi(r4, r4, 255); // emission index (obs + j) mod 256
+        f.slli(r4, r4, 2);
+        f.li(r5, emitBase);
+        f.add(r5, r5, r4);
+        f.lw(r5, r5, 0);
+        f.add(r3, r3, r5);
+        f.add(r6, r10, r2);
+        f.sw(r3, r6, 0); // cur[j].score
+        f.addi(r1, r1, 1);
+        f.jmp(jLoop);
+
+        f.at(jDone);
+        f.slli(r2, r8, 3);
+        f.add(r6, r10, r2);
+        f.lw(r3, r6, -8);
+        f.add(r12, r12, r3); // checksum += cur[L-1].score
+        f.mv(r2, r9);        // swap rows
+        f.mv(r9, r10);
+        f.mv(r10, r2);
+        f.addi(r11, r11, 1);
+        f.jmp(tLoop);
+
+        f.at(done);
+        f.mv(r1, r12);
+        f.halt();
+    }
+    appendStdlib(mb);
+    return mb.take();
+}
+
+} // namespace voltcache

@@ -1,0 +1,93 @@
+// libquantum_r (models SPEC2006 462.libquantum): quantum register
+// simulation kernels sweeping a large amplitude-index array. Three of every
+// four passes are measurement sweeps (pure streaming reads); the fourth is
+// a gate pass (Pauli-X toggle + controlled-not, read-modify-write). This
+// reproduces libquantum's Fig. 3 signature: the only program with high
+// spatial locality AND low word reuse.
+#include "workload/stdlib.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+
+using namespace regs;
+
+Module buildLibquantum(WorkloadScale scale) {
+    const std::uint32_t stateWords = scalePick(scale, 2048, 8192, 32768);
+    const std::uint32_t passes = scalePick(scale, 4, 6, 10);
+
+    ModuleBuilder mb;
+    {
+        auto f = mb.function("main");
+        auto passLoop = f.newBlock("pass_loop");
+        auto gateSetup = f.newBlock("gate_setup");
+        auto gateSweep = f.newBlock("gate_sweep");
+        auto cnot = f.newBlock("cnot");
+        auto gateNext = f.newBlock("gate_next");
+        auto readSweep = f.newBlock("read_sweep");
+        auto passNext = f.newBlock("pass_next");
+        auto done = f.newBlock("done");
+        emitProlog(f);
+        // r8 = base, r9 = end, r10 = cursor, r11 = checksum,
+        // r12 = remaining passes, r13 = per-pass gate mask (xorshift)
+        f.li(r8, static_cast<std::int32_t>(layout::kHeapBase));
+        f.li(r9, static_cast<std::int32_t>(layout::kHeapBase + stateWords * 4));
+        f.mv(r11, r0);
+        f.li(r12, static_cast<std::int32_t>(passes));
+        f.li(r13, 0x1b9);
+        f.mv(r1, r8);
+        f.li(r2, static_cast<std::int32_t>(stateWords));
+        f.li(r3, 0x11b);
+        f.call("fill_random");
+        f.jmp(passLoop);
+
+        f.at(passLoop);
+        f.beq(r12, r0, done);
+        f.mv(r10, r8);
+        f.andi(r1, r12, 3);
+        f.beq(r1, r0, gateSetup); // every 4th pass applies gates
+        f.jmp(readSweep);
+
+        f.at(gateSetup);
+        f.slli(r1, r13, 13);
+        f.xor_(r13, r13, r1);
+        f.srli(r1, r13, 17);
+        f.xor_(r13, r13, r1);
+        f.slli(r1, r13, 5);
+        f.xor_(r13, r13, r1); // fresh gate mask; falls through
+        f.at(gateSweep);
+        f.bgeu(r10, r9, passNext);
+        f.lw(r1, r10, 0);
+        f.xor_(r1, r1, r13); // Pauli-X on the mask qubits
+        f.sw(r1, r10, 0);
+        f.andi(r2, r1, 16);  // control qubit set?
+        f.beq(r2, r0, gateNext); // falls through to 'cnot'
+        f.at(cnot);
+        f.xori(r1, r1, 1); // flip target qubit
+        f.sw(r1, r10, 0);  // falls through
+        f.at(gateNext);
+        f.add(r11, r11, r1);
+        f.addi(r10, r10, 4);
+        f.jmp(gateSweep);
+
+        f.at(readSweep); // measurement: pure streaming accumulation
+        f.bgeu(r10, r9, passNext);
+        f.lw(r1, r10, 0);
+        f.add(r11, r11, r1);
+        f.lw(r2, r10, 4);
+        f.add(r11, r11, r2);
+        f.addi(r10, r10, 8);
+        f.jmp(readSweep);
+
+        f.at(passNext);
+        f.addi(r12, r12, -1);
+        f.jmp(passLoop);
+
+        f.at(done);
+        f.mv(r1, r11);
+        f.halt();
+    }
+    appendStdlib(mb);
+    return mb.take();
+}
+
+} // namespace voltcache

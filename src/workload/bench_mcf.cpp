@@ -1,0 +1,98 @@
+// mcf_r (models SPEC2006 429.mcf): pointer chasing over arc records
+// scattered through a pool larger than the L1. Records are block-sized
+// (32B) but only three of their eight words are live (cost, next pointer,
+// and an occasionally-written flow field) — mcf's Fig. 3 signature of low
+// spatial locality (30-60% of each line used) with high word reuse, which
+// is exactly the pattern FFW's windows capture.
+#include "workload/stdlib.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+
+using namespace regs;
+
+Module buildMcf(WorkloadScale scale) {
+    const std::uint32_t poolRecords = scalePick(scale, 512, 4096, 8192);
+    const std::uint32_t cycleLength = scalePick(scale, 128, 768, 1536);
+    const std::uint32_t steps = scalePick(scale, 4000, 40000, 160000);
+    constexpr std::uint32_t kRecordBytes = 32;
+    constexpr std::int32_t kScatterStride = 2731; // odd => coprime with 2^k pools
+
+    ModuleBuilder mb;
+    {
+        auto f = mb.function("main");
+        auto initLoop = f.newBlock("init_loop");
+        auto walkSetup = f.newBlock("walk_setup");
+        auto walk = f.newBlock("walk");
+        auto skipWrite = f.newBlock("skip_write");
+        auto done = f.newBlock("done");
+        emitProlog(f);
+        // r8 = pool records, r9 = pool base, r10 = cycle length (init) /
+        // current record (walk), r11 = remaining steps, r12 = checksum,
+        // r6 = xorshift state, r4 = k.
+        f.li(r8, static_cast<std::int32_t>(poolRecords));
+        f.li(r9, static_cast<std::int32_t>(layout::kHeapBase));
+        f.li(r10, static_cast<std::int32_t>(cycleLength));
+        f.li(r11, static_cast<std::int32_t>(steps));
+        f.mv(r12, r0);
+        f.li(r6, 0x2545F49);
+        f.mv(r4, r0);
+        f.jmp(initLoop);
+
+        // Build the scattered cycle: record j(k) = (k*2731) mod N links to
+        // record j((k+1) mod C).
+        f.at(initLoop);
+        f.bge(r4, r10, walkSetup);
+        f.li(r1, kScatterStride);
+        f.mul(r5, r4, r1);
+        f.rem(r5, r5, r8); // j
+        f.addi(r7, r4, 1);
+        f.rem(r7, r7, r10); // (k+1) mod C
+        f.mul(r7, r7, r1);
+        f.rem(r7, r7, r8); // jn
+        f.slli(r3, r5, 5); // * kRecordBytes
+        f.add(r3, r9, r3); // &rec[j]
+        f.slli(r7, r7, 5);
+        f.add(r7, r9, r7); // &rec[jn]
+        f.sw(r7, r3, 4);   // rec[j].next
+        // cost field from a xorshift stream
+        f.slli(r2, r6, 13);
+        f.xor_(r6, r6, r2);
+        f.srli(r2, r6, 17);
+        f.xor_(r6, r6, r2);
+        f.slli(r2, r6, 5);
+        f.xor_(r6, r6, r2);
+        f.andi(r2, r6, 0xFFFF);
+        f.sw(r2, r3, 0);  // rec[j].cost
+        f.addi(r4, r4, 1);
+        f.jmp(initLoop);
+
+        f.at(walkSetup);
+        f.mv(r10, r9); // cur = &rec[0] (k = 0 maps to record 0)
+        f.jmp(walk);
+
+        f.at(walk);
+        f.beq(r11, r0, done);
+        f.lw(r1, r10, 0); // cost (read in the feasibility check...)
+        f.add(r12, r12, r1);
+        f.lw(r2, r10, 0); // ...and again in the potential update, as the
+        f.add(r12, r12, r2); // original re-reads arc->cost per pass
+        f.andi(r3, r11, 7);
+        f.bne(r3, r0, skipWrite);
+        f.sw(r12, r10, 8); // occasional write-back (flow field)
+        f.jmp(skipWrite);
+
+        f.at(skipWrite);
+        f.lw(r10, r10, 4); // cur = cur->next
+        f.addi(r11, r11, -1);
+        f.jmp(walk);
+
+        f.at(done);
+        f.mv(r1, r12);
+        f.halt();
+    }
+    appendStdlib(mb);
+    return mb.take();
+}
+
+} // namespace voltcache

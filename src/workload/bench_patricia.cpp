@@ -1,0 +1,154 @@
+// patricia (MiBench): binary trie (radix tree) insert/lookup over 16-bit
+// keys with a bump-allocated node pool. Pointer chasing through 16B nodes:
+// low spatial locality, heavy reuse of the nodes near the root.
+#include "workload/stdlib.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+
+using namespace regs;
+
+namespace {
+
+constexpr std::int32_t kAllocSlot = static_cast<std::int32_t>(layout::kDataBase);     // bump offset
+constexpr std::int32_t kRootSlot = static_cast<std::int32_t>(layout::kDataBase) + 4; // root pointer
+
+// Node layout: +0 key, +4 left, +8 right, +12 value.
+
+void appendInsert(ModuleBuilder& mb) {
+    // trie_insert(r1 key): inserts key (value = key). Uses r2-r7.
+    auto f = mb.function("trie_insert");
+    auto loop = f.newBlock("walk");
+    auto alloc = f.newBlock("alloc");
+    auto done = f.newBlock("done");
+    f.li(r2, kRootSlot); // slot = &root
+    f.li(r5, 15);        // bit cursor (16-bit keys)
+    f.jmp(loop);
+
+    f.at(loop);
+    f.lw(r3, r2, 0); // node = *slot
+    f.beq(r3, r0, alloc);
+    f.lw(r4, r3, 0);
+    f.beq(r4, r1, done); // key already present
+    f.srl(r6, r1, r5);
+    f.andi(r6, r6, 1);
+    f.slli(r6, r6, 2);
+    f.addi(r7, r3, 4);
+    f.add(r2, r7, r6); // slot = &node.child[dir]
+    f.addi(r5, r5, -1);
+    f.jmp(loop);
+
+    f.at(alloc);
+    f.li(r4, kAllocSlot);
+    f.lw(r6, r4, 0); // bump offset
+    f.li(r7, static_cast<std::int32_t>(layout::kHeapBase));
+    f.add(r7, r7, r6);
+    f.sw(r1, r7, 0);  // key
+    f.sw(r0, r7, 4);  // left = null
+    f.sw(r0, r7, 8);  // right = null
+    f.sw(r1, r7, 12); // value = key
+    f.sw(r7, r2, 0);  // *slot = node
+    f.addi(r6, r6, 16);
+    f.sw(r6, r4, 0);
+    f.jmp(done);
+
+    f.at(done);
+    f.ret();
+}
+
+void appendSearch(ModuleBuilder& mb) {
+    // trie_search(r1 key) -> r1 value, or 0 when absent. Uses r2-r7.
+    auto f = mb.function("trie_search");
+    auto loop = f.newBlock("walk");
+    auto hit = f.newBlock("hit");
+    auto miss = f.newBlock("miss");
+    f.li(r2, kRootSlot);
+    f.lw(r3, r2, 0);
+    f.li(r5, 15);
+    f.jmp(loop);
+
+    f.at(loop);
+    f.beq(r3, r0, miss);
+    f.lw(r4, r3, 0);
+    f.beq(r4, r1, hit);
+    f.srl(r6, r1, r5);
+    f.andi(r6, r6, 1);
+    f.slli(r6, r6, 2);
+    f.addi(r7, r3, 4);
+    f.add(r7, r7, r6);
+    f.lw(r3, r7, 0);
+    f.addi(r5, r5, -1);
+    f.jmp(loop);
+
+    f.at(hit);
+    f.lw(r1, r3, 12);
+    f.ret();
+
+    f.at(miss);
+    f.mv(r1, r0);
+    f.ret();
+}
+
+} // namespace
+
+Module buildPatricia(WorkloadScale scale) {
+    const std::uint32_t inserts = scalePick(scale, 200, 3000, 8000);
+    const std::uint32_t searches = scalePick(scale, 400, 6000, 24000);
+
+    ModuleBuilder mb;
+    {
+        auto f = mb.function("main");
+        auto insLoop = f.newBlock("insert_loop");
+        auto searchSetup = f.newBlock("search_setup");
+        auto seaLoop = f.newBlock("search_loop");
+        auto done = f.newBlock("done");
+        emitProlog(f);
+        // r8 = i, r9 = seed, r10 = limit, r11 = checksum
+        f.mv(r8, r0);
+        f.li(r9, 0xace1);
+        f.li(r10, static_cast<std::int32_t>(inserts));
+        f.mv(r11, r0);
+        f.jmp(insLoop);
+
+        f.at(insLoop);
+        f.bge(r8, r10, searchSetup);
+        f.mv(r1, r9);
+        f.call("lcg_next");
+        f.mv(r9, r1);
+        f.srli(r1, r9, 8);
+        f.ldlConst(r2, 0xFFFF);
+        f.and_(r1, r1, r2);
+        f.call("trie_insert");
+        f.addi(r8, r8, 1);
+        f.jmp(insLoop);
+
+        f.at(searchSetup);
+        f.mv(r8, r0);
+        f.li(r9, 0xbeef); // fresh stream: ~some hits, some misses
+        f.li(r10, static_cast<std::int32_t>(searches));
+        f.jmp(seaLoop);
+
+        f.at(seaLoop);
+        f.bge(r8, r10, done);
+        f.mv(r1, r9);
+        f.call("lcg_next");
+        f.mv(r9, r1);
+        f.srli(r1, r9, 8);
+        f.ldlConst(r2, 0xFFFF);
+        f.and_(r1, r1, r2);
+        f.call("trie_search");
+        f.add(r11, r11, r1);
+        f.addi(r8, r8, 1);
+        f.jmp(seaLoop);
+
+        f.at(done);
+        f.mv(r1, r11);
+        f.halt();
+    }
+    appendInsert(mb);
+    appendSearch(mb);
+    appendStdlib(mb);
+    return mb.take();
+}
+
+} // namespace voltcache

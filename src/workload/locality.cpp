@@ -1,0 +1,83 @@
+#include "workload/locality.h"
+
+#include <bit>
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+LocalityProfiler::LocalityProfiler(std::uint64_t intervalInstructions,
+                                   std::uint32_t blockBytes)
+    : intervalInstructions_(intervalInstructions),
+      blockBytes_(blockBytes),
+      wordsPerBlock_(blockBytes / 4) {
+    VC_EXPECTS(intervalInstructions > 0);
+    VC_EXPECTS(blockBytes >= 4 && blockBytes % 4 == 0 && wordsPerBlock_ <= 32);
+}
+
+void LocalityProfiler::onInstruction(std::uint32_t pc, const Instruction& inst) {
+    (void)pc;
+    (void)inst;
+    if (++instructionsInInterval_ >= intervalInstructions_) closeInterval();
+}
+
+void LocalityProfiler::onDataAccess(std::uint32_t addr, bool isWrite) {
+    (void)isWrite;
+    ++accessesInInterval_;
+    const std::uint32_t block = addr / blockBytes_;
+    const std::uint32_t word = (addr % blockBytes_) / 4;
+    std::uint32_t& mask = touchedBlocks_[block];
+    if ((mask & (1u << word)) == 0) {
+        mask |= (1u << word);
+        ++uniqueWordTouches_;
+    }
+}
+
+void LocalityProfiler::closeInterval() {
+    if (accessesInInterval_ > 0) {
+        IntervalStats stats;
+        stats.accesses = accessesInInterval_;
+        double usedFractionSum = 0.0;
+        for (const auto& [block, mask] : touchedBlocks_) {
+            usedFractionSum += static_cast<double>(std::popcount(mask)) /
+                               static_cast<double>(wordsPerBlock_);
+        }
+        stats.spatialLocality = touchedBlocks_.empty()
+                                    ? 0.0
+                                    : usedFractionSum /
+                                          static_cast<double>(touchedBlocks_.size());
+        stats.wordReuseRate = 1.0 - static_cast<double>(uniqueWordTouches_) /
+                                        static_cast<double>(accessesInInterval_);
+        intervals_.push_back(stats);
+    }
+    touchedBlocks_.clear();
+    accessesInInterval_ = 0;
+    uniqueWordTouches_ = 0;
+    instructionsInInterval_ = 0;
+}
+
+void LocalityProfiler::finalize() {
+    if (accessesInInterval_ > 0) closeInterval();
+}
+
+double LocalityProfiler::meanSpatialLocality() const noexcept {
+    double weighted = 0.0;
+    double total = 0.0;
+    for (const auto& interval : intervals_) {
+        weighted += interval.spatialLocality * static_cast<double>(interval.accesses);
+        total += static_cast<double>(interval.accesses);
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+double LocalityProfiler::meanWordReuseRate() const noexcept {
+    double weighted = 0.0;
+    double total = 0.0;
+    for (const auto& interval : intervals_) {
+        weighted += interval.wordReuseRate * static_cast<double>(interval.accesses);
+        total += static_cast<double>(interval.accesses);
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+} // namespace voltcache

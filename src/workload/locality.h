@@ -1,0 +1,59 @@
+// Data-cache locality profiling (paper Fig. 3, method of [24]).
+//
+// Every fixed interval of program instructions (10000 in the paper), two
+// quantities are measured over the interval's data accesses:
+//   * spatial locality — the ratio of the data the application actually
+//     used to the total cache-line size, averaged over the cache blocks it
+//     touched;
+//   * word reuse rate — the ratio of repeated accesses to unique words to
+//     the total number of word accesses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/simulator.h"
+
+namespace voltcache {
+
+class LocalityProfiler final : public TraceObserver {
+public:
+    explicit LocalityProfiler(std::uint64_t intervalInstructions = 10000,
+                              std::uint32_t blockBytes = 32);
+
+    void onInstruction(std::uint32_t pc, const Instruction& inst) override;
+    void onDataAccess(std::uint32_t addr, bool isWrite) override;
+
+    struct IntervalStats {
+        double spatialLocality = 0.0; ///< mean fraction of each touched block used
+        double wordReuseRate = 0.0;   ///< repeated accesses / total accesses
+        std::uint64_t accesses = 0;
+    };
+
+    /// Close the trailing partial interval (if it saw any accesses).
+    void finalize();
+
+    [[nodiscard]] const std::vector<IntervalStats>& intervals() const noexcept {
+        return intervals_;
+    }
+    /// Access-weighted means across intervals — the Fig. 3 histogram inputs.
+    [[nodiscard]] double meanSpatialLocality() const noexcept;
+    [[nodiscard]] double meanWordReuseRate() const noexcept;
+
+private:
+    void closeInterval();
+
+    std::uint64_t intervalInstructions_;
+    std::uint32_t blockBytes_;
+    std::uint32_t wordsPerBlock_;
+
+    std::uint64_t instructionsInInterval_ = 0;
+    std::uint64_t accessesInInterval_ = 0;
+    std::uint64_t uniqueWordTouches_ = 0;
+    std::unordered_map<std::uint32_t, std::uint32_t> touchedBlocks_; ///< block -> word mask
+
+    std::vector<IntervalStats> intervals_;
+};
+
+} // namespace voltcache

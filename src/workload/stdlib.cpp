@@ -1,0 +1,104 @@
+#include "workload/stdlib.h"
+
+namespace voltcache {
+
+using namespace regs;
+
+void appendStdlib(ModuleBuilder& mb) {
+    // lcg_next(r1 seed) -> r1 = seed * 1103515245 + 12345
+    {
+        auto f = mb.function("lcg_next");
+        f.ldlConst(r4, 1103515245);
+        f.mul(r1, r1, r4);
+        f.ldlConst(r4, 12345);
+        f.add(r1, r1, r4);
+        f.ret();
+    }
+    // fill_random(r1 ptr, r2 n, r3 seed) -> r3 final seed.
+    // LCG constants are hoisted out of the loop, as a compiler would.
+    {
+        auto f = mb.function("fill_random");
+        auto loop = f.newBlock("loop");
+        auto done = f.newBlock("done");
+        f.ldlConst(r5, 1103515245);
+        f.ldlConst(r6, 12345);
+        f.jmp(loop);
+        f.at(loop);
+        f.beq(r2, r0, done);
+        f.mul(r3, r3, r5);
+        f.add(r3, r3, r6);
+        f.sw(r3, r1, 0);
+        f.addi(r1, r1, 4);
+        f.addi(r2, r2, -1);
+        f.jmp(loop);
+        f.at(done);
+        f.ret();
+    }
+    // fill_seq(r1 ptr, r2 n, r3 start)
+    {
+        auto f = mb.function("fill_seq");
+        auto loop = f.newBlock("loop");
+        auto done = f.newBlock("done");
+        f.jmp(loop);
+        f.at(loop);
+        f.beq(r2, r0, done);
+        f.sw(r3, r1, 0);
+        f.addi(r3, r3, 1);
+        f.addi(r1, r1, 4);
+        f.addi(r2, r2, -1);
+        f.jmp(loop);
+        f.at(done);
+        f.ret();
+    }
+    // sum_words(r1 ptr, r2 n) -> r1
+    {
+        auto f = mb.function("sum_words");
+        auto loop = f.newBlock("loop");
+        auto done = f.newBlock("done");
+        f.mv(r4, r1);
+        f.mv(r1, r0);
+        f.jmp(loop);
+        f.at(loop);
+        f.beq(r2, r0, done);
+        f.lw(r5, r4, 0);
+        f.add(r1, r1, r5);
+        f.addi(r4, r4, 4);
+        f.addi(r2, r2, -1);
+        f.jmp(loop);
+        f.at(done);
+        f.ret();
+    }
+    // memcpy_words(r1 dst, r2 src, r3 n)
+    {
+        auto f = mb.function("memcpy_words");
+        auto loop = f.newBlock("loop");
+        auto done = f.newBlock("done");
+        f.jmp(loop);
+        f.at(loop);
+        f.beq(r3, r0, done);
+        f.lw(r4, r2, 0);
+        f.sw(r4, r1, 0);
+        f.addi(r1, r1, 4);
+        f.addi(r2, r2, 4);
+        f.addi(r3, r3, -1);
+        f.jmp(loop);
+        f.at(done);
+        f.ret();
+    }
+}
+
+void emitProlog(FunctionBuilder& f) {
+    f.li(r14, static_cast<std::int32_t>(layout::kStackTop));
+}
+
+std::uint32_t scalePick(WorkloadScale scale, std::uint32_t tiny, std::uint32_t small,
+                        std::uint32_t reference) {
+    switch (scale) {
+        case WorkloadScale::Tiny: return tiny;
+        case WorkloadScale::Small: return small;
+        case WorkloadScale::Reference: return reference;
+    }
+    return reference;
+}
+
+} // namespace voltcache

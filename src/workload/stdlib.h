@@ -1,0 +1,27 @@
+// Minimal runtime library linked into every benchmark — the stand-in for
+// the paper's libc/compiler_rt, which the BBR code transformations must
+// also process (Section V). Functions use only r1-r7 (see workload.h).
+#pragma once
+
+#include "isa/builder.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+
+/// Append the runtime library functions to a module under construction:
+///   lcg_next(r1 seed) -> r1            LCG pseudo-random step
+///   fill_random(r1 ptr, r2 n, r3 seed) -> r3 final seed
+///   fill_seq(r1 ptr, r2 n, r3 start)
+///   sum_words(r1 ptr, r2 n) -> r1
+///   memcpy_words(r1 dst, r2 src, r3 n)
+void appendStdlib(ModuleBuilder& mb);
+
+/// Emit the standard prologue into the current block of `f`: initialize the
+/// stack pointer to layout::kStackTop.
+void emitProlog(FunctionBuilder& f);
+
+/// Pick an input-size parameter by workload scale.
+[[nodiscard]] std::uint32_t scalePick(WorkloadScale scale, std::uint32_t tiny,
+                                      std::uint32_t small, std::uint32_t reference);
+
+} // namespace voltcache

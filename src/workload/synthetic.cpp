@@ -1,0 +1,87 @@
+#include "workload/synthetic.h"
+
+#include "common/contracts.h"
+#include "workload/stdlib.h"
+
+namespace voltcache {
+
+using namespace regs;
+
+Module buildPointerChase(const PointerChaseParams& params) {
+    VC_EXPECTS(params.cycleRecords >= 1 && params.cycleRecords <= params.poolRecords);
+    VC_EXPECTS(params.wordsPerVisit >= 1 && params.wordsPerVisit <= 6);
+    constexpr std::int32_t kScatterStride = 2731;
+
+    ModuleBuilder mb;
+    {
+        auto f = mb.function("main");
+        auto initLoop = f.newBlock("init_loop");
+        auto walkSetup = f.newBlock("walk_setup");
+        auto walk = f.newBlock("walk");
+        auto done = f.newBlock("done");
+        emitProlog(f);
+        // r8 = pool records, r9 = pool base, r10 = cycle length / current
+        // record, r11 = remaining steps, r12 = checksum, r6 = data seed.
+        f.li(r8, static_cast<std::int32_t>(params.poolRecords));
+        f.li(r9, static_cast<std::int32_t>(layout::kHeapBase));
+        f.li(r10, static_cast<std::int32_t>(params.cycleRecords));
+        f.li(r11, static_cast<std::int32_t>(params.steps));
+        f.mv(r12, r0);
+        f.li(r6, 0x51b71);
+        f.mv(r4, r0);
+        f.jmp(initLoop);
+
+        f.at(initLoop); // record j(k) = (k*2731) mod N links to j((k+1) mod C)
+        f.bge(r4, r10, walkSetup);
+        f.li(r1, kScatterStride);
+        f.mul(r5, r4, r1);
+        f.rem(r5, r5, r8);
+        f.addi(r7, r4, 1);
+        f.rem(r7, r7, r10);
+        f.mul(r7, r7, r1);
+        f.rem(r7, r7, r8);
+        f.slli(r3, r5, 5);
+        f.add(r3, r9, r3);
+        f.slli(r7, r7, 5);
+        f.add(r7, r9, r7);
+        f.sw(r7, r3, 4); // next pointer at word 1
+        f.slli(r2, r6, 13);
+        f.xor_(r6, r6, r2);
+        f.srli(r2, r6, 17);
+        f.xor_(r6, r6, r2);
+        f.andi(r2, r6, 0xFFFF);
+        f.sw(r2, r3, 0);  // payload word 0
+        f.sw(r2, r3, 8);  // payload words 2..6 share the seed value
+        f.sw(r2, r3, 12);
+        f.sw(r2, r3, 16);
+        f.sw(r2, r3, 20);
+        f.addi(r4, r4, 1);
+        f.jmp(initLoop);
+
+        f.at(walkSetup);
+        f.mv(r10, r9); // cur = &rec[0]
+        f.jmp(walk);
+
+        f.at(walk);
+        f.beq(r11, r0, done);
+        // Read wordsPerVisit words of the record: word 0 (payload), word 1
+        // (next), then words 2.. as configured.
+        f.lw(r1, r10, 0);
+        f.add(r12, r12, r1);
+        for (std::uint32_t w = 2; w < params.wordsPerVisit; ++w) {
+            f.lw(r2, r10, static_cast<std::int32_t>(4 + w * 4));
+            f.add(r12, r12, r2);
+        }
+        f.lw(r10, r10, 4); // follow the pointer (counts as a visited word)
+        f.addi(r11, r11, -1);
+        f.jmp(walk);
+
+        f.at(done);
+        f.mv(r1, r12);
+        f.halt();
+    }
+    appendStdlib(mb);
+    return mb.take();
+}
+
+} // namespace voltcache

@@ -1,0 +1,31 @@
+// Parametric synthetic workloads for controlled studies. The paper defers
+// "a comprehensive study of the limit of application live footprints" to
+// future work (Section V); buildPointerChase() provides the knob that study
+// needs: a pointer-chasing kernel whose live data footprint, per-line word
+// usage, and revisit period are all set explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/module.h"
+
+namespace voltcache {
+
+struct PointerChaseParams {
+    /// Records in the pool (32B each, block-aligned). Pool spans
+    /// poolRecords * 32 bytes of address space.
+    std::uint32_t poolRecords = 4096;
+    /// Records in the traversal cycle (live footprint = cycleRecords * 32B),
+    /// scattered through the pool. Must be <= poolRecords.
+    std::uint32_t cycleRecords = 1024;
+    /// Words read per record visit, 1..6 starting at word 0 — sets the
+    /// per-line spatial locality (wordsPerVisit / 8).
+    std::uint32_t wordsPerVisit = 3;
+    /// Total record visits.
+    std::uint32_t steps = 40000;
+};
+
+/// Build the kernel as a vr32 program (checksum in r1 at Halt).
+[[nodiscard]] Module buildPointerChase(const PointerChaseParams& params);
+
+} // namespace voltcache

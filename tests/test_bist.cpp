@@ -1,0 +1,110 @@
+// Tests for the BIST substrate: the defective SRAM array behaviour and the
+// March C- discovery of injected stuck-at faults (paper Section IV, [23]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "faults/bist.h"
+
+namespace voltcache {
+namespace {
+
+TEST(DefectiveSram, ReadBackWithoutDefects) {
+    DefectiveSramArray array(4, 8);
+    array.write(5, 0xDEADBEEF);
+    EXPECT_EQ(array.read(5), 0xDEADBEEFu);
+    EXPECT_EQ(array.read(6), 0u);
+}
+
+TEST(DefectiveSram, StuckAtOneForcesBit) {
+    DefectiveSramArray array(1, 8);
+    array.injectStuckAt(0, 3, true);
+    array.write(0, 0x0);
+    EXPECT_EQ(array.read(0), 0x8u);
+    array.write(0, 0xFFFFFFFF);
+    EXPECT_EQ(array.read(0), 0xFFFFFFFFu);
+}
+
+TEST(DefectiveSram, StuckAtZeroForcesBit) {
+    DefectiveSramArray array(1, 8);
+    array.injectStuckAt(0, 0, false);
+    array.write(0, 0xFFFFFFFF);
+    EXPECT_EQ(array.read(0), 0xFFFFFFFEu);
+}
+
+TEST(DefectiveSram, NarrowWordsMasked) {
+    DefectiveSramArray array(1, 4, 8); // 8-bit words
+    array.write(0, 0xFFF);
+    EXPECT_EQ(array.read(0), 0xFFu);
+}
+
+TEST(DefectiveSram, GroundTruthMatchesInjection) {
+    DefectiveSramArray array(4, 8);
+    array.injectStuckAt(7, 0, true);
+    array.injectStuckAt(7, 5, false); // two defects, same word
+    array.injectStuckAt(20, 31, true);
+    const FaultMap truth = array.groundTruthWordFaults();
+    EXPECT_EQ(truth.totalFaultyWords(), 2u);
+    EXPECT_TRUE(truth.isFaultyFlat(7));
+    EXPECT_TRUE(truth.isFaultyFlat(20));
+}
+
+TEST(Bist, CleanArrayYieldsCleanMap) {
+    DefectiveSramArray array(16, 8);
+    const auto result = Bist::run(array);
+    EXPECT_TRUE(result.map.clean());
+    EXPECT_GT(result.reads, 0u);
+    EXPECT_GT(result.writes, 0u);
+}
+
+TEST(Bist, FindsSingleStuckAtOne) {
+    DefectiveSramArray array(16, 8);
+    array.injectStuckAt(42, 17, true);
+    const auto result = Bist::run(array);
+    EXPECT_EQ(result.map.totalFaultyWords(), 1u);
+    EXPECT_TRUE(result.map.isFaultyFlat(42));
+}
+
+TEST(Bist, FindsSingleStuckAtZero) {
+    DefectiveSramArray array(16, 8);
+    array.injectStuckAt(100, 0, false);
+    const auto result = Bist::run(array);
+    EXPECT_EQ(result.map.totalFaultyWords(), 1u);
+    EXPECT_TRUE(result.map.isFaultyFlat(100));
+}
+
+/// Property: for any random stuck-at defect population, the BIST map equals
+/// the ground truth exactly (stuck-at coverage of March C- is complete).
+class BistCoverage : public ::testing::TestWithParam<double> {};
+
+TEST_P(BistCoverage, MapEqualsGroundTruth) {
+    const double pBit = GetParam();
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed);
+        DefectiveSramArray array(64, 8);
+        array.injectRandomDefects(rng, pBit);
+        const auto result = Bist::run(array);
+        EXPECT_EQ(result.map, array.groundTruthWordFaults()) << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DefectDensities, BistCoverage,
+                         ::testing::Values(1e-4, 1e-3, 1e-2, 5e-2));
+
+TEST(Bist, EndToEndMatchesGeneratorStatistics) {
+    // BIST over a random-defect array should report a word-fault rate close
+    // to 1-(1-p)^32 — the same quantity FaultMapGenerator samples directly.
+    Rng rng(77);
+    DefectiveSramArray array(1024, 8);
+    const double pBit = 1e-2;
+    array.injectRandomDefects(rng, pBit);
+    const auto result = Bist::run(array);
+    const double observed = static_cast<double>(result.map.totalFaultyWords()) /
+                            static_cast<double>(result.map.totalWords());
+    const double expected = 1.0 - std::pow(1.0 - pBit, 32);
+    EXPECT_NEAR(observed, expected, 0.02);
+}
+
+} // namespace
+} // namespace voltcache

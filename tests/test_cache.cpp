@@ -1,0 +1,170 @@
+// Tests for the cache substrate: address mapping, the LRU tag array, and
+// the L2 model (Table I parameters).
+#include <gtest/gtest.h>
+
+#include "cache/address.h"
+#include "cache/l2_cache.h"
+#include "cache/tag_array.h"
+#include "common/contracts.h"
+
+namespace voltcache {
+namespace {
+
+TEST(AddressMapper, PaperL1Geometry) {
+    const AddressMapper mapper{CacheOrganization{}};
+    // Address 0x00012345 -> block 0x91A, set 0x1A... verify piecewise.
+    EXPECT_EQ(mapper.wordOffset(0x24), 1u);
+    EXPECT_EQ(mapper.set(0x20), 1u);
+    EXPECT_EQ(mapper.set(256 * 32), 0u); // wraps after 256 sets
+    EXPECT_EQ(mapper.tag(256 * 32), 1u);
+    EXPECT_EQ(mapper.blockAddress(0x40), 2u);
+}
+
+TEST(AddressMapper, DirectWayFromTagLsbs) {
+    const AddressMapper mapper{CacheOrganization{}};
+    // Way = tag mod 4 (Fig. 7). Tag increments every 8KB (256 sets * 32B).
+    EXPECT_EQ(mapper.directWay(0x0000), 0u);
+    EXPECT_EQ(mapper.directWay(0x2000), 1u);
+    EXPECT_EQ(mapper.directWay(0x4000), 2u);
+    EXPECT_EQ(mapper.directWay(0x6000), 3u);
+    EXPECT_EQ(mapper.directWay(0x8000), 0u);
+}
+
+TEST(AddressMapper, DirectMapFlatIndexEqualsModuloCacheWords) {
+    // The BBR invariant: in DM mode, the physical flat word index equals
+    // wordAddr mod cacheWords for every address.
+    const AddressMapper mapper{CacheOrganization{}};
+    for (std::uint32_t addr = 0; addr < 3 * 32 * 1024; addr += 4) {
+        const std::uint32_t set = mapper.set(addr);
+        const std::uint32_t way = mapper.directWay(addr);
+        const std::uint32_t flat =
+            mapper.physicalLine(set, way) * mapper.wordsPerBlock() + mapper.wordOffset(addr);
+        EXPECT_EQ(flat, (addr / 4) % 8192) << std::hex << addr;
+    }
+}
+
+TEST(TagArray, MissThenHit) {
+    TagArray tags(4, 2);
+    EXPECT_FALSE(tags.lookup(0, 7).hit);
+    tags.fill(0, 7);
+    const auto hit = tags.lookup(0, 7);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(tags.valid(0, hit.way));
+    EXPECT_EQ(tags.tagAt(0, hit.way), 7u);
+}
+
+TEST(TagArray, LruEvictsLeastRecentlyUsed) {
+    TagArray tags(1, 2);
+    tags.fill(0, 1);
+    tags.fill(0, 2);
+    tags.touch(0, tags.lookup(0, 1).way); // 1 is now MRU
+    const auto fill = tags.fill(0, 3);    // must evict 2
+    EXPECT_TRUE(fill.evictedValid);
+    EXPECT_EQ(fill.evictedTag, 2u);
+    EXPECT_TRUE(tags.lookup(0, 1).hit);
+    EXPECT_FALSE(tags.lookup(0, 2).hit);
+}
+
+TEST(TagArray, InvalidWaysFillFirst) {
+    TagArray tags(1, 4);
+    tags.fill(0, 1);
+    const auto fill = tags.fill(0, 2);
+    EXPECT_FALSE(fill.evictedValid);
+}
+
+TEST(TagArray, WayMaskRestrictsVictims) {
+    TagArray tags(1, 4);
+    for (std::uint32_t t = 0; t < 4; ++t) tags.fill(0, t + 10);
+    const auto fill = tags.fill(0, 99, 0b0100); // only way 2 allowed
+    EXPECT_EQ(fill.way, 2u);
+    EXPECT_THROW((void)tags.fill(0, 100, 0), ContractViolation);
+}
+
+TEST(TagArray, DirectProbeAndFill) {
+    TagArray tags(4, 4);
+    EXPECT_FALSE(tags.probeWay(2, 3, 5));
+    tags.fillAt(2, 3, 5);
+    EXPECT_TRUE(tags.probeWay(2, 3, 5));
+    EXPECT_FALSE(tags.probeWay(2, 2, 5)); // other way untouched
+    tags.invalidate(2, 3);
+    EXPECT_FALSE(tags.probeWay(2, 3, 5));
+}
+
+TEST(TagArray, InvalidateAllClears) {
+    TagArray tags(2, 2);
+    tags.fill(0, 1);
+    tags.fill(1, 2);
+    tags.invalidateAll();
+    EXPECT_FALSE(tags.lookup(0, 1).hit);
+    EXPECT_FALSE(tags.lookup(1, 2).hit);
+}
+
+TEST(L2, DefaultIsTableIConfiguration) {
+    const L2Cache l2;
+    EXPECT_EQ(l2.config().org.sizeBytes, 512u * 1024u);
+    EXPECT_EQ(l2.config().org.associativity, 8u);
+    EXPECT_EQ(l2.config().org.blockBytes, 32u);
+    EXPECT_EQ(l2.config().hitLatencyCycles, 10u);
+}
+
+TEST(L2, MissGoesToDramThenHits) {
+    L2Cache::Config config;
+    config.dramLatencyCycles = 50;
+    L2Cache l2(config);
+    const auto miss = l2.read(0x1000);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_TRUE(miss.dram);
+    EXPECT_EQ(miss.latencyCycles, 60u);
+    const auto hit = l2.read(0x1010); // same 32B block
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.latencyCycles, 10u);
+    EXPECT_EQ(l2.stats().misses, 1u);
+    EXPECT_EQ(l2.stats().accesses(), 2u);
+}
+
+TEST(L2, WriteAllocatesAndMarksDirty) {
+    L2Cache l2;
+    const auto write = l2.write(0x2000);
+    EXPECT_FALSE(write.hit);
+    // Evicting that line later must cost a writeback. Force eviction by
+    // filling the set: addresses that alias set of 0x2000.
+    const std::uint32_t setStride = 64 * 1024 * 32 / (64 * 1024) ; // recompute below
+    (void)setStride;
+    const std::uint32_t sets = l2.config().org.sets();
+    std::uint32_t evictions = 0;
+    for (std::uint32_t i = 1; i <= 8; ++i) {
+        const auto res = l2.read(0x2000 + i * sets * 32);
+        if (res.dirtyWriteback) ++evictions;
+    }
+    EXPECT_EQ(evictions, 1u);
+    EXPECT_EQ(l2.stats().writebacks, 1u);
+}
+
+TEST(L2, CleanEvictionsDoNotWriteBack) {
+    L2Cache l2;
+    const std::uint32_t sets = l2.config().org.sets();
+    for (std::uint32_t i = 0; i <= 8; ++i) {
+        const auto res = l2.read(0x0 + i * sets * 32);
+        EXPECT_FALSE(res.dirtyWriteback);
+    }
+    EXPECT_EQ(l2.stats().writebacks, 0u);
+}
+
+TEST(L2, InvalidateAllDropsContentsAndDirtyBits) {
+    L2Cache l2;
+    l2.write(0x3000);
+    l2.invalidateAll();
+    const auto res = l2.read(0x3000);
+    EXPECT_FALSE(res.hit);
+    EXPECT_FALSE(res.dirtyWriteback);
+}
+
+TEST(L2, DramLatencyAdjustable) {
+    L2Cache l2;
+    l2.setDramLatency(123);
+    const auto miss = l2.read(0x9000);
+    EXPECT_EQ(miss.latencyCycles, 133u);
+}
+
+} // namespace
+} // namespace voltcache

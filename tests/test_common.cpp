@@ -1,0 +1,271 @@
+// Unit tests for the common utilities: RNG, statistics, histograms, tables,
+// units, and contract checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+    Rng rng(7);
+    double sum = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.nextDouble();
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+    Rng rng(11);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto x = rng.nextInRange(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        sawLo |= (x == -3);
+        sawHi |= (x == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+    Rng rng(13);
+    int hits = 0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i) hits += rng.nextBernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+    Rng parent(42);
+    Rng childA = parent.fork(0);
+    Rng childB = parent.fork(1);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (childA.next() == childB.next()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+    RunningStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_EQ(stats.stderror(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+    RunningStats whole;
+    RunningStats partA;
+    RunningStats partB;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 10.0;
+        whole.add(x);
+        (i < 400 ? partA : partB).add(x);
+    }
+    partA.merge(partB);
+    EXPECT_EQ(partA.count(), whole.count());
+    EXPECT_NEAR(partA.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(partA.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Stats, StudentTMatchesTable) {
+    EXPECT_NEAR(studentTCritical(1), 12.706, 1e-3);
+    EXPECT_NEAR(studentTCritical(9), 2.262, 1e-3);
+    EXPECT_NEAR(studentTCritical(30), 2.042, 1e-3);
+    // Asymptotically the normal quantile.
+    EXPECT_NEAR(studentTCritical(100000), 1.960, 1e-2);
+}
+
+TEST(Stats, ConfidenceIntervalShrinksWithSamples) {
+    RunningStats small;
+    RunningStats large;
+    Rng rng(17);
+    for (int i = 0; i < 10; ++i) small.add(rng.nextDouble());
+    for (int i = 0; i < 1000; ++i) large.add(rng.nextDouble());
+    EXPECT_GT(confidenceInterval(small).halfWidth, confidenceInterval(large).halfWidth);
+}
+
+TEST(Stats, GeomeanOfConstantIsConstant) {
+    const std::vector<double> xs = {3.0, 3.0, 3.0};
+    EXPECT_NEAR(geomean(xs), 3.0, 1e-12);
+}
+
+TEST(Stats, GeomeanKnownValue) {
+    const std::vector<double> xs = {1.0, 4.0, 16.0};
+    EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+    const std::vector<double> xs = {1.0, 0.0};
+    EXPECT_THROW((void)geomean(xs), ContractViolation);
+}
+
+TEST(Stats, PercentileNearestRank) {
+    const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+}
+
+TEST(Histogram, BinningAndNormalization) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(9.9);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+    const auto norm = h.normalized();
+    EXPECT_NEAR(norm[1], 0.5, 1e-12);
+    double total = 0.0;
+    for (double f : norm) total += f;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 2.0);
+}
+
+TEST(Histogram, WeightedSamples) {
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25, 3.0);
+    h.add(0.75, 1.0);
+    EXPECT_DOUBLE_EQ(h.normalized()[0], 0.75);
+    EXPECT_NEAR(h.sampleMean(), (0.25 * 3 + 0.75) / 4.0, 1e-12);
+}
+
+TEST(Histogram, RenderContainsEveryBin) {
+    Histogram h(0.0, 1.0, 3);
+    h.add(0.1);
+    const std::string out = h.render();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TextTable, RenderAligned) {
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addNumericRow("beta", {2.5}, 1);
+    const std::string out = table.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+    TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, CsvQuoting) {
+    TextTable table({"k", "v"});
+    table.addRow({"with,comma", "with\"quote"});
+    const std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Units, VoltageConversions) {
+    const Voltage v = 760_mV;
+    EXPECT_DOUBLE_EQ(v.volts(), 0.76);
+    EXPECT_DOUBLE_EQ(v.millivolts(), 760.0);
+    EXPECT_EQ(v, Voltage::fromVolts(0.76));
+    EXPECT_LT(400_mV, 760_mV);
+}
+
+TEST(Units, FrequencyConversions) {
+    const Frequency f = Frequency::fromMegahertz(1607);
+    EXPECT_DOUBLE_EQ(f.hertz(), 1.607e9);
+    EXPECT_NEAR(f.periodSeconds(), 6.2228e-10, 1e-13);
+}
+
+TEST(Contracts, ExpectsThrowsWithLocation) {
+    try {
+        VC_EXPECTS(1 == 2);
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace voltcache

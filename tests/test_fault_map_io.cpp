@@ -1,0 +1,76 @@
+// Tests for the fault-map storage format (the off-chip fault maps of paper
+// Section IV): round trips, format anatomy, and rejection of every class of
+// malformed input.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "faults/fault_map_io.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+TEST(FaultMapIo, RoundTripSmall) {
+    FaultMap map(4, 8);
+    map.setFaulty(0, 0);
+    map.setFaulty(3, 7);
+    const FaultMap loaded = faultMapFromString(faultMapToString(map));
+    EXPECT_EQ(loaded, map);
+}
+
+TEST(FaultMapIo, RoundTripMonteCarloMaps) {
+    const FaultMapGenerator generator;
+    Rng rng(404);
+    for (int trial = 0; trial < 5; ++trial) {
+        const FaultMap map = generator.generate(rng, 400_mV, 1024, 8);
+        const FaultMap loaded = faultMapFromString(faultMapToString(map));
+        EXPECT_EQ(loaded, map) << "trial " << trial;
+    }
+}
+
+TEST(FaultMapIo, FormatAnatomy) {
+    FaultMap map(2, 4);
+    map.setFaulty(1, 2);
+    const std::string text = faultMapToString(map);
+    EXPECT_EQ(text,
+              "voltcache-faultmap v1\n"
+              "lines 2 words 4\n"
+              "....\n"
+              "..X.\n");
+}
+
+TEST(FaultMapIo, RejectsMissingHeader) {
+    EXPECT_THROW((void)faultMapFromString("lines 2 words 4\n....\n....\n"),
+                 FaultMapFormatError);
+}
+
+TEST(FaultMapIo, RejectsBadDimensions) {
+    EXPECT_THROW((void)faultMapFromString("voltcache-faultmap v1\nrows 2 cols 4\n"),
+                 FaultMapFormatError);
+    EXPECT_THROW((void)faultMapFromString("voltcache-faultmap v1\nlines 0 words 4\n"),
+                 FaultMapFormatError);
+    EXPECT_THROW((void)faultMapFromString("voltcache-faultmap v1\nlines 2 words 64\n"),
+                 FaultMapFormatError);
+}
+
+TEST(FaultMapIo, RejectsTruncatedRows) {
+    EXPECT_THROW(
+        (void)faultMapFromString("voltcache-faultmap v1\nlines 2 words 4\n....\n"),
+        FaultMapFormatError);
+}
+
+TEST(FaultMapIo, RejectsWrongRowWidth) {
+    EXPECT_THROW(
+        (void)faultMapFromString("voltcache-faultmap v1\nlines 1 words 4\n.....\n"),
+        FaultMapFormatError);
+}
+
+TEST(FaultMapIo, RejectsUnknownCharacters) {
+    EXPECT_THROW(
+        (void)faultMapFromString("voltcache-faultmap v1\nlines 1 words 4\n..?.\n"),
+        FaultMapFormatError);
+}
+
+} // namespace
+} // namespace voltcache

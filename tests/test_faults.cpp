@@ -1,0 +1,246 @@
+// Tests for the SRAM failure model, fault maps, and yield analysis
+// (paper Section II, Table II, Fig. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "faults/failure_model.h"
+#include "faults/fault_map.h"
+#include "faults/yield.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+// ---- FailureModel ----
+
+struct TableIIPoint {
+    double mv;
+    double log10p;
+};
+
+class FailureModelTableII : public ::testing::TestWithParam<TableIIPoint> {};
+
+TEST_P(FailureModelTableII, ReproducesAnchor) {
+    const FailureModel model;
+    const auto [mv, log10p] = GetParam();
+    const double p = model.pFailBit(Voltage::fromMillivolts(mv));
+    EXPECT_NEAR(std::log10(p), log10p, 1e-9) << "at " << mv << "mV";
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, FailureModelTableII,
+                         ::testing::Values(TableIIPoint{560, -4.0}, TableIIPoint{520, -3.5},
+                                           TableIIPoint{480, -3.0}, TableIIPoint{440, -2.5},
+                                           TableIIPoint{400, -2.0}));
+
+TEST(FailureModel, MonotoneDecreasingInVoltage) {
+    const FailureModel model;
+    double prev = 1.0;
+    for (int mv = 300; mv <= 1000; mv += 10) {
+        const double p = model.pFailBit(Voltage::fromMillivolts(mv));
+        EXPECT_LT(p, prev) << "at " << mv << "mV";
+        prev = p;
+    }
+}
+
+TEST(FailureModel, At760mvMatchesYieldCalibration) {
+    // log10 p(760mV) was calibrated to 1 - 0.999^(1/262144).
+    const FailureModel model;
+    const double p = model.pFailBit(760_mV);
+    const double target = 1.0 - std::pow(0.999, 1.0 / 262144.0);
+    EXPECT_NEAR(p / target, 1.0, 1e-3);
+}
+
+TEST(FailureModel, StructureProbabilityComposition) {
+    const FailureModel model;
+    const double pBit = model.pFailBit(400_mV);
+    const double pWord = model.pFailStructure(400_mV, 32);
+    EXPECT_NEAR(pWord, 1.0 - std::pow(1.0 - pBit, 32), 1e-12);
+    // Fig. 2 granularity ordering: block >> word >> bit.
+    const double pBlock = model.pFailStructure(400_mV, 256);
+    EXPECT_GT(pBlock, pWord);
+    EXPECT_GT(pWord, pBit);
+}
+
+TEST(FailureModel, StructureProbabilityAccurateAtTinyP) {
+    const FailureModel model;
+    const double pWord = model.pFailStructure(760_mV, 32);
+    EXPECT_GT(pWord, 0.0);
+    EXPECT_NEAR(pWord, 32.0 * model.pFailBit(760_mV), pWord * 0.01);
+}
+
+TEST(FailureModel, Robust8TIsShiftedDeeper) {
+    const FailureModel m6t;
+    const FailureModel m8t(Technology::Node45nm, CellKind::Sram8T);
+    EXPECT_LT(m8t.pFailBit(400_mV), m6t.pFailBit(400_mV) * 1e-3);
+    // 8T at 400mV behaves like 6T at 760mV (the calibrated shift).
+    EXPECT_NEAR(std::log10(m8t.pFailBit(400_mV)), std::log10(m6t.pFailBit(760_mV)), 1e-9);
+}
+
+TEST(FailureModel, Node65nmFailsAtHigherVoltage) {
+    const FailureModel m45(Technology::Node45nm);
+    const FailureModel m65(Technology::Node65nm);
+    EXPECT_GT(m65.pFailBit(500_mV), m45.pFailBit(500_mV));
+}
+
+// ---- YieldAnalyzer ----
+
+TEST(Yield, Vccmin32KBIs760mV) {
+    // The paper's headline yield statement: a 32KB cache must stay above
+    // 760mV to keep 999/1000 dies fault-free.
+    const YieldAnalyzer analyzer;
+    const Voltage vccmin = analyzer.vccmin(granularity::kCache32KB);
+    EXPECT_NEAR(vccmin.millivolts(), 760.0, 1.0);
+}
+
+TEST(Yield, SmallerStructuresScaleDeeper) {
+    const YieldAnalyzer analyzer;
+    const Voltage word = analyzer.vccmin(granularity::kWord4B);
+    const Voltage block = analyzer.vccmin(granularity::kBlock32B);
+    const Voltage cache = analyzer.vccmin(granularity::kCache32KB);
+    EXPECT_LT(word.volts(), block.volts());
+    EXPECT_LT(block.volts(), cache.volts());
+}
+
+TEST(Yield, YieldAtVccminMeetsTarget) {
+    const YieldAnalyzer analyzer;
+    const Voltage vccmin = analyzer.vccmin(granularity::kCache32KB);
+    EXPECT_GE(analyzer.yield(vccmin, granularity::kCache32KB), kPaperYieldTarget);
+    const Voltage below = Voltage::fromMillivolts(vccmin.millivolts() - 20);
+    EXPECT_LT(analyzer.yield(below, granularity::kCache32KB), kPaperYieldTarget);
+}
+
+TEST(Yield, MonotoneInVoltageAndSize) {
+    const YieldAnalyzer analyzer;
+    EXPECT_GT(analyzer.yield(700_mV, 1000), analyzer.yield(500_mV, 1000));
+    EXPECT_GT(analyzer.yield(500_mV, 100), analyzer.yield(500_mV, 10000));
+}
+
+// ---- FaultMap ----
+
+TEST(FaultMap, SetAndQuery) {
+    FaultMap map(4, 8);
+    EXPECT_TRUE(map.clean());
+    map.setFaulty(1, 3);
+    EXPECT_TRUE(map.isFaulty(1, 3));
+    EXPECT_FALSE(map.isFaulty(1, 2));
+    EXPECT_EQ(map.totalFaultyWords(), 1u);
+    map.setFaulty(1, 3, false);
+    EXPECT_TRUE(map.clean());
+}
+
+TEST(FaultMap, FlatIndexingMatchesLineMajorOrder) {
+    FaultMap map(4, 8);
+    map.setFaulty(2, 5);
+    EXPECT_TRUE(map.isFaultyFlat(2 * 8 + 5));
+    map.setFaultyFlat(31);
+    EXPECT_TRUE(map.isFaulty(3, 7));
+}
+
+TEST(FaultMap, LineMaskAndFreeCount) {
+    FaultMap map(2, 8);
+    map.setFaulty(0, 0);
+    map.setFaulty(0, 7);
+    EXPECT_EQ(map.lineFaultMask(0), 0x81u);
+    EXPECT_EQ(map.faultFreeCount(0), 6u);
+    EXPECT_EQ(map.faultFreeCount(1), 8u);
+    EXPECT_NEAR(map.effectiveCapacityFraction(), 14.0 / 16.0, 1e-12);
+}
+
+TEST(FaultMap, SetFaultyIdempotent) {
+    FaultMap map(1, 8);
+    map.setFaulty(0, 2);
+    map.setFaulty(0, 2);
+    EXPECT_EQ(map.totalFaultyWords(), 1u);
+}
+
+TEST(FaultMap, ChunksSplitAtFaults) {
+    FaultMap map(1, 8);
+    map.setFaulty(0, 3);
+    const auto chunks = map.faultFreeChunks();
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_EQ(chunks[0].startWord, 0u);
+    EXPECT_EQ(chunks[0].length, 3u);
+    EXPECT_EQ(chunks[1].startWord, 4u);
+    EXPECT_EQ(chunks[1].length, 4u);
+}
+
+TEST(FaultMap, ChunksOfCleanMapIsOneRun) {
+    FaultMap map(2, 8);
+    const auto chunks = map.faultFreeChunks();
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].length, 16u);
+}
+
+TEST(FaultMap, ChunksCoverExactlyTheFaultFreeWords) {
+    Rng rng(21);
+    FaultMap map(32, 8);
+    for (std::uint32_t w = 0; w < map.totalWords(); ++w) {
+        if (rng.nextBernoulli(0.2)) map.setFaultyFlat(w);
+    }
+    std::uint32_t covered = 0;
+    std::uint32_t prevEnd = 0;
+    for (const auto& chunk : map.faultFreeChunks()) {
+        EXPECT_GE(chunk.startWord, prevEnd);
+        for (std::uint32_t i = 0; i < chunk.length; ++i) {
+            EXPECT_FALSE(map.isFaultyFlat(chunk.startWord + i));
+        }
+        // The word before and after each chunk must be faulty or a border.
+        if (chunk.startWord > 0) EXPECT_TRUE(map.isFaultyFlat(chunk.startWord - 1));
+        if (chunk.startWord + chunk.length < map.totalWords()) {
+            EXPECT_TRUE(map.isFaultyFlat(chunk.startWord + chunk.length));
+        }
+        covered += chunk.length;
+        prevEnd = chunk.startWord + chunk.length;
+    }
+    EXPECT_EQ(covered, map.totalFaultFreeWords());
+}
+
+// ---- FaultMapGenerator ----
+
+class GeneratorStatistics : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneratorStatistics, FaultRateMatchesWordProbability) {
+    const double mv = GetParam();
+    const FailureModel model;
+    const FaultMapGenerator generator(model);
+    const Voltage v = Voltage::fromMillivolts(mv);
+    const double pWord = model.pFailStructure(v, 32);
+
+    Rng rng(1234);
+    std::uint64_t faulty = 0;
+    std::uint64_t total = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const FaultMap map = generator.generate(rng, v, 1024, 8);
+        faulty += map.totalFaultyWords();
+        total += map.totalWords();
+    }
+    const double observed = static_cast<double>(faulty) / static_cast<double>(total);
+    // 20 x 8192 words: allow 4 standard deviations.
+    const double sigma = std::sqrt(pWord * (1 - pWord) / static_cast<double>(total));
+    EXPECT_NEAR(observed, pWord, 4.0 * sigma + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, GeneratorStatistics,
+                         ::testing::Values(560.0, 480.0, 400.0));
+
+TEST(FaultMapGenerator, DeterministicForSeed) {
+    const FaultMapGenerator generator;
+    Rng a(9);
+    Rng b(9);
+    const FaultMap mapA = generator.generate(a, 400_mV, 64, 8);
+    const FaultMap mapB = generator.generate(b, 400_mV, 64, 8);
+    EXPECT_EQ(mapA, mapB);
+}
+
+TEST(FaultMapGenerator, CleanAtHighVoltage) {
+    const FaultMapGenerator generator;
+    Rng rng(9);
+    const FaultMap map = generator.generate(rng, Voltage::fromMillivolts(1000), 1024, 8);
+    EXPECT_TRUE(map.clean());
+}
+
+} // namespace
+} // namespace voltcache

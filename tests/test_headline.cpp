@@ -1,0 +1,112 @@
+// Headline regression guards: the paper's central quantitative claims,
+// checked end-to-end on a reduced grid so they run in CI time. These are
+// the tests that should break if any model change silently destroys the
+// reproduction.
+#include <gtest/gtest.h>
+
+#include "core/sweep.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+/// One shared reduced sweep for all headline checks (3 benchmarks spanning
+/// the locality spectrum, 3 chips per point, two voltages).
+class HeadlineSweep : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        SweepConfig config;
+        config.benchmarks = {"crc32", "mcf_r", "basicmath"};
+        config.schemes = {SchemeKind::Robust8T, SchemeKind::SimpleWordDisable,
+                          SchemeKind::WilkersonPlus, SchemeKind::FbaPlus,
+                          SchemeKind::FfwBbr};
+        config.points = {DvfsTable::at(560_mV), DvfsTable::at(400_mV)};
+        config.trials = 3;
+        config.scale = WorkloadScale::Tiny;
+        result_ = new SweepResult(runSweep(config));
+    }
+    static void TearDownTestSuite() {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const SweepResult& result() { return *result_; }
+
+private:
+    static SweepResult* result_;
+};
+
+SweepResult* HeadlineSweep::result_ = nullptr;
+
+TEST_F(HeadlineSweep, DeepScalingSavesEnergy) {
+    // The point of the whole exercise: running at 400mV with FFW+BBR costs
+    // far less energy per instruction than staying at Vccmin = 760mV.
+    const double epi400 = result().cell(SchemeKind::FfwBbr, 400_mV).normEpi.mean();
+    EXPECT_LT(epi400, 0.55) << "expected >45% EPI reduction";
+    EXPECT_GT(epi400, 0.25) << "below the V^2 bound — energy accounting broken";
+}
+
+TEST_F(HeadlineSweep, EpiImprovesMonotonicallyForFfwBbr) {
+    // "The only architectural approach that achieves sustained energy
+    // reduction as voltage is scaled all the way down to 400mV."
+    const double at560 = result().cell(SchemeKind::FfwBbr, 560_mV).normEpi.mean();
+    const double at400 = result().cell(SchemeKind::FfwBbr, 400_mV).normEpi.mean();
+    EXPECT_LT(at400, at560);
+}
+
+TEST_F(HeadlineSweep, ZeroLatencySchemesWinAt560mV) {
+    // Before 480mV performance is dominated by L1 latency (Section VI-B).
+    const double ffw = result().cell(SchemeKind::FfwBbr, 560_mV).normRuntime.mean();
+    const double t8 = result().cell(SchemeKind::Robust8T, 560_mV).normRuntime.mean();
+    const double wilk = result().cell(SchemeKind::WilkersonPlus, 560_mV).normRuntime.mean();
+    EXPECT_LT(ffw, 1.10);
+    EXPECT_GT(t8, ffw + 0.10);
+    EXPECT_GT(wilk, ffw + 0.10);
+}
+
+TEST_F(HeadlineSweep, SimpleWordDisableCollapsesAt400mV) {
+    // After 480mV the increased L2 accesses dominate; simple-wdis bears
+    // the brunt (Section VI-B).
+    const double wdis400 =
+        result().cell(SchemeKind::SimpleWordDisable, 400_mV).normRuntime.mean();
+    const double wdis560 =
+        result().cell(SchemeKind::SimpleWordDisable, 560_mV).normRuntime.mean();
+    EXPECT_GT(wdis400, wdis560 + 0.3);
+    // ...and its EPI curve turns non-monotone (Fig. 12's dismissal).
+    const double ffw400 = result().cell(SchemeKind::FfwBbr, 400_mV).normRuntime.mean();
+    EXPECT_GT(wdis400, ffw400);
+}
+
+TEST_F(HeadlineSweep, FfwBbrIsBestSchemeAt400mV) {
+    const double ffw = result().cell(SchemeKind::FfwBbr, 400_mV).normRuntime.mean();
+    for (const SchemeKind other :
+         {SchemeKind::Robust8T, SchemeKind::SimpleWordDisable, SchemeKind::WilkersonPlus,
+          SchemeKind::FbaPlus}) {
+        EXPECT_LT(ffw, result().cell(other, 400_mV).normRuntime.mean() + 1e-9)
+            << schemeName(other);
+    }
+}
+
+TEST_F(HeadlineSweep, L2TrafficOrderingAt400mV) {
+    // Fig. 11: simple-wdis floods the L2; ffw+bbr stays moderate.
+    const double wdis = result().cell(SchemeKind::SimpleWordDisable, 400_mV).l2PerKilo.mean();
+    const double ffw = result().cell(SchemeKind::FfwBbr, 400_mV).l2PerKilo.mean();
+    EXPECT_GT(wdis, 2.0 * ffw);
+}
+
+TEST_F(HeadlineSweep, NoUnexpectedYieldLosses) {
+    // Only ffw+bbr can lose chips (BBR placement); at these voltages and
+    // block sizes losses should be rare.
+    for (const auto& [key, cell] : result().cells) {
+        if (key.first != SchemeKind::FfwBbr) {
+            EXPECT_EQ(cell.linkFailures, 0u) << schemeName(key.first);
+        } else {
+            EXPECT_LE(cell.linkFailures, cell.runs / 2) << "BBR losing too many chips";
+        }
+    }
+}
+
+} // namespace
+} // namespace voltcache

@@ -1,0 +1,220 @@
+// Cross-module integration tests: the full System path (fault maps ->
+// schemes -> linking -> timing simulation -> energy), plus the sweep
+// driver's Fig. 10/11/12 shape checks on a reduced grid.
+#include <gtest/gtest.h>
+
+#include "core/sweep.h"
+#include "core/system.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+struct Program {
+    Module module;
+    Module bbrModule;
+};
+
+Program makeProgram(const std::string& name, WorkloadScale scale = WorkloadScale::Tiny) {
+    Program program{buildBenchmark(name, scale), buildBenchmark(name, scale)};
+    applyBbrTransforms(program.bbrModule);
+    return program;
+}
+
+TEST(System, DefectFreeBaselineRunsAtEveryVoltage) {
+    const Program program = makeProgram("basicmath");
+    for (const auto& point : DvfsTable::paperPoints()) {
+        SystemConfig config;
+        config.scheme = SchemeKind::DefectFree;
+        config.op = point;
+        const SystemResult result = simulateSystem(program.module, nullptr, config);
+        EXPECT_FALSE(result.linkFailed);
+        EXPECT_TRUE(result.run.halted);
+        EXPECT_GT(result.epi, 0.0);
+    }
+}
+
+TEST(System, SameCyclesDifferentEnergyAcrossVoltages) {
+    // Defect-free at two voltages: identical microarchitectural behaviour
+    // except DRAM cycles; energy differs by the scaling laws.
+    const Program program = makeProgram("basicmath");
+    SystemConfig config;
+    config.scheme = SchemeKind::DefectFree;
+    config.op = DvfsTable::at(560_mV);
+    config.dramLatencyNs = 0.0; // remove the frequency-dependent DRAM term
+    const SystemResult a = simulateSystem(program.module, nullptr, config);
+    config.op = DvfsTable::at(400_mV);
+    const SystemResult b = simulateSystem(program.module, nullptr, config);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_GT(a.epi, b.epi);
+    EXPECT_GT(b.runtimeSeconds, a.runtimeSeconds);
+}
+
+class ChecksumAcrossSchemes
+    : public ::testing::TestWithParam<std::tuple<std::string, SchemeKind>> {};
+
+TEST_P(ChecksumAcrossSchemes, FunctionalCorrectnessPreserved) {
+    const auto& [bench, scheme] = GetParam();
+    const Program program = makeProgram(bench);
+
+    SystemConfig reference;
+    reference.scheme = SchemeKind::Conventional760;
+    const SystemResult ref = simulateSystem(program.module, nullptr, reference);
+
+    SystemConfig config;
+    config.scheme = scheme;
+    config.op = DvfsTable::at(400_mV); // worst case: P_fail = 1e-2
+    config.faultMapSeed = 99;
+    const SystemResult result = simulateSystem(program.module, &program.bbrModule, config);
+    if (result.linkFailed) GTEST_SKIP() << "unplaceable chip (yield loss)";
+    EXPECT_TRUE(result.run.halted);
+    EXPECT_EQ(result.checksum, ref.checksum)
+        << schemeName(scheme) << " corrupted " << bench;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChecksumAcrossSchemes,
+    ::testing::Combine(::testing::Values("basicmath", "qsort", "crc32", "mcf_r",
+                                         "libquantum_r"),
+                       ::testing::Values(SchemeKind::Robust8T, SchemeKind::SimpleWordDisable,
+                                         SchemeKind::WilkersonPlus, SchemeKind::FbaPlus,
+                                         SchemeKind::IdcPlus, SchemeKind::FfwBbr)),
+    [](const auto& info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::string(schemeName(std::get<1>(info.param)));
+        for (char& c : name) {
+            if (c == '-' || c == '+') c = '_';
+        }
+        return name;
+    });
+
+TEST(System, FaultSchemesAreSlowerThanDefectFree) {
+    const Program program = makeProgram("crc32");
+    SystemConfig defectFree;
+    defectFree.scheme = SchemeKind::DefectFree;
+    defectFree.op = DvfsTable::at(440_mV);
+    const SystemResult df = simulateSystem(program.module, nullptr, defectFree);
+    for (const SchemeKind scheme :
+         {SchemeKind::SimpleWordDisable, SchemeKind::WilkersonPlus, SchemeKind::FfwBbr}) {
+        SystemConfig config = defectFree;
+        config.scheme = scheme;
+        config.faultMapSeed = 5;
+        const SystemResult result =
+            simulateSystem(program.module, &program.bbrModule, config);
+        if (result.linkFailed) continue;
+        EXPECT_GE(result.run.cycles, df.run.cycles) << schemeName(scheme);
+    }
+}
+
+TEST(System, FfwBbrBeatsSimpleWdisOnL2TrafficAt400mV) {
+    // Fig. 11's central claim, on one chip and one benchmark.
+    const Program program = makeProgram("crc32");
+    SystemConfig config;
+    config.op = DvfsTable::at(400_mV);
+    config.faultMapSeed = 11;
+    config.scheme = SchemeKind::SimpleWordDisable;
+    const SystemResult wdis = simulateSystem(program.module, &program.bbrModule, config);
+    config.scheme = SchemeKind::FfwBbr;
+    const SystemResult ffw = simulateSystem(program.module, &program.bbrModule, config);
+    ASSERT_FALSE(ffw.linkFailed);
+    EXPECT_LT(ffw.run.l2AccessesPerKilo(), wdis.run.l2AccessesPerKilo());
+}
+
+TEST(System, SameSeedSameChipAcrossSchemes) {
+    // Paired sampling: the same seed must reproduce the same run exactly.
+    const Program program = makeProgram("patricia");
+    SystemConfig config;
+    config.op = DvfsTable::at(440_mV);
+    config.faultMapSeed = 123;
+    config.scheme = SchemeKind::SimpleWordDisable;
+    const SystemResult a = simulateSystem(program.module, &program.bbrModule, config);
+    const SystemResult b = simulateSystem(program.module, &program.bbrModule, config);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.activity.l2Accesses, b.run.activity.l2Accesses);
+    EXPECT_DOUBLE_EQ(a.epi, b.epi);
+}
+
+TEST(System, BbrLinkStatsReportGaps) {
+    const Program program = makeProgram("dijkstra");
+    SystemConfig config;
+    config.scheme = SchemeKind::FfwBbr;
+    config.op = DvfsTable::at(400_mV);
+    config.faultMapSeed = 4;
+    const SystemResult result = simulateSystem(program.module, &program.bbrModule, config);
+    if (result.linkFailed) GTEST_SKIP() << "unplaceable chip";
+    EXPECT_GT(result.linkStats.gapWords, 0u);
+    EXPECT_GT(result.linkStats.blocksPlaced, 10u);
+    EXPECT_LE(result.linkStats.largestBlockWords, kDefaultMaxBlockWords);
+}
+
+TEST(System, DramLatencyScalesWithFrequency) {
+    EXPECT_EQ(dramLatencyCycles(60.0, Frequency::fromMegahertz(1607)), 96u);
+    EXPECT_EQ(dramLatencyCycles(60.0, Frequency::fromMegahertz(475)), 29u);
+}
+
+// ---- Sweep driver ----
+
+TEST(Sweep, SmallGridProducesAllCells) {
+    SweepConfig config;
+    config.benchmarks = {"crc32", "basicmath"};
+    config.schemes = {SchemeKind::SimpleWordDisable, SchemeKind::FfwBbr};
+    const auto low = DvfsTable::lowVoltagePoints();
+    config.points = {low.front(), low.back()}; // 560mV and 400mV
+    config.trials = 2;
+    config.scale = WorkloadScale::Tiny;
+    const SweepResult result = runSweep(config);
+    EXPECT_EQ(result.cells.size(), 4u);
+    const SweepCell& cell = result.cell(SchemeKind::FfwBbr, 400_mV);
+    EXPECT_GT(cell.runs + cell.linkFailures, 0u);
+    EXPECT_GE(cell.normRuntime.mean(), 1.0); // never faster than defect-free
+    EXPECT_THROW((void)result.cell(SchemeKind::Robust8T, 400_mV), std::out_of_range);
+}
+
+TEST(Sweep, DeterministicAcrossRuns) {
+    SweepConfig config;
+    config.benchmarks = {"basicmath"};
+    config.schemes = {SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(400_mV)};
+    config.trials = 2;
+    config.scale = WorkloadScale::Tiny;
+    const SweepResult a = runSweep(config);
+    const SweepResult b = runSweep(config);
+    EXPECT_DOUBLE_EQ(a.cell(SchemeKind::FfwBbr, 400_mV).normEpi.mean(),
+                     b.cell(SchemeKind::FfwBbr, 400_mV).normEpi.mean());
+}
+
+TEST(Sweep, Fig10ShapeLatencySchemesLoseAt560mV) {
+    // At 560mV defects are rare: the +1-cycle schemes (8T) must be slower
+    // than the 0-cycle schemes (simple-wdis, ffw+bbr).
+    SweepConfig config;
+    config.benchmarks = {"crc32", "basicmath", "qsort"};
+    config.schemes = {SchemeKind::Robust8T, SchemeKind::SimpleWordDisable,
+                      SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(560_mV)};
+    config.trials = 2;
+    config.scale = WorkloadScale::Tiny;
+    const SweepResult result = runSweep(config);
+    const double t8 = result.cell(SchemeKind::Robust8T, 560_mV).normRuntime.mean();
+    const double wdis =
+        result.cell(SchemeKind::SimpleWordDisable, 560_mV).normRuntime.mean();
+    const double ffw = result.cell(SchemeKind::FfwBbr, 560_mV).normRuntime.mean();
+    EXPECT_GT(t8, wdis);
+    EXPECT_GT(t8, ffw);
+}
+
+TEST(Sweep, Fig11ShapeFfwBbrContainsL2TrafficAt400mV) {
+    SweepConfig config;
+    config.benchmarks = {"crc32", "basicmath", "adpcm"};
+    config.schemes = {SchemeKind::SimpleWordDisable, SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(400_mV)};
+    config.trials = 3;
+    config.scale = WorkloadScale::Tiny;
+    const SweepResult result = runSweep(config);
+    EXPECT_LT(result.cell(SchemeKind::FfwBbr, 400_mV).l2PerKilo.mean(),
+              result.cell(SchemeKind::SimpleWordDisable, 400_mV).l2PerKilo.mean());
+}
+
+} // namespace
+} // namespace voltcache

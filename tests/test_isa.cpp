@@ -1,0 +1,252 @@
+// Tests for the vr32 ISA: encoding round trips, field range enforcement,
+// the builder DSL, module validation, and the disassembler.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "isa/disasm.h"
+#include "isa/instruction.h"
+#include "isa/module.h"
+
+namespace voltcache {
+namespace {
+
+using namespace regs;
+
+TEST(Encoding, RoundTripRType) {
+    const Instruction inst{Opcode::Add, 3, 4, 5, 0};
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+TEST(Encoding, RoundTripImmediates) {
+    for (std::int32_t imm : {-131072, -1, 0, 1, 131071}) {
+        const Instruction inst{Opcode::Addi, 1, 2, 0, imm};
+        EXPECT_EQ(decode(encode(inst)), inst) << imm;
+    }
+}
+
+TEST(Encoding, RoundTripStoresAndBranches) {
+    const Instruction store{Opcode::Sw, 0, 6, 7, -42};
+    EXPECT_EQ(decode(encode(store)), store);
+    const Instruction branch{Opcode::Bne, 0, 2, 3, 512};
+    EXPECT_EQ(decode(encode(branch)), branch);
+}
+
+TEST(Encoding, RoundTripJumpsAndLui) {
+    const Instruction jal{Opcode::Jal, 15, 0, 0, -2097152};
+    EXPECT_EQ(decode(encode(jal)), jal);
+    const Instruction lui{Opcode::Lui, 9, 0, 0, 2097151};
+    EXPECT_EQ(decode(encode(lui)), lui);
+}
+
+TEST(Encoding, ImmediateOverflowThrows) {
+    EXPECT_THROW((void)encode(Instruction{Opcode::Addi, 1, 2, 0, 1 << 18}), EncodingError);
+    EXPECT_THROW((void)encode(Instruction{Opcode::Beq, 0, 1, 2, -(1 << 18)}), EncodingError);
+    EXPECT_THROW((void)encode(Instruction{Opcode::Jal, 1, 0, 0, 1 << 22}), EncodingError);
+}
+
+TEST(Encoding, RegisterOverflowThrows) {
+    EXPECT_THROW((void)encode(Instruction{Opcode::Add, 16, 0, 0, 0}), EncodingError);
+}
+
+TEST(Encoding, UnknownOpcodeThrows) {
+    EXPECT_THROW((void)decode(0xFFFFFFFFu), EncodingError);
+}
+
+/// Property: random valid instructions round-trip for every opcode.
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodingRoundTrip, RandomFields) {
+    const auto op = static_cast<Opcode>(GetParam());
+    Rng rng(GetParam() * 7919 + 1);
+    for (int i = 0; i < 200; ++i) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = static_cast<std::uint8_t>(rng.nextBelow(16));
+        inst.rs1 = static_cast<std::uint8_t>(rng.nextBelow(16));
+        inst.rs2 = static_cast<std::uint8_t>(rng.nextBelow(16));
+        inst.imm = static_cast<std::int32_t>(rng.nextInRange(-131072, 131071));
+        if (op == Opcode::Jal || op == Opcode::Lui) {
+            inst.imm = static_cast<std::int32_t>(rng.nextInRange(-2097152, 2097151));
+        }
+        // Normalize fields the format does not carry.
+        Instruction expected = inst;
+        const bool rTypeLike = op <= Opcode::Sltu;
+        if (rTypeLike) expected.imm = 0;
+        if (!rTypeLike) expected.rs2 = 0;
+        if (op == Opcode::Lui || op == Opcode::Jal || op == Opcode::Ldl) expected.rs1 = 0;
+        if (op == Opcode::Sw || isConditionalBranch(op)) expected.rd = 0;
+        if (isConditionalBranch(op)) expected.rs2 = inst.rs2;
+        if (op == Opcode::Sw) expected.rs2 = inst.rs2;
+        if (op == Opcode::Nop || op == Opcode::Halt) {
+            expected = Instruction{op, 0, 0, 0, 0};
+        }
+        Instruction canonical = expected;
+        EXPECT_EQ(decode(encode(canonical)), canonical)
+            << mnemonic(op) << " iteration " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodingRoundTrip,
+                         ::testing::Range(0u, kOpcodeCount));
+
+TEST(Classification, Predicates) {
+    EXPECT_TRUE(isConditionalBranch(Opcode::Beq));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Bgeu));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jal));
+    EXPECT_TRUE(isControlFlow(Opcode::Jalr));
+    EXPECT_TRUE(isControlFlow(Opcode::Halt));
+    EXPECT_FALSE(isControlFlow(Opcode::Add));
+    EXPECT_TRUE(isLoad(Opcode::Ldl));
+    EXPECT_TRUE(isStore(Opcode::Sw));
+    EXPECT_TRUE(isMemory(Opcode::Lw));
+    EXPECT_FALSE(isMemory(Opcode::Beq));
+}
+
+TEST(Builder, LiSmallUsesAddi) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    f.li(r1, 42).halt();
+    const Module module = mb.take();
+    const auto& insts = module.functions[0].blocks[0].insts;
+    ASSERT_EQ(insts.size(), 2u);
+    EXPECT_EQ(insts[0].op, Opcode::Addi);
+    EXPECT_EQ(insts[0].imm, 42);
+}
+
+TEST(Builder, LiLargeUsesLuiOri) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    f.li(r1, 0x00345678).halt();
+    const Module module = mb.take();
+    const auto& insts = module.functions[0].blocks[0].insts;
+    ASSERT_EQ(insts.size(), 3u);
+    EXPECT_EQ(insts[0].op, Opcode::Lui);
+    EXPECT_EQ(insts[1].op, Opcode::Ori);
+    // Semantics: (imm22 << 10) | low10 must reconstruct the constant.
+    EXPECT_EQ((insts[0].imm << 10) | insts[1].imm, 0x00345678);
+}
+
+TEST(Builder, LiNegativeLarge) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    f.li(r1, -0x00345678).halt();
+    const Module module = mb.take();
+    const auto& insts = module.functions[0].blocks[0].insts;
+    ASSERT_EQ(insts.size(), 3u);
+    EXPECT_EQ((insts[0].imm << 10) | insts[1].imm, -0x00345678);
+}
+
+TEST(Builder, LdlConstDeduplicatesPool) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    f.ldlConst(r1, 1234567).ldlConst(r2, 1234567).ldlConst(r3, 7654321).halt();
+    const Module module = mb.take();
+    EXPECT_EQ(module.functions[0].sharedLiteralPool.size(), 2u);
+    const auto& block = module.functions[0].blocks[0];
+    EXPECT_EQ(block.relocs[0].literalIndex, block.relocs[1].literalIndex);
+}
+
+TEST(Builder, BranchesCarryRelocations) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    auto target = f.newBlock("target");
+    f.beq(r1, r2, target).halt();
+    f.at(target).halt();
+    const Module module = mb.take();
+    const auto& block = module.functions[0].blocks[0];
+    const auto* reloc = block.relocFor(0);
+    ASSERT_NE(reloc, nullptr);
+    EXPECT_EQ(reloc->kind, RelocKind::BlockTarget);
+    EXPECT_EQ(reloc->targetBlock, target.index);
+}
+
+TEST(Builder, DuplicateFunctionRejected) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    f.halt();
+    EXPECT_THROW((void)mb.function("main"), ContractViolation);
+}
+
+TEST(ModuleValidate, MissingEntryFunction) {
+    ModuleBuilder mb;
+    auto f = mb.function("not_main");
+    f.halt();
+    EXPECT_THROW((void)mb.take(), std::invalid_argument);
+}
+
+TEST(ModuleValidate, CallToUnknownFunction) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    f.call("ghost").halt();
+    EXPECT_THROW((void)mb.take(), std::invalid_argument);
+}
+
+TEST(ModuleValidate, BranchWithoutRelocRejected) {
+    Module module;
+    Function fn;
+    fn.name = "main";
+    BasicBlock block;
+    block.label = "entry";
+    block.insts.push_back(Instruction{Opcode::Beq, 0, 1, 2, 0}); // no reloc
+    fn.blocks.push_back(block);
+    module.functions.push_back(fn);
+    EXPECT_THROW(module.validate(), std::invalid_argument);
+}
+
+TEST(ModuleValidate, MisalignedDataRejected) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    f.halt();
+    mb.data(0x1000, {1, 2, 3});
+    EXPECT_NO_THROW((void)mb.take());
+
+    ModuleBuilder mb2;
+    auto f2 = mb2.function("main");
+    f2.halt();
+    EXPECT_THROW(mb2.data(0x1001, {1}), ContractViolation);
+}
+
+TEST(BasicBlock, FallthroughDetection) {
+    BasicBlock sealed;
+    sealed.insts.push_back(Instruction{Opcode::Jal, 0, 0, 0, 0});
+    EXPECT_FALSE(sealed.hasFallthrough());
+
+    BasicBlock open;
+    open.insts.push_back(Instruction{Opcode::Add, 1, 2, 3, 0});
+    EXPECT_TRUE(open.hasFallthrough());
+
+    BasicBlock conditional;
+    conditional.insts.push_back(Instruction{Opcode::Beq, 0, 1, 2, 4});
+    EXPECT_TRUE(conditional.hasFallthrough()); // not-taken path continues
+
+    BasicBlock halted;
+    halted.insts.push_back(Instruction{Opcode::Halt, 0, 0, 0, 0});
+    EXPECT_FALSE(halted.hasFallthrough());
+}
+
+TEST(Disasm, InstructionFormats) {
+    EXPECT_EQ(disassemble(Instruction{Opcode::Add, 1, 2, 3, 0}), "add r1, r2, r3");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Addi, 1, 0, 0, -5}), "addi r1, r0, -5");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Lw, 4, 5, 0, 8}), "lw r4, 8(r5)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Ldl, 4, 0, 0, 12}), "ldl r4, 12(pc)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Sw, 0, 5, 6, -4}), "sw r6, -4(r5)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Beq, 0, 1, 2, 16}), "beq r1, r2, +16");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Halt, 0, 0, 0, 0}), "halt");
+}
+
+TEST(Disasm, ModuleListingContainsLabelsAndRelocs) {
+    ModuleBuilder mb;
+    auto f = mb.function("main");
+    auto loop = f.newBlock("loop");
+    f.jmp(loop);
+    f.at(loop).ldlConst(r1, 99).halt();
+    const Module module = mb.take();
+    const std::string listing = disassemble(module);
+    EXPECT_NE(listing.find("main:"), std::string::npos);
+    EXPECT_NE(listing.find(".loop"), std::string::npos);
+    EXPECT_NE(listing.find("lit[0]=99"), std::string::npos);
+}
+
+} // namespace
+} // namespace voltcache

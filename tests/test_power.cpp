@@ -1,0 +1,135 @@
+// Tests for the DVFS table and the energy model's scaling laws
+// (paper Table II and Section VI-C assumptions).
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "power/dvfs.h"
+#include "power/energy_model.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+TEST(Dvfs, TableIIRowCountAndOrder) {
+    const auto points = DvfsTable::paperPoints();
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_DOUBLE_EQ(points.front().voltage.millivolts(), 760.0);
+    EXPECT_DOUBLE_EQ(points.back().voltage.millivolts(), 400.0);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_LT(points[i].voltage, points[i - 1].voltage);
+        EXPECT_LT(points[i].frequency, points[i - 1].frequency);
+        EXPECT_GT(points[i].pFailBit, points[i - 1].pFailBit);
+    }
+}
+
+TEST(Dvfs, LowVoltageSubsetExcludesBaseline) {
+    const auto low = DvfsTable::lowVoltagePoints();
+    ASSERT_EQ(low.size(), 5u);
+    EXPECT_DOUBLE_EQ(low.front().voltage.millivolts(), 560.0);
+}
+
+TEST(Dvfs, LookupByVoltage) {
+    EXPECT_DOUBLE_EQ(DvfsTable::at(480_mV).frequency.megahertz(), 818.0);
+    EXPECT_NEAR(DvfsTable::at(480_mV).pFailBit, 1e-3, 1e-12);
+    EXPECT_THROW((void)DvfsTable::at(Voltage::fromMillivolts(600)), std::out_of_range);
+}
+
+TEST(Dvfs, PFailMatchesFailureModel) {
+    const FailureModel model;
+    for (const auto& point : DvfsTable::lowVoltagePoints()) {
+        EXPECT_NEAR(model.pFailBit(point.voltage) / point.pFailBit, 1.0, 1e-6)
+            << point.voltage.millivolts() << "mV";
+    }
+}
+
+namespace {
+ActivityCounts simpleActivity() {
+    ActivityCounts activity;
+    activity.instructions = 1000000;
+    activity.cycles = 1000000;
+    activity.l1iAccesses = 200000;
+    activity.l1dAccesses = 300000;
+    activity.l2Accesses = 5000;
+    activity.l2WriteThroughs = 100000;
+    activity.dramAccesses = 100;
+    return activity;
+}
+} // namespace
+
+TEST(EnergyModel, DynamicEnergyScalesQuadratically) {
+    const EnergyModel model;
+    const auto activity = simpleActivity();
+    const auto e760 = model.energyOf(activity, DvfsTable::at(760_mV));
+    const auto e400 = model.energyOf(activity, DvfsTable::at(400_mV));
+    const double expected = (0.4 / 0.76) * (0.4 / 0.76);
+    EXPECT_NEAR(e400.coreDynamic / e760.coreDynamic, expected, 1e-9);
+    EXPECT_NEAR(e400.l1Dynamic / e760.l1Dynamic, expected, 1e-9);
+}
+
+TEST(EnergyModel, L2EnergyDoesNotScaleWithCoreVoltage) {
+    const EnergyModel model;
+    const auto activity = simpleActivity();
+    const auto e760 = model.energyOf(activity, DvfsTable::at(760_mV));
+    const auto e400 = model.energyOf(activity, DvfsTable::at(400_mV));
+    EXPECT_DOUBLE_EQ(e400.l2Dynamic, e760.l2Dynamic);
+    EXPECT_DOUBLE_EQ(e400.dramDynamic, e760.dramDynamic);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithVoltageAndTime) {
+    const EnergyModel model;
+    const auto activity = simpleActivity();
+    const auto e760 = model.energyOf(activity, DvfsTable::at(760_mV));
+    const auto e400 = model.energyOf(activity, DvfsTable::at(400_mV));
+    // Same cycle count, lower frequency => longer runtime; static power on
+    // the scaled rail also drops with V.
+    const double timeRatio = DvfsTable::at(760_mV).frequency.hertz() /
+                             DvfsTable::at(400_mV).frequency.hertz();
+    const double vRatio = 0.4 / 0.76;
+    EXPECT_NEAR(e400.coreL1Static / e760.coreL1Static, timeRatio * vRatio, 1e-9);
+    EXPECT_NEAR(e400.l2Static / e760.l2Static, timeRatio, 1e-9);
+}
+
+TEST(EnergyModel, L1StaticFactorAppliesOnlyToL1Share) {
+    const EnergyModel model;
+    const auto activity = simpleActivity();
+    const auto base = model.energyOf(activity, DvfsTable::at(400_mV), 1.0);
+    const auto boosted = model.energyOf(activity, DvfsTable::at(400_mV), 2.0);
+    const double expected =
+        1.0 + EnergyModel::kL1StaticShare; // (1-s) + s*2 relative growth
+    EXPECT_NEAR(boosted.coreL1Static / base.coreL1Static, expected, 1e-9);
+    EXPECT_DOUBLE_EQ(boosted.coreDynamic, base.coreDynamic);
+}
+
+TEST(EnergyModel, EpiIsTotalOverInstructions) {
+    const EnergyModel model;
+    const auto activity = simpleActivity();
+    const auto op = DvfsTable::at(560_mV);
+    EXPECT_NEAR(model.epi(activity, op),
+                model.energyOf(activity, op).total() / 1e6, 1e-18);
+}
+
+TEST(EnergyModel, WriteThroughCheaperThanDemandRead) {
+    const EnergyModel model;
+    ActivityCounts reads;
+    reads.instructions = 1000;
+    reads.cycles = 1000;
+    reads.l2Accesses = 1000;
+    ActivityCounts writes;
+    writes.instructions = 1000;
+    writes.cycles = 1000;
+    writes.l2WriteThroughs = 1000;
+    const auto op = DvfsTable::at(760_mV);
+    EXPECT_GT(model.energyOf(reads, op).l2Dynamic, model.energyOf(writes, op).l2Dynamic);
+}
+
+TEST(EnergyModel, RejectsZeroInstructions) {
+    const EnergyModel model;
+    ActivityCounts activity;
+    activity.cycles = 10;
+    EXPECT_THROW((void)model.energyOf(activity, DvfsTable::at(760_mV)),
+                 ContractViolation);
+}
+
+} // namespace
+} // namespace voltcache

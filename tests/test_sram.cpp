@@ -1,0 +1,181 @@
+// Tests for the SRAM physical models: cell traits, the alpha-power delay
+// model (Table II), and CACTI-lite (Fig. 9 timings, Table III areas).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "schemes/static_overheads.h"
+#include "sram/cacti_lite.h"
+#include "sram/cells.h"
+#include "sram/delay_model.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+TEST(Cells, TraitsMatchLiterature) {
+    EXPECT_DOUBLE_EQ(cellTraits(SramCell::C6T).areaRel, 1.0);
+    EXPECT_DOUBLE_EQ(cellTraits(SramCell::C8T).areaRel, 1.3);   // [34]
+    EXPECT_NEAR(cellTraits(SramCell::C8T).leakageRel, 1.002, 1e-9);
+    EXPECT_GT(cellTraits(SramCell::C10T).areaRel, cellTraits(SramCell::C8T).areaRel);
+    EXPECT_GE(cellTraits(SramCell::CST).areaRel, 2.0);
+    EXPECT_GT(cellTraits(SramCell::CCAM).leakageRel, 3.0);
+}
+
+// ---- Delay model vs Table II ----
+
+struct FreqPoint {
+    double mv;
+    double mhz;
+};
+
+class DelayModelTableII : public ::testing::TestWithParam<FreqPoint> {};
+
+TEST_P(DelayModelTableII, WithinCalibrationError) {
+    const DelayModel model;
+    const auto [mv, mhz] = GetParam();
+    const double predicted = model.frequencyAt(Voltage::fromMillivolts(mv)).megahertz();
+    EXPECT_NEAR(predicted / mhz, 1.0, 0.025) << mv << "mV";
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, DelayModelTableII,
+                         ::testing::Values(FreqPoint{760, 1607}, FreqPoint{560, 1089},
+                                           FreqPoint{520, 958}, FreqPoint{480, 818},
+                                           FreqPoint{440, 638}, FreqPoint{400, 475}));
+
+TEST(DelayModel, PaperFrequencyExactLookup) {
+    EXPECT_DOUBLE_EQ(DelayModel::paperFrequency(760_mV)->megahertz(), 1607.0);
+    EXPECT_DOUBLE_EQ(DelayModel::paperFrequency(400_mV)->megahertz(), 475.0);
+    EXPECT_FALSE(DelayModel::paperFrequency(Voltage::fromMillivolts(600)).has_value());
+}
+
+TEST(DelayModel, FrequencyMonotoneInVoltage) {
+    const DelayModel model;
+    double prev = 0.0;
+    for (int mv = 350; mv <= 1100; mv += 25) {
+        const double f = model.frequencyAt(Voltage::fromMillivolts(mv)).hertz();
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(DelayModel, NominalVoltageNearCortexA9Clock) {
+    // Table I quotes 1.9GHz; the model reaches it near 0.95V nominal.
+    const DelayModel model;
+    EXPECT_NEAR(model.frequencyAt(Voltage::fromMillivolts(950)).megahertz(), 1900.0, 100.0);
+}
+
+TEST(DelayModel, Fo4ScalesWithPeriod) {
+    const DelayModel model;
+    const double fo4 = model.fo4DelaySeconds(760_mV);
+    EXPECT_NEAR(fo4 * kFo4PerCycle, model.frequencyAt(760_mV).periodSeconds(), 1e-15);
+}
+
+// ---- CACTI-lite timing (Fig. 9) ----
+
+TEST(CactiTiming, DataArrayRowToColumnMuxIs42Fo4) {
+    const CacheOrganization org;
+    const FfwTimeline t = CactiLite::ffwTimeline(org);
+    EXPECT_NEAR(t.dataColumnMuxNeededFo4(), 42.2, 0.1);
+}
+
+TEST(CactiTiming, PatternPathsAre39Fo4) {
+    const CacheOrganization org;
+    const FfwTimeline t = CactiLite::ffwTimeline(org);
+    EXPECT_NEAR(t.hitSignalReadyFo4(), 39.4, 0.1);
+    EXPECT_NEAR(t.remappedOffsetReadyFo4(), 39.4, 0.1);
+}
+
+TEST(CactiTiming, FfwHasZeroLatencyOverhead) {
+    // The paper's central timing claim: both FFW side paths beat the data
+    // array's column-mux deadline, so FFW adds no cycles.
+    const FfwTimeline t = CactiLite::ffwTimeline(CacheOrganization{});
+    EXPECT_TRUE(t.zeroLatencyOverhead());
+}
+
+TEST(CactiTiming, BbrHasZeroLatencyOverhead) {
+    const auto t = CactiLite::bbrTiming(CacheOrganization{});
+    EXPECT_TRUE(t.zeroLatencyOverhead());
+}
+
+TEST(CactiTiming, All8TDataArrayBlowsTheSlack) {
+    // Rationale for granting the 8T cache +1 cycle: its 30% larger cells
+    // stretch the wordline/bitline wires past the 2-cycle envelope.
+    CacheOrganization org8T;
+    org8T.dataCell = SramCell::C8T;
+    const ArrayTiming t6 = CactiLite::arrayTiming(org8T.dataArrayBits(), org8T.lines());
+    const ArrayTiming t8 =
+        CactiLite::arrayTiming(org8T.dataArrayBits(), org8T.lines(), SramCell::C8T);
+    EXPECT_GT(t8.toColumnMuxFo4(), t6.toColumnMuxFo4() + 3.0);
+}
+
+TEST(CactiTiming, SmallerArraysAreFaster) {
+    const ArrayTiming big = CactiLite::arrayTiming(262144, 1024);
+    const ArrayTiming small = CactiLite::arrayTiming(8192, 256);
+    EXPECT_LT(small.toColumnMuxFo4(), big.toColumnMuxFo4());
+}
+
+// ---- CACTI-lite area/leakage vs Table III ----
+
+TEST(CactiArea, Robust8TCacheIs128Percent) {
+    CacheOrganization org8T;
+    org8T.dataCell = SramCell::C8T;
+    org8T.tagCell = SramCell::C8T;
+    const double ratio = CactiLite::estimate(org8T).totalArea() /
+                         CactiLite::estimate(CacheOrganization{}).totalArea();
+    EXPECT_NEAR(ratio, 1.280, 0.002);
+}
+
+TEST(CactiArea, FfwIs105Percent) {
+    const auto rows = modelOverheads();
+    for (const auto& row : rows) {
+        if (row.scheme == "ffw") {
+            EXPECT_NEAR(row.areaFactor, 1.052, 0.004);
+            return;
+        }
+    }
+    FAIL() << "ffw row missing";
+}
+
+class TableIIIModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableIIIModel, ModelTracksPaperWithin1p5Points) {
+    const auto rows = modelOverheads();
+    const auto& model = rows[static_cast<std::size_t>(GetParam())];
+    const StaticOverhead& paper = paperOverhead(model.scheme);
+    EXPECT_NEAR(model.areaFactor, paper.areaFactor, 0.015) << model.scheme;
+    EXPECT_NEAR(model.staticPowerFactor, paper.staticPowerFactor, 0.015) << model.scheme;
+    EXPECT_EQ(model.latencyCycles, paper.latencyCycles) << model.scheme;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, TableIIIModel, ::testing::Range(0, 7));
+
+TEST(TableIII, PaperValuesVerbatim) {
+    EXPECT_NEAR(paperOverhead("8T").areaFactor, 1.280, 1e-9);
+    EXPECT_NEAR(paperOverhead("ffw").staticPowerFactor, 1.064, 1e-9);
+    EXPECT_NEAR(paperOverhead("bbr").areaFactor, 1.011, 1e-9);
+    EXPECT_EQ(paperOverhead("simple-wdis").latencyCycles, 0u);
+    EXPECT_EQ(paperOverhead("fba64").latencyCycles, 1u);
+    EXPECT_THROW((void)paperOverhead("nonesuch"), std::out_of_range);
+}
+
+TEST(TableIII, CombinedL1StaticFactorIsMean) {
+    const double combined = combinedL1StaticFactor("ffw", "bbr");
+    EXPECT_NEAR(combined, (1.064 + 1.001) / 2.0, 1e-9);
+}
+
+TEST(CacheOrganization, DerivedGeometryTableI) {
+    const CacheOrganization org;
+    EXPECT_EQ(org.lines(), 1024u);
+    EXPECT_EQ(org.sets(), 256u);
+    EXPECT_EQ(org.wordsPerBlock(), 8u);
+    EXPECT_EQ(org.totalWords(), 8192u);
+    EXPECT_EQ(org.offsetBits(), 5u);
+    EXPECT_EQ(org.indexBits(), 8u);
+    EXPECT_EQ(org.tagBits(), 19u);
+    EXPECT_EQ(org.dataArrayBits(), 262144u);
+}
+
+} // namespace
+} // namespace voltcache

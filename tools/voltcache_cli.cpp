@@ -1,0 +1,252 @@
+// voltcache — command-line front end to the library.
+//
+//   voltcache run <prog.s | benchmark> [--scheme S] [--mv V] [--seed N]
+//       assemble (or build) a program, link it (BBR placement when the
+//       scheme needs it), simulate one chip, print stats
+//   voltcache disasm <prog.s | benchmark> [--bbr]
+//       print the listing, optionally after the BBR transformations
+//   voltcache faultmap [--mv V] [--seed N] [-o FILE]
+//       draw a Monte Carlo fault map for the 32KB L1 and print/save it
+//   voltcache yield [--bits N] [--target 0.999]
+//       Vccmin of an N-bit structure at a yield target
+//   voltcache sweep [--trials N] [--benchmarks a,b,...]
+//       the Fig. 10/11/12 sweep, printed as one table
+//   voltcache list
+//       available benchmarks and schemes
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/sweep.h"
+#include "faults/fault_map_io.h"
+#include "faults/yield.h"
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "workload/workload.h"
+
+using namespace voltcache;
+
+namespace {
+
+struct Args {
+    std::string positional;
+    std::map<std::string, std::string> flags;
+
+    [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+        const auto it = flags.find(key);
+        return it != flags.end() ? it->second : fallback;
+    }
+};
+
+Args parseArgs(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token.rfind("--", 0) == 0 || token == "-o") {
+            const std::string key = token == "-o" ? "out" : token.substr(2);
+            if (key == "bbr") { // boolean flag
+                args.flags[key] = "1";
+                continue;
+            }
+            if (i + 1 >= argc) throw std::runtime_error("flag " + token + " needs a value");
+            args.flags[key] = argv[++i];
+        } else if (args.positional.empty()) {
+            args.positional = token;
+        } else {
+            throw std::runtime_error("unexpected argument '" + token + "'");
+        }
+    }
+    return args;
+}
+
+std::optional<SchemeKind> schemeByName(const std::string& name) {
+    for (const SchemeKind kind :
+         {SchemeKind::DefectFree, SchemeKind::Conventional760, SchemeKind::Robust8T,
+          SchemeKind::SimpleWordDisable, SchemeKind::WilkersonPlus, SchemeKind::FbaPlus,
+          SchemeKind::IdcPlus, SchemeKind::FfwBbr}) {
+        if (schemeName(kind) == name) return kind;
+    }
+    return std::nullopt;
+}
+
+bool isBenchmarkName(const std::string& name) {
+    for (const auto& info : benchmarkList()) {
+        if (info.name == name) return true;
+    }
+    return false;
+}
+
+Module loadProgram(const std::string& source) {
+    if (isBenchmarkName(source)) return buildBenchmark(source, WorkloadScale::Small);
+    std::ifstream in(source);
+    if (!in) throw std::runtime_error("cannot open '" + source + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return assemble(text.str());
+}
+
+int cmdList() {
+    std::printf("benchmarks:\n");
+    for (const auto& info : benchmarkList()) {
+        std::printf("  %-14s (models %s)\n", info.name.data(), info.models.data());
+    }
+    std::printf("schemes:\n");
+    for (const SchemeKind kind :
+         {SchemeKind::DefectFree, SchemeKind::Conventional760, SchemeKind::Robust8T,
+          SchemeKind::SimpleWordDisable, SchemeKind::WilkersonPlus, SchemeKind::FbaPlus,
+          SchemeKind::IdcPlus, SchemeKind::FfwBbr}) {
+        std::printf("  %s\n", schemeName(kind).data());
+    }
+    std::printf("voltages (Table II): 760 560 520 480 440 400 mV\n");
+    return 0;
+}
+
+int cmdRun(const Args& args) {
+    if (args.positional.empty()) throw std::runtime_error("run: need a program");
+    Module module = loadProgram(args.positional);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+
+    SystemConfig config;
+    const std::string schemeText = args.get("scheme", "ffw+bbr");
+    const auto kind = schemeByName(schemeText);
+    if (!kind) throw std::runtime_error("unknown scheme '" + schemeText + "'");
+    config.scheme = *kind;
+    config.op = DvfsTable::at(
+        Voltage::fromMillivolts(std::stod(args.get("mv", "400"))));
+    config.faultMapSeed = std::stoull(args.get("seed", "1"));
+
+    const SystemResult result = simulateSystem(module, &bbrModule, config);
+    if (result.linkFailed) {
+        std::printf("BBR placement failed for this chip (yield loss) — try another "
+                    "--seed\n");
+        return 1;
+    }
+    std::printf("program: %s   scheme: %s   %.0fmV / %.0fMHz   chip seed %llu\n",
+                args.positional.c_str(), schemeName(config.scheme).data(),
+                config.op.voltage.millivolts(), config.op.frequency.megahertz(),
+                static_cast<unsigned long long>(config.faultMapSeed));
+    std::printf("instructions  %llu%s\n",
+                static_cast<unsigned long long>(result.run.instructions),
+                result.run.halted ? "" : " (instruction cap hit)");
+    std::printf("cycles        %llu  (IPC %.3f)\n",
+                static_cast<unsigned long long>(result.run.cycles), result.run.ipc());
+    std::printf("runtime       %.3f ms\n", result.runtimeSeconds * 1e3);
+    std::printf("EPI           %.1f pJ\n", result.epi * 1e12);
+    std::printf("L2 / 1k instr %.1f\n", result.run.l2AccessesPerKilo());
+    std::printf("checksum (r1) 0x%08x\n", static_cast<unsigned>(result.checksum));
+    if (config.scheme == SchemeKind::FfwBbr) {
+        std::printf("BBR link: %u blocks, %u gap words\n", result.linkStats.blocksPlaced,
+                    result.linkStats.gapWords);
+    }
+    return 0;
+}
+
+int cmdDisasm(const Args& args) {
+    if (args.positional.empty()) throw std::runtime_error("disasm: need a program");
+    Module module = loadProgram(args.positional);
+    if (args.flags.contains("bbr")) applyBbrTransforms(module);
+    std::fputs(disassemble(module).c_str(), stdout);
+    return 0;
+}
+
+int cmdFaultmap(const Args& args) {
+    const Voltage v = Voltage::fromMillivolts(std::stod(args.get("mv", "400")));
+    Rng rng(std::stoull(args.get("seed", "1")));
+    const FaultMapGenerator generator;
+    const FaultMap map = generator.generate(rng, v, 1024, 8);
+    std::printf("# %u of %u words defective (%.1f%%) at %.0fmV\n", map.totalFaultyWords(),
+                map.totalWords(), 100.0 * map.totalFaultyWords() / map.totalWords(),
+                v.millivolts());
+    const std::string text = faultMapToString(map);
+    if (args.flags.contains("out")) {
+        std::ofstream out(args.get("out", ""));
+        out << text;
+        std::printf("written to %s\n", args.get("out", "").c_str());
+    } else {
+        std::fputs(text.c_str(), stdout);
+    }
+    return 0;
+}
+
+int cmdYield(const Args& args) {
+    const std::uint64_t bits = std::stoull(args.get("bits", "262144"));
+    const double target = std::stod(args.get("target", "0.999"));
+    const YieldAnalyzer analyzer;
+    const Voltage vccmin = analyzer.vccmin(bits, target);
+    std::printf("structure of %llu bits at %.3f yield target: Vccmin = %.0f mV\n",
+                static_cast<unsigned long long>(bits), target, vccmin.millivolts());
+    for (const auto& point : DvfsTable::paperPoints()) {
+        std::printf("  yield at %.0fmV: %.6f\n", point.voltage.millivolts(),
+                    analyzer.yield(point.voltage, bits));
+    }
+    return 0;
+}
+
+int cmdSweep(const Args& args) {
+    SweepConfig config;
+    config.trials = static_cast<std::uint32_t>(std::stoul(args.get("trials", "3")));
+    const std::string benchmarks = args.get("benchmarks", "");
+    std::size_t pos = 0;
+    while (pos < benchmarks.size()) {
+        const std::size_t comma = benchmarks.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? benchmarks.size() : comma;
+        if (end > pos) config.benchmarks.push_back(benchmarks.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    const SweepResult result = runSweep(config);
+
+    TextTable table({"scheme", "voltage", "norm runtime", "L2/1k", "norm EPI",
+                     "yield losses"});
+    for (const SchemeKind scheme : paperSchemes()) {
+        for (const auto& point : DvfsTable::lowVoltagePoints()) {
+            const SweepCell& cell = result.cell(scheme, point.voltage);
+            table.addRow({std::string(schemeName(scheme)),
+                          formatDouble(point.voltage.millivolts(), 0) + "mV",
+                          formatDouble(cell.normRuntime.mean(), 3),
+                          formatDouble(cell.l2PerKilo.mean(), 1),
+                          formatDouble(cell.normEpi.mean(), 3),
+                          std::to_string(cell.linkFailures)});
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: voltcache <command> [options]\n"
+                 "  run <prog.s|benchmark> [--scheme S] [--mv V] [--seed N]\n"
+                 "  disasm <prog.s|benchmark> [--bbr]\n"
+                 "  faultmap [--mv V] [--seed N] [-o FILE]\n"
+                 "  yield [--bits N] [--target Y]\n"
+                 "  sweep [--trials N] [--benchmarks a,b,...]\n"
+                 "  list\n");
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    try {
+        const Args args = parseArgs(argc, argv, 2);
+        if (command == "run") return cmdRun(args);
+        if (command == "disasm") return cmdDisasm(args);
+        if (command == "faultmap") return cmdFaultmap(args);
+        if (command == "yield") return cmdYield(args);
+        if (command == "sweep") return cmdSweep(args);
+        if (command == "list") return cmdList();
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "voltcache %s: %s\n", command.c_str(), e.what());
+        return 1;
+    }
+}
