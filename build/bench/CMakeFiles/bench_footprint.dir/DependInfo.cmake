@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_footprint.cpp" "bench/CMakeFiles/bench_footprint.dir/bench_footprint.cpp.o" "gcc" "bench/CMakeFiles/bench_footprint.dir/bench_footprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/voltcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/voltcache_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/voltcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/voltcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/voltcache_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/voltcache_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/voltcache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/voltcache_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/voltcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltcache_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/voltcache_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_faultmap.dir/bist_faultmap.cpp.o"
+  "CMakeFiles/bist_faultmap.dir/bist_faultmap.cpp.o.d"
+  "bist_faultmap"
+  "bist_faultmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_faultmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcache_ffw_explorer.dir/dcache_ffw_explorer.cpp.o"
+  "CMakeFiles/dcache_ffw_explorer.dir/dcache_ffw_explorer.cpp.o.d"
+  "dcache_ffw_explorer"
+  "dcache_ffw_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcache_ffw_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icache_bbr_link.dir/icache_bbr_link.cpp.o"
+  "CMakeFiles/icache_bbr_link.dir/icache_bbr_link.cpp.o.d"
+  "icache_bbr_link"
+  "icache_bbr_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icache_bbr_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("faults")
+subdirs("sram")
+subdirs("power")
+subdirs("isa")
+subdirs("compiler")
+subdirs("linker")
+subdirs("cache")
+subdirs("schemes")
+subdirs("cpu")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_cache.dir/l2_cache.cpp.o"
+  "CMakeFiles/voltcache_cache.dir/l2_cache.cpp.o.d"
+  "CMakeFiles/voltcache_cache.dir/tag_array.cpp.o"
+  "CMakeFiles/voltcache_cache.dir/tag_array.cpp.o.d"
+  "libvoltcache_cache.a"
+  "libvoltcache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

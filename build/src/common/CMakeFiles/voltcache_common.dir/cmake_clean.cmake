@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_common.dir/histogram.cpp.o"
+  "CMakeFiles/voltcache_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/voltcache_common.dir/stats.cpp.o"
+  "CMakeFiles/voltcache_common.dir/stats.cpp.o.d"
+  "CMakeFiles/voltcache_common.dir/table.cpp.o"
+  "CMakeFiles/voltcache_common.dir/table.cpp.o.d"
+  "libvoltcache_common.a"
+  "libvoltcache_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

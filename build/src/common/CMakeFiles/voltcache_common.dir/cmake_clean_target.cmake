@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvoltcache_common.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/cfg.cpp" "src/compiler/CMakeFiles/voltcache_compiler.dir/cfg.cpp.o" "gcc" "src/compiler/CMakeFiles/voltcache_compiler.dir/cfg.cpp.o.d"
+  "/root/repo/src/compiler/passes.cpp" "src/compiler/CMakeFiles/voltcache_compiler.dir/passes.cpp.o" "gcc" "src/compiler/CMakeFiles/voltcache_compiler.dir/passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/voltcache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_compiler.dir/cfg.cpp.o"
+  "CMakeFiles/voltcache_compiler.dir/cfg.cpp.o.d"
+  "CMakeFiles/voltcache_compiler.dir/passes.cpp.o"
+  "CMakeFiles/voltcache_compiler.dir/passes.cpp.o.d"
+  "libvoltcache_compiler.a"
+  "libvoltcache_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_core.dir/sweep.cpp.o"
+  "CMakeFiles/voltcache_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/voltcache_core.dir/system.cpp.o"
+  "CMakeFiles/voltcache_core.dir/system.cpp.o.d"
+  "libvoltcache_core.a"
+  "libvoltcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

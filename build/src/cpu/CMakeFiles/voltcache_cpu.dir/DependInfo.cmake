@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/cpu/CMakeFiles/voltcache_cpu.dir/branch_predictor.cpp.o" "gcc" "src/cpu/CMakeFiles/voltcache_cpu.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/memory.cpp" "src/cpu/CMakeFiles/voltcache_cpu.dir/memory.cpp.o" "gcc" "src/cpu/CMakeFiles/voltcache_cpu.dir/memory.cpp.o.d"
+  "/root/repo/src/cpu/simulator.cpp" "src/cpu/CMakeFiles/voltcache_cpu.dir/simulator.cpp.o" "gcc" "src/cpu/CMakeFiles/voltcache_cpu.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/voltcache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/voltcache_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/voltcache_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/voltcache_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/voltcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltcache_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/voltcache_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

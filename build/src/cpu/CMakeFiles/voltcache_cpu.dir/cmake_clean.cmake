@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_cpu.dir/branch_predictor.cpp.o"
+  "CMakeFiles/voltcache_cpu.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/voltcache_cpu.dir/memory.cpp.o"
+  "CMakeFiles/voltcache_cpu.dir/memory.cpp.o.d"
+  "CMakeFiles/voltcache_cpu.dir/simulator.cpp.o"
+  "CMakeFiles/voltcache_cpu.dir/simulator.cpp.o.d"
+  "libvoltcache_cpu.a"
+  "libvoltcache_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

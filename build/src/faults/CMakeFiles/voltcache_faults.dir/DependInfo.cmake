@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/bist.cpp" "src/faults/CMakeFiles/voltcache_faults.dir/bist.cpp.o" "gcc" "src/faults/CMakeFiles/voltcache_faults.dir/bist.cpp.o.d"
+  "/root/repo/src/faults/failure_model.cpp" "src/faults/CMakeFiles/voltcache_faults.dir/failure_model.cpp.o" "gcc" "src/faults/CMakeFiles/voltcache_faults.dir/failure_model.cpp.o.d"
+  "/root/repo/src/faults/fault_map.cpp" "src/faults/CMakeFiles/voltcache_faults.dir/fault_map.cpp.o" "gcc" "src/faults/CMakeFiles/voltcache_faults.dir/fault_map.cpp.o.d"
+  "/root/repo/src/faults/fault_map_io.cpp" "src/faults/CMakeFiles/voltcache_faults.dir/fault_map_io.cpp.o" "gcc" "src/faults/CMakeFiles/voltcache_faults.dir/fault_map_io.cpp.o.d"
+  "/root/repo/src/faults/yield.cpp" "src/faults/CMakeFiles/voltcache_faults.dir/yield.cpp.o" "gcc" "src/faults/CMakeFiles/voltcache_faults.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

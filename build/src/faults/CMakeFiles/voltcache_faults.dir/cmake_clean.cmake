@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_faults.dir/bist.cpp.o"
+  "CMakeFiles/voltcache_faults.dir/bist.cpp.o.d"
+  "CMakeFiles/voltcache_faults.dir/failure_model.cpp.o"
+  "CMakeFiles/voltcache_faults.dir/failure_model.cpp.o.d"
+  "CMakeFiles/voltcache_faults.dir/fault_map.cpp.o"
+  "CMakeFiles/voltcache_faults.dir/fault_map.cpp.o.d"
+  "CMakeFiles/voltcache_faults.dir/fault_map_io.cpp.o"
+  "CMakeFiles/voltcache_faults.dir/fault_map_io.cpp.o.d"
+  "CMakeFiles/voltcache_faults.dir/yield.cpp.o"
+  "CMakeFiles/voltcache_faults.dir/yield.cpp.o.d"
+  "libvoltcache_faults.a"
+  "libvoltcache_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

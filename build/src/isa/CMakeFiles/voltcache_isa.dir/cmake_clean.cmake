@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_isa.dir/assembler.cpp.o"
+  "CMakeFiles/voltcache_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/voltcache_isa.dir/builder.cpp.o"
+  "CMakeFiles/voltcache_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/voltcache_isa.dir/disasm.cpp.o"
+  "CMakeFiles/voltcache_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/voltcache_isa.dir/instruction.cpp.o"
+  "CMakeFiles/voltcache_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/voltcache_isa.dir/module.cpp.o"
+  "CMakeFiles/voltcache_isa.dir/module.cpp.o.d"
+  "libvoltcache_isa.a"
+  "libvoltcache_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_linker.dir/image.cpp.o"
+  "CMakeFiles/voltcache_linker.dir/image.cpp.o.d"
+  "CMakeFiles/voltcache_linker.dir/linker.cpp.o"
+  "CMakeFiles/voltcache_linker.dir/linker.cpp.o.d"
+  "libvoltcache_linker.a"
+  "libvoltcache_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

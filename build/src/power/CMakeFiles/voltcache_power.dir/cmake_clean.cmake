@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_power.dir/dvfs.cpp.o"
+  "CMakeFiles/voltcache_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/voltcache_power.dir/energy_model.cpp.o"
+  "CMakeFiles/voltcache_power.dir/energy_model.cpp.o.d"
+  "libvoltcache_power.a"
+  "libvoltcache_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/bbr.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/bbr.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/bbr.cpp.o.d"
+  "/root/repo/src/schemes/conventional.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/conventional.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/conventional.cpp.o.d"
+  "/root/repo/src/schemes/factory.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/factory.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/factory.cpp.o.d"
+  "/root/repo/src/schemes/fault_buffer.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/fault_buffer.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/fault_buffer.cpp.o.d"
+  "/root/repo/src/schemes/ffw.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/ffw.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/ffw.cpp.o.d"
+  "/root/repo/src/schemes/scheme.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/scheme.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/scheme.cpp.o.d"
+  "/root/repo/src/schemes/static_overheads.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/static_overheads.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/static_overheads.cpp.o.d"
+  "/root/repo/src/schemes/wilkerson.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/wilkerson.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/wilkerson.cpp.o.d"
+  "/root/repo/src/schemes/word_disable.cpp" "src/schemes/CMakeFiles/voltcache_schemes.dir/word_disable.cpp.o" "gcc" "src/schemes/CMakeFiles/voltcache_schemes.dir/word_disable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/voltcache_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltcache_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/voltcache_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

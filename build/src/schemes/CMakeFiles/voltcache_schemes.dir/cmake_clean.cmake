@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_schemes.dir/bbr.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/bbr.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/conventional.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/conventional.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/factory.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/factory.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/fault_buffer.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/fault_buffer.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/ffw.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/ffw.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/scheme.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/scheme.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/static_overheads.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/static_overheads.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/wilkerson.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/wilkerson.cpp.o.d"
+  "CMakeFiles/voltcache_schemes.dir/word_disable.cpp.o"
+  "CMakeFiles/voltcache_schemes.dir/word_disable.cpp.o.d"
+  "libvoltcache_schemes.a"
+  "libvoltcache_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

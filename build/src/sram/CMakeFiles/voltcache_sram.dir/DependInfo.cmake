@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/cacti_lite.cpp" "src/sram/CMakeFiles/voltcache_sram.dir/cacti_lite.cpp.o" "gcc" "src/sram/CMakeFiles/voltcache_sram.dir/cacti_lite.cpp.o.d"
+  "/root/repo/src/sram/cells.cpp" "src/sram/CMakeFiles/voltcache_sram.dir/cells.cpp.o" "gcc" "src/sram/CMakeFiles/voltcache_sram.dir/cells.cpp.o.d"
+  "/root/repo/src/sram/delay_model.cpp" "src/sram/CMakeFiles/voltcache_sram.dir/delay_model.cpp.o" "gcc" "src/sram/CMakeFiles/voltcache_sram.dir/delay_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/voltcache_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

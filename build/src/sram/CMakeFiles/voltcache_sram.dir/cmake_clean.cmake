@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_sram.dir/cacti_lite.cpp.o"
+  "CMakeFiles/voltcache_sram.dir/cacti_lite.cpp.o.d"
+  "CMakeFiles/voltcache_sram.dir/cells.cpp.o"
+  "CMakeFiles/voltcache_sram.dir/cells.cpp.o.d"
+  "CMakeFiles/voltcache_sram.dir/delay_model.cpp.o"
+  "CMakeFiles/voltcache_sram.dir/delay_model.cpp.o.d"
+  "libvoltcache_sram.a"
+  "libvoltcache_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

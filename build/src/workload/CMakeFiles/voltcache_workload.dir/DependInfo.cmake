@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bench_adpcm.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_adpcm.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_adpcm.cpp.o.d"
+  "/root/repo/src/workload/bench_basicmath.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_basicmath.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_basicmath.cpp.o.d"
+  "/root/repo/src/workload/bench_bzip2.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_bzip2.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_bzip2.cpp.o.d"
+  "/root/repo/src/workload/bench_crc32.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_crc32.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_crc32.cpp.o.d"
+  "/root/repo/src/workload/bench_dijkstra.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_dijkstra.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_dijkstra.cpp.o.d"
+  "/root/repo/src/workload/bench_hmmer.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_hmmer.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_hmmer.cpp.o.d"
+  "/root/repo/src/workload/bench_libquantum.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_libquantum.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_libquantum.cpp.o.d"
+  "/root/repo/src/workload/bench_mcf.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_mcf.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_mcf.cpp.o.d"
+  "/root/repo/src/workload/bench_patricia.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_patricia.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_patricia.cpp.o.d"
+  "/root/repo/src/workload/bench_qsort.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/bench_qsort.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/bench_qsort.cpp.o.d"
+  "/root/repo/src/workload/locality.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/locality.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/locality.cpp.o.d"
+  "/root/repo/src/workload/stdlib.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/stdlib.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/stdlib.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/voltcache_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/voltcache_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/voltcache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/voltcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/voltcache_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/voltcache_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/voltcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/voltcache_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltcache_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/voltcache_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

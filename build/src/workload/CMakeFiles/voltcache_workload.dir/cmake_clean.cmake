@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_workload.dir/bench_adpcm.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_adpcm.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_basicmath.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_basicmath.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_bzip2.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_bzip2.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_crc32.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_crc32.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_dijkstra.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_dijkstra.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_hmmer.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_hmmer.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_libquantum.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_libquantum.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_mcf.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_mcf.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_patricia.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_patricia.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/bench_qsort.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/bench_qsort.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/locality.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/locality.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/stdlib.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/stdlib.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/voltcache_workload.dir/workload.cpp.o"
+  "CMakeFiles/voltcache_workload.dir/workload.cpp.o.d"
+  "libvoltcache_workload.a"
+  "libvoltcache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

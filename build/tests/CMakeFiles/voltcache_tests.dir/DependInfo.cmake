@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_bist.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_bist.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_bist.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_fault_map_io.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_fault_map_io.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_fault_map_io.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_headline.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_headline.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_headline.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_linker.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_linker.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_linker.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_schemes.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_schemes.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/test_sram.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_sram.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_sram.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/voltcache_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/voltcache_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/voltcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/voltcache_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/voltcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/voltcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/voltcache_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/voltcache_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/voltcache_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/voltcache_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/voltcache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/voltcache_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/voltcache_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/voltcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltcache_cli.dir/voltcache_cli.cpp.o"
+  "CMakeFiles/voltcache_cli.dir/voltcache_cli.cpp.o.d"
+  "voltcache"
+  "voltcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltcache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/voltcache" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/voltcache" "run" "basicmath" "--scheme" "ffw+bbr" "--mv" "400" "--seed" "2")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_conventional "/root/repo/build/tools/voltcache" "run" "crc32" "--scheme" "conventional-760mV" "--mv" "760")
+set_tests_properties(cli_run_conventional PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_disasm "/root/repo/build/tools/voltcache" "disasm" "basicmath" "--bbr")
+set_tests_properties(cli_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_faultmap "/root/repo/build/tools/voltcache" "faultmap" "--mv" "440" "--seed" "9")
+set_tests_properties(cli_faultmap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_yield "/root/repo/build/tools/voltcache" "yield" "--bits" "262144")
+set_tests_properties(cli_yield PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_scheme_fails "/root/repo/build/tools/voltcache" "run" "basicmath" "--scheme" "bogus")
+set_tests_properties(cli_bad_scheme_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
