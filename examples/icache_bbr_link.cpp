@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "analysis/placement_prover.h"
 #include "compiler/passes.h"
 #include "isa/disasm.h"
 #include "linker/linker.h"
@@ -48,8 +49,18 @@ int main(int argc, char** argv) {
                     "(largest block %u words)\n",
                     out.stats.blocksPlaced, out.stats.gapWords, out.stats.imageWords,
                     out.stats.largestBlockWords);
-        std::printf("placement violations (defective words occupied): %u — must be 0\n\n",
+        std::printf("placement violations (defective words occupied): %u — must be 0\n",
                     countPlacementViolations(out.image, map));
+
+        // The static prover (tools/vcverify) decides the same invariant over
+        // the image CFG — reachable words only, with per-path diagnostics.
+        const analysis::PlacementProof proof =
+            analysis::provePlacement(out.image, map, &module);
+        std::fputs(analysis::formatProof(proof).c_str(), stdout);
+        std::printf("static proof: %s — %u reachable words, %u dead words\n\n",
+                    proof.verified ? "VERIFIED" : "REJECTED", proof.reachableWords,
+                    proof.deadWords);
+        if (!proof.verified) return 1;
 
         std::printf("linker map (first 12 blocks):\n");
         std::printf("  %-10s %-8s %-6s %s\n", "address", "cacheword", "size", "block");

@@ -1,0 +1,200 @@
+#include "analysis/image_cfg.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+#include "isa/builder.h"
+
+namespace voltcache::analysis {
+
+namespace {
+
+constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
+
+[[nodiscard]] std::string hex(std::uint32_t addr) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%08x", addr);
+    return buf;
+}
+
+} // namespace
+
+ImageCfg::ImageCfg(const Image& image) : image_(&image) {
+    reachable_.assign(image.sizeWords(), 0);
+    parent_.assign(image.sizeWords(), kNoParent);
+    blockStarts_.reserve(image.placements().size());
+    for (const auto& placement : image.placements()) {
+        blockStarts_.push_back(placement.byteAddr);
+    }
+    std::sort(blockStarts_.begin(), blockStarts_.end());
+    walk();
+
+    for (std::uint32_t p = 0; p < image.placements().size(); ++p) {
+        const PlacedBlock& placement = image.placements()[p];
+        bool live = false;
+        for (std::uint32_t w = 0; w < placement.codeWords && !live; ++w) {
+            live = isReachable(placement.byteAddr + w * 4);
+        }
+        if (!live) {
+            deadBlocks_.push_back(p);
+            deadWords_ += placement.sizeWords();
+        }
+    }
+}
+
+void ImageCfg::addDiagnostic(CfgDiagKind kind, std::uint32_t from, std::uint32_t target) {
+    CfgDiagnostic diag;
+    diag.kind = kind;
+    diag.fromAddr = from;
+    diag.targetAddr = target;
+    switch (kind) {
+        case CfgDiagKind::NonInstructionFetch:
+            diag.message = "control flow from " + describe(from) + " reaches non-instruction word " +
+                           describe(target);
+            break;
+        case CfgDiagKind::TargetOutsideImage:
+            diag.message = "transfer at " + describe(from) + " targets " + hex(target) +
+                           ", outside the image";
+            break;
+        case CfgDiagKind::TargetNotBlockStart:
+            diag.message = "transfer at " + describe(from) + " lands mid-block at " +
+                           describe(target);
+            break;
+    }
+    diagnostics_.push_back(std::move(diag));
+}
+
+void ImageCfg::walk() {
+    if (image_->sizeWords() == 0) return;
+    std::deque<std::uint32_t> queue;
+
+    auto visit = [&](std::uint32_t target, std::uint32_t from, bool isTransfer) {
+        if (!image_->contains(target)) {
+            addDiagnostic(CfgDiagKind::TargetOutsideImage, from, target);
+            return;
+        }
+        if (isTransfer &&
+            !std::binary_search(blockStarts_.begin(), blockStarts_.end(), target)) {
+            addDiagnostic(CfgDiagKind::TargetNotBlockStart, from, target);
+        }
+        const std::uint32_t idx = wordIndex(target);
+        if (reachable_[idx]) return;
+        reachable_[idx] = 1;
+        parent_[idx] = from;
+        queue.push_back(target);
+    };
+
+    if (!image_->contains(image_->entryAddr())) {
+        addDiagnostic(CfgDiagKind::TargetOutsideImage, image_->entryAddr(),
+                      image_->entryAddr());
+        return;
+    }
+    reachable_[wordIndex(image_->entryAddr())] = 1;
+    queue.push_back(image_->entryAddr());
+
+    while (!queue.empty()) {
+        const std::uint32_t addr = queue.front();
+        queue.pop_front();
+        const ImageWord& word = image_->at(addr);
+        if (word.kind != ImageWord::Kind::Instruction) {
+            addDiagnostic(CfgDiagKind::NonInstructionFetch, parent_[wordIndex(addr)], addr);
+            continue;
+        }
+        const Instruction& inst = word.inst;
+        const auto target = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(addr) + static_cast<std::int64_t>(inst.imm) * 4);
+
+        if (inst.op == Opcode::Halt) continue;
+        if (isReturn(inst)) continue; // the call edge already made the return
+                                      // site reachable
+        if (isIndirectJump(inst)) {
+            // Jump through a computed register: over-approximate as "may
+            // reach any function entry" (blockIndex 0 placements).
+            for (const auto& placement : image_->placements()) {
+                if (placement.blockIndex == 0) visit(placement.byteAddr, addr, true);
+            }
+            continue;
+        }
+        if (inst.op == Opcode::Jal) {
+            visit(target, addr, true);
+            if (isCall(inst)) visit(addr + 4, addr, false); // call returns here
+            continue;
+        }
+        if (isConditionalBranch(inst.op)) {
+            visit(target, addr, true);   // taken
+            visit(addr + 4, addr, false); // not taken
+            continue;
+        }
+        visit(addr + 4, addr, false); // straight-line flow
+    }
+
+    for (std::uint32_t idx = 0; idx < reachable_.size(); ++idx) {
+        if (reachable_[idx]) reachableAddrs_.push_back(image_->baseAddr() + idx * 4);
+    }
+}
+
+bool ImageCfg::isReachable(std::uint32_t byteAddr) const noexcept {
+    if (!image_->contains(byteAddr)) return false;
+    return reachable_[wordIndex(byteAddr)] != 0;
+}
+
+const PlacedBlock* ImageCfg::blockAt(std::uint32_t byteAddr) const noexcept {
+    const PlacedBlock* best = nullptr;
+    for (const auto& placement : image_->placements()) {
+        if (byteAddr >= placement.byteAddr &&
+            byteAddr < placement.byteAddr + placement.sizeWords() * 4) {
+            best = &placement;
+            break;
+        }
+    }
+    return best;
+}
+
+std::vector<std::uint32_t> ImageCfg::blockPathTo(std::uint32_t byteAddr) const {
+    std::vector<std::uint32_t> path;
+    if (!isReachable(byteAddr)) return path;
+    std::vector<std::uint32_t> addrs;
+    for (std::uint32_t addr = byteAddr;;) {
+        addrs.push_back(addr);
+        const std::uint32_t up = parent_[wordIndex(addr)];
+        if (up == kNoParent) break;
+        addr = up;
+    }
+    std::reverse(addrs.begin(), addrs.end());
+    const PlacedBlock* lastBlock = nullptr;
+    for (const std::uint32_t addr : addrs) {
+        const PlacedBlock* block = blockAt(addr);
+        if (block == nullptr) continue;
+        if (block != lastBlock) {
+            path.push_back(block->byteAddr);
+            lastBlock = block;
+        }
+    }
+    return path;
+}
+
+bool ImageCfg::hasErrors() const noexcept {
+    return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                       [](const CfgDiagnostic& d) { return d.isError(); });
+}
+
+std::string ImageCfg::describe(std::uint32_t byteAddr, const Module* module) const {
+    std::string text = hex(byteAddr);
+    const PlacedBlock* block = blockAt(byteAddr);
+    if (block == nullptr) return text;
+    const std::uint32_t offset = (byteAddr - block->byteAddr) / 4;
+    if (module != nullptr && block->functionIndex < module->functions.size()) {
+        const Function& fn = module->functions[block->functionIndex];
+        if (block->blockIndex < fn.blocks.size()) {
+            text += " (" + fn.name + ":" + fn.blocks[block->blockIndex].label + "+" +
+                    std::to_string(offset) + ")";
+            return text;
+        }
+    }
+    text += " (block " + std::to_string(block->functionIndex) + ":" +
+            std::to_string(block->blockIndex) + "+" + std::to_string(offset) + ")";
+    return text;
+}
+
+} // namespace voltcache::analysis

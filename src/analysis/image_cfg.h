@@ -1,0 +1,97 @@
+// Control-flow graph over a *linked* Image (static verification layer).
+//
+// Unlike compiler/cfg.h, which views a Function's symbolic blocks, this CFG
+// is built from the placed image the CPU actually fetches: reachability is
+// computed at word granularity starting from the entry point, following
+// resolved branch displacements, call edges (calls are assumed to return,
+// so the return site stays reachable through the fall-through edge), and an
+// over-approximation for indirect jumps (a Jalr through anything but the
+// link register may land on any function entry). The result is the exact
+// set of addresses a fetch can ever touch — the universe the BBR placement
+// prover must check against the fault map.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/module.h"
+#include "linker/image.h"
+
+namespace voltcache::analysis {
+
+/// Ill-formed control flow discovered while walking the image.
+enum class CfgDiagKind : std::uint8_t {
+    NonInstructionFetch, ///< control reaches a gap or literal word (error)
+    TargetOutsideImage,  ///< branch/jump displacement escapes the image (error)
+    TargetNotBlockStart, ///< branch lands mid-block (warning: legal but odd)
+};
+
+struct CfgDiagnostic {
+    CfgDiagKind kind = CfgDiagKind::NonInstructionFetch;
+    std::uint32_t fromAddr = 0;   ///< the transferring instruction (0 if entry)
+    std::uint32_t targetAddr = 0; ///< the offending destination
+    std::string message;
+
+    [[nodiscard]] bool isError() const noexcept {
+        return kind != CfgDiagKind::TargetNotBlockStart;
+    }
+};
+
+class ImageCfg {
+public:
+    /// Walk the image from its entry address. Never throws on malformed
+    /// control flow — problems are recorded as diagnostics and the walk
+    /// simply stops along that path.
+    explicit ImageCfg(const Image& image);
+
+    /// Sorted byte addresses of every instruction word a fetch can reach.
+    [[nodiscard]] const std::vector<std::uint32_t>& reachableAddrs() const noexcept {
+        return reachableAddrs_;
+    }
+    [[nodiscard]] bool isReachable(std::uint32_t byteAddr) const noexcept;
+
+    /// Shortest fetch path (by blocks) from the entry to `byteAddr`: the
+    /// entry addresses of the placed blocks traversed, ending with the block
+    /// containing `byteAddr`. Empty when the address is unreachable.
+    [[nodiscard]] std::vector<std::uint32_t> blockPathTo(std::uint32_t byteAddr) const;
+
+    [[nodiscard]] const std::vector<CfgDiagnostic>& diagnostics() const noexcept {
+        return diagnostics_;
+    }
+    [[nodiscard]] bool hasErrors() const noexcept;
+
+    /// Placement containing `byteAddr`, or nullptr (gaps, shared pools).
+    [[nodiscard]] const PlacedBlock* blockAt(std::uint32_t byteAddr) const noexcept;
+
+    /// Placed blocks never reached by any fetch path (dead code): indices
+    /// into image.placements().
+    [[nodiscard]] const std::vector<std::uint32_t>& deadBlocks() const noexcept {
+        return deadBlocks_;
+    }
+    /// Total words occupied by dead blocks (code + literals).
+    [[nodiscard]] std::uint32_t deadWords() const noexcept { return deadWords_; }
+
+    /// Human-readable location: "0x00000040 (main:loop+2)" when `module`
+    /// provides labels, bare hex otherwise.
+    [[nodiscard]] std::string describe(std::uint32_t byteAddr,
+                                       const Module* module = nullptr) const;
+
+private:
+    [[nodiscard]] std::uint32_t wordIndex(std::uint32_t byteAddr) const noexcept {
+        return (byteAddr - image_->baseAddr()) / 4;
+    }
+    void walk();
+    void addDiagnostic(CfgDiagKind kind, std::uint32_t from, std::uint32_t target);
+
+    const Image* image_;
+    std::vector<std::uint8_t> reachable_;       ///< per image word
+    std::vector<std::uint32_t> parent_;         ///< BFS predecessor (byte addr)
+    std::vector<std::uint32_t> reachableAddrs_; ///< sorted
+    std::vector<CfgDiagnostic> diagnostics_;
+    std::vector<std::uint32_t> blockStarts_;    ///< sorted placement entry addrs
+    std::vector<std::uint32_t> deadBlocks_;
+    std::uint32_t deadWords_ = 0;
+};
+
+} // namespace voltcache::analysis

@@ -1,0 +1,297 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "isa/builder.h"
+
+namespace voltcache::analysis {
+
+namespace {
+
+class Linter {
+public:
+    Linter(const Module& module, const LintOptions& options)
+        : module_(module), options_(options) {}
+
+    std::vector<LintFinding> run() {
+        if (module_.findFunction(module_.entryFunction) == nullptr) {
+            add(LintSeverity::Error, LintCode::EntryMissing, "", "", 0,
+                "entry function '" + module_.entryFunction + "' not found");
+        }
+        for (const Function& fn : module_.functions) lintFunction(fn);
+        lintCallGraph();
+        return std::move(findings_);
+    }
+
+private:
+    void add(LintSeverity severity, LintCode code, std::string function, std::string block,
+             std::uint32_t instIndex, std::string message) {
+        findings_.push_back(LintFinding{severity, code, std::move(function), std::move(block),
+                                        instIndex, std::move(message)});
+    }
+
+    void lintFunction(const Function& fn) {
+        if (fn.blocks.empty()) {
+            add(LintSeverity::Error, LintCode::EmptyFunction, fn.name, "", 0,
+                "function has no blocks");
+            return;
+        }
+        // Suffix sums of block sizes: suffix[b] = words of blocks b..end, the
+        // contiguous (best-case) distance from block b's start to the shared
+        // pool — BBR gaps only push the pool farther.
+        std::vector<std::uint32_t> suffix(fn.blocks.size() + 1, 0);
+        for (std::size_t b = fn.blocks.size(); b-- > 0;) {
+            suffix[b] = suffix[b + 1] + fn.blocks[b].sizeWords();
+        }
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            lintBlock(fn, fn.blocks[b], b, suffix[b + 1]);
+        }
+        lintReachability(fn);
+    }
+
+    void lintBlock(const Function& fn, const BasicBlock& block, std::size_t blockIndex,
+                   std::uint32_t wordsAfterBlock) {
+        const bool last = blockIndex + 1 == fn.blocks.size();
+        if (block.hasFallthrough()) {
+            if (last) {
+                add(LintSeverity::Error, LintCode::FallthroughPastFunctionEnd, fn.name,
+                    block.label, 0, "control falls off the function's last block");
+            } else if (options_.bbrMode) {
+                add(LintSeverity::Error, LintCode::FallthroughNotSealed, fn.name, block.label,
+                    0,
+                    "block may fall through: BBR placement cannot move it "
+                    "(run insertFallthroughJumps)");
+            } else if (!block.literalPool.empty()) {
+                add(LintSeverity::Error, LintCode::FallthroughIntoPool, fn.name, block.label,
+                    0, "block falls through into its own literal pool");
+            }
+        }
+        if (options_.maxBlockWords > 0 && block.sizeWords() > options_.maxBlockWords) {
+            add(LintSeverity::Error, LintCode::OversizedBlock, fn.name, block.label, 0,
+                "block is " + std::to_string(block.sizeWords()) +
+                    " words but the largest placeable fault-free chunk is " +
+                    std::to_string(options_.maxBlockWords) + " words (run breakLargeBlocks)");
+        }
+        for (const Relocation& reloc : block.relocs) {
+            lintRelocation(fn, block, blockIndex, reloc, wordsAfterBlock);
+        }
+        for (std::size_t i = 0; i < block.insts.size(); ++i) {
+            const Opcode op = block.insts[i].op;
+            const bool needsReloc =
+                isConditionalBranch(op) || op == Opcode::Jal || op == Opcode::Ldl;
+            if (needsReloc && block.relocFor(static_cast<std::uint32_t>(i)) == nullptr) {
+                add(LintSeverity::Error, LintCode::MissingRelocation, fn.name, block.label,
+                    static_cast<std::uint32_t>(i),
+                    std::string(mnemonic(op)) + " has no relocation: its target is undefined");
+            }
+        }
+    }
+
+    void lintRelocation(const Function& fn, const BasicBlock& block, std::size_t blockIndex,
+                        const Relocation& reloc, std::uint32_t wordsAfterBlock) {
+        (void)blockIndex;
+        if (reloc.instIndex >= block.insts.size()) {
+            add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                reloc.instIndex, "relocation points past the block's last instruction");
+            return;
+        }
+        const Opcode op = block.insts[reloc.instIndex].op;
+        switch (reloc.kind) {
+            case RelocKind::BlockTarget:
+                if (!isConditionalBranch(op) && op != Opcode::Jal) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex, "block-target relocation on non-branch " +
+                                             std::string(mnemonic(op)));
+                } else if (reloc.targetBlock >= fn.blocks.size()) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex,
+                        "branch targets nonexistent block #" + std::to_string(reloc.targetBlock) +
+                            " — not a block start");
+                }
+                break;
+            case RelocKind::FunctionTarget:
+                if (op != Opcode::Jal) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex,
+                        "call relocation on non-jal " + std::string(mnemonic(op)));
+                } else if (module_.findFunction(reloc.targetFunction) == nullptr) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex, "call to unknown function '" + reloc.targetFunction + "'");
+                }
+                break;
+            case RelocKind::SharedLiteral: {
+                if (op != Opcode::Ldl) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex,
+                        "literal relocation on non-ldl " + std::string(mnemonic(op)));
+                    break;
+                }
+                if (reloc.literalIndex >= fn.sharedLiteralPool.size()) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex, "shared literal index out of range");
+                    break;
+                }
+                // Best case: blocks and pool laid out contiguously. Any legal
+                // placement (BBR inserts gaps) only increases the distance.
+                const std::uint32_t minReach = (block.sizeWords() - reloc.instIndex) +
+                                               wordsAfterBlock + reloc.literalIndex;
+                if (minReach > options_.literalReachWords) {
+                    add(LintSeverity::Error, LintCode::LiteralOutOfReach, fn.name, block.label,
+                        reloc.instIndex,
+                        "shared pool slot is >= " + std::to_string(minReach) +
+                            " words away for every legal placement (reach " +
+                            std::to_string(options_.literalReachWords) +
+                            "): run moveLiteralPools");
+                }
+                break;
+            }
+            case RelocKind::BlockLiteral: {
+                if (op != Opcode::Ldl) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex,
+                        "literal relocation on non-ldl " + std::string(mnemonic(op)));
+                    break;
+                }
+                if (reloc.literalIndex >= block.literalPool.size()) {
+                    add(LintSeverity::Error, LintCode::BadRelocation, fn.name, block.label,
+                        reloc.instIndex, "block literal index out of range");
+                    break;
+                }
+                const std::uint32_t reach =
+                    static_cast<std::uint32_t>(block.insts.size()) - reloc.instIndex +
+                    reloc.literalIndex;
+                if (reach > options_.literalReachWords) {
+                    add(LintSeverity::Error, LintCode::LiteralOutOfReach, fn.name, block.label,
+                        reloc.instIndex,
+                        "block literal is " + std::to_string(reach) +
+                            " words away (reach " +
+                            std::to_string(options_.literalReachWords) + ")");
+                }
+                break;
+            }
+        }
+    }
+
+    /// Relocation-tolerant successor scan (compiler/cfg.h's successorsOf
+    /// asserts on malformed relocs; lint must not).
+    [[nodiscard]] std::vector<std::uint32_t> successors(const Function& fn,
+                                                        std::uint32_t blockIndex) const {
+        const BasicBlock& block = fn.blocks[blockIndex];
+        std::vector<std::uint32_t> out;
+        for (std::size_t i = 0; i < block.insts.size(); ++i) {
+            const Instruction& inst = block.insts[i];
+            if (!isConditionalBranch(inst.op) && !isUnconditionalJump(inst)) continue;
+            const Relocation* reloc = block.relocFor(static_cast<std::uint32_t>(i));
+            if (reloc != nullptr && reloc->kind == RelocKind::BlockTarget &&
+                reloc->targetBlock < fn.blocks.size()) {
+                out.push_back(reloc->targetBlock);
+            }
+        }
+        if (block.hasFallthrough() && blockIndex + 1 < fn.blocks.size()) {
+            out.push_back(blockIndex + 1);
+        }
+        return out;
+    }
+
+    void lintReachability(const Function& fn) {
+        std::vector<std::uint8_t> seen(fn.blocks.size(), 0);
+        std::deque<std::uint32_t> queue{0};
+        seen[0] = 1;
+        while (!queue.empty()) {
+            const std::uint32_t b = queue.front();
+            queue.pop_front();
+            for (const std::uint32_t next : successors(fn, b)) {
+                if (!seen[next]) {
+                    seen[next] = 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            if (seen[b]) continue;
+            add(LintSeverity::Warning, LintCode::UnreachableBlock, fn.name,
+                fn.blocks[b].label, 0,
+                "block is unreachable from the function entry: " +
+                    std::to_string(fn.blocks[b].sizeWords()) + " dead words");
+        }
+    }
+
+    void lintCallGraph() {
+        // A computed Jalr (rs1 != ra) may call anything: the call graph is
+        // then unknowable and the check is skipped.
+        for (const Function& fn : module_.functions) {
+            for (const BasicBlock& block : fn.blocks) {
+                for (const Instruction& inst : block.insts) {
+                    if (isIndirectJump(inst)) return;
+                }
+            }
+        }
+        const Function* entry = module_.findFunction(module_.entryFunction);
+        if (entry == nullptr) return;
+        std::vector<std::uint8_t> seen(module_.functions.size(), 0);
+        std::deque<const Function*> queue{entry};
+        seen[static_cast<std::size_t>(entry - module_.functions.data())] = 1;
+        while (!queue.empty()) {
+            const Function* fn = queue.front();
+            queue.pop_front();
+            for (const BasicBlock& block : fn->blocks) {
+                for (const Relocation& reloc : block.relocs) {
+                    if (reloc.kind != RelocKind::FunctionTarget) continue;
+                    const Function* callee = module_.findFunction(reloc.targetFunction);
+                    if (callee == nullptr) continue;
+                    const auto idx =
+                        static_cast<std::size_t>(callee - module_.functions.data());
+                    if (!seen[idx]) {
+                        seen[idx] = 1;
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        for (std::size_t f = 0; f < module_.functions.size(); ++f) {
+            if (seen[f]) continue;
+            add(LintSeverity::Warning, LintCode::UnreachableFunction,
+                module_.functions[f].name, "", 0,
+                "function is never called from '" + module_.entryFunction + "': " +
+                    std::to_string(module_.functions[f].totalWords()) + " dead words");
+        }
+    }
+
+    const Module& module_;
+    const LintOptions& options_;
+    std::vector<LintFinding> findings_;
+};
+
+} // namespace
+
+std::vector<LintFinding> lintModule(const Module& module, const LintOptions& options) {
+    return Linter(module, options).run();
+}
+
+bool hasLintErrors(const std::vector<LintFinding>& findings) noexcept {
+    return std::any_of(findings.begin(), findings.end(), [](const LintFinding& finding) {
+        return finding.severity == LintSeverity::Error;
+    });
+}
+
+std::string formatFindings(const std::vector<LintFinding>& findings) {
+    std::ostringstream out;
+    for (const LintFinding& finding : findings) {
+        out << (finding.severity == LintSeverity::Error ? "error: " : "warning: ");
+        if (!finding.function.empty()) {
+            out << finding.function;
+            if (!finding.block.empty()) out << ':' << finding.block;
+            out << ": ";
+        }
+        out << finding.message << '\n';
+    }
+    return out.str();
+}
+
+std::uint32_t maxPlaceableBlockWords(const FaultMap& map) {
+    return map.largestPlaceableChunkWords();
+}
+
+} // namespace voltcache::analysis

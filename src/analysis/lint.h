@@ -1,0 +1,72 @@
+// Static lint over compiler output (a Module), run *before* BBR placement.
+//
+// The linker and runtime discover ill-formed module shapes late — a
+// fall-through block aborts link(), an oversized block becomes a yield
+// loss, an out-of-reach literal throws mid-relocation. This pass detects
+// every such shape up front, collecting all findings instead of stopping at
+// the first (Module::validate() throws on the first), so toolchain users
+// get one complete report per module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_map.h"
+#include "isa/module.h"
+
+namespace voltcache::analysis {
+
+enum class LintSeverity : std::uint8_t { Warning, Error };
+
+enum class LintCode : std::uint8_t {
+    EntryMissing,             ///< entry function not found (error)
+    EmptyFunction,            ///< function with no blocks (error)
+    FallthroughNotSealed,     ///< block may fall through — BBR placement will
+                              ///< reject it (error in BBR mode)
+    FallthroughPastFunctionEnd, ///< last block falls off the function (error)
+    FallthroughIntoPool,      ///< block falls into its own literal pool (error)
+    OversizedBlock,           ///< larger than the largest placeable chunk (error)
+    LiteralOutOfReach,        ///< pool slot beyond ±reach for ANY legal placement
+    MissingRelocation,        ///< branch/jal/ldl without a relocation (error)
+    BadRelocation,            ///< reloc shape broken: bad target/index/opcode
+    UnreachableBlock,         ///< dead code in the intra-function CFG (warning)
+    UnreachableFunction,      ///< never called from the entry (warning)
+};
+
+struct LintFinding {
+    LintSeverity severity = LintSeverity::Error;
+    LintCode code = LintCode::BadRelocation;
+    std::string function;
+    std::string block;        ///< empty for function-level findings
+    std::uint32_t instIndex = 0;
+    std::string message;
+};
+
+struct LintOptions {
+    /// Require BBR-placeable shape (sealed fall-throughs everywhere). When
+    /// false, only shapes the conventional linker rejects are errors.
+    bool bbrMode = true;
+    /// Largest block the placer could ever fit (0 = skip the check). Derive
+    /// from a fault map with maxPlaceableBlockWords().
+    std::uint32_t maxBlockWords = 0;
+    /// PC-relative literal reach in words (LinkOptions::literalReachWords).
+    std::uint32_t literalReachWords = 1024;
+};
+
+/// Run every lint check; findings are ordered by function/block. Never
+/// throws on malformed modules — that is the point.
+[[nodiscard]] std::vector<LintFinding> lintModule(const Module& module,
+                                                  const LintOptions& options = {});
+
+[[nodiscard]] bool hasLintErrors(const std::vector<LintFinding>& findings) noexcept;
+
+/// "error: main:loop: ..." lines, one per finding.
+[[nodiscard]] std::string formatFindings(const std::vector<LintFinding>& findings);
+
+/// Longest run of fault-free words in the flat cache space, merging across
+/// the wraparound boundary (Algorithm 1 scans modularly): the size of the
+/// largest basic block that could ever be placed on this map.
+[[nodiscard]] std::uint32_t maxPlaceableBlockWords(const FaultMap& map);
+
+} // namespace voltcache::analysis

@@ -1,0 +1,58 @@
+#include "analysis/placement_prover.h"
+
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace voltcache::analysis {
+
+PlacementProof provePlacement(const Image& image, const FaultMap& icacheFaultMap,
+                              const Module* module) {
+    VC_EXPECTS(icacheFaultMap.totalWords() > 0);
+    const std::uint32_t cacheWords = icacheFaultMap.totalWords();
+
+    ImageCfg cfg(image);
+    PlacementProof proof;
+    proof.cfgDiagnostics = cfg.diagnostics();
+    proof.reachableWords = static_cast<std::uint32_t>(cfg.reachableAddrs().size());
+    proof.deadBlocks = static_cast<std::uint32_t>(cfg.deadBlocks().size());
+    proof.deadWords = cfg.deadWords();
+    proof.reachableBlocks =
+        static_cast<std::uint32_t>(image.placements().size()) - proof.deadBlocks;
+
+    for (const std::uint32_t addr : cfg.reachableAddrs()) {
+        const std::uint32_t cacheWord = (addr / 4) % cacheWords;
+        if (!icacheFaultMap.isFaultyFlat(cacheWord)) continue;
+        ViolationPath violation;
+        violation.byteAddr = addr;
+        violation.cacheWord = cacheWord;
+        violation.blockChain = cfg.blockPathTo(addr);
+        std::ostringstream text;
+        text << "reachable word " << cfg.describe(addr, module) << " maps to defective cache word "
+             << cacheWord << "; fetch path:";
+        for (const std::uint32_t blockAddr : violation.blockChain) {
+            text << ' ' << cfg.describe(blockAddr, module);
+        }
+        violation.description = text.str();
+        proof.violations.push_back(std::move(violation));
+    }
+
+    proof.verified = proof.violations.empty() && !cfg.hasErrors();
+    return proof;
+}
+
+std::string formatProof(const PlacementProof& proof) {
+    std::ostringstream out;
+    for (const auto& diag : proof.cfgDiagnostics) {
+        out << (diag.isError() ? "error: " : "warning: ") << diag.message << '\n';
+    }
+    for (const auto& violation : proof.violations) {
+        out << "violation: " << violation.description << '\n';
+    }
+    if (!proof.verified && proof.violations.empty() && proof.cfgDiagnostics.empty()) {
+        out << "error: image not verifiable\n";
+    }
+    return out.str();
+}
+
+} // namespace voltcache::analysis

@@ -1,0 +1,53 @@
+// Static BBR placement prover (the paper's invariant, proved before any
+// simulation): in direct-mapped low-voltage mode, every instruction word a
+// fetch can reach must map to a fault-free I-cache word. The runtime check
+// (BbrICache's PlacementViolation) catches a bad placement only when the
+// program happens to fetch it; this prover decides the property over the
+// whole image CFG, reporting each violating path, so the Monte Carlo yield
+// harness can reject a (binary, fault map) pair without running it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/image_cfg.h"
+#include "faults/fault_map.h"
+#include "isa/module.h"
+#include "linker/image.h"
+
+namespace voltcache::analysis {
+
+/// One reachable word that maps to a defective cache word, with the fetch
+/// path that reaches it.
+struct ViolationPath {
+    std::uint32_t byteAddr = 0;  ///< the violating instruction word
+    std::uint32_t cacheWord = 0; ///< flat defective cache word it maps to
+    /// Entry addresses of the placed blocks on the shortest fetch path from
+    /// the program entry to the violating block.
+    std::vector<std::uint32_t> blockChain;
+    std::string description; ///< rendered path, one line
+};
+
+struct PlacementProof {
+    bool verified = false; ///< no violations and no CFG errors
+    std::vector<ViolationPath> violations;
+    std::vector<CfgDiagnostic> cfgDiagnostics;
+
+    std::uint32_t reachableWords = 0;
+    std::uint32_t reachableBlocks = 0;
+    std::uint32_t deadBlocks = 0;
+    std::uint32_t deadWords = 0; ///< placed but unreachable (wasted gap budget)
+};
+
+/// Prove the BBR invariant for `image` against `icacheFaultMap` (cache
+/// geometry is the map's: csize = totalWords). `module`, when given, labels
+/// diagnostics with function:block names.
+[[nodiscard]] PlacementProof provePlacement(const Image& image,
+                                            const FaultMap& icacheFaultMap,
+                                            const Module* module = nullptr);
+
+/// Multi-line human-readable report (empty string when verified clean).
+[[nodiscard]] std::string formatProof(const PlacementProof& proof);
+
+} // namespace voltcache::analysis

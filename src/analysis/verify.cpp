@@ -1,0 +1,41 @@
+#include "analysis/verify.h"
+
+#include "common/contracts.h"
+
+namespace voltcache::analysis {
+
+VerifyReport verifyImage(const Module& module, const Image& image, const FaultMap& map,
+                         const LintOptions& lintOptions) {
+    VerifyReport report;
+    report.lint = lintModule(module, lintOptions);
+    report.proof = provePlacement(image, map, &module);
+    return report;
+}
+
+VerifyReport verifyImage(const Module& module, const Image& image, const FaultMap& map) {
+    LintOptions lintOptions;
+    lintOptions.maxBlockWords = maxPlaceableBlockWords(map);
+    return verifyImage(module, image, map, lintOptions);
+}
+
+std::string formatReport(const VerifyReport& report) {
+    return formatFindings(report.lint) + formatProof(report.proof);
+}
+
+void attachStaticVerifier(LinkOptions& options, const Module* module) {
+    VC_EXPECTS(options.bbrPlacement && options.icacheFaultMap != nullptr);
+    const FaultMap* map = options.icacheFaultMap;
+    options.postLinkVerifier = [map, module](const Image& image) {
+        const PlacementProof proof = provePlacement(image, *map, module);
+        if (!proof.verified) {
+            throw LinkError("static placement proof failed:\n" + formatProof(proof));
+        }
+    };
+}
+
+LinkOutput linkVerified(const Module& module, LinkOptions options) {
+    attachStaticVerifier(options, &module);
+    return link(module, options);
+}
+
+} // namespace voltcache::analysis

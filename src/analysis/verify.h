@@ -1,0 +1,46 @@
+// Top-level static verification entry points: the pieces vcverify, the
+// linker hook, and the Monte Carlo harness share.
+#pragma once
+
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/placement_prover.h"
+#include "faults/fault_map.h"
+#include "isa/module.h"
+#include "linker/linker.h"
+
+namespace voltcache::analysis {
+
+struct VerifyReport {
+    std::vector<LintFinding> lint;
+    PlacementProof proof;
+
+    [[nodiscard]] bool ok() const noexcept {
+        return proof.verified && !hasLintErrors(lint);
+    }
+};
+
+/// Lint `module`, then prove the BBR placement of `image` against `map`.
+/// Lint options default to BBR mode with maxBlockWords derived from `map`.
+[[nodiscard]] VerifyReport verifyImage(const Module& module, const Image& image,
+                                       const FaultMap& map,
+                                       const LintOptions& lintOptions);
+[[nodiscard]] VerifyReport verifyImage(const Module& module, const Image& image,
+                                       const FaultMap& map);
+
+/// Full report text: lint findings then proof diagnostics.
+[[nodiscard]] std::string formatReport(const VerifyReport& report);
+
+/// Arm `options` so link() statically proves the placement of the image it
+/// just emitted (against options.icacheFaultMap) and throws LinkError with
+/// per-path diagnostics on failure. Requires bbrPlacement with a fault map;
+/// `module` (optional, must outlive the link call) labels diagnostics.
+void attachStaticVerifier(LinkOptions& options, const Module* module = nullptr);
+
+/// link() + static placement proof in one call. On a placement the prover
+/// rejects, throws LinkError (so Monte Carlo yield-loss accounting treats a
+/// disproved placement exactly like an unplaceable one).
+[[nodiscard]] LinkOutput linkVerified(const Module& module, LinkOptions options);
+
+} // namespace voltcache::analysis

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <optional>
 
+#include "analysis/verify.h"
 #include "common/contracts.h"
 #include "faults/fault_map.h"
 #include "schemes/static_overheads.h"
@@ -49,7 +50,9 @@ SystemResult simulateSystem(const Module& module, const Module* bbrModule,
             LinkOptions options;
             options.bbrPlacement = true;
             options.icacheFaultMap = &icacheMap;
-            linked = link(*bbrModule, options);
+            // Statically prove the placement before any simulation: the
+            // runtime PlacementViolation path never fires on verified images.
+            linked = analysis::linkVerified(*bbrModule, options);
         } else {
             linked = link(module);
         }

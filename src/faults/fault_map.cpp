@@ -74,6 +74,21 @@ std::vector<FaultFreeChunk> FaultMap::faultFreeChunks() const {
     return chunks;
 }
 
+std::uint32_t FaultMap::largestPlaceableChunkWords() const {
+    if (clean()) return totalWords();
+    const std::vector<FaultFreeChunk> chunks = faultFreeChunks();
+    std::uint32_t best = 0;
+    for (const FaultFreeChunk& chunk : chunks) {
+        if (chunk.length > best) best = chunk.length;
+    }
+    if (chunks.size() >= 2 && chunks.front().startWord == 0 &&
+        chunks.back().startWord + chunks.back().length == totalWords()) {
+        const std::uint32_t wrapped = chunks.front().length + chunks.back().length;
+        if (wrapped > best) best = wrapped;
+    }
+    return best;
+}
+
 FaultMap FaultMapGenerator::generate(Rng& rng, Voltage v, std::uint32_t lines,
                                      std::uint32_t wordsPerLine) const {
     const double pWord = model_.pFailStructure(v, bitsPerWord_);

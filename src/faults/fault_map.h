@@ -58,6 +58,11 @@ public:
     /// space (no wraparound merging; Algorithm 1 handles the modular scan).
     [[nodiscard]] std::vector<FaultFreeChunk> faultFreeChunks() const;
 
+    /// Longest fault-free run under Algorithm 1's modular scan — a run
+    /// ending at the last flat word continues into one starting at word 0.
+    /// This is the largest basic block the BBR linker could ever place.
+    [[nodiscard]] std::uint32_t largestPlaceableChunkWords() const;
+
     /// True if no word is defective.
     [[nodiscard]] bool clean() const noexcept { return faultyWords_ == 0; }
 

@@ -81,6 +81,21 @@ struct Instruction {
     return isLoad(op) || isStore(op);
 }
 
+/// Whole-instruction classification, folding in the register conventions
+/// (r0 discards the link value; r15/ra holds return addresses).
+[[nodiscard]] constexpr bool isCall(const Instruction& inst) noexcept {
+    return inst.op == Opcode::Jal && inst.rd != kZeroRegister;
+}
+[[nodiscard]] constexpr bool isUnconditionalJump(const Instruction& inst) noexcept {
+    return inst.op == Opcode::Jal && inst.rd == kZeroRegister;
+}
+[[nodiscard]] constexpr bool isReturn(const Instruction& inst) noexcept {
+    return inst.op == Opcode::Jalr && inst.rs1 == kLinkRegister;
+}
+[[nodiscard]] constexpr bool isIndirectJump(const Instruction& inst) noexcept {
+    return inst.op == Opcode::Jalr && inst.rs1 != kLinkRegister;
+}
+
 /// Mnemonic for disassembly and diagnostics.
 [[nodiscard]] std::string_view mnemonic(Opcode op) noexcept;
 

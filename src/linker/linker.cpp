@@ -210,7 +210,9 @@ private:
 
 LinkOutput link(const Module& module, const LinkOptions& options) {
     module.validate();
-    return LinkContext(module, options).run();
+    LinkOutput out = LinkContext(module, options).run();
+    if (options.postLinkVerifier) options.postLinkVerifier(out.image);
+    return out;
 }
 
 std::uint32_t countPlacementViolations(const Image& image, const FaultMap& icacheFaultMap) {

@@ -10,6 +10,7 @@
 // PC-relative literal loads (whose ±4KB page reach is enforced).
 #pragma once
 
+#include <functional>
 #include <stdexcept>
 
 #include "faults/fault_map.h"
@@ -36,6 +37,11 @@ struct LinkOptions {
     const FaultMap* icacheFaultMap = nullptr;
     /// PC-relative literal reach: one 4KB page (paper Fig. 8), in words.
     std::uint32_t literalReachWords = 1024;
+    /// Optional post-link static verifier, invoked with the emitted image.
+    /// Should throw LinkError to reject the link (the Monte Carlo harness
+    /// then counts it as a yield loss). analysis::attachStaticVerifier()
+    /// installs the BBR placement prover here.
+    std::function<void(const Image&)> postLinkVerifier;
 };
 
 struct LinkStats {

@@ -49,8 +49,13 @@ AccessResult BbrICache::fetch(std::uint32_t addr) {
     const std::uint32_t way = mapper_.directWay(addr);
     if (enforcePlacement_ &&
         faultMap_.isFaulty(mapper_.physicalLine(set, way), mapper_.wordOffset(addr))) {
-        throw PlacementViolation("BBR: fetch of address " + std::to_string(addr) +
-                                 " touches a defective I-cache word");
+        throw PlacementViolation(
+            "BBR: fetch of address " + std::to_string(addr) +
+            " touches a defective I-cache word (line " +
+            std::to_string(mapper_.physicalLine(set, way)) + ", word " +
+            std::to_string(mapper_.wordOffset(addr)) +
+            ") — the image was not placed against this fault map; "
+            "analysis::provePlacement / tools/vcverify catches this statically");
     }
     if (tags_.probeWay(set, way, tag)) {
         ++stats_.hits;

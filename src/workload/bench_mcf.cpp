@@ -15,7 +15,6 @@ Module buildMcf(WorkloadScale scale) {
     const std::uint32_t poolRecords = scalePick(scale, 512, 4096, 8192);
     const std::uint32_t cycleLength = scalePick(scale, 128, 768, 1536);
     const std::uint32_t steps = scalePick(scale, 4000, 40000, 160000);
-    constexpr std::uint32_t kRecordBytes = 32;
     constexpr std::int32_t kScatterStride = 2731; // odd => coprime with 2^k pools
 
     ModuleBuilder mb;
@@ -50,7 +49,7 @@ Module buildMcf(WorkloadScale scale) {
         f.rem(r7, r7, r10); // (k+1) mod C
         f.mul(r7, r7, r1);
         f.rem(r7, r7, r8); // jn
-        f.slli(r3, r5, 5); // * kRecordBytes
+        f.slli(r3, r5, 5); // * 32-byte record
         f.add(r3, r9, r3); // &rec[j]
         f.slli(r7, r7, 5);
         f.add(r7, r9, r7); // &rec[jn]

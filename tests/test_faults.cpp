@@ -188,7 +188,9 @@ TEST(FaultMap, ChunksCoverExactlyTheFaultFreeWords) {
             EXPECT_FALSE(map.isFaultyFlat(chunk.startWord + i));
         }
         // The word before and after each chunk must be faulty or a border.
-        if (chunk.startWord > 0) EXPECT_TRUE(map.isFaultyFlat(chunk.startWord - 1));
+        if (chunk.startWord > 0) {
+            EXPECT_TRUE(map.isFaultyFlat(chunk.startWord - 1));
+        }
         if (chunk.startWord + chunk.length < map.totalWords()) {
             EXPECT_TRUE(map.isFaultyFlat(chunk.startWord + chunk.length));
         }

@@ -2,6 +2,7 @@
 // BBR first-fit placement of Algorithm 1.
 #include <gtest/gtest.h>
 
+#include "analysis/placement_prover.h"
 #include "compiler/passes.h"
 #include "cpu/simulator.h"
 #include "faults/fault_map.h"
@@ -221,6 +222,11 @@ TEST_P(BbrPlacementProperty, NoViolationsAt400mV) {
         try {
             const LinkOutput out = link(module, options);
             EXPECT_EQ(countPlacementViolations(out.image, map), 0u) << info.name;
+            // The static prover decides the same invariant over the image
+            // CFG — strictly stronger diagnostics than the word counter.
+            const auto proof = analysis::provePlacement(out.image, map, &module);
+            EXPECT_TRUE(proof.verified) << info.name << ":\n"
+                                        << analysis::formatProof(proof);
             EXPECT_GT(out.stats.gapWords, 0u) << info.name;
         } catch (const LinkError&) {
             // A genuinely unplaceable map is a yield loss, not a bug.

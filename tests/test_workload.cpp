@@ -104,12 +104,13 @@ TEST(Workload, QsortActuallySorts) {
     // is reproducible on the host with the same LCG.
     const auto outcome = runBenchmark("qsort", WorkloadScale::Tiny);
     std::uint32_t seed = 0x1234567;
-    std::int32_t sum = 0;
+    std::uint32_t sum = 0; // unsigned: mirrors the machine's wrapping 32-bit adds
     for (int i = 0; i < 256; ++i) {
         seed = seed * 1103515245u + 12345u;
-        sum += static_cast<std::int32_t>(seed);
+        sum += seed;
     }
-    EXPECT_EQ(outcome.checksum, sum) << "inversions present or sum corrupted";
+    EXPECT_EQ(static_cast<std::uint32_t>(outcome.checksum), sum)
+        << "inversions present or sum corrupted";
 }
 
 TEST(Workload, Crc32MatchesHostImplementation) {

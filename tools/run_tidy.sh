@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config: .clang-tidy at the repo root) over the library and
+# tool sources. Usage:
+#
+#   tools/run_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# The build dir must have a compile_commands.json; the script configures one
+# with CMAKE_EXPORT_COMPILE_COMMANDS=ON if it is missing. Exits 0 when no
+# findings remain, nonzero otherwise; exits 0 with a notice when clang-tidy
+# is not installed (CI images without LLVM skip the pass rather than fail).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+    echo "run_tidy: $TIDY not found in PATH; skipping (install clang-tidy to enable)"
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy: generating compile_commands.json in $build_dir"
+    cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+# All first-party translation units; benchmarks/tests inherit fixes through
+# the headers they include.
+files=$(find "$repo_root/src" "$repo_root/tools" "$repo_root/examples" \
+        -name '*.cpp' | sort)
+
+echo "run_tidy: checking $(printf '%s\n' "$files" | wc -l) files"
+exec "$TIDY" -p "$build_dir" --quiet "$@" $files

@@ -3,6 +3,9 @@
 //   voltcache run <prog.s | benchmark> [--scheme S] [--mv V] [--seed N]
 //       assemble (or build) a program, link it (BBR placement when the
 //       scheme needs it), simulate one chip, print stats
+//   voltcache verify <prog.s | benchmark> [--mv V] [--seed N]
+//       statically verify the BBR link: module lint + placement proof over
+//       the image CFG (see tools/vcverify for the full verifier)
 //   voltcache disasm <prog.s | benchmark> [--bbr]
 //       print the listing, optionally after the BBR transformations
 //   voltcache faultmap [--mv V] [--seed N] [-o FILE]
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verify.h"
 #include "common/table.h"
 #include "core/sweep.h"
 #include "faults/fault_map_io.h"
@@ -148,6 +152,44 @@ int cmdRun(const Args& args) {
     return 0;
 }
 
+int cmdVerify(const Args& args) {
+    // Static verification (see tools/vcverify.cpp for the full-featured
+    // verifier): BBR-transform, lint, link against this chip's fault map,
+    // and prove the placement over the image CFG.
+    if (args.positional.empty()) throw std::runtime_error("verify: need a program");
+    Module module = loadProgram(args.positional);
+    applyBbrTransforms(module);
+
+    Rng rng(std::stoull(args.get("seed", "1")));
+    const FaultMapGenerator generator;
+    const FaultMap map = generator.generate(
+        rng, Voltage::fromMillivolts(std::stod(args.get("mv", "400"))), 1024, 8);
+
+    analysis::LintOptions lintOptions;
+    lintOptions.maxBlockWords = analysis::maxPlaceableBlockWords(map);
+    const auto findings = analysis::lintModule(module, lintOptions);
+    std::fputs(analysis::formatFindings(findings).c_str(), stdout);
+
+    LinkOptions options;
+    options.bbrPlacement = true;
+    options.icacheFaultMap = &map;
+    std::optional<LinkOutput> out;
+    try {
+        out = link(module, options);
+    } catch (const LinkError& e) {
+        std::printf("link failure (yield loss): %s\n", e.what());
+        return 1;
+    }
+    const analysis::PlacementProof proof =
+        analysis::provePlacement(out->image, map, &module);
+    std::fputs(analysis::formatProof(proof).c_str(), stdout);
+    const bool ok = proof.verified && !analysis::hasLintErrors(findings);
+    std::printf("%s: %u reachable words over %u blocks, %zu violation(s)\n",
+                ok ? "VERIFIED" : "REJECTED", proof.reachableWords,
+                proof.reachableBlocks, proof.violations.size());
+    return ok ? 0 : 1;
+}
+
 int cmdDisasm(const Args& args) {
     if (args.positional.empty()) throw std::runtime_error("disasm: need a program");
     Module module = loadProgram(args.positional);
@@ -223,6 +265,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage: voltcache <command> [options]\n"
                  "  run <prog.s|benchmark> [--scheme S] [--mv V] [--seed N]\n"
+                 "  verify <prog.s|benchmark> [--mv V] [--seed N]\n"
                  "  disasm <prog.s|benchmark> [--bbr]\n"
                  "  faultmap [--mv V] [--seed N] [-o FILE]\n"
                  "  yield [--bits N] [--target Y]\n"
@@ -239,6 +282,7 @@ int main(int argc, char** argv) {
     try {
         const Args args = parseArgs(argc, argv, 2);
         if (command == "run") return cmdRun(args);
+        if (command == "verify") return cmdVerify(args);
         if (command == "disasm") return cmdDisasm(args);
         if (command == "faultmap") return cmdFaultmap(args);
         if (command == "yield") return cmdYield(args);
