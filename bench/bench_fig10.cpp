@@ -9,6 +9,7 @@
 //    slowdowns while the 0-cycle schemes (simple-wdis, ffw+bbr) lose little;
 //  * below 480mV simple-wdis collapses from L2 traffic and fba+/idc+
 //    overtake it; ffw+bbr stays best throughout.
+#include "bench_export.h"
 #include "bench_util.h"
 #include "common/table.h"
 
@@ -67,5 +68,17 @@ int main() {
                     schemeName(scheme).data(), ci.halfWidth, ci.relativeMargin() * 100.0,
                     cell.runs);
     }
+
+    std::vector<bench::BenchMetric> metrics;
+    for (const SchemeKind scheme : paperSchemes()) {
+        for (const auto& point : points) {
+            const SweepCell& cell = result.cell(scheme, point.voltage);
+            if (cell.runs == 0) continue;
+            const int mv = static_cast<int>(point.voltage.millivolts() + 0.5);
+            metrics.push_back(bench::cellMetric("norm_runtime", scheme, mv,
+                                                cell.normRuntime, "ratio"));
+        }
+    }
+    bench::writeBenchJson("fig10", config, metrics);
     return 0;
 }

@@ -5,6 +5,7 @@
 // Shape check (paper Section VI-B): ffw+bbr is the only architectural
 // scheme whose L2 traffic stays acceptable at 400mV; simple-wdis explodes
 // once nearly every line contains defective words.
+#include "bench_export.h"
 #include "bench_util.h"
 #include "common/table.h"
 
@@ -41,5 +42,17 @@ int main() {
                 "capturing likely accesses in the D-cache windows and keeping fetches\n"
                 "off defective I-cache words (paper: the only acceptable increase).\n",
                 wdis.l2PerKilo.mean() / ffw.l2PerKilo.mean());
+
+    std::vector<bench::BenchMetric> metrics;
+    for (const SchemeKind scheme : paperSchemes()) {
+        for (const auto& point : points) {
+            const SweepCell& cell = result.cell(scheme, point.voltage);
+            if (cell.runs == 0) continue;
+            const int mv = static_cast<int>(point.voltage.millivolts() + 0.5);
+            metrics.push_back(bench::cellMetric("l2_per_kilo", scheme, mv,
+                                                cell.l2PerKilo, "accesses/1k-instr"));
+        }
+    }
+    bench::writeBenchJson("fig11", config, metrics);
     return 0;
 }

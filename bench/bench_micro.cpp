@@ -1,14 +1,19 @@
 // Google-benchmark microbenchmarks of the library's hot paths: fault-map
-// generation, BIST, scheme access loops, BBR linking, and end-to-end
-// simulation throughput. These guard the Monte Carlo harness's performance
-// (a full paper-scale sweep runs ~100k simulations).
+// generation, BIST, scheme access loops, BBR linking, observability
+// primitives, and end-to-end simulation throughput. These guard the Monte
+// Carlo harness's performance (a full paper-scale sweep runs ~100k
+// simulations). A custom reporter mirrors every run into BENCH_micro.json
+// (see bench_export.h) so CI can diff the numbers.
 #include <benchmark/benchmark.h>
 
+#include "bench_export.h"
 #include "compiler/passes.h"
 #include "core/system.h"
 #include "cpu/simulator.h"
 #include "faults/bist.h"
 #include "linker/linker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schemes/conventional.h"
 #include "schemes/factory.h"
 #include "schemes/ffw.h"
@@ -56,6 +61,29 @@ void BM_FfwReadLoop(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FfwReadLoop);
+
+// The trace-enabled twin of BM_FfwReadLoop: same access pattern with a sink
+// attached, so `(traced - plain) / plain` bounds the tracing overhead. With
+// NO sink attached the only cost on this path is one relaxed atomic load
+// (see BM_ObsTraceDisabled) plus the recenter counter — the acceptance bar
+// is <= 1% there.
+void BM_FfwReadLoopTraced(benchmark::State& state) {
+    const FaultMapGenerator generator;
+    Rng rng(3);
+    const CacheOrganization org;
+    const FaultMap map = generator.generate(rng, 400_mV, org.lines(), org.wordsPerBlock());
+    L2Cache l2;
+    FfwDCache dcache(org, map, l2);
+    obs::TraceSink sink;
+    const obs::ScopedTraceSink guard(&sink);
+    std::uint32_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dcache.read(addr));
+        addr = (addr + 4) % (64 * 1024);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FfwReadLoopTraced);
 
 void BM_SimpleWdisReadLoop(benchmark::State& state) {
     const FaultMapGenerator generator;
@@ -121,4 +149,80 @@ void BM_EndToEndSystemLeg(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSystemLeg)->Unit(benchmark::kMillisecond);
 
+// Cost of bumping a pre-resolved counter handle (one relaxed atomic add on
+// a per-thread cell) — the unit of overhead each instrumented hot path pays.
+void BM_ObsCounterAdd(benchmark::State& state) {
+    obs::Counter counter =
+        obs::MetricsRegistry::global().counter("bench.counter_add");
+    for (auto _ : state) {
+        counter.add();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+// Cost of the trace-point guard when no sink is attached: a single relaxed
+// atomic load and a branch. This is what every instrumented path pays in a
+// production sweep.
+void BM_ObsTraceDisabled(benchmark::State& state) {
+    for (auto _ : state) {
+        if (obs::TraceSink* sink = obs::traceSink()) {
+            sink->record("bench.never", "bench", {});
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceDisabled);
+
+// Cost of an armed trace point: ring-slot write under the sink mutex.
+void BM_ObsTraceRecord(benchmark::State& state) {
+    obs::TraceSink sink;
+    const obs::ScopedTraceSink guard(&sink);
+    for (auto _ : state) {
+        if (obs::TraceSink* active = obs::traceSink()) {
+            active->record("bench.event", "bench", {{"i", 1}});
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceRecord);
+
+/// ConsoleReporter that also captures every iteration run, so main() can
+/// export BENCH_micro.json after the normal console output.
+class ExportingReporter : public benchmark::ConsoleReporter {
+  public:
+    void ReportRuns(const std::vector<Run>& reports) override {
+        for (const Run& run : reports) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+            voltcache::bench::BenchMetric metric;
+            metric.name = run.benchmark_name();
+            metric.value = run.GetAdjustedRealTime();
+            metric.unit = benchmark::GetTimeUnitString(run.time_unit);
+            metric.samples = static_cast<std::uint64_t>(run.iterations);
+            metrics_.push_back(metric);
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    [[nodiscard]] const std::vector<voltcache::bench::BenchMetric>& metrics() const {
+        return metrics_;
+    }
+
+  private:
+    std::vector<voltcache::bench::BenchMetric> metrics_;
+};
+
 } // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    ExportingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    // Micro benches have no sweep config; export with the defaults so the
+    // JSON schema matches the figure benches.
+    voltcache::bench::writeBenchJson("micro", voltcache::bench::defaultSweepConfig(),
+                                     reporter.metrics());
+    return 0;
+}

@@ -39,3 +39,11 @@ namespace detail {
     do {                                                                                \
         if (!(cond)) ::voltcache::detail::contractFail("Ensures", #cond, __FILE__, __LINE__); \
     } while (false)
+
+/// Internal-consistency check (neither pre- nor postcondition): two
+/// independently maintained pieces of state must agree, e.g. per-scheme
+/// L1Stats::l2Reads reconciling with the simulator's ActivityCounts.
+#define VC_CHECK(cond)                                                                  \
+    do {                                                                                \
+        if (!(cond)) ::voltcache::detail::contractFail("Check", #cond, __FILE__, __LINE__); \
+    } while (false)

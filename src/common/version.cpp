@@ -1,0 +1,11 @@
+#include "common/version.h"
+
+#ifndef VOLTCACHE_GIT_DESCRIBE
+#define VOLTCACHE_GIT_DESCRIBE "unknown"
+#endif
+
+namespace voltcache {
+
+std::string_view buildVersion() noexcept { return VOLTCACHE_GIT_DESCRIBE; }
+
+} // namespace voltcache

@@ -1,0 +1,12 @@
+// Build identity for exported artifacts (BENCH_*.json, --json exports).
+#pragma once
+
+#include <string_view>
+
+namespace voltcache {
+
+/// `git describe --always --dirty` captured at configure time, or "unknown"
+/// when the source tree is not a git checkout.
+[[nodiscard]] std::string_view buildVersion() noexcept;
+
+} // namespace voltcache

@@ -1,0 +1,171 @@
+#include "core/report.h"
+
+#include "schemes/scheme.h"
+
+namespace voltcache {
+
+void writeJson(JsonWriter& json, const RunningStats& stats, double ciLevel) {
+    json.beginObject();
+    json.member("n", stats.count());
+    json.member("mean", stats.mean());
+    json.member("stddev", stats.stddev());
+    json.member("min", stats.min());
+    json.member("max", stats.max());
+    json.member("ciHalfWidth", confidenceInterval(stats, ciLevel).halfWidth);
+    json.endObject();
+}
+
+void writeJson(JsonWriter& json, const L1Stats& stats) {
+    json.beginObject();
+    json.member("accesses", stats.accesses);
+    json.member("hits", stats.hits);
+    json.member("lineMisses", stats.lineMisses);
+    json.member("wordMisses", stats.wordMisses);
+    json.member("l2Reads", stats.l2Reads);
+    json.member("missRatio", stats.missRatio());
+    json.endObject();
+}
+
+void writeJson(JsonWriter& json, const RunStats& stats) {
+    json.beginObject();
+    json.member("instructions", stats.instructions);
+    json.member("cycles", stats.cycles);
+    json.member("halted", stats.halted);
+    json.member("ipc", stats.ipc());
+    json.member("loads", stats.loads);
+    json.member("stores", stats.stores);
+    json.member("condBranches", stats.condBranches);
+    json.member("takenBranches", stats.takenBranches);
+    json.member("mispredicts", stats.mispredicts);
+    json.member("busyCycles", stats.busyCycles());
+    json.member("ifetchStallCycles", stats.ifetchStallCycles);
+    json.member("dmemStallCycles", stats.dmemStallCycles);
+    json.member("branchStallCycles", stats.branchStallCycles);
+    json.member("execStallCycles", stats.execStallCycles);
+    json.member("l2Accesses", stats.activity.l2Accesses);
+    json.member("l2AccessesPerKilo", stats.l2AccessesPerKilo());
+    json.endObject();
+}
+
+void writeJson(JsonWriter& json, const LinkStats& stats) {
+    json.beginObject();
+    json.member("blocksPlaced", stats.blocksPlaced);
+    json.member("gapWords", stats.gapWords);
+    json.member("imageWords", stats.imageWords);
+    json.member("codeWords", stats.codeWords);
+    json.member("largestBlockWords", stats.largestBlockWords);
+    json.member("scanRestarts", stats.scanRestarts);
+    json.member("wrapArounds", stats.wrapArounds);
+    json.endObject();
+}
+
+void writeJson(JsonWriter& json, const SweepCell& cell, double ciLevel) {
+    json.beginObject();
+    json.member("runs", cell.runs);
+    json.member("linkFailures", cell.linkFailures);
+    json.key("normRuntime");
+    writeJson(json, cell.normRuntime, ciLevel);
+    json.key("l2PerKilo");
+    writeJson(json, cell.l2PerKilo, ciLevel);
+    json.key("normEpi");
+    writeJson(json, cell.normEpi, ciLevel);
+    json.key("busyFrac");
+    writeJson(json, cell.busyFrac, ciLevel);
+    json.key("ifetchFrac");
+    writeJson(json, cell.ifetchFrac, ciLevel);
+    json.key("dmemFrac");
+    writeJson(json, cell.dmemFrac, ciLevel);
+    json.key("branchFrac");
+    writeJson(json, cell.branchFrac, ciLevel);
+    json.endObject();
+}
+
+std::string sweepResultToJson(const SweepResult& result, const SweepExportMeta& meta) {
+    JsonWriter json;
+    json.beginObject();
+    json.member("tool", "voltcache");
+    json.member("kind", "sweep");
+    json.member("version", meta.version);
+    json.member("seed", meta.seed);
+    json.member("trials", meta.trials);
+    json.member("scale", meta.scale);
+    json.key("benchmarks");
+    json.beginArray();
+    for (const std::string& name : meta.benchmarks) json.value(name);
+    json.endArray();
+    json.member("ciLevel", meta.ciLevel);
+
+    json.key("cells");
+    json.beginArray();
+    for (const auto& [key, cell] : result.cells) {
+        json.beginObject();
+        json.member("scheme", schemeName(key.first));
+        json.member("mv", static_cast<std::int64_t>(key.second));
+        json.key("stats");
+        writeJson(json, cell, meta.ciLevel);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("perBenchmark");
+    json.beginArray();
+    for (const auto& [key, cell] : result.perBenchmark) {
+        json.beginObject();
+        json.member("benchmark", std::get<0>(key));
+        json.member("scheme", schemeName(std::get<1>(key)));
+        json.member("mv", static_cast<std::int64_t>(std::get<2>(key)));
+        json.key("stats");
+        writeJson(json, cell, meta.ciLevel);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
+    return json.str();
+}
+
+void writeJson(JsonWriter& json, const SystemResult& result) {
+    json.beginObject();
+    json.member("linkFailed", result.linkFailed);
+    json.key("run");
+    writeJson(json, result.run);
+    json.key("icache");
+    writeJson(json, result.icacheStats);
+    json.key("dcache");
+    writeJson(json, result.dcacheStats);
+    json.key("link");
+    writeJson(json, result.linkStats);
+    json.member("epi", result.epi);
+    json.member("runtimeSeconds", result.runtimeSeconds);
+    json.member("checksum", result.checksum);
+    json.key("energy");
+    json.beginObject();
+    json.member("coreDynamic", result.energyBreakdown.coreDynamic);
+    json.member("l1Dynamic", result.energyBreakdown.l1Dynamic);
+    json.member("l2Dynamic", result.energyBreakdown.l2Dynamic);
+    json.member("dramDynamic", result.energyBreakdown.dramDynamic);
+    json.member("auxDynamic", result.energyBreakdown.auxDynamic);
+    json.member("coreL1Static", result.energyBreakdown.coreL1Static);
+    json.member("l2Static", result.energyBreakdown.l2Static);
+    json.member("total", result.energyBreakdown.total());
+    json.endObject();
+    json.endObject();
+}
+
+std::string systemResultToJson(const SystemResult& result, const RunExportMeta& meta) {
+    JsonWriter json;
+    json.beginObject();
+    json.member("tool", "voltcache");
+    json.member("kind", "run");
+    json.member("version", meta.version);
+    json.member("benchmark", meta.benchmark);
+    json.member("scheme", meta.scheme);
+    json.member("mv", static_cast<std::int64_t>(meta.voltageMv));
+    json.member("seed", meta.seed);
+    json.key("result");
+    writeJson(json, result);
+    json.endObject();
+    return json.str();
+}
+
+} // namespace voltcache

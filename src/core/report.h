@@ -1,0 +1,53 @@
+// Machine-readable result export: JSON renderings of the sweep and
+// single-leg result structs (SweepResult / SweepCell / RunStats / L1Stats /
+// LinkStats). The JSON layer reads the structs' public accessors only; the
+// structs themselves stay plain aggregates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "core/sweep.h"
+#include "core/system.h"
+
+namespace voltcache {
+
+/// Provenance attached to a sweep export. `version` defaults to the
+/// configure-time git describe (pass a fixed string for golden tests).
+struct SweepExportMeta {
+    std::string version;
+    std::uint64_t seed = 0;
+    std::uint32_t trials = 0;
+    std::string scale;
+    std::vector<std::string> benchmarks;
+    double ciLevel = 0.95;
+};
+
+/// Emit {"n","mean","stddev","min","max","ciHalfWidth"} for one accumulator.
+void writeJson(JsonWriter& json, const RunningStats& stats, double ciLevel = 0.95);
+void writeJson(JsonWriter& json, const L1Stats& stats);
+void writeJson(JsonWriter& json, const RunStats& stats);
+void writeJson(JsonWriter& json, const LinkStats& stats);
+void writeJson(JsonWriter& json, const SweepCell& cell, double ciLevel = 0.95);
+
+/// Full sweep export: meta + per-(scheme, voltage) cells + per-benchmark
+/// cells, each with CI half-widths for normEpi / normRuntime / l2PerKilo.
+[[nodiscard]] std::string sweepResultToJson(const SweepResult& result,
+                                            const SweepExportMeta& meta);
+
+/// Single-leg export (CLI `run`/`stats` --json).
+struct RunExportMeta {
+    std::string version;
+    std::string benchmark;
+    std::string scheme;
+    int voltageMv = 0;
+    std::uint64_t seed = 0;
+};
+void writeJson(JsonWriter& json, const SystemResult& result);
+[[nodiscard]] std::string systemResultToJson(const SystemResult& result,
+                                             const RunExportMeta& meta);
+
+} // namespace voltcache

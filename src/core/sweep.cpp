@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/contracts.h"
+#include "obs/metrics.h"
 
 namespace voltcache {
 
@@ -77,8 +78,31 @@ SweepResult runSweep(const SweepConfig& config) {
 
     SweepResult result;
     std::mutex resultMutex;
+    std::size_t completed = 0;
 
     auto runBenchmark = [&](const std::string& name) {
+        // Per-(scheme, voltage) leg counters through the handle API: the
+        // handles resolve to this worker thread's shard, so the hot loop
+        // below never touches the registry lock or another thread's cells.
+        struct LegCounters {
+            obs::Counter runs;
+            obs::Counter linkFailures;
+        };
+        std::map<std::pair<SchemeKind, int>, LegCounters> legCounters;
+        auto countersFor = [&legCounters](SchemeKind scheme, int voltageMv) -> LegCounters& {
+            const auto key = std::make_pair(scheme, voltageMv);
+            auto it = legCounters.find(key);
+            if (it == legCounters.end()) {
+                obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+                const obs::LabelList labels = {{"scheme", std::string(schemeName(scheme))},
+                                               {"mv", std::to_string(voltageMv)}};
+                it = legCounters
+                         .emplace(key, LegCounters{reg.counter("sweep.runs", labels),
+                                                   reg.counter("sweep.link_failures", labels)})
+                         .first;
+            }
+            return it->second;
+        };
         Module module = buildBenchmark(name, config.scale);
         Module bbrModule = module; // deep copy
         applyBbrTransforms(bbrModule, config.systemTemplate.maxBlockWords);
@@ -134,6 +158,12 @@ SweepResult runSweep(const SweepConfig& config) {
                     }
                     accumulate(localCells[{scheme, mv(point.voltage)}], metrics);
                     accumulate(localPerBench[{name, scheme, mv(point.voltage)}], metrics);
+                    LegCounters& counters = countersFor(scheme, mv(point.voltage));
+                    if (metrics.linkFailed) {
+                        counters.linkFailures.add();
+                    } else {
+                        counters.runs.add();
+                    }
 
                     // Defect-free kinds are deterministic: one trial suffices.
                     if (scheme == SchemeKind::Robust8T) break;
@@ -155,6 +185,10 @@ SweepResult runSweep(const SweepConfig& config) {
             global.runs += cell.runs;
         }
         for (auto& [key, cell] : localPerBench) result.perBenchmark[key] = cell;
+        ++completed;
+        if (config.onProgress) {
+            config.onProgress(SweepProgress{completed, benchmarks.size(), name});
+        }
     };
 
     unsigned threadCount = config.threads != 0 ? config.threads

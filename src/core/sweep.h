@@ -8,6 +8,8 @@
 // are compared on identical chips (paired samples).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,6 +19,13 @@
 #include "workload/workload.h"
 
 namespace voltcache {
+
+/// One progress tick of runSweep: a benchmark's legs all finished.
+struct SweepProgress {
+    std::size_t completed = 0; ///< benchmarks finished so far
+    std::size_t total = 0;     ///< benchmarks in this sweep
+    std::string benchmark;     ///< the one that just finished
+};
 
 struct SweepConfig {
     std::vector<std::string> benchmarks;    ///< empty = all ten
@@ -28,6 +37,9 @@ struct SweepConfig {
     std::uint64_t maxInstructions = 0;
     unsigned threads = 0;                   ///< 0 = hardware concurrency
     SystemConfig systemTemplate = {};       ///< org / energy / pipeline knobs
+    /// Invoked after each benchmark completes, serialized under the result
+    /// lock (safe to print / write from). Empty = no progress reporting.
+    std::function<void(const SweepProgress&)> onProgress;
 };
 
 /// Aggregated results of one (scheme, voltage) cell.

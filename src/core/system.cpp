@@ -2,13 +2,48 @@
 
 #include <cmath>
 #include <optional>
+#include <string>
 
 #include "analysis/verify.h"
 #include "common/contracts.h"
 #include "faults/fault_map.h"
+#include "obs/metrics.h"
 #include "schemes/static_overheads.h"
 
 namespace voltcache {
+
+namespace {
+
+/// Absorb the leg's ad-hoc stat structs (RunStats / L1Stats / LinkStats)
+/// into the global metrics registry, labelled by (scheme, voltage). Cold
+/// path: one-shot registry calls, once per leg.
+void publishLeg(const SystemConfig& config, const SystemResult& result) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const obs::LabelList labels = {
+        {"scheme", std::string(schemeName(config.scheme))},
+        {"mv", std::to_string(static_cast<int>(std::lround(config.op.voltage.millivolts())))}};
+    if (result.linkFailed) {
+        reg.add("leg.link_failures", labels);
+        return;
+    }
+    reg.add("leg.runs", labels);
+    reg.add("sim.instructions", labels, result.run.instructions);
+    reg.add("sim.cycles", labels, result.run.cycles);
+    reg.add("sim.l2_accesses", labels, result.run.activity.l2Accesses);
+    reg.add("l1i.accesses", labels, result.icacheStats.accesses);
+    reg.add("l1i.hits", labels, result.icacheStats.hits);
+    reg.add("l1i.word_misses", labels, result.icacheStats.wordMisses);
+    reg.add("l1i.l2_reads", labels, result.icacheStats.l2Reads);
+    reg.add("l1d.accesses", labels, result.dcacheStats.accesses);
+    reg.add("l1d.hits", labels, result.dcacheStats.hits);
+    reg.add("l1d.word_misses", labels, result.dcacheStats.wordMisses);
+    reg.add("l1d.l2_reads", labels, result.dcacheStats.l2Reads);
+    reg.add("link.gap_words", labels, result.linkStats.gapWords);
+    reg.add("link.scan_restarts", labels, result.linkStats.scanRestarts);
+    reg.add("link.wrap_arounds", labels, result.linkStats.wrapArounds);
+}
+
+} // namespace
 
 std::uint32_t dramLatencyCycles(double dramLatencyNs, Frequency f) noexcept {
     return static_cast<std::uint32_t>(
@@ -61,6 +96,7 @@ SystemResult simulateSystem(const Module& module, const Module* bbrModule,
         // cannot run BBR at this voltage — a yield loss the Monte Carlo
         // aggregation counts rather than a simulation result.
         result.linkFailed = true;
+        publishLeg(config, result);
         return result;
     }
     result.linkStats = linked->stats;
@@ -69,10 +105,18 @@ SystemResult simulateSystem(const Module& module, const Module* bbrModule,
     pipeline.maxInstructions = config.maxInstructions;
     const Module& running = pair.needsBbrLinking ? *bbrModule : module;
     Simulator simulator(linked->image, running.data, *pair.icache, *pair.dcache, pipeline);
+    for (TraceObserver* observer : config.observers) simulator.addObserver(observer);
     result.run = simulator.run();
     result.checksum = simulator.reg(1);
     result.icacheStats = pair.icache->stats();
     result.dcacheStats = pair.dcache->stats();
+
+    // Every L2 read a scheme charges to itself (L1Stats::l2Reads) must have
+    // been returned to the simulator via AccessResult::l2Reads and folded
+    // into the activity counts — if these drift, the energy model and the
+    // miss-ratio figures are talking about different machines.
+    VC_CHECK(result.icacheStats.l2Reads + result.dcacheStats.l2Reads ==
+             result.run.activity.l2Accesses);
 
     const EnergyModel energyModel(config.energy);
     result.energyBreakdown = energyModel.energyOf(result.run.activity, config.op,
@@ -81,6 +125,7 @@ SystemResult simulateSystem(const Module& module, const Module* bbrModule,
                  static_cast<double>(result.run.activity.instructions);
     result.runtimeSeconds =
         static_cast<double>(result.run.cycles) * config.op.frequency.periodSeconds();
+    publishLeg(config, result);
     return result;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "compiler/passes.h"
 #include "cpu/simulator.h"
@@ -25,6 +26,12 @@ struct SystemConfig {
     std::uint32_t maxBlockWords = kDefaultMaxBlockWords;
     EnergyParams energy = {};
     PipelineConfig pipeline = {};
+    /// Trace observers attached to the simulator for this leg (multiplexed:
+    /// all of them see every instruction / data access). Raw pointers — the
+    /// caller keeps them alive across simulateSystem. Meant for single-leg
+    /// runs (CLI `stats`, analyses); leave empty in parallel sweeps unless
+    /// the observers are thread-safe.
+    std::vector<TraceObserver*> observers;
 };
 
 struct SystemResult {

@@ -190,7 +190,7 @@ RunStats Simulator::run() {
         if (isMemory(inst.op)) ++memOpsThisCycle_;
         if (isControlFlow(inst.op)) ++branchesThisCycle_;
 
-        if (observer_ != nullptr) observer_->onInstruction(pc_, inst);
+        for (TraceObserver* observer : observers_) observer->onInstruction(pc_, inst);
         ++stats_.instructions;
 
         // --- Execute. ---
@@ -210,7 +210,7 @@ RunStats Simulator::run() {
                     inst.op == Opcode::Lw
                         ? static_cast<std::uint32_t>(regs_[inst.rs1] + inst.imm)
                         : pc_ + static_cast<std::uint32_t>(inst.imm) * 4;
-                if (observer_ != nullptr) observer_->onDataAccess(addr, false);
+                for (TraceObserver* observer : observers_) observer->onDataAccess(addr, false);
                 const AccessResult res = dcache_->read(addr);
                 ++stats_.loads;
                 ++stats_.activity.l1dAccesses;
@@ -229,7 +229,7 @@ RunStats Simulator::run() {
             case Opcode::Sw: {
                 const std::uint32_t addr =
                     static_cast<std::uint32_t>(regs_[inst.rs1] + inst.imm);
-                if (observer_ != nullptr) observer_->onDataAccess(addr, true);
+                for (TraceObserver* observer : observers_) observer->onDataAccess(addr, true);
                 memory_.write(addr, regs_[inst.rs2]);
                 const AccessResult res = dcache_->write(addr);
                 ++stats_.stores;

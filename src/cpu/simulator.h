@@ -116,7 +116,18 @@ public:
     Simulator(const Image& image, const std::vector<DataSegment>& data,
               InstrCacheScheme& icache, DataCacheScheme& dcache, PipelineConfig config = {});
 
-    void setObserver(TraceObserver* observer) noexcept { observer_ = observer; }
+    /// Replace all attached observers with this one (legacy single-observer
+    /// API; nullptr detaches everything).
+    void setObserver(TraceObserver* observer) {
+        observers_.clear();
+        if (observer != nullptr) observers_.push_back(observer);
+    }
+
+    /// Attach an additional observer; observers fire in attach order, so a
+    /// LocalityProfiler and a TraceSinkObserver can watch the same run.
+    void addObserver(TraceObserver* observer) {
+        if (observer != nullptr) observers_.push_back(observer);
+    }
 
     /// Run from the image entry point until Halt (or maxInstructions).
     RunStats run();
@@ -138,7 +149,7 @@ private:
     PipelineConfig config_;
     BranchPredictor predictor_;
     Memory memory_;
-    TraceObserver* observer_ = nullptr;
+    std::vector<TraceObserver*> observers_;
 
     // Architectural state.
     std::array<std::int32_t, kNumRegisters> regs_{};

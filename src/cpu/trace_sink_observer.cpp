@@ -1,0 +1,26 @@
+#include "cpu/trace_sink_observer.h"
+
+#include "common/contracts.h"
+
+namespace voltcache {
+
+TraceSinkObserver::TraceSinkObserver(obs::TraceSink& sink, std::uint64_t sampleEvery)
+    : sink_(&sink), sampleEvery_(sampleEvery) {
+    VC_EXPECTS(sampleEvery > 0);
+}
+
+void TraceSinkObserver::onInstruction(std::uint32_t pc, const Instruction& inst) {
+    (void)inst;
+    ++instructions_;
+    if (instructions_ % sampleEvery_ != 0) return;
+    sink_->record("cpu.inst", "cpu",
+                  {{"pc", pc}, {"n", static_cast<std::int64_t>(instructions_)}});
+}
+
+void TraceSinkObserver::onDataAccess(std::uint32_t addr, bool isWrite) {
+    ++accesses_;
+    if (accesses_ % sampleEvery_ != 0) return;
+    sink_->record("cpu.data", "cpu", {{"addr", addr}, {"write", isWrite ? 1 : 0}});
+}
+
+} // namespace voltcache

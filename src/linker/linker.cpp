@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/contracts.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace voltcache {
 
@@ -19,6 +21,7 @@ public:
                 throw LinkError("BBR placement requires an I-cache fault map");
             }
             cacheWords_ = options_.icacheFaultMap->totalWords();
+            scanWords_ = obs::MetricsRegistry::global().histogram("link.scan_words");
         }
     }
 
@@ -29,11 +32,18 @@ public:
     }
 
 private:
+    /// Outcome of one first-fit scan, for the placement stats/trace.
+    struct Fit {
+        std::uint32_t word = 0;     ///< placement (flat word address)
+        std::uint32_t restarts = 0; ///< scans restarted past a defective word
+        std::uint32_t wraps = 0;    ///< cache-size boundaries crossed
+    };
+
     /// First word address >= start where `size` consecutive words all map
     /// to fault-free cache words (Algorithm 1's while loop; the modular
     /// cacheAddr computation makes the scan wrap around the cache).
-    std::uint32_t findFit(std::uint32_t startWord, std::uint32_t size) const {
-        if (!options_.bbrPlacement || size == 0) return startWord;
+    Fit findFit(std::uint32_t startWord, std::uint32_t size) const {
+        if (!options_.bbrPlacement || size == 0) return Fit{startWord, 0, 0};
         const FaultMap& map = *options_.icacheFaultMap;
         if (size > cacheWords_) {
             throw LinkError("basic block of " + std::to_string(size) +
@@ -41,8 +51,16 @@ private:
                             std::to_string(cacheWords_) + " words)");
         }
         std::uint32_t word = startWord;
+        std::uint32_t restarts = 0;
         while (true) {
             if (word - startWord > cacheWords_ + size) {
+                if (obs::TraceSink* sink = obs::traceSink()) {
+                    sink->record("link.fail", "linker",
+                                 {{"size", size},
+                                  {"scanned", word - startWord},
+                                  {"restarts", restarts}});
+                }
+                obs::MetricsRegistry::global().add("link.failures", {}, 1);
                 throw LinkError("no fault-free chunk of " + std::to_string(size) +
                                 " words: placement failed (yield loss)");
             }
@@ -51,11 +69,18 @@ private:
                 if (map.isFaultyFlat((word + j) % cacheWords_)) {
                     // Restart just past the defective word.
                     word = word + j + 1;
+                    ++restarts;
                     fits = false;
                     break;
                 }
             }
-            if (fits) return word;
+            if (fits) {
+                // Boundaries of the cache-sized window crossed between the
+                // scan start and the placed block's last word.
+                const std::uint32_t wraps =
+                    (word + size - 1) / cacheWords_ - startWord / cacheWords_;
+                return Fit{word, restarts, wraps};
+            }
         }
     }
 
@@ -92,24 +117,43 @@ private:
             blockAddr_[f].resize(fn.blocks.size());
             for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
                 const std::uint32_t size = fn.blocks[b].sizeWords();
-                const std::uint32_t placed = findFit(wordPtr, size);
-                stats_.gapWords += placed - wordPtr;
-                blockAddr_[f][b] = placed * 4;
-                wordPtr = placed + size;
+                const Fit fit = findFit(wordPtr, size);
+                notePlacement(fit, wordPtr, size);
+                stats_.gapWords += fit.word - wordPtr;
+                blockAddr_[f][b] = fit.word * 4;
+                wordPtr = fit.word + size;
                 ++stats_.blocksPlaced;
                 stats_.codeWords += size;
                 stats_.largestBlockWords = std::max(stats_.largestBlockWords, size);
             }
             if (!fn.sharedLiteralPool.empty()) {
                 const auto size = static_cast<std::uint32_t>(fn.sharedLiteralPool.size());
-                const std::uint32_t placed = findFit(wordPtr, size);
-                stats_.gapWords += placed - wordPtr;
-                poolAddr_[f] = placed * 4;
-                wordPtr = placed + size;
+                const Fit fit = findFit(wordPtr, size);
+                notePlacement(fit, wordPtr, size);
+                stats_.gapWords += fit.word - wordPtr;
+                poolAddr_[f] = fit.word * 4;
+                wordPtr = fit.word + size;
                 stats_.codeWords += size;
             }
         }
         stats_.imageWords = wordPtr - firstWord;
+    }
+
+    /// Fold one first-fit outcome into stats, the scan-length histogram,
+    /// and (when a sink is attached) the trace.
+    void notePlacement(const Fit& fit, std::uint32_t startWord, std::uint32_t size) {
+        if (!options_.bbrPlacement) return;
+        stats_.scanRestarts += fit.restarts;
+        stats_.wrapArounds += fit.wraps;
+        scanWords_.observe(fit.word - startWord);
+        if (obs::TraceSink* sink = obs::traceSink()) {
+            sink->record("link.place", "linker",
+                         {{"block", stats_.blocksPlaced},
+                          {"size", size},
+                          {"scanned", fit.word - startWord},
+                          {"restarts", fit.restarts},
+                          {"wraps", fit.wraps}});
+        }
     }
 
     std::uint32_t resolveTarget(std::size_t f, const Relocation& reloc,
@@ -200,6 +244,7 @@ private:
 
     const Module& module_;
     const LinkOptions& options_;
+    obs::Histogram scanWords_; ///< "link.scan_words" (BBR placement only)
     std::uint32_t cacheWords_ = 0;
     std::vector<std::vector<std::uint32_t>> blockAddr_;
     std::vector<std::uint32_t> poolAddr_;

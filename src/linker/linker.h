@@ -50,6 +50,9 @@ struct LinkStats {
     std::uint32_t imageWords = 0;     ///< total image span including gaps
     std::uint32_t codeWords = 0;      ///< instructions + literals
     std::uint32_t largestBlockWords = 0;
+    /// First-fit scan behaviour (BBR placement only; zero otherwise):
+    std::uint32_t scanRestarts = 0; ///< scans restarted past a defective word
+    std::uint32_t wrapArounds = 0;  ///< cache-size boundaries crossed while scanning
 };
 
 struct LinkOutput {

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "common/contracts.h"
+#include "common/json.h"
+
+namespace voltcache::obs {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+std::uint64_t traceThreadId() noexcept {
+    static std::atomic<std::uint64_t> next{0};
+    thread_local const std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+} // namespace
+
+TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
+    VC_EXPECTS(capacity > 0);
+    ring_.reserve(capacity);
+}
+
+void TraceSink::record(const char* name, const char* category,
+                       std::initializer_list<TraceArg> args) {
+    const std::uint64_t tid = traceThreadId();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent* slot = nullptr;
+    if (ring_.size() < capacity_) {
+        slot = &ring_.emplace_back();
+    } else {
+        slot = &ring_[next_ % capacity_];
+    }
+    slot->name = name;
+    slot->category = category;
+    slot->ts = next_;
+    slot->tid = tid;
+    slot->argCount = 0;
+    for (const TraceArg& arg : args) {
+        if (slot->argCount == kMaxTraceArgs) break;
+        slot->args[slot->argCount++] = arg;
+    }
+    ++next_;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+        out = ring_;
+    } else {
+        // The slot for sequence number `next_` holds the oldest event.
+        const std::size_t head = next_ % capacity_;
+        out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head), ring_.end());
+        out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+    return out;
+}
+
+std::uint64_t TraceSink::recorded() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return next_;
+}
+
+std::uint64_t TraceSink::dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return next_ - ring_.size();
+}
+
+std::string TraceSink::toChromeJson() const {
+    const std::vector<TraceEvent> evs = events();
+    JsonWriter json;
+    json.beginObject();
+    json.member("displayTimeUnit", "ns");
+    json.key("otherData");
+    json.beginObject();
+    json.member("recorded", recorded());
+    json.member("dropped", dropped());
+    json.endObject();
+    json.key("traceEvents");
+    json.beginArray();
+    for (const TraceEvent& ev : evs) {
+        json.beginObject();
+        json.member("name", ev.name);
+        json.member("cat", ev.category);
+        json.member("ph", "i"); // instant event
+        json.member("s", "t");  // thread-scoped
+        json.member("ts", ev.ts);
+        json.member("pid", std::uint64_t{1});
+        json.member("tid", ev.tid);
+        json.key("args");
+        json.beginObject();
+        for (std::size_t i = 0; i < ev.argCount; ++i) {
+            json.member(ev.args[i].key, ev.args[i].value);
+        }
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+TraceSink* traceSink() noexcept { return g_sink.load(std::memory_order_acquire); }
+
+TraceSink* setTraceSink(TraceSink* sink) noexcept {
+    return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+} // namespace voltcache::obs

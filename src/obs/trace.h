@@ -1,0 +1,87 @@
+// Structured event tracing: a bounded ring-buffer sink + Chrome trace export.
+//
+// Instrumentation points call `if (TraceSink* s = traceSink()) s->record(...)`;
+// with no sink attached the cost is one relaxed atomic load and a branch, so
+// tracing can stay compiled in everywhere. Event names and categories are
+// `const char*` by design — they must be string literals (or otherwise outlive
+// the sink); the sink stores the pointers, never copies.
+//
+// The ring is fixed-capacity and overwrites the oldest event, so a trace of a
+// billion-instruction run is bounded memory and ends with the most recent
+// window of activity — which is what one debugs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace voltcache::obs {
+
+/// One key/value argument attached to a trace event.
+struct TraceArg {
+    const char* key = nullptr; ///< string literal
+    std::int64_t value = 0;
+};
+
+inline constexpr std::size_t kMaxTraceArgs = 8;
+
+struct TraceEvent {
+    const char* name = nullptr;     ///< string literal
+    const char* category = nullptr; ///< string literal
+    std::uint64_t ts = 0;           ///< sink-local sequence number (monotonic)
+    std::uint64_t tid = 0;          ///< dense per-thread id
+    std::size_t argCount = 0;
+    std::array<TraceArg, kMaxTraceArgs> args{};
+};
+
+class TraceSink {
+public:
+    explicit TraceSink(std::size_t capacity = std::size_t{1} << 16);
+
+    /// Record one instant event. Args beyond kMaxTraceArgs are dropped.
+    void record(const char* name, const char* category,
+                std::initializer_list<TraceArg> args = {});
+
+    /// Events oldest-first (at most `capacity` of them).
+    [[nodiscard]] std::vector<TraceEvent> events() const;
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    /// Total record() calls, including those whose slot was later overwritten.
+    [[nodiscard]] std::uint64_t recorded() const;
+    /// Events lost to ring overwrite.
+    [[nodiscard]] std::uint64_t dropped() const;
+
+    /// Render as Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+    [[nodiscard]] std::string toChromeJson() const;
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_;
+    std::uint64_t next_ = 0; ///< sequence number of the next event
+};
+
+/// Currently attached process-wide sink, or nullptr (the common case).
+[[nodiscard]] TraceSink* traceSink() noexcept;
+
+/// Attach/detach the process-wide sink. Returns the previous sink. The caller
+/// owns the sink and must keep it alive while attached.
+TraceSink* setTraceSink(TraceSink* sink) noexcept;
+
+/// RAII attach: restores the previous sink on destruction.
+class ScopedTraceSink {
+public:
+    explicit ScopedTraceSink(TraceSink* sink) noexcept : previous_(setTraceSink(sink)) {}
+    ~ScopedTraceSink() { setTraceSink(previous_); }
+    ScopedTraceSink(const ScopedTraceSink&) = delete;
+    ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+private:
+    TraceSink* previous_;
+};
+
+} // namespace voltcache::obs

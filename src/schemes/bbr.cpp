@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/contracts.h"
+#include "obs/trace.h"
 
 namespace voltcache {
 
@@ -13,7 +14,8 @@ BbrICache::BbrICache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l
       faultMap_(std::move(faultMap)),
       l2_(&l2),
       mode_(mode),
-      enforcePlacement_(enforcePlacement) {
+      enforcePlacement_(enforcePlacement),
+      fetchMisses_(obs::MetricsRegistry::global().counter("bbr.fetch_misses")) {
     VC_EXPECTS(faultMap_.lines() == org.lines());
     VC_EXPECTS(faultMap_.wordsPerLine() == org.wordsPerBlock());
 }
@@ -35,6 +37,10 @@ AccessResult BbrICache::fetch(std::uint32_t addr) {
         }
         ++stats_.lineMisses;
         ++stats_.l2Reads;
+        fetchMisses_.add();
+        if (obs::TraceSink* sink = obs::traceSink()) {
+            sink->record("bbr.fetch_miss", "icache", {{"addr", addr}, {"set", set}, {"dm", 0}});
+        }
         const auto l2 = l2_->read(addr);
         tags_.fill(set, tag);
         result.l2Reads = 1;
@@ -64,6 +70,11 @@ AccessResult BbrICache::fetch(std::uint32_t addr) {
     }
     ++stats_.lineMisses;
     ++stats_.l2Reads;
+    fetchMisses_.add();
+    if (obs::TraceSink* sink = obs::traceSink()) {
+        sink->record("bbr.fetch_miss", "icache",
+                     {{"addr", addr}, {"set", set}, {"way", way}, {"dm", 1}});
+    }
     const auto l2 = l2_->read(addr);
     tags_.fillAt(set, way, tag);
     result.l2Reads = 1;
@@ -77,6 +88,10 @@ void BbrICache::invalidateAll() { tags_.invalidateAll(); }
 void BbrICache::switchMode(Mode mode) {
     if (mode == mode_) return;
     mode_ = mode;
+    if (obs::TraceSink* sink = obs::traceSink()) {
+        sink->record("bbr.mode_switch", "icache",
+                     {{"dm", mode_ == Mode::DirectMapped ? 1 : 0}});
+    }
     invalidateAll();
 }
 

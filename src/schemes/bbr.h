@@ -16,6 +16,7 @@
 #include "cache/address.h"
 #include "cache/tag_array.h"
 #include "faults/fault_map.h"
+#include "obs/metrics.h"
 #include "schemes/scheme.h"
 
 namespace voltcache {
@@ -55,6 +56,7 @@ private:
     Mode mode_;
     bool enforcePlacement_;
     L1Stats stats_;
+    obs::Counter fetchMisses_; ///< process-wide "bbr.fetch_misses" counter
 };
 
 } // namespace voltcache

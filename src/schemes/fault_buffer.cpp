@@ -1,8 +1,25 @@
 #include "schemes/fault_buffer.h"
 
 #include "common/contracts.h"
+#include "obs/trace.h"
 
 namespace voltcache {
+namespace {
+
+// The trace sink stores name pointers without copying, so the event name
+// must be a literal, not config.name.c_str() (the scheme can be destroyed
+// before the trace is exported).
+const char* probeEventFor(const FaultBufferConfig& config) {
+    return config.ways == config.entries ? "fba.probe" : "idc.probe";
+}
+
+void recordProbe(const char* name, std::uint32_t wordAddr, bool hit) {
+    if (obs::TraceSink* sink = obs::traceSink()) {
+        sink->record(name, "fault-buffer", {{"word_addr", wordAddr}, {"hit", hit ? 1 : 0}});
+    }
+}
+
+} // namespace
 
 WordBuffer::WordBuffer(std::uint32_t entries, std::uint32_t ways)
     : entries_(entries), ways_(ways), sets_(entries / ways) {
@@ -75,7 +92,8 @@ FaultBufferDCache::FaultBufferDCache(const CacheOrganization& org, FaultMap faul
       faultMap_(std::move(faultMap)),
       l2_(&l2),
       config_(std::move(config)),
-      buffer_(config_.entries, config_.ways) {
+      buffer_(config_.entries, config_.ways),
+      probeEvent_(probeEventFor(config_)) {
     VC_EXPECTS(faultMap_.lines() == org.lines());
 }
 
@@ -98,11 +116,13 @@ AccessResult FaultBufferDCache::read(std::uint32_t addr) {
         // Defective word: redirect to the buffer.
         result.auxProbe = true;
         if (buffer_.probe(wordAddr)) {
+            recordProbe(probeEvent_, wordAddr, true);
             ++stats_.hits;
             result.l1Hit = true;
             result.auxHit = true;
             return result;
         }
+        recordProbe(probeEvent_, wordAddr, false);
         ++stats_.wordMisses;
         ++stats_.l2Reads;
         const auto l2 = l2_->read(addr);
@@ -155,7 +175,8 @@ AccessResult FaultBufferDCache::write(std::uint32_t addr) {
         } else {
             // Keep a buffered copy coherent; no allocation on writes.
             result.auxProbe = true;
-            if (buffer_.probe(addr / 4)) result.auxHit = true;
+            result.auxHit = buffer_.probe(addr / 4);
+            recordProbe(probeEvent_, addr / 4, result.auxHit);
         }
     }
     const auto l2 = l2_->write(addr);
@@ -176,7 +197,8 @@ FaultBufferICache::FaultBufferICache(const CacheOrganization& org, FaultMap faul
       faultMap_(std::move(faultMap)),
       l2_(&l2),
       config_(std::move(config)),
-      buffer_(config_.entries, config_.ways) {
+      buffer_(config_.entries, config_.ways),
+      probeEvent_(probeEventFor(config_)) {
     VC_EXPECTS(faultMap_.lines() == org.lines());
 }
 
@@ -198,11 +220,13 @@ AccessResult FaultBufferICache::fetch(std::uint32_t addr) {
         }
         result.auxProbe = true;
         if (buffer_.probe(wordAddr)) {
+            recordProbe(probeEvent_, wordAddr, true);
             ++stats_.hits;
             result.l1Hit = true;
             result.auxHit = true;
             return result;
         }
+        recordProbe(probeEvent_, wordAddr, false);
         ++stats_.wordMisses;
         ++stats_.l2Reads;
         const auto l2 = l2_->read(addr);

@@ -96,6 +96,7 @@ private:
     FaultBufferConfig config_;
     WordBuffer buffer_;
     L1Stats stats_;
+    const char* probeEvent_; ///< "fba.probe"/"idc.probe" (trace names must be literals)
 };
 
 class FaultBufferICache final : public InstrCacheScheme {
@@ -119,6 +120,7 @@ private:
     FaultBufferConfig config_;
     WordBuffer buffer_;
     L1Stats stats_;
+    const char* probeEvent_; ///< "fba.probe"/"idc.probe" (trace names must be literals)
 };
 
 } // namespace voltcache

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/contracts.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace voltcache {
 
@@ -12,7 +14,8 @@ FfwDCache::FfwDCache(const CacheOrganization& org, FaultMap faultMap, L2Cache& l
       tags_(org.sets(), org.associativity),
       faultMap_(std::move(faultMap)),
       l2_(&l2),
-      config_(config) {
+      config_(config),
+      recenters_(obs::MetricsRegistry::global().counter("ffw.recenters")) {
     VC_EXPECTS(faultMap_.lines() == org.lines());
     VC_EXPECTS(faultMap_.wordsPerLine() == org.wordsPerBlock());
     lineState_.assign(org.lines(), LineState{});
@@ -99,7 +102,21 @@ AccessResult FfwDCache::read(std::uint32_t addr) {
         ++stats_.wordMisses;
         ++stats_.l2Reads;
         const auto l2 = l2_->read(addr);
-        if (config_.recenterOnWordMiss) setWindow(frame, recentered(frame, word));
+        if (config_.recenterOnWordMiss) {
+            const Window next = recentered(frame, word);
+            if (obs::TraceSink* sink = obs::traceSink()) {
+                sink->record("ffw.recenter", "dcache",
+                             {{"set", set},
+                              {"way", hit.way},
+                              {"word", word},
+                              {"old_start", state.windowStart},
+                              {"old_len", state.windowLength},
+                              {"new_start", next.start},
+                              {"new_len", next.length}});
+            }
+            recenters_.add();
+            setWindow(frame, next);
+        }
         result.l2Reads = 1;
         result.dram = l2.dram;
         result.latencyCycles += l2.latencyCycles;

@@ -25,6 +25,7 @@
 #include "cache/address.h"
 #include "cache/tag_array.h"
 #include "faults/fault_map.h"
+#include "obs/metrics.h"
 #include "schemes/scheme.h"
 
 namespace voltcache {
@@ -106,6 +107,7 @@ private:
     std::vector<std::uint8_t> freeCount_;      ///< fault-free entries per frame
     std::vector<std::uint32_t> usableWayMask_; ///< per set: ways with >=1 entry
     L1Stats stats_;
+    obs::Counter recenters_; ///< process-wide "ffw.recenters" counter
 };
 
 } // namespace voltcache

@@ -142,6 +142,51 @@ TEST(RunningStats, MergeWithEmpty) {
     EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeEmptyWithEmptyStaysEmpty) {
+    RunningStats a;
+    RunningStats b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeIntoEmptyPreservesExtrema) {
+    RunningStats full;
+    full.add(-7.0);
+    full.add(11.0);
+    RunningStats empty;
+    empty.merge(full);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.min(), -7.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 11.0);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, MergeSingleSamples) {
+    RunningStats a;
+    a.add(1.0);
+    RunningStats b;
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_NEAR(a.variance(), 2.0, 1e-12); // sample variance of {1, 3}
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(RunningStats, MergeDisjointRangesTracksGlobalExtrema) {
+    RunningStats low;
+    for (double x : {1.0, 2.0, 3.0}) low.add(x);
+    RunningStats high;
+    for (double x : {100.0, 200.0}) high.add(x);
+    low.merge(high);
+    EXPECT_EQ(low.count(), 5u);
+    EXPECT_DOUBLE_EQ(low.min(), 1.0);
+    EXPECT_DOUBLE_EQ(low.max(), 200.0);
+}
+
 TEST(Stats, StudentTMatchesTable) {
     EXPECT_NEAR(studentTCritical(1), 12.706, 1e-3);
     EXPECT_NEAR(studentTCritical(9), 2.262, 1e-3);

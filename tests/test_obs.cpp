@@ -1,0 +1,424 @@
+// Tests for the observability subsystem: the JSON writer, the metrics
+// registry (handles, sharding, histograms), the trace sink ring, the
+// instrumentation points in the schemes / linker, observer multiplexing,
+// the L2-read reconciliation invariant, and the sweep JSON golden file.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "common/json.h"
+#include "compiler/passes.h"
+#include "core/report.h"
+#include "core/sweep.h"
+#include "core/system.h"
+#include "linker/linker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "schemes/bbr.h"
+#include "schemes/ffw.h"
+#include "workload/locality.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+// ---- JsonWriter ----
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars) {
+    JsonWriter json;
+    json.value(std::string_view("a\"b\\c\nd\te\x01"
+                                "f"));
+    EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+    JsonWriter json;
+    json.beginArray();
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(-std::numeric_limits<double>::infinity());
+    json.value(1.5);
+    json.endArray();
+    EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+    JsonWriter json;
+    json.beginObject();
+    json.member("name", "x");
+    json.key("values");
+    json.beginArray();
+    json.value(std::uint64_t{1});
+    json.value(std::int64_t{-2});
+    json.value(true);
+    json.null();
+    json.endArray();
+    json.key("inner");
+    json.beginObject();
+    json.member("d", 0.25);
+    json.endObject();
+    json.endObject();
+    EXPECT_EQ(json.str(),
+              R"({"name":"x","values":[1,-2,true,null],"inner":{"d":0.25}})");
+}
+
+TEST(JsonWriter, MisuseTripsContracts) {
+    {
+        JsonWriter json;
+        json.beginObject();
+        EXPECT_THROW(json.value(std::uint64_t{1}), ContractViolation) << "value needs a key";
+    }
+    {
+        JsonWriter json;
+        EXPECT_THROW((void)json.str(), ContractViolation) << "empty document";
+    }
+    {
+        JsonWriter json;
+        json.beginArray();
+        EXPECT_THROW((void)json.str(), ContractViolation) << "unclosed scope";
+    }
+}
+
+// ---- Metrics registry ----
+
+// Counters resolved twice from the same thread share one cell.
+TEST(Metrics, CounterHandleAccumulates) {
+    obs::MetricsRegistry registry;
+    obs::Counter a = registry.counter("c", {{"k", "v"}});
+    obs::Counter b = registry.counter("c", {{"k", "v"}});
+    a.add();
+    b.add(4);
+    const auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 1u);
+    EXPECT_EQ(snapshot[0].name, "c");
+    EXPECT_EQ(snapshot[0].kind, obs::MetricKind::Counter);
+    EXPECT_EQ(snapshot[0].count, 5u);
+    ASSERT_EQ(snapshot[0].labels.size(), 1u);
+    EXPECT_EQ(snapshot[0].labels[0].first, "k");
+    EXPECT_EQ(snapshot[0].labels[0].second, "v");
+}
+
+TEST(Metrics, PerThreadShardsMergeAtSnapshot) {
+    obs::MetricsRegistry registry;
+    constexpr int kThreads = 4;
+    constexpr int kAdds = 1000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&registry] {
+            obs::Counter counter = registry.counter("threads.count");
+            for (int i = 0; i < kAdds; ++i) counter.add();
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    const auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 1u);
+    EXPECT_EQ(snapshot[0].count, static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, HistogramLog2Buckets) {
+    EXPECT_EQ(obs::histogramBucket(0), 0u);
+    EXPECT_EQ(obs::histogramBucket(1), 1u);
+    EXPECT_EQ(obs::histogramBucket(2), 2u);
+    EXPECT_EQ(obs::histogramBucket(3), 2u);
+    EXPECT_EQ(obs::histogramBucket(4), 3u);
+    EXPECT_EQ(obs::histogramBucket(std::numeric_limits<std::uint64_t>::max()), 64u);
+    EXPECT_EQ(obs::histogramBucketLow(0), 0u);
+    EXPECT_EQ(obs::histogramBucketLow(1), 1u);
+    EXPECT_EQ(obs::histogramBucketLow(3), 4u);
+
+    obs::MetricsRegistry registry;
+    obs::Histogram histogram = registry.histogram("h");
+    for (std::uint64_t v : {0u, 1u, 2u, 3u, 8u}) histogram.observe(v);
+    const auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 1u);
+    EXPECT_EQ(snapshot[0].kind, obs::MetricKind::Histogram);
+    EXPECT_EQ(snapshot[0].count, 5u);
+    EXPECT_EQ(snapshot[0].sum, 14u);
+    EXPECT_DOUBLE_EQ(snapshot[0].value, 14.0 / 5.0);
+    ASSERT_GE(snapshot[0].buckets.size(), 5u);
+    EXPECT_EQ(snapshot[0].buckets[0], 1u); // 0
+    EXPECT_EQ(snapshot[0].buckets[1], 1u); // 1
+    EXPECT_EQ(snapshot[0].buckets[2], 2u); // 2, 3
+    EXPECT_EQ(snapshot[0].buckets[3], 0u);
+    EXPECT_EQ(snapshot[0].buckets[4], 1u); // 8
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+    obs::MetricsRegistry registry;
+    obs::Gauge gauge = registry.gauge("g");
+    gauge.set(1.0);
+    gauge.set(2.5);
+    const auto snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 1u);
+    EXPECT_EQ(snapshot[0].kind, obs::MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(snapshot[0].value, 2.5);
+}
+
+TEST(Metrics, KindMismatchIsContractViolation) {
+    obs::MetricsRegistry registry;
+    (void)registry.counter("m");
+    EXPECT_THROW((void)registry.gauge("m"), ContractViolation);
+    EXPECT_THROW((void)registry.histogram("m"), ContractViolation);
+}
+
+TEST(Metrics, InertHandlesAreSafe) {
+    obs::Counter counter;
+    obs::Gauge gauge;
+    obs::Histogram histogram;
+    counter.add();
+    gauge.set(1.0);
+    histogram.observe(42); // must not crash
+}
+
+TEST(Metrics, SnapshotRendersAsJson) {
+    obs::MetricsRegistry registry;
+    registry.add("a.count", {{"scheme", "ffw+bbr"}}, 3);
+    const std::string text = obs::metricsToJson(registry.snapshot());
+    EXPECT_NE(text.find("\"a.count\""), std::string::npos);
+    EXPECT_NE(text.find("\"ffw+bbr\""), std::string::npos);
+    EXPECT_NE(text.find("3"), std::string::npos);
+}
+
+// ---- Trace sink ----
+
+TEST(TraceSink, RingOverwritesOldestAndCountsDrops) {
+    obs::TraceSink sink(4);
+    for (std::int64_t i = 0; i < 6; ++i) {
+        sink.record("event", "test", {{"i", i}});
+    }
+    EXPECT_EQ(sink.recorded(), 6u);
+    EXPECT_EQ(sink.dropped(), 2u);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t k = 0; k < events.size(); ++k) {
+        EXPECT_EQ(events[k].ts, k + 2) << "oldest-first, first two overwritten";
+        ASSERT_EQ(events[k].argCount, 1u);
+        EXPECT_STREQ(events[k].args[0].key, "i");
+        EXPECT_EQ(events[k].args[0].value, static_cast<std::int64_t>(k + 2));
+    }
+}
+
+TEST(TraceSink, ChromeJsonIsWellFormed) {
+    obs::TraceSink sink(8);
+    sink.record("alpha", "catA", {{"x", 1}});
+    sink.record("beta", "catB");
+    const std::string json = sink.toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+    EXPECT_NE(json.find("\"beta\""), std::string::npos);
+    EXPECT_NE(json.find("\"catA\""), std::string::npos);
+}
+
+TEST(TraceSink, ScopedAttachRestoresPrevious) {
+    obs::TraceSink outer;
+    obs::TraceSink inner;
+    obs::TraceSink* const before = obs::traceSink();
+    {
+        obs::ScopedTraceSink outerGuard(&outer);
+        EXPECT_EQ(obs::traceSink(), &outer);
+        {
+            obs::ScopedTraceSink innerGuard(&inner);
+            EXPECT_EQ(obs::traceSink(), &inner);
+        }
+        EXPECT_EQ(obs::traceSink(), &outer);
+    }
+    EXPECT_EQ(obs::traceSink(), before);
+}
+
+// ---- Instrumentation points ----
+
+bool hasEventNamed(const std::vector<obs::TraceEvent>& events, const char* name) {
+    for (const auto& event : events) {
+        if (std::strcmp(event.name, name) == 0) return true;
+    }
+    return false;
+}
+
+TEST(Instrumentation, FfwRecenterEmitsEventWithWindowBounds) {
+    obs::TraceSink sink;
+    obs::ScopedTraceSink guard(&sink);
+    L2Cache l2;
+    FaultMap map(1024, 8);
+    map.setFaulty(0, 2); // Fig. 4 frame: window = words 2..6
+    map.setFaulty(0, 4);
+    map.setFaulty(0, 6);
+    FfwDCache dcache(CacheOrganization{}, map, l2);
+    (void)dcache.read(0 * 32 + 4 * 4); // fill centered on word 4
+    (void)dcache.read(0 * 32 + 0 * 4); // word 0 is outside the window: recenter
+    const auto events = sink.events();
+    ASSERT_TRUE(hasEventNamed(events, "ffw.recenter"));
+    for (const auto& event : events) {
+        if (std::strcmp(event.name, "ffw.recenter") != 0) continue;
+        EXPECT_STREQ(event.category, "dcache");
+        bool sawOldStart = false;
+        bool sawNewStart = false;
+        for (std::size_t i = 0; i < event.argCount; ++i) {
+            if (std::strcmp(event.args[i].key, "old_start") == 0) sawOldStart = true;
+            if (std::strcmp(event.args[i].key, "new_start") == 0) sawNewStart = true;
+        }
+        EXPECT_TRUE(sawOldStart);
+        EXPECT_TRUE(sawNewStart);
+    }
+}
+
+TEST(Instrumentation, BbrFetchMissEmitsEvent) {
+    obs::TraceSink sink;
+    obs::ScopedTraceSink guard(&sink);
+    L2Cache l2;
+    BbrICache icache(CacheOrganization{}, FaultMap(1024, 8), l2);
+    (void)icache.fetch(0); // cold miss
+    EXPECT_TRUE(hasEventNamed(sink.events(), "bbr.fetch_miss"));
+}
+
+TEST(Instrumentation, LinkerCountsScansAndEmitsPlacementEvents) {
+    obs::TraceSink sink;
+    obs::ScopedTraceSink guard(&sink);
+    Module module = buildBenchmark("crc32", WorkloadScale::Tiny);
+    applyBbrTransforms(module);
+    const FaultMapGenerator generator;
+    Rng rng(7);
+    const FaultMap map = generator.generate(rng, 400_mV, 1024, 8);
+    LinkOptions options;
+    options.bbrPlacement = true;
+    options.icacheFaultMap = &map;
+    const LinkOutput out = link(module, options);
+    EXPECT_GT(out.stats.blocksPlaced, 0u);
+    // At 400mV most frames hold defects, so the first-fit scan restarts at
+    // least occasionally; the counters must be consistent with placement.
+    EXPECT_TRUE(hasEventNamed(sink.events(), "link.place"));
+}
+
+// ---- Observer multiplexing ----
+
+class CountingObserver final : public TraceObserver {
+public:
+    void onInstruction(std::uint32_t, const Instruction&) override { ++instructions_; }
+    void onDataAccess(std::uint32_t, bool) override { ++accesses_; }
+    [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
+    [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+
+private:
+    std::uint64_t instructions_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+TEST(Multiplexer, MultipleObserversSeeTheSameRun) {
+    const Module module = buildBenchmark("crc32", WorkloadScale::Tiny);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+
+    LocalityProfiler profiler;
+    CountingObserver counting;
+    SystemConfig config;
+    config.scheme = SchemeKind::FfwBbr;
+    config.op = DvfsTable::at(400_mV);
+    config.faultMapSeed = 3;
+    config.observers = {&profiler, &counting};
+    const SystemResult result = simulateSystem(module, &bbrModule, config);
+    ASSERT_FALSE(result.linkFailed);
+    profiler.finalize();
+
+    EXPECT_EQ(counting.instructions(), result.run.instructions);
+    EXPECT_GT(counting.accesses(), 0u);
+    EXPECT_GT(profiler.meanSpatialLocality(), 0.0);
+}
+
+// ---- L2-read reconciliation (the accounting invariant in simulateSystem) ----
+
+TEST(Reconciliation, L1L2ReadAccountingBalancesAcrossSchemes) {
+    const Module module = buildBenchmark("crc32", WorkloadScale::Tiny);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+    for (const SchemeKind scheme :
+         {SchemeKind::Conventional760, SchemeKind::SimpleWordDisable, SchemeKind::FbaPlus,
+          SchemeKind::IdcPlus, SchemeKind::FfwBbr}) {
+        SystemConfig config;
+        config.scheme = scheme;
+        config.op = scheme == SchemeKind::Conventional760 ? DvfsTable::vccminBaseline()
+                                                          : DvfsTable::at(400_mV);
+        config.faultMapSeed = 11;
+        // simulateSystem VC_CHECKs the invariant internally; assert it here
+        // too so a regression names the scheme.
+        const SystemResult result = simulateSystem(module, &bbrModule, config);
+        if (result.linkFailed) continue;
+        EXPECT_EQ(result.icacheStats.l2Reads + result.dcacheStats.l2Reads,
+                  result.run.activity.l2Accesses)
+            << "scheme " << schemeName(scheme);
+    }
+}
+
+// ---- Sweep progress callback ----
+
+TEST(Sweep, ProgressCallbackFiresPerBenchmark) {
+    SweepConfig config;
+    config.benchmarks = {"crc32"};
+    config.schemes = {SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(400_mV)};
+    config.trials = 1;
+    config.scale = WorkloadScale::Tiny;
+    std::vector<SweepProgress> ticks;
+    config.onProgress = [&ticks](const SweepProgress& tick) { ticks.push_back(tick); };
+    (void)runSweep(config);
+    ASSERT_EQ(ticks.size(), 1u);
+    EXPECT_EQ(ticks[0].completed, 1u);
+    EXPECT_EQ(ticks[0].total, 1u);
+    EXPECT_EQ(ticks[0].benchmark, "crc32");
+}
+
+// ---- Golden-file export ----
+
+/// Deterministic hand-built sweep result (no simulation, so the golden file
+/// only changes when the export format changes).
+SweepResult goldenSweepResult() {
+    SweepResult result;
+    SweepCell& cell = result.cells[{SchemeKind::FfwBbr, 400}];
+    for (double x : {1.0, 1.25, 1.5}) cell.normRuntime.add(x);
+    for (double x : {10.0, 12.0, 14.0}) cell.l2PerKilo.add(x);
+    for (double x : {0.5, 0.375, 0.25}) cell.normEpi.add(x);
+    for (double x : {0.5, 0.5, 0.5}) cell.busyFrac.add(x);
+    for (double x : {0.25, 0.25, 0.25}) cell.ifetchFrac.add(x);
+    for (double x : {0.125, 0.125, 0.125}) cell.dmemFrac.add(x);
+    for (double x : {0.125, 0.125, 0.125}) cell.branchFrac.add(x);
+    cell.runs = 3;
+    cell.linkFailures = 1;
+    result.perBenchmark[{"crc32", SchemeKind::FfwBbr, 400}] = cell;
+    return result;
+}
+
+TEST(Report, SweepJsonMatchesGoldenFile) {
+    SweepExportMeta meta;
+    meta.version = "test"; // fixed: the golden must not depend on git state
+    meta.seed = 42;
+    meta.trials = 3;
+    meta.scale = "tiny";
+    meta.benchmarks = {"crc32"};
+    const std::string json = sweepResultToJson(goldenSweepResult(), meta);
+
+    const std::string path = std::string(VOLTCACHE_TEST_GOLDEN_DIR) + "/sweep_small.json";
+    if (std::getenv("VOLTCACHE_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << json << "\n";
+        GTEST_SKIP() << "golden file regenerated at " << path;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " (regenerate with VOLTCACHE_UPDATE_GOLDEN=1)";
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string expected = text.str();
+    if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+    EXPECT_EQ(json, expected);
+}
+
+} // namespace
+} // namespace voltcache

@@ -39,4 +39,24 @@ if "$build_dir/tools/vcverify" basicmath --mv 400 --seed 1 --verify-seed 2 > /de
     exit 1
 fi
 
+echo "== bench smoke: tiny sweep with JSON + trace export =="
+# A one-trial tiny sweep must produce parseable JSON with non-empty cells and
+# a Chrome trace containing the FFW recenter and BBR fetch instrumentation.
+sweep_json="$build_dir/ci_sweep.json"
+sweep_trace="$build_dir/ci_sweep.trace.json"
+"$build_dir/tools/voltcache" sweep --trials 1 --benchmarks crc32 --scale tiny \
+    --json "$sweep_json" --trace "$sweep_trace" --progress > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$sweep_json" > /dev/null
+    python3 -m json.tool "$sweep_trace" > /dev/null
+fi
+if ! grep -q '"scheme":"ffw+bbr"' "$sweep_json"; then
+    echo "ci: FAIL — sweep JSON has no ffw+bbr cells" >&2
+    exit 1
+fi
+if ! grep -q 'ffw.recenter' "$sweep_trace" || ! grep -q 'bbr.fetch' "$sweep_trace"; then
+    echo "ci: FAIL — trace lacks FFW recenter / BBR fetch events" >&2
+    exit 1
+fi
+
 echo "== ci: all checks passed =="

@@ -12,8 +12,15 @@
 //       draw a Monte Carlo fault map for the 32KB L1 and print/save it
 //   voltcache yield [--bits N] [--target 0.999]
 //       Vccmin of an N-bit structure at a yield target
-//   voltcache sweep [--trials N] [--benchmarks a,b,...]
-//       the Fig. 10/11/12 sweep, printed as one table
+//   voltcache sweep [--trials N] [--benchmarks a,b,...] [--scale S]
+//             [--json FILE] [--trace FILE] [--progress]
+//       the Fig. 10/11/12 sweep, printed as one table; --json exports the
+//       full result (with CI half-widths), --trace a Chrome trace of the
+//       most recent events (open in Perfetto)
+//   voltcache stats <prog.s | benchmark> [--scheme S] [--mv V] [--seed N]
+//             [--json FILE] [--trace FILE]
+//       one instrumented leg: run + L1 + link + locality stats and the full
+//       metrics-registry snapshot
 //   voltcache list
 //       available benchmarks and schemes
 #include <cstdio>
@@ -27,11 +34,17 @@
 
 #include "analysis/verify.h"
 #include "common/table.h"
+#include "common/version.h"
+#include "core/report.h"
 #include "core/sweep.h"
+#include "cpu/trace_sink_observer.h"
 #include "faults/fault_map_io.h"
 #include "faults/yield.h"
 #include "isa/assembler.h"
 #include "isa/disasm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/locality.h"
 #include "workload/workload.h"
 
 using namespace voltcache;
@@ -54,7 +67,7 @@ Args parseArgs(int argc, char** argv, int first) {
         const std::string token = argv[i];
         if (token.rfind("--", 0) == 0 || token == "-o") {
             const std::string key = token == "-o" ? "out" : token.substr(2);
-            if (key == "bbr") { // boolean flag
+            if (key == "bbr" || key == "progress") { // boolean flags
                 args.flags[key] = "1";
                 continue;
             }
@@ -95,6 +108,51 @@ Module loadProgram(const std::string& source) {
     return assemble(text.str());
 }
 
+WorkloadScale parseScale(const std::string& name) {
+    if (name == "tiny") return WorkloadScale::Tiny;
+    if (name == "small") return WorkloadScale::Small;
+    if (name == "reference") return WorkloadScale::Reference;
+    throw std::runtime_error("unknown scale '" + name + "' (tiny|small|reference)");
+}
+
+const char* scaleName(WorkloadScale scale) {
+    switch (scale) {
+        case WorkloadScale::Tiny: return "tiny";
+        case WorkloadScale::Small: return "small";
+        case WorkloadScale::Reference: return "reference";
+    }
+    return "?";
+}
+
+void writeTextFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write '" + path + "'");
+    out << content << "\n";
+}
+
+/// Parse run/stats leg flags shared by cmdRun and cmdStats.
+SystemConfig legConfigFromArgs(const Args& args) {
+    SystemConfig config;
+    const std::string schemeText = args.get("scheme", "ffw+bbr");
+    const auto kind = schemeByName(schemeText);
+    if (!kind) throw std::runtime_error("unknown scheme '" + schemeText + "'");
+    config.scheme = *kind;
+    config.op = DvfsTable::at(Voltage::fromMillivolts(std::stod(args.get("mv", "400"))));
+    config.faultMapSeed = std::stoull(args.get("seed", "1"));
+    config.maxInstructions = std::stoull(args.get("max-instructions", "0"));
+    return config;
+}
+
+RunExportMeta legMetaFromArgs(const Args& args, const SystemConfig& config) {
+    RunExportMeta meta;
+    meta.version = std::string(buildVersion());
+    meta.benchmark = args.positional;
+    meta.scheme = std::string(schemeName(config.scheme));
+    meta.voltageMv = static_cast<int>(config.op.voltage.millivolts() + 0.5);
+    meta.seed = config.faultMapSeed;
+    return meta;
+}
+
 int cmdList() {
     std::printf("benchmarks:\n");
     for (const auto& info : benchmarkList()) {
@@ -117,16 +175,22 @@ int cmdRun(const Args& args) {
     Module bbrModule = module;
     applyBbrTransforms(bbrModule);
 
-    SystemConfig config;
-    const std::string schemeText = args.get("scheme", "ffw+bbr");
-    const auto kind = schemeByName(schemeText);
-    if (!kind) throw std::runtime_error("unknown scheme '" + schemeText + "'");
-    config.scheme = *kind;
-    config.op = DvfsTable::at(
-        Voltage::fromMillivolts(std::stod(args.get("mv", "400"))));
-    config.faultMapSeed = std::stoull(args.get("seed", "1"));
+    const SystemConfig config = legConfigFromArgs(args);
+
+    // --trace: attach a process-wide sink for the duration of the leg so the
+    // scheme / linker instrumentation points are captured.
+    obs::TraceSink sink;
+    std::optional<obs::ScopedTraceSink> traceGuard;
+    if (args.flags.contains("trace")) traceGuard.emplace(&sink);
 
     const SystemResult result = simulateSystem(module, &bbrModule, config);
+    if (args.flags.contains("trace")) {
+        writeTextFile(args.get("trace", ""), sink.toChromeJson());
+    }
+    if (args.flags.contains("json")) {
+        writeTextFile(args.get("json", ""),
+                      systemResultToJson(result, legMetaFromArgs(args, config)));
+    }
     if (result.linkFailed) {
         std::printf("BBR placement failed for this chip (yield loss) — try another "
                     "--seed\n");
@@ -234,6 +298,8 @@ int cmdYield(const Args& args) {
 int cmdSweep(const Args& args) {
     SweepConfig config;
     config.trials = static_cast<std::uint32_t>(std::stoul(args.get("trials", "3")));
+    config.scale = parseScale(args.get("scale", "small"));
+    config.maxInstructions = std::stoull(args.get("max-instructions", "0"));
     const std::string benchmarks = args.get("benchmarks", "");
     std::size_t pos = 0;
     while (pos < benchmarks.size()) {
@@ -242,7 +308,34 @@ int cmdSweep(const Args& args) {
         if (end > pos) config.benchmarks.push_back(benchmarks.substr(pos, end - pos));
         pos = end + 1;
     }
+    if (args.flags.contains("progress")) {
+        config.onProgress = [](const SweepProgress& progress) {
+            std::fprintf(stderr, "[%zu/%zu] %s done\n", progress.completed, progress.total,
+                         progress.benchmark.c_str());
+        };
+    }
+
+    obs::TraceSink sink;
+    std::optional<obs::ScopedTraceSink> traceGuard;
+    if (args.flags.contains("trace")) traceGuard.emplace(&sink);
+
     const SweepResult result = runSweep(config);
+
+    if (args.flags.contains("trace")) {
+        writeTextFile(args.get("trace", ""), sink.toChromeJson());
+    }
+    if (args.flags.contains("json")) {
+        SweepExportMeta meta;
+        meta.version = std::string(buildVersion());
+        meta.seed = config.baseSeed;
+        meta.trials = config.trials;
+        meta.scale = scaleName(config.scale);
+        meta.benchmarks = config.benchmarks;
+        if (meta.benchmarks.empty()) {
+            for (const auto& info : benchmarkList()) meta.benchmarks.emplace_back(info.name);
+        }
+        writeTextFile(args.get("json", ""), sweepResultToJson(result, meta));
+    }
 
     TextTable table({"scheme", "voltage", "norm runtime", "L2/1k", "norm EPI",
                      "yield losses"});
@@ -261,15 +354,120 @@ int cmdSweep(const Args& args) {
     return 0;
 }
 
+int cmdStats(const Args& args) {
+    if (args.positional.empty()) throw std::runtime_error("stats: need a program");
+    Module module = loadProgram(args.positional);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+
+    SystemConfig config = legConfigFromArgs(args);
+
+    // Observer multiplexing: the locality profiler and (optionally) the
+    // trace-sink bridge watch the same run side by side.
+    LocalityProfiler profiler;
+    config.observers.push_back(&profiler);
+
+    obs::TraceSink sink;
+    std::optional<obs::ScopedTraceSink> traceGuard;
+    std::optional<TraceSinkObserver> sinkObserver;
+    if (args.flags.contains("trace")) {
+        traceGuard.emplace(&sink);
+        sinkObserver.emplace(sink);
+        config.observers.push_back(&*sinkObserver);
+    }
+
+    const SystemResult result = simulateSystem(module, &bbrModule, config);
+    profiler.finalize();
+
+    if (args.flags.contains("trace")) {
+        writeTextFile(args.get("trace", ""), sink.toChromeJson());
+    }
+
+    std::printf("program: %s   scheme: %s   %.0fmV / %.0fMHz   chip seed %llu\n",
+                args.positional.c_str(), schemeName(config.scheme).data(),
+                config.op.voltage.millivolts(), config.op.frequency.megahertz(),
+                static_cast<unsigned long long>(config.faultMapSeed));
+    if (result.linkFailed) {
+        std::printf("BBR placement failed for this chip (yield loss)\n");
+    } else {
+        TextTable run({"metric", "value"});
+        run.addRow({"instructions", std::to_string(result.run.instructions)});
+        run.addRow({"cycles", std::to_string(result.run.cycles)});
+        run.addRow({"IPC", formatDouble(result.run.ipc(), 3)});
+        run.addRow({"runtime (ms)", formatDouble(result.runtimeSeconds * 1e3, 3)});
+        run.addRow({"EPI (pJ)", formatDouble(result.epi * 1e12, 1)});
+        run.addRow({"L2 / 1k instr", formatDouble(result.run.l2AccessesPerKilo(), 1)});
+        run.addRow({"L1I miss ratio", formatDouble(result.icacheStats.missRatio(), 4)});
+        run.addRow({"L1D miss ratio", formatDouble(result.dcacheStats.missRatio(), 4)});
+        run.addRow({"spatial locality", formatDouble(profiler.meanSpatialLocality(), 3)});
+        run.addRow({"word reuse rate", formatDouble(profiler.meanWordReuseRate(), 3)});
+        if (result.linkStats.blocksPlaced > 0) {
+            run.addRow({"link blocks", std::to_string(result.linkStats.blocksPlaced)});
+            run.addRow({"link gap words", std::to_string(result.linkStats.gapWords)});
+            run.addRow({"link scan restarts", std::to_string(result.linkStats.scanRestarts)});
+            run.addRow({"link wrap-arounds", std::to_string(result.linkStats.wrapArounds)});
+        }
+        std::fputs(run.render().c_str(), stdout);
+    }
+
+    // The registry snapshot: everything the leg published, merged.
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    TextTable metrics({"metric", "labels", "value"});
+    for (const auto& snap : snapshot) {
+        std::string labels;
+        for (const auto& [k, v] : snap.labels) {
+            if (!labels.empty()) labels += ",";
+            labels += k + "=" + v;
+        }
+        std::string value;
+        switch (snap.kind) {
+            case obs::MetricKind::Counter: value = std::to_string(snap.count); break;
+            case obs::MetricKind::Gauge: value = formatDouble(snap.value, 6); break;
+            case obs::MetricKind::Histogram:
+                value = "n=" + std::to_string(snap.count) +
+                        " mean=" + formatDouble(snap.value, 1);
+                break;
+        }
+        metrics.addRow({snap.name, labels, value});
+    }
+    std::fputs(metrics.render().c_str(), stdout);
+
+    if (args.flags.contains("json")) {
+        JsonWriter json;
+        json.beginObject();
+        json.member("tool", "voltcache");
+        json.member("kind", "stats");
+        json.member("version", buildVersion());
+        json.member("benchmark", args.positional);
+        json.member("scheme", schemeName(config.scheme));
+        json.member("mv",
+                    static_cast<std::int64_t>(config.op.voltage.millivolts() + 0.5));
+        json.member("seed", config.faultMapSeed);
+        json.key("result");
+        writeJson(json, result);
+        json.member("spatialLocality", profiler.meanSpatialLocality());
+        json.member("wordReuseRate", profiler.meanWordReuseRate());
+        json.key("metrics");
+        obs::writeMetrics(json, snapshot);
+        json.endObject();
+        writeTextFile(args.get("json", ""), json.str());
+    }
+    return result.linkFailed ? 1 : 0;
+}
+
 int usage() {
     std::fprintf(stderr,
                  "usage: voltcache <command> [options]\n"
                  "  run <prog.s|benchmark> [--scheme S] [--mv V] [--seed N]\n"
+                 "      [--json FILE] [--trace FILE]\n"
+                 "  stats <prog.s|benchmark> [--scheme S] [--mv V] [--seed N]\n"
+                 "      [--json FILE] [--trace FILE]\n"
                  "  verify <prog.s|benchmark> [--mv V] [--seed N]\n"
                  "  disasm <prog.s|benchmark> [--bbr]\n"
                  "  faultmap [--mv V] [--seed N] [-o FILE]\n"
                  "  yield [--bits N] [--target Y]\n"
-                 "  sweep [--trials N] [--benchmarks a,b,...]\n"
+                 "  sweep [--trials N] [--benchmarks a,b,...] [--scale S]\n"
+                 "      [--max-instructions N] [--json FILE] [--trace FILE] [--progress]\n"
                  "  list\n");
     return 2;
 }
@@ -282,6 +480,7 @@ int main(int argc, char** argv) {
     try {
         const Args args = parseArgs(argc, argv, 2);
         if (command == "run") return cmdRun(args);
+        if (command == "stats") return cmdStats(args);
         if (command == "verify") return cmdVerify(args);
         if (command == "disasm") return cmdDisasm(args);
         if (command == "faultmap") return cmdFaultmap(args);
