@@ -6,8 +6,11 @@
 // (see bench_export.h) so CI can diff the numbers.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_export.h"
 #include "compiler/passes.h"
+#include "core/sweep.h"
 #include "core/system.h"
 #include "cpu/simulator.h"
 #include "faults/bist.h"
@@ -149,6 +152,41 @@ void BM_EndToEndSystemLeg(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSystemLeg)->Unit(benchmark::kMillisecond);
 
+// --- end-to-end sweep throughput ---
+
+/// Small fixed sweep used for the legs/sec benchmarks: 2 benchmarks x
+/// 2 points x 2 schemes x 2 trials = 16 legs per sweep.
+SweepConfig tinySweepConfig(unsigned threads) {
+    SweepConfig config;
+    config.benchmarks = {"crc32", "basicmath"};
+    config.schemes = {SchemeKind::SimpleWordDisable, SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(560_mV), DvfsTable::at(400_mV)};
+    config.trials = 2;
+    config.scale = WorkloadScale::Tiny;
+    config.threads = threads;
+    return config;
+}
+
+std::size_t sweepLegCount(const SweepConfig& config) {
+    std::size_t perPoint = 0;
+    for (const SchemeKind scheme : config.schemes) {
+        perPoint += scheme == SchemeKind::Robust8T ? 1 : config.trials;
+    }
+    return config.benchmarks.size() * config.points.size() * perPoint;
+}
+
+/// Arg(0) = hardware concurrency (runSweep's own default); Arg(1) = serial.
+void BM_SweepLegs(benchmark::State& state) {
+    const SweepConfig config = tinySweepConfig(static_cast<unsigned>(state.range(0)));
+    std::uint64_t legs = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runSweep(config));
+        legs += sweepLegCount(config);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(legs));
+}
+BENCHMARK(BM_SweepLegs)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 // Cost of bumping a pre-resolved counter handle (one relaxed atomic add on
 // a per-thread cell) — the unit of overhead each instrumented hot path pays.
 void BM_ObsCounterAdd(benchmark::State& state) {
@@ -212,6 +250,79 @@ class ExportingReporter : public benchmark::ConsoleReporter {
     std::vector<voltcache::bench::BenchMetric> metrics_;
 };
 
+/// Direct throughput probes for the headline performance artifact
+/// (BENCH_perf.json): each rate is sampled kPerfReps times so the export
+/// carries a confidence-interval half-width alongside the mean. These guard
+/// the sweep executor's wall-clock budget the way BENCH_micro guards the
+/// individual hot paths.
+std::vector<voltcache::bench::BenchMetric> perfProbe() {
+    using Clock = std::chrono::steady_clock;
+    constexpr int kPerfReps = 5;
+    const auto secondsSince = [](Clock::time_point start) {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+    const auto metricOf = [](const char* name, const RunningStats& stats) {
+        voltcache::bench::BenchMetric metric;
+        metric.name = name;
+        metric.value = stats.mean();
+        metric.ciHalfWidth = confidenceInterval(stats).halfWidth;
+        metric.unit = "1/s";
+        metric.samples = stats.count();
+        return metric;
+    };
+    std::vector<voltcache::bench::BenchMetric> metrics;
+
+    // Simulator steps per second (conventional caches, no faults).
+    {
+        const Module module = buildBenchmark("crc32", WorkloadScale::Tiny);
+        const LinkOutput linked = link(module);
+        RunningStats rate;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            L2Cache l2;
+            CacheOrganization org;
+            ConventionalICache icache(org, l2);
+            ConventionalDCache dcache(org, l2);
+            Simulator sim(linked.image, module.data, icache, dcache);
+            const RunStats stats = sim.run();
+            rate.add(static_cast<double>(stats.instructions) / secondsSince(start));
+        }
+        metrics.push_back(metricOf("sim.steps_per_sec", rate));
+    }
+
+    // Fault-map generations per second at the deepest operating point.
+    {
+        const FaultMapGenerator generator;
+        Rng rng(1);
+        constexpr int kMapsPerRep = 200;
+        RunningStats rate;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            for (int i = 0; i < kMapsPerRep; ++i) {
+                benchmark::DoNotOptimize(generator.generate(rng, 400_mV, 1024, 8));
+            }
+            rate.add(kMapsPerRep / secondsSince(start));
+        }
+        metrics.push_back(metricOf("faultmap.generations_per_sec", rate));
+    }
+
+    // End-to-end sweep legs per second, serial and with all cores.
+    for (const unsigned threads : {1u, 0u}) {
+        const SweepConfig config = tinySweepConfig(threads);
+        const auto legs = static_cast<double>(sweepLegCount(config));
+        RunningStats rate;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            benchmark::DoNotOptimize(runSweep(config));
+            rate.add(legs / secondsSince(start));
+        }
+        metrics.push_back(metricOf(threads == 1 ? "sweep.legs_per_sec/threads1"
+                                                : "sweep.legs_per_sec/threads_all",
+                                   rate));
+    }
+    return metrics;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -224,5 +335,7 @@ int main(int argc, char** argv) {
     // JSON schema matches the figure benches.
     voltcache::bench::writeBenchJson("micro", voltcache::bench::defaultSweepConfig(),
                                      reporter.metrics());
+    voltcache::bench::writeBenchJson("perf", voltcache::bench::defaultSweepConfig(),
+                                     perfProbe());
     return 0;
 }

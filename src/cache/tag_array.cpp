@@ -10,30 +10,6 @@ TagArray::TagArray(std::uint32_t sets, std::uint32_t ways) : sets_(sets), ways_(
     entries_.assign(static_cast<std::size_t>(sets) * ways, Entry{});
 }
 
-const TagArray::Entry& TagArray::entry(std::uint32_t set, std::uint32_t way) const {
-    VC_EXPECTS(set < sets_);
-    VC_EXPECTS(way < ways_);
-    return entries_[static_cast<std::size_t>(set) * ways_ + way];
-}
-
-TagArray::Entry& TagArray::entry(std::uint32_t set, std::uint32_t way) {
-    VC_EXPECTS(set < sets_);
-    VC_EXPECTS(way < ways_);
-    return entries_[static_cast<std::size_t>(set) * ways_ + way];
-}
-
-TagArray::Lookup TagArray::lookup(std::uint32_t set, std::uint32_t tag) const {
-    for (std::uint32_t way = 0; way < ways_; ++way) {
-        const Entry& e = entry(set, way);
-        if (e.valid && e.tag == tag) return {true, way};
-    }
-    return {false, 0};
-}
-
-void TagArray::touch(std::uint32_t set, std::uint32_t way) {
-    entry(set, way).lastUse = ++useCounter_;
-}
-
 TagArray::Fill TagArray::fill(std::uint32_t set, std::uint32_t tag, std::uint32_t wayMask) {
     const std::uint32_t validWays = ways_ >= 32 ? ~0u : ((1u << ways_) - 1u);
     VC_EXPECTS((wayMask & validWays) != 0);
@@ -60,34 +36,8 @@ TagArray::Fill TagArray::fill(std::uint32_t set, std::uint32_t tag, std::uint32_
     return fill;
 }
 
-bool TagArray::probeWay(std::uint32_t set, std::uint32_t way, std::uint32_t tag) const {
-    const Entry& e = entry(set, way);
-    return e.valid && e.tag == tag;
-}
-
-TagArray::Fill TagArray::fillAt(std::uint32_t set, std::uint32_t way, std::uint32_t tag) {
-    Entry& e = entry(set, way);
-    Fill fill{way, e.valid, e.tag};
-    e.tag = tag;
-    e.valid = true;
-    e.lastUse = ++useCounter_;
-    return fill;
-}
-
-void TagArray::invalidate(std::uint32_t set, std::uint32_t way) {
-    entry(set, way).valid = false;
-}
-
 void TagArray::invalidateAll() {
     for (auto& e : entries_) e.valid = false;
-}
-
-bool TagArray::valid(std::uint32_t set, std::uint32_t way) const {
-    return entry(set, way).valid;
-}
-
-std::uint32_t TagArray::tagAt(std::uint32_t set, std::uint32_t way) const {
-    return entry(set, way).tag;
 }
 
 } // namespace voltcache

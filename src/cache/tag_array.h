@@ -2,10 +2,17 @@
 // and the L2 are LRU). Fault-tolerance schemes compose this with their own
 // per-line metadata; the direct-probe API supports the dual-mode (Fig. 7)
 // I-cache, where software picks the exact (set, way).
+//
+// The per-access queries (lookup / touch / probeWay) are defined inline:
+// every simulated memory access crosses them several times (L1 tag match,
+// BTB lookup, LRU touch), so they must inline into the scheme and branch
+// predictor translation units rather than cost a call each.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "common/contracts.h"
 
 namespace voltcache {
 
@@ -19,10 +26,18 @@ public:
     };
 
     /// Associative lookup; does not update recency.
-    [[nodiscard]] Lookup lookup(std::uint32_t set, std::uint32_t tag) const;
+    [[nodiscard]] Lookup lookup(std::uint32_t set, std::uint32_t tag) const {
+        const Entry* line = &entry(set, 0);
+        for (std::uint32_t way = 0; way < ways_; ++way) {
+            if (line[way].valid && line[way].tag == tag) return {true, way};
+        }
+        return {false, 0};
+    }
 
     /// Mark (set, way) most recently used.
-    void touch(std::uint32_t set, std::uint32_t way);
+    void touch(std::uint32_t set, std::uint32_t way) {
+        entry(set, way).lastUse = ++useCounter_;
+    }
 
     struct Fill {
         std::uint32_t way = 0;
@@ -36,15 +51,31 @@ public:
 
     /// Direct probe of one way (direct-mapped mode).
     [[nodiscard]] bool probeWay(std::uint32_t set, std::uint32_t way,
-                                std::uint32_t tag) const;
+                                std::uint32_t tag) const {
+        const Entry& e = entry(set, way);
+        return e.valid && e.tag == tag;
+    }
     /// Direct fill of one way (direct-mapped mode). Returns evicted state.
-    Fill fillAt(std::uint32_t set, std::uint32_t way, std::uint32_t tag);
+    Fill fillAt(std::uint32_t set, std::uint32_t way, std::uint32_t tag) {
+        Entry& e = entry(set, way);
+        Fill fill{way, e.valid, e.tag};
+        e.tag = tag;
+        e.valid = true;
+        e.lastUse = ++useCounter_;
+        return fill;
+    }
 
-    void invalidate(std::uint32_t set, std::uint32_t way);
+    void invalidate(std::uint32_t set, std::uint32_t way) {
+        entry(set, way).valid = false;
+    }
     void invalidateAll();
 
-    [[nodiscard]] bool valid(std::uint32_t set, std::uint32_t way) const;
-    [[nodiscard]] std::uint32_t tagAt(std::uint32_t set, std::uint32_t way) const;
+    [[nodiscard]] bool valid(std::uint32_t set, std::uint32_t way) const {
+        return entry(set, way).valid;
+    }
+    [[nodiscard]] std::uint32_t tagAt(std::uint32_t set, std::uint32_t way) const {
+        return entry(set, way).tag;
+    }
 
     [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
     [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
@@ -56,8 +87,16 @@ private:
         bool valid = false;
     };
 
-    [[nodiscard]] const Entry& entry(std::uint32_t set, std::uint32_t way) const;
-    [[nodiscard]] Entry& entry(std::uint32_t set, std::uint32_t way);
+    [[nodiscard]] const Entry& entry(std::uint32_t set, std::uint32_t way) const {
+        VC_EXPECTS(set < sets_);
+        VC_EXPECTS(way < ways_);
+        return entries_[static_cast<std::size_t>(set) * ways_ + way];
+    }
+    [[nodiscard]] Entry& entry(std::uint32_t set, std::uint32_t way) {
+        VC_EXPECTS(set < sets_);
+        VC_EXPECTS(way < ways_);
+        return entries_[static_cast<std::size_t>(set) * ways_ + way];
+    }
 
     std::uint32_t sets_;
     std::uint32_t ways_;

@@ -1,12 +1,17 @@
 #include "core/sweep.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "common/contracts.h"
+#include "common/rng.h"
 #include "obs/metrics.h"
 
 namespace voltcache {
@@ -48,6 +53,86 @@ void accumulate(SweepCell& cell, const LegMetrics& metrics) {
     cell.branchFrac.add(metrics.branchFrac);
 }
 
+/// Shared immutable per-benchmark artifacts, built once before any leg runs
+/// (the old executor re-ran the reference and defect-free simulations inside
+/// every benchmark closure).
+struct BenchmarkContext {
+    std::string name;
+    Module module;
+    Module bbrModule;
+    SystemResult ref760;                  ///< conventional cache at Vccmin
+    std::vector<SystemResult> defectFree; ///< one per operating point
+};
+
+/// One unit of work: indices into (contexts, points, schemes) plus a trial.
+struct Leg {
+    std::uint32_t benchmark = 0;
+    std::uint32_t point = 0;
+    std::uint32_t scheme = 0;
+    std::uint32_t trial = 0;
+};
+
+/// Run `job(0..jobCount)` on `threads` workers pulling indices off an atomic
+/// queue (work-stealing by over-decomposition: every index is a steal).
+void runIndexed(std::size_t jobCount, unsigned threads,
+                const std::function<void(std::size_t)>& job) {
+    if (jobCount == 0) return;
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < jobCount; ++i) job(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            while (true) {
+                const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+                if (index >= jobCount) return;
+                job(index);
+            }
+        });
+    }
+    for (auto& worker : workers) worker.join();
+}
+
+/// Per-worker-thread (scheme, voltage) leg counters through the handle API:
+/// the handles resolve to the calling thread's shard, so the hot loop never
+/// touches the registry lock or another thread's cells.
+class LegCounters {
+public:
+    LegCounters() : legs_(obs::MetricsRegistry::global().counter("sweep.legs")) {}
+
+    void legDone() { legs_.add(); }
+
+    void record(SchemeKind scheme, int voltageMv, bool linkFailed) {
+        const auto key = std::make_pair(scheme, voltageMv);
+        auto it = handles_.find(key);
+        if (it == handles_.end()) {
+            obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+            const obs::LabelList labels = {{"scheme", std::string(schemeName(scheme))},
+                                           {"mv", std::to_string(voltageMv)}};
+            it = handles_
+                     .emplace(key, Handles{reg.counter("sweep.runs", labels),
+                                           reg.counter("sweep.link_failures", labels)})
+                     .first;
+        }
+        if (linkFailed) {
+            it->second.linkFailures.add();
+        } else {
+            it->second.runs.add();
+        }
+    }
+
+private:
+    struct Handles {
+        obs::Counter runs;
+        obs::Counter linkFailures;
+    };
+    obs::Counter legs_;
+    std::map<std::pair<SchemeKind, int>, Handles> handles_;
+};
+
 } // namespace
 
 const SweepCell& SweepResult::cell(SchemeKind kind, Voltage v) const {
@@ -76,143 +161,198 @@ SweepResult runSweep(const SweepConfig& config) {
         points.assign(low.begin(), low.end());
     }
 
-    SweepResult result;
-    std::mutex resultMutex;
-    std::size_t completed = 0;
+    unsigned requested = config.threads != 0 ? config.threads
+                                             : std::thread::hardware_concurrency();
+    if (requested == 0) requested = 4;
 
-    auto runBenchmark = [&](const std::string& name) {
-        // Per-(scheme, voltage) leg counters through the handle API: the
-        // handles resolve to this worker thread's shard, so the hot loop
-        // below never touches the registry lock or another thread's cells.
-        struct LegCounters {
-            obs::Counter runs;
-            obs::Counter linkFailures;
-        };
-        std::map<std::pair<SchemeKind, int>, LegCounters> legCounters;
-        auto countersFor = [&legCounters](SchemeKind scheme, int voltageMv) -> LegCounters& {
-            const auto key = std::make_pair(scheme, voltageMv);
-            auto it = legCounters.find(key);
-            if (it == legCounters.end()) {
-                obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
-                const obs::LabelList labels = {{"scheme", std::string(schemeName(scheme))},
-                                               {"mv", std::to_string(voltageMv)}};
-                it = legCounters
-                         .emplace(key, LegCounters{reg.counter("sweep.runs", labels),
-                                                   reg.counter("sweep.link_failures", labels)})
-                         .first;
+    // --- Phase 1: shared immutable per-benchmark contexts. ---
+    SystemConfig baseTemplate = config.systemTemplate;
+    baseTemplate.maxInstructions = config.maxInstructions;
+
+    std::vector<BenchmarkContext> contexts(benchmarks.size());
+    std::vector<std::exception_ptr> contextErrors(benchmarks.size());
+    const auto buildContext = [&](std::size_t b) {
+        try {
+            BenchmarkContext& ctx = contexts[b];
+            ctx.name = benchmarks[b];
+            ctx.module = buildBenchmark(ctx.name, config.scale);
+            ctx.bbrModule = ctx.module; // deep copy
+            applyBbrTransforms(ctx.bbrModule, config.systemTemplate.maxBlockWords);
+
+            // Conventional cache pinned at Vccmin = 760mV: the Fig. 12
+            // normalization baseline (and the functional reference checksum).
+            SystemConfig ref = baseTemplate;
+            ref.scheme = SchemeKind::Conventional760;
+            ref.op = DvfsTable::vccminBaseline();
+            ctx.ref760 = simulateSystem(ctx.module, nullptr, ref);
+            VC_ENSURES(!ctx.ref760.linkFailed);
+
+            ctx.defectFree.reserve(points.size());
+            for (const auto& point : points) {
+                SystemConfig defectFree = ref;
+                defectFree.scheme = SchemeKind::DefectFree;
+                defectFree.op = point;
+                ctx.defectFree.push_back(simulateSystem(ctx.module, nullptr, defectFree));
             }
-            return it->second;
-        };
-        Module module = buildBenchmark(name, config.scale);
-        Module bbrModule = module; // deep copy
-        applyBbrTransforms(bbrModule, config.systemTemplate.maxBlockWords);
+        } catch (...) {
+            contextErrors[b] = std::current_exception();
+        }
+    };
+    runIndexed(benchmarks.size(), std::min<unsigned>(requested, benchmarks.size()),
+               buildContext);
+    for (const std::exception_ptr& error : contextErrors) {
+        if (error) std::rethrow_exception(error);
+    }
 
-        // Conventional cache pinned at Vccmin = 760mV: the Fig. 12
-        // normalization baseline (and the functional reference checksum).
-        SystemConfig base = config.systemTemplate;
-        base.scheme = SchemeKind::Conventional760;
-        base.op = DvfsTable::vccminBaseline();
-        base.maxInstructions = config.maxInstructions;
-        const SystemResult ref760 = simulateSystem(module, nullptr, base);
-        VC_ENSURES(!ref760.linkFailed);
-
-        std::map<std::pair<SchemeKind, int>, SweepCell> localCells;
-        std::map<std::tuple<std::string, SchemeKind, int>, SweepCell> localPerBench;
-
-        for (const auto& point : points) {
-            SystemConfig defectFree = base;
-            defectFree.scheme = SchemeKind::DefectFree;
-            defectFree.op = point;
-            const SystemResult df = simulateSystem(module, nullptr, defectFree);
-
-            for (const SchemeKind scheme : schemes) {
-                for (std::uint32_t trial = 0; trial < config.trials; ++trial) {
-                    SystemConfig leg = base;
-                    leg.scheme = scheme;
-                    leg.op = point;
-                    leg.faultMapSeed = chipSeed(config.baseSeed, mv(point.voltage), trial);
-                    const SystemResult res = simulateSystem(module, &bbrModule, leg);
-
-                    LegMetrics metrics;
-                    metrics.linkFailed = res.linkFailed;
-                    if (!res.linkFailed) {
-                        // Functional correctness: every scheme must compute
-                        // the same answer as the 760mV reference.
-                        if (res.run.halted && ref760.run.halted &&
-                            res.checksum != ref760.checksum) {
-                            throw std::logic_error("checksum mismatch in '" + name +
-                                                   "': scheme corrupted execution");
-                        }
-                        metrics.normRuntime = res.runtimeSeconds / df.runtimeSeconds;
-                        metrics.l2PerKilo = res.run.l2AccessesPerKilo();
-                        metrics.normEpi = res.epi / ref760.epi;
-                        const auto cycles = static_cast<double>(res.run.cycles);
-                        metrics.busyFrac =
-                            static_cast<double>(res.run.busyCycles()) / cycles;
-                        metrics.ifetchFrac =
-                            static_cast<double>(res.run.ifetchStallCycles) / cycles;
-                        metrics.dmemFrac =
-                            static_cast<double>(res.run.dmemStallCycles) / cycles;
-                        metrics.branchFrac =
-                            static_cast<double>(res.run.branchStallCycles) / cycles;
-                    }
-                    accumulate(localCells[{scheme, mv(point.voltage)}], metrics);
-                    accumulate(localPerBench[{name, scheme, mv(point.voltage)}], metrics);
-                    LegCounters& counters = countersFor(scheme, mv(point.voltage));
-                    if (metrics.linkFailed) {
-                        counters.linkFailures.add();
-                    } else {
-                        counters.runs.add();
-                    }
-
-                    // Defect-free kinds are deterministic: one trial suffices.
-                    if (scheme == SchemeKind::Robust8T) break;
+    // --- Phase 2: flatten the grid into legs, in canonical order. ---
+    std::vector<Leg> legs;
+    legs.reserve(benchmarks.size() * points.size() * schemes.size() * config.trials);
+    for (std::uint32_t b = 0; b < benchmarks.size(); ++b) {
+        for (std::uint32_t p = 0; p < points.size(); ++p) {
+            for (std::uint32_t s = 0; s < schemes.size(); ++s) {
+                // Defect-free kinds are deterministic: one trial suffices.
+                const std::uint32_t trials =
+                    schemes[s] == SchemeKind::Robust8T ? std::min(1u, config.trials)
+                                                       : config.trials;
+                for (std::uint32_t t = 0; t < trials; ++t) {
+                    legs.push_back(Leg{b, p, s, t});
                 }
             }
         }
+    }
 
-        const std::scoped_lock lock(resultMutex);
-        for (auto& [key, cell] : localCells) {
-            SweepCell& global = result.cells[key];
-            global.normRuntime.merge(cell.normRuntime);
-            global.l2PerKilo.merge(cell.l2PerKilo);
-            global.normEpi.merge(cell.normEpi);
-            global.busyFrac.merge(cell.busyFrac);
-            global.ifetchFrac.merge(cell.ifetchFrac);
-            global.dmemFrac.merge(cell.dmemFrac);
-            global.branchFrac.merge(cell.branchFrac);
-            global.linkFailures += cell.linkFailures;
-            global.runs += cell.runs;
-        }
-        for (auto& [key, cell] : localPerBench) result.perBenchmark[key] = cell;
-        ++completed;
+    const unsigned workers =
+        std::min<unsigned>(requested, std::max<std::size_t>(legs.size(), 1));
+
+    // --- Phase 3: workers pull legs and fill pre-sized slots. ---
+    std::vector<LegMetrics> slots(legs.size());
+    std::vector<std::exception_ptr> legErrors(legs.size());
+    std::vector<std::atomic<std::size_t>> pendingPerBenchmark(benchmarks.size());
+    for (const Leg& leg : legs) {
+        pendingPerBenchmark[leg.benchmark].fetch_add(1, std::memory_order_relaxed);
+    }
+    std::atomic<std::size_t> legsCompleted{0};
+    std::size_t benchmarksCompleted = 0;
+    std::mutex progressMutex;
+
+    const auto finishBenchmark = [&](std::uint32_t b) {
+        const std::scoped_lock lock(progressMutex);
+        ++benchmarksCompleted;
         if (config.onProgress) {
-            config.onProgress(SweepProgress{completed, benchmarks.size(), name});
+            SweepProgress tick;
+            tick.completed = benchmarksCompleted;
+            tick.total = benchmarks.size();
+            tick.benchmark = contexts[b].name;
+            tick.legsCompleted = legsCompleted.load(std::memory_order_relaxed);
+            tick.legsTotal = legs.size();
+            tick.workers = workers;
+            config.onProgress(tick);
         }
     };
 
-    unsigned threadCount = config.threads != 0 ? config.threads
-                                               : std::thread::hardware_concurrency();
-    if (threadCount == 0) threadCount = 4;
-    threadCount = std::min<unsigned>(threadCount,
-                                     static_cast<unsigned>(benchmarks.size()));
+    const auto runLeg = [&](std::size_t index, LegCounters& counters) {
+        const Leg& leg = legs[index];
+        const BenchmarkContext& ctx = contexts[leg.benchmark];
+        const OperatingPoint& point = points[leg.point];
+        const SchemeKind scheme = schemes[leg.scheme];
+        try {
+            SystemConfig sys = baseTemplate;
+            sys.scheme = scheme;
+            sys.op = point;
+            sys.faultMapSeed = chipSeed(config.baseSeed, mv(point.voltage), leg.trial);
+            const SystemResult res = simulateSystem(ctx.module, &ctx.bbrModule, sys);
 
-    if (threadCount <= 1) {
-        for (const auto& name : benchmarks) runBenchmark(name);
+            LegMetrics metrics;
+            metrics.linkFailed = res.linkFailed;
+            if (!res.linkFailed) {
+                // Functional correctness: every scheme must compute the same
+                // answer as the 760mV reference.
+                if (res.run.halted && ctx.ref760.run.halted &&
+                    res.checksum != ctx.ref760.checksum) {
+                    throw std::logic_error("checksum mismatch in '" + ctx.name +
+                                           "': scheme corrupted execution");
+                }
+                const SystemResult& df = ctx.defectFree[leg.point];
+                metrics.normRuntime = res.runtimeSeconds / df.runtimeSeconds;
+                metrics.l2PerKilo = res.run.l2AccessesPerKilo();
+                metrics.normEpi = res.epi / ctx.ref760.epi;
+                const auto cycles = static_cast<double>(res.run.cycles);
+                metrics.busyFrac = static_cast<double>(res.run.busyCycles()) / cycles;
+                metrics.ifetchFrac =
+                    static_cast<double>(res.run.ifetchStallCycles) / cycles;
+                metrics.dmemFrac = static_cast<double>(res.run.dmemStallCycles) / cycles;
+                metrics.branchFrac =
+                    static_cast<double>(res.run.branchStallCycles) / cycles;
+            }
+            slots[index] = metrics;
+            counters.record(scheme, mv(point.voltage), metrics.linkFailed);
+        } catch (...) {
+            legErrors[index] = std::current_exception();
+        }
+        counters.legDone();
+        legsCompleted.fetch_add(1, std::memory_order_relaxed);
+        if (pendingPerBenchmark[leg.benchmark].fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+            finishBenchmark(leg.benchmark);
+        }
+    };
+
+    const auto started = std::chrono::steady_clock::now();
+    if (workers <= 1) {
+        LegCounters counters;
+        for (std::size_t i = 0; i < legs.size(); ++i) runLeg(i, counters);
     } else {
-        std::vector<std::thread> workers;
-        workers.reserve(threadCount);
         std::atomic<std::size_t> next{0};
-        for (unsigned t = 0; t < threadCount; ++t) {
-            workers.emplace_back([&] {
+        std::vector<std::thread> team;
+        team.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) {
+            team.emplace_back([&] {
+                LegCounters counters;
                 while (true) {
-                    const std::size_t index = next.fetch_add(1);
-                    if (index >= benchmarks.size()) return;
-                    runBenchmark(benchmarks[index]);
+                    const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+                    if (index >= legs.size()) return;
+                    runLeg(index, counters);
                 }
             });
         }
-        for (auto& worker : workers) worker.join();
+        for (auto& worker : team) worker.join();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    if (!legs.empty() && elapsed > 0.0) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+        reg.set("sweep.legs_per_sec", {}, static_cast<double>(legs.size()) / elapsed);
+        reg.set("sweep.workers", {}, static_cast<double>(workers));
+    }
+
+    // A benchmark that contributed no legs (e.g. trials == 0) still gets its
+    // completion tick, in benchmark order, for parity with the old executor.
+    for (std::uint32_t b = 0; b < benchmarks.size(); ++b) {
+        if (pendingPerBenchmark[b].load(std::memory_order_relaxed) == 0 &&
+            std::none_of(legs.begin(), legs.end(),
+                         [b](const Leg& leg) { return leg.benchmark == b; })) {
+            finishBenchmark(b);
+        }
+    }
+
+    // First leg error wins, by canonical leg order — deterministic for any
+    // thread count (the old executor surfaced whichever thread threw first).
+    for (const std::exception_ptr& error : legErrors) {
+        if (error) std::rethrow_exception(error);
+    }
+
+    // --- Phase 4: deterministic reduction in canonical leg order. ---
+    // Every RunningStats sees its samples in exactly this sequence, so the
+    // aggregated floating-point state — and the exported JSON — is
+    // bit-identical regardless of how the legs were scheduled.
+    SweepResult result;
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+        const Leg& leg = legs[i];
+        const SchemeKind scheme = schemes[leg.scheme];
+        const int voltageMv = mv(points[leg.point].voltage);
+        accumulate(result.cells[{scheme, voltageMv}], slots[i]);
+        accumulate(result.perBenchmark[{contexts[leg.benchmark].name, scheme, voltageMv}],
+                   slots[i]);
     }
     return result;
 }

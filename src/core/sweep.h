@@ -6,6 +6,14 @@
 //   * EPI normalized to the conventional cache pinned at Vccmin = 760mV.
 // The same seed produces the same fault maps for every scheme, so schemes
 // are compared on identical chips (paired samples).
+//
+// Execution model: the grid is flattened into (benchmark, point, scheme,
+// trial) legs. Per-benchmark artifacts (built module, BBR twin, the 760mV
+// reference run, per-point defect-free runs) are prepared once in shared
+// immutable contexts; then N workers pull legs off an atomic queue and
+// write each leg's metrics into a pre-sized slot. The final reduction walks
+// the slots in canonical leg order, so the aggregated result — and its JSON
+// export — is bit-identical for every thread count.
 #pragma once
 
 #include <cstddef>
@@ -21,10 +29,15 @@
 namespace voltcache {
 
 /// One progress tick of runSweep: a benchmark's legs all finished.
+/// Ticks fire in completion order (scheduling-dependent); the sweep result
+/// itself is deterministic regardless.
 struct SweepProgress {
-    std::size_t completed = 0; ///< benchmarks finished so far
-    std::size_t total = 0;     ///< benchmarks in this sweep
-    std::string benchmark;     ///< the one that just finished
+    std::size_t completed = 0;     ///< benchmarks finished so far
+    std::size_t total = 0;         ///< benchmarks in this sweep
+    std::string benchmark;         ///< the one that just finished
+    std::size_t legsCompleted = 0; ///< legs finished so far, sweep-wide
+    std::size_t legsTotal = 0;     ///< legs in this sweep
+    unsigned workers = 0;          ///< worker threads executing legs
 };
 
 struct SweepConfig {
@@ -35,10 +48,12 @@ struct SweepConfig {
     std::uint32_t trials = 5;               ///< fault maps per operating point
     std::uint64_t baseSeed = 0xC0FFEE;
     std::uint64_t maxInstructions = 0;
-    unsigned threads = 0;                   ///< 0 = hardware concurrency
+    /// Worker threads; 0 = hardware concurrency. Clamped to the number of
+    /// legs (not benchmarks), so many-core hosts stay busy to the end.
+    unsigned threads = 0;
     SystemConfig systemTemplate = {};       ///< org / energy / pipeline knobs
-    /// Invoked after each benchmark completes, serialized under the result
-    /// lock (safe to print / write from). Empty = no progress reporting.
+    /// Invoked after each benchmark's last leg completes, serialized under
+    /// the progress lock (safe to print / write from). Empty = no reporting.
     std::function<void(const SweepProgress&)> onProgress;
 };
 
@@ -65,8 +80,9 @@ struct SweepResult {
     [[nodiscard]] const SweepCell& cell(SchemeKind kind, Voltage v) const;
 };
 
-/// Run the full grid. Deterministic for a fixed config (parallelism only
-/// changes scheduling, not seeds).
+/// Run the full grid. Deterministic for a fixed config: parallelism only
+/// changes scheduling, never seeds or reduction order, so the result (and
+/// its JSON export) is bit-identical across thread counts.
 [[nodiscard]] SweepResult runSweep(const SweepConfig& config);
 
 /// The scheme list of Figs. 10-12 (excluding the two baselines).

@@ -1,35 +1,6 @@
 #include "cpu/memory.h"
 
-#include <string>
-#include <vector>
-
 namespace voltcache {
-
-namespace {
-
-void checkAligned(std::uint32_t byteAddr) {
-    if (byteAddr % 4 != 0) {
-        throw MemoryFault("misaligned word access at address " + std::to_string(byteAddr));
-    }
-}
-
-} // namespace
-
-std::int32_t Memory::read(std::uint32_t byteAddr) const {
-    checkAligned(byteAddr);
-    const std::uint32_t wordAddr = byteAddr / 4;
-    const auto it = pages_.find(wordAddr / kPageWords);
-    if (it == pages_.end()) return 0;
-    return (*it->second)[wordAddr % kPageWords];
-}
-
-void Memory::write(std::uint32_t byteAddr, std::int32_t value) {
-    checkAligned(byteAddr);
-    const std::uint32_t wordAddr = byteAddr / 4;
-    auto& page = pages_[wordAddr / kPageWords];
-    if (!page) page = std::make_unique<Page>(Page{});
-    (*page)[wordAddr % kPageWords] = value;
-}
 
 void Memory::load(std::uint32_t baseAddr, const std::vector<std::int32_t>& words) {
     for (std::size_t i = 0; i < words.size(); ++i) {

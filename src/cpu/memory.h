@@ -1,25 +1,61 @@
 // Sparse, paged data memory for the functional simulator. Word-granular to
 // match the ISA and the caches. Unwritten memory reads as zero.
+//
+// Accesses are strongly sequential (streaming benchmarks, stack frames), so
+// read/write keep a one-entry cache of the last page touched: the common
+// case is a bounds-free array index instead of an unordered_map probe. Page
+// storage is stable (unique_ptr), so the cached pointer never dangles.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace voltcache {
+
+/// Thrown on misaligned or otherwise invalid memory operations — indicates
+/// a benchmark-program bug, so it must surface loudly.
+class MemoryFault : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
 
 class Memory {
 public:
     static constexpr std::uint32_t kPageWords = 1024; ///< 4KB pages
 
     /// Read the word at a 4-byte-aligned byte address.
-    [[nodiscard]] std::int32_t read(std::uint32_t byteAddr) const;
+    [[nodiscard]] std::int32_t read(std::uint32_t byteAddr) const {
+        checkAligned(byteAddr);
+        const std::uint32_t wordAddr = byteAddr / 4;
+        const std::uint32_t pageIndex = wordAddr / kPageWords;
+        if (pageIndex == lastPageIndex_) return (*lastPage_)[wordAddr % kPageWords];
+        const auto it = pages_.find(pageIndex);
+        if (it == pages_.end()) return 0;
+        lastPageIndex_ = pageIndex;
+        lastPage_ = it->second.get();
+        return (*lastPage_)[wordAddr % kPageWords];
+    }
 
     /// Write the word at a 4-byte-aligned byte address.
-    void write(std::uint32_t byteAddr, std::int32_t value);
+    void write(std::uint32_t byteAddr, std::int32_t value) {
+        checkAligned(byteAddr);
+        const std::uint32_t wordAddr = byteAddr / 4;
+        const std::uint32_t pageIndex = wordAddr / kPageWords;
+        if (pageIndex == lastPageIndex_) {
+            (*lastPage_)[wordAddr % kPageWords] = value;
+            return;
+        }
+        auto& page = pages_[pageIndex];
+        if (!page) page = std::make_unique<Page>(Page{});
+        lastPageIndex_ = pageIndex;
+        lastPage_ = page.get();
+        (*page)[wordAddr % kPageWords] = value;
+    }
 
     /// Bulk-load consecutive words starting at `baseAddr` (image / data
     /// segment initialization).
@@ -30,14 +66,20 @@ public:
 private:
     using Page = std::array<std::int32_t, kPageWords>;
 
-    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
-};
+    static void checkAligned(std::uint32_t byteAddr) {
+        if (byteAddr % 4 != 0) {
+            throw MemoryFault("misaligned word access at address " +
+                              std::to_string(byteAddr));
+        }
+    }
 
-/// Thrown on misaligned or otherwise invalid memory operations — indicates
-/// a benchmark-program bug, so it must surface loudly.
-class MemoryFault : public std::logic_error {
-public:
-    using std::logic_error::logic_error;
+    std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+    // Last-page cache. Only materialized pages are cached, so the sentinel
+    // index can never alias a hit with lastPage_ == nullptr. `mutable`: the
+    // cache is an access-path memo, not observable state (Memory is used
+    // single-threaded, one instance per simulated leg).
+    mutable std::uint32_t lastPageIndex_ = ~0u;
+    mutable Page* lastPage_ = nullptr;
 };
 
 } // namespace voltcache

@@ -1,5 +1,8 @@
 #include "faults/fault_map.h"
 
+#include <bit>
+#include <cmath>
+
 #include "common/contracts.h"
 
 namespace voltcache {
@@ -8,49 +11,20 @@ FaultMap::FaultMap(std::uint32_t lines, std::uint32_t wordsPerLine)
     : lines_(lines), wordsPerLine_(wordsPerLine) {
     VC_EXPECTS(lines > 0);
     VC_EXPECTS(wordsPerLine > 0 && wordsPerLine <= 32);
-    faulty_.assign(static_cast<std::size_t>(lines) * wordsPerLine, false);
-}
-
-std::uint32_t FaultMap::flatIndex(std::uint32_t line, std::uint32_t word) const {
-    VC_EXPECTS(line < lines_);
-    VC_EXPECTS(word < wordsPerLine_);
-    return line * wordsPerLine_ + word;
+    bits_.assign((static_cast<std::size_t>(lines) * wordsPerLine + 31) / 32, 0u);
 }
 
 void FaultMap::setFaulty(std::uint32_t line, std::uint32_t word, bool faulty) {
     setFaultyFlat(flatIndex(line, word), faulty);
 }
 
-bool FaultMap::isFaulty(std::uint32_t line, std::uint32_t word) const {
-    return faulty_[flatIndex(line, word)];
-}
-
 void FaultMap::setFaultyFlat(std::uint32_t flatWord, bool faulty) {
     VC_EXPECTS(flatWord < totalWords());
-    if (faulty_[flatWord] == faulty) return;
-    faulty_[flatWord] = faulty;
+    const std::uint32_t mask = 1u << (flatWord & 31u);
+    std::uint32_t& block = bits_[flatWord >> 5];
+    if (((block & mask) != 0) == faulty) return;
+    block ^= mask;
     faultyWords_ += faulty ? 1 : -1;
-}
-
-bool FaultMap::isFaultyFlat(std::uint32_t flatWord) const {
-    VC_EXPECTS(flatWord < totalWords());
-    return faulty_[flatWord];
-}
-
-std::uint32_t FaultMap::lineFaultMask(std::uint32_t line) const {
-    std::uint32_t mask = 0;
-    for (std::uint32_t w = 0; w < wordsPerLine_; ++w) {
-        if (isFaulty(line, w)) mask |= (1u << w);
-    }
-    return mask;
-}
-
-std::uint32_t FaultMap::faultFreeCount(std::uint32_t line) const {
-    std::uint32_t count = 0;
-    for (std::uint32_t w = 0; w < wordsPerLine_; ++w) {
-        if (!isFaulty(line, w)) ++count;
-    }
-    return count;
 }
 
 double FaultMap::effectiveCapacityFraction() const noexcept {
@@ -59,16 +33,43 @@ double FaultMap::effectiveCapacityFraction() const noexcept {
 
 std::vector<FaultFreeChunk> FaultMap::faultFreeChunks() const {
     std::vector<FaultFreeChunk> chunks;
+    chunks.reserve(faultyWords_ + 1);
+    const std::uint32_t total = totalWords();
     std::uint32_t runStart = 0;
     std::uint32_t runLength = 0;
-    for (std::uint32_t i = 0; i < totalWords(); ++i) {
-        if (!faulty_[i]) {
+    std::uint32_t i = 0;
+    while (i < total) {
+        const std::uint32_t bitOff = i & 31u;
+        const std::uint32_t avail = std::min(32u - bitOff, total - i);
+        // 64-bit so the shift-runs below never hit a shift-by-32.
+        std::uint64_t block = bits_[i >> 5] >> bitOff;
+        if (block == 0) {
             if (runLength == 0) runStart = i;
-            ++runLength;
-        } else if (runLength > 0) {
-            chunks.push_back({runStart, runLength});
-            runLength = 0;
+            runLength += avail;
+            i += avail;
+            continue;
         }
+        std::uint32_t consumed = 0;
+        while (consumed < avail) {
+            const auto zeros = std::min<std::uint32_t>(
+                static_cast<std::uint32_t>(std::countr_zero(block)), avail - consumed);
+            if (zeros > 0) {
+                if (runLength == 0) runStart = i + consumed;
+                runLength += zeros;
+                consumed += zeros;
+                block >>= zeros;
+                if (consumed >= avail) break;
+            }
+            const auto ones = std::min<std::uint32_t>(
+                static_cast<std::uint32_t>(std::countr_one(block)), avail - consumed);
+            if (runLength > 0) {
+                chunks.push_back({runStart, runLength});
+                runLength = 0;
+            }
+            consumed += ones;
+            block >>= ones;
+        }
+        i += avail;
     }
     if (runLength > 0) chunks.push_back({runStart, runLength});
     return chunks;
@@ -93,8 +94,55 @@ FaultMap FaultMapGenerator::generate(Rng& rng, Voltage v, std::uint32_t lines,
                                      std::uint32_t wordsPerLine) const {
     const double pWord = model_.pFailStructure(v, bitsPerWord_);
     FaultMap map(lines, wordsPerLine);
-    for (std::uint32_t flat = 0; flat < map.totalWords(); ++flat) {
-        if (rng.nextBernoulli(pWord)) map.setFaultyFlat(flat);
+    const std::uint32_t total = map.totalWords();
+    if (pWord <= 0.0) return map;
+    if (pWord >= 1.0) {
+        for (std::uint32_t flat = 0; flat < total; ++flat) map.setFaultyFlat(flat);
+        return map;
+    }
+    // Geometric gap-skipping: the run of fault-free words before the next
+    // faulty one has P(G = k) = (1-p)^k p, whose inverse CDF at uniform u is
+    // floor(log(1-u) / log(1-p)). One draw per faulty word (plus the final
+    // draw that runs off the end) replaces one Bernoulli per word.
+    const double invLog1mP = 1.0 / std::log1p(-pWord);
+    std::uint64_t next = 0;
+    while (next < total) {
+        const double u = rng.nextDouble();
+        const double gap = std::floor(std::log1p(-u) * invLog1mP);
+        // u near 1 maps to an unbounded gap; compare in double before the
+        // cast (casting an out-of-range double is undefined behaviour).
+        if (!(gap < static_cast<double>(total - next))) break;
+        next += static_cast<std::uint64_t>(gap);
+        map.setFaultyFlat(static_cast<std::uint32_t>(next));
+        ++next;
+    }
+    return map;
+}
+
+FaultMap FaultMapGenerator::generateBernoulliReference(Rng& rng, Voltage v,
+                                                       std::uint32_t lines,
+                                                       std::uint32_t wordsPerLine) const {
+    const double pWord = model_.pFailStructure(v, bitsPerWord_);
+    FaultMap map(lines, wordsPerLine);
+    const std::uint32_t total = map.totalWords();
+    if (pWord <= 0.0) return map;
+    if (pWord >= 1.0) {
+        for (std::uint32_t flat = 0; flat < total; ++flat) map.setFaultyFlat(flat);
+        return map;
+    }
+    // One Bernoulli(p) test per word. After a non-faulty word the residual
+    // uniform is renormalized to [0,1) — (r-p)/(1-p) conditioned on r >= p —
+    // which couples this stream to generate()'s inverse-CDF gaps exactly:
+    // the k-th renormalized residual drops below p precisely when
+    // floor(log(1-u)/log(1-p)) == k.
+    double r = rng.nextDouble();
+    for (std::uint32_t flat = 0; flat < total; ++flat) {
+        if (r < pWord) {
+            map.setFaultyFlat(flat);
+            r = rng.nextDouble();
+        } else {
+            r = (r - pWord) / (1.0 - pWord);
+        }
     }
     return map;
 }

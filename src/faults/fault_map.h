@@ -6,11 +6,18 @@
 //   * FFW loads it into the FMAP array next to the D-cache tags,
 //   * the linker reads it to place basic blocks for BBR,
 //   * the word-disable/FBA/IDC baselines consult it on every access.
+//
+// Storage is bit-packed (32 map words per storage word) so the per-access
+// queries the schemes and the BBR linker hammer — lineFaultMask,
+// faultFreeCount, faultFreeChunks — are mask extractions and popcounts
+// instead of per-bit loops.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/rng.h"
 #include "faults/failure_model.h"
 
@@ -35,17 +42,37 @@ public:
     [[nodiscard]] std::uint32_t totalWords() const noexcept { return lines_ * wordsPerLine_; }
 
     void setFaulty(std::uint32_t line, std::uint32_t word, bool faulty = true);
-    [[nodiscard]] bool isFaulty(std::uint32_t line, std::uint32_t word) const;
+    [[nodiscard]] bool isFaulty(std::uint32_t line, std::uint32_t word) const {
+        return isFaultyFlat(flatIndex(line, word));
+    }
 
     void setFaultyFlat(std::uint32_t flatWord, bool faulty = true);
-    [[nodiscard]] bool isFaultyFlat(std::uint32_t flatWord) const;
+    // The read-side queries below are inline: the schemes and the BBR
+    // I-cache consult the map on every simulated access, and the linker's
+    // first-fit scan probes it per word.
+    [[nodiscard]] bool isFaultyFlat(std::uint32_t flatWord) const {
+        VC_EXPECTS(flatWord < totalWords());
+        return (bits_[flatWord >> 5] >> (flatWord & 31u)) & 1u;
+    }
 
     /// Bitmask of defective words in a line; bit i set == word i faulty.
     /// Requires wordsPerLine <= 32 (8 for the paper's 32B/4B geometry).
-    [[nodiscard]] std::uint32_t lineFaultMask(std::uint32_t line) const;
+    [[nodiscard]] std::uint32_t lineFaultMask(std::uint32_t line) const {
+        VC_EXPECTS(line < lines_);
+        const std::uint32_t start = line * wordsPerLine_;
+        const std::uint32_t bitOff = start & 31u;
+        std::uint32_t mask = bits_[start >> 5] >> bitOff;
+        if (bitOff != 0 && bitOff + wordsPerLine_ > 32) {
+            mask |= bits_[(start >> 5) + 1] << (32 - bitOff);
+        }
+        return wordsPerLine_ == 32 ? mask : mask & ((1u << wordsPerLine_) - 1);
+    }
 
     /// Number of usable (fault-free) words in a line.
-    [[nodiscard]] std::uint32_t faultFreeCount(std::uint32_t line) const;
+    [[nodiscard]] std::uint32_t faultFreeCount(std::uint32_t line) const {
+        return wordsPerLine_ -
+               static_cast<std::uint32_t>(std::popcount(lineFaultMask(line)));
+    }
 
     [[nodiscard]] std::uint32_t totalFaultyWords() const noexcept { return faultyWords_; }
     [[nodiscard]] std::uint32_t totalFaultFreeWords() const noexcept {
@@ -69,16 +96,31 @@ public:
     bool operator==(const FaultMap& other) const = default;
 
 private:
-    [[nodiscard]] std::uint32_t flatIndex(std::uint32_t line, std::uint32_t word) const;
+    [[nodiscard]] std::uint32_t flatIndex(std::uint32_t line, std::uint32_t word) const {
+        VC_EXPECTS(line < lines_);
+        VC_EXPECTS(word < wordsPerLine_);
+        return line * wordsPerLine_ + word;
+    }
 
     std::uint32_t lines_;
     std::uint32_t wordsPerLine_;
     std::uint32_t faultyWords_ = 0;
-    std::vector<bool> faulty_;
+    /// Bit i of bits_[i/32] set == flat word i faulty. Bits at or beyond
+    /// totalWords() are always zero (operator== relies on it).
+    std::vector<std::uint32_t> bits_;
 };
 
 /// Monte Carlo fault-map generation (paper Section V): each word fails
 /// independently with probability 1-(1-p_bit)^32 at the given voltage.
+///
+/// generate() samples by geometric gap-skipping: one uniform draw yields the
+/// distance to the next faulty word via the inverse CDF, so a map costs
+/// O(faulty words) RNG draws instead of one Bernoulli per word (at 600mV+
+/// fault rates that is a handful of draws instead of ~16K). The coupling is
+/// exact: generateBernoulliReference() performs one Bernoulli(p) test per
+/// word on the renormalized residual of the same uniform stream and
+/// reproduces the identical map (inverse-CDF identity; see the determinism
+/// tests).
 class FaultMapGenerator {
 public:
     explicit FaultMapGenerator(FailureModel model = FailureModel{},
@@ -88,6 +130,13 @@ public:
     /// Draw one fault map for an array of `lines` x `wordsPerLine` words.
     [[nodiscard]] FaultMap generate(Rng& rng, Voltage v, std::uint32_t lines,
                                     std::uint32_t wordsPerLine) const;
+
+    /// Slow per-word reference: one Bernoulli(p) test per word, coupled to
+    /// generate()'s uniform stream so the two produce identical maps for the
+    /// same RNG state. Kept for equivalence testing; do not use in sweeps.
+    [[nodiscard]] FaultMap generateBernoulliReference(Rng& rng, Voltage v,
+                                                      std::uint32_t lines,
+                                                      std::uint32_t wordsPerLine) const;
 
     [[nodiscard]] const FailureModel& model() const noexcept { return model_; }
     [[nodiscard]] unsigned bitsPerWord() const noexcept { return bitsPerWord_; }

@@ -20,16 +20,29 @@ const ImageWord& Image::at(std::uint32_t byteAddr) const {
 ImageWord& Image::at(std::uint32_t byteAddr) {
     VC_EXPECTS(contains(byteAddr));
     VC_EXPECTS(byteAddr % 4 == 0);
+    decodeDirty_ = true;
     return words_[(byteAddr - baseAddr_) / 4];
 }
 
-const Instruction& Image::fetch(std::uint32_t byteAddr) const {
+const Instruction& Image::fetchChecked(std::uint32_t byteAddr) const {
     const ImageWord& word = at(byteAddr);
     if (word.kind != ImageWord::Kind::Instruction) {
         throw std::logic_error("Image::fetch: address " + std::to_string(byteAddr) +
                                " is not an instruction (control flow escaped the code)");
     }
     return word.inst;
+}
+
+void Image::rebuildDecodeCache() const {
+    decoded_.assign(words_.size(), Instruction{});
+    isInstruction_.assign(words_.size(), 0);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if (words_[i].kind == ImageWord::Kind::Instruction) {
+            decoded_[i] = words_[i].inst;
+            isInstruction_[i] = 1;
+        }
+    }
+    decodeDirty_ = false;
 }
 
 std::vector<std::int32_t> Image::encodedWords() const {

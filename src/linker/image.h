@@ -53,11 +53,34 @@ public:
     }
 
     [[nodiscard]] const ImageWord& at(std::uint32_t byteAddr) const;
+    /// Mutable word access (linking); invalidates the fetch decode cache.
     [[nodiscard]] ImageWord& at(std::uint32_t byteAddr);
 
     /// Fetch helper: the instruction at `byteAddr`. Throws std::logic_error
     /// if the word is not an instruction (control flow escaped the code).
-    [[nodiscard]] const Instruction& fetch(std::uint32_t byteAddr) const;
+    ///
+    /// Hot path of the timing simulator: after the first fetch (or an
+    /// explicit warmDecodeCache()) instructions come from a dense decoded
+    /// array — one bounds test and one byte flag instead of the ImageWord
+    /// kind-branch per fetch. Misaligned / out-of-image / non-instruction
+    /// addresses fall through to the original checked path.
+    [[nodiscard]] const Instruction& fetch(std::uint32_t byteAddr) const {
+        if (decodeDirty_) rebuildDecodeCache();
+        // Underflows for byteAddr < baseAddr_ to a huge offset, which the
+        // index bound rejects — no separate contains() test needed.
+        const std::uint32_t offset = byteAddr - baseAddr_;
+        const std::uint32_t index = offset / 4;
+        if ((offset & 3u) == 0 && index < decoded_.size() && isInstruction_[index]) {
+            return decoded_[index];
+        }
+        return fetchChecked(byteAddr);
+    }
+
+    /// Build the decode cache eagerly (e.g. right after linking) so no
+    /// rebuild happens mid-simulation. Idempotent.
+    void warmDecodeCache() const {
+        if (decodeDirty_) rebuildDecodeCache();
+    }
 
     [[nodiscard]] std::uint32_t entryAddr() const noexcept { return entryAddr_; }
     void setEntryAddr(std::uint32_t addr) noexcept { entryAddr_ = addr; }
@@ -75,10 +98,20 @@ public:
     [[nodiscard]] std::uint32_t occupiedWords() const noexcept;
 
 private:
+    [[nodiscard]] const Instruction& fetchChecked(std::uint32_t byteAddr) const;
+    void rebuildDecodeCache() const;
+
     std::uint32_t baseAddr_;
     std::uint32_t entryAddr_ = 0;
     std::vector<ImageWord> words_;
     std::vector<PlacedBlock> placements_;
+    // Fetch decode cache: dense per-word instruction copies plus a validity
+    // flag, rebuilt lazily after mutations. `mutable` memo of words_ — an
+    // Image is simulated single-threaded (one linked image per sweep leg);
+    // share across threads only after warmDecodeCache().
+    mutable std::vector<Instruction> decoded_;
+    mutable std::vector<std::uint8_t> isInstruction_;
+    mutable bool decodeDirty_ = true;
 };
 
 } // namespace voltcache

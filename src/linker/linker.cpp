@@ -257,6 +257,9 @@ LinkOutput link(const Module& module, const LinkOptions& options) {
     module.validate();
     LinkOutput out = LinkContext(module, options).run();
     if (options.postLinkVerifier) options.postLinkVerifier(out.image);
+    // Decode eagerly: the image is final here, so the simulator's fetch fast
+    // path never rebuilds mid-run (and the image is then share-safe).
+    out.image.warmDecodeCache();
     return out;
 }
 

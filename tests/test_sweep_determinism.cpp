@@ -1,0 +1,102 @@
+// Determinism guarantees of the parallel sweep executor and the geometric
+// fault-map sampler:
+//   * the exported sweep JSON is byte-identical for any worker count
+//     (per-leg slots + reduction in canonical leg order), and
+//   * geometric gap-skipping generation produces exactly the map the coupled
+//     per-word Bernoulli reference does, over a (seed, voltage) grid.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/sweep.h"
+#include "faults/fault_map.h"
+#include "power/dvfs.h"
+
+namespace voltcache {
+namespace {
+
+using literals::operator""_mV;
+
+SweepConfig smallConfig(unsigned threads) {
+    SweepConfig config;
+    config.benchmarks = {"crc32", "basicmath"};
+    config.schemes = {SchemeKind::Robust8T, SchemeKind::SimpleWordDisable,
+                      SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(560_mV), DvfsTable::at(400_mV)};
+    config.trials = 2;
+    config.scale = WorkloadScale::Tiny;
+    config.threads = threads;
+    return config;
+}
+
+std::string exportJson(const SweepResult& result, const SweepConfig& config) {
+    SweepExportMeta meta;
+    meta.version = "determinism-test"; // fixed: exclude git describe from the diff
+    meta.seed = config.baseSeed;
+    meta.trials = config.trials;
+    meta.scale = "tiny";
+    meta.benchmarks = config.benchmarks;
+    return sweepResultToJson(result, meta);
+}
+
+TEST(SweepDeterminism, JsonBitIdenticalAcrossThreadCounts) {
+    const SweepConfig c1 = smallConfig(1);
+    const std::string json1 = exportJson(runSweep(c1), c1);
+    for (const unsigned threads : {2u, 8u}) {
+        const SweepConfig cn = smallConfig(threads);
+        const std::string jsonN = exportJson(runSweep(cn), cn);
+        EXPECT_EQ(json1, jsonN) << "sweep JSON differs at --threads " << threads;
+    }
+}
+
+// Worker count is clamped by legs, not benchmarks: a one-benchmark sweep on
+// many threads must still produce the single-thread result (and not deadlock
+// or lose legs).
+TEST(SweepDeterminism, ManyThreadsFewLegs) {
+    SweepConfig config;
+    config.benchmarks = {"crc32"};
+    config.schemes = {SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(400_mV)};
+    config.trials = 1;
+    config.scale = WorkloadScale::Tiny;
+
+    config.threads = 1;
+    const std::string json1 = exportJson(runSweep(config), config);
+    config.threads = 16;
+    const std::string json16 = exportJson(runSweep(config), config);
+    EXPECT_EQ(json1, json16);
+}
+
+TEST(SweepDeterminism, GeometricSamplingMatchesBernoulliReference) {
+    const FaultMapGenerator generator;
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull, 42ull, 0xC0FFEEull}) {
+        for (const int mv : {760, 700, 640, 600, 560, 520, 480, 440, 400}) {
+            const Voltage v = Voltage::fromMillivolts(mv);
+            Rng fast(seed);
+            Rng slow(seed);
+            const FaultMap geometric = generator.generate(fast, v, 1024, 8);
+            const FaultMap reference =
+                generator.generateBernoulliReference(slow, v, 1024, 8);
+            EXPECT_EQ(geometric, reference)
+                << "maps diverge at seed " << seed << ", " << mv << "mV ("
+                << geometric.totalFaultyWords() << " vs "
+                << reference.totalFaultyWords() << " faulty words)";
+        }
+    }
+}
+
+// Sanity on the grid's extremes: high voltage must stay clean, the deepest
+// point must actually produce faults (the equality test above would pass
+// trivially on all-clean maps).
+TEST(SweepDeterminism, GeometricSamplingGridIsNonTrivial) {
+    const FaultMapGenerator generator;
+    Rng high(7);
+    EXPECT_TRUE(generator.generate(high, 760_mV, 1024, 8).clean());
+    Rng low(7);
+    EXPECT_GT(generator.generate(low, 400_mV, 1024, 8).totalFaultyWords(), 0u);
+}
+
+} // namespace
+} // namespace voltcache

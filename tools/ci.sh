@@ -59,4 +59,35 @@ if ! grep -q 'ffw.recenter' "$sweep_trace" || ! grep -q 'bbr.fetch' "$sweep_trac
     exit 1
 fi
 
+echo "== determinism smoke: sweep JSON identical across --threads 1/2/8 =="
+# The parallel executor reduces per-leg slots in canonical order, so the
+# export must be byte-identical for any worker count.
+det_base="$build_dir/ci_det_t1.json"
+"$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+    --scale tiny --threads 1 --json "$det_base" > /dev/null
+for threads in 2 8; do
+    det_json="$build_dir/ci_det_t$threads.json"
+    "$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+        --scale tiny --threads "$threads" --json "$det_json" > /dev/null
+    if ! cmp -s "$det_base" "$det_json"; then
+        echo "ci: FAIL — sweep JSON differs between --threads 1 and --threads $threads" >&2
+        exit 1
+    fi
+done
+
+echo "== perf smoke: micro benches export BENCH_micro.json + BENCH_perf.json =="
+# Artifact-only check (no thresholds): one fast iteration of each micro bench
+# so the perf JSONs exist and parse; numbers are advisory in CI.
+(cd "$build_dir" && VOLTCACHE_BENCH_DIR="$build_dir" \
+    ./bench/bench_micro --benchmark_min_time=0.01 > /dev/null)
+for artifact in BENCH_micro.json BENCH_perf.json; do
+    if [ ! -s "$build_dir/$artifact" ]; then
+        echo "ci: FAIL — bench_micro did not write $artifact" >&2
+        exit 1
+    fi
+    if command -v python3 > /dev/null 2>&1; then
+        python3 -m json.tool "$build_dir/$artifact" > /dev/null
+    fi
+done
+
 echo "== ci: all checks passed =="

@@ -13,10 +13,11 @@
 //   voltcache yield [--bits N] [--target 0.999]
 //       Vccmin of an N-bit structure at a yield target
 //   voltcache sweep [--trials N] [--benchmarks a,b,...] [--scale S]
-//             [--json FILE] [--trace FILE] [--progress]
+//             [--threads N] [--json FILE] [--trace FILE] [--progress]
 //       the Fig. 10/11/12 sweep, printed as one table; --json exports the
 //       full result (with CI half-widths), --trace a Chrome trace of the
-//       most recent events (open in Perfetto)
+//       most recent events (open in Perfetto). --threads sets the worker
+//       count (0 = all cores); the result is bit-identical either way
 //   voltcache stats <prog.s | benchmark> [--scheme S] [--mv V] [--seed N]
 //             [--json FILE] [--trace FILE]
 //       one instrumented leg: run + L1 + link + locality stats and the full
@@ -300,6 +301,7 @@ int cmdSweep(const Args& args) {
     config.trials = static_cast<std::uint32_t>(std::stoul(args.get("trials", "3")));
     config.scale = parseScale(args.get("scale", "small"));
     config.maxInstructions = std::stoull(args.get("max-instructions", "0"));
+    config.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
     const std::string benchmarks = args.get("benchmarks", "");
     std::size_t pos = 0;
     while (pos < benchmarks.size()) {
@@ -310,8 +312,9 @@ int cmdSweep(const Args& args) {
     }
     if (args.flags.contains("progress")) {
         config.onProgress = [](const SweepProgress& progress) {
-            std::fprintf(stderr, "[%zu/%zu] %s done\n", progress.completed, progress.total,
-                         progress.benchmark.c_str());
+            std::fprintf(stderr, "[%zu/%zu] %s done (%zu/%zu legs, %u workers)\n",
+                         progress.completed, progress.total, progress.benchmark.c_str(),
+                         progress.legsCompleted, progress.legsTotal, progress.workers);
         };
     }
 
@@ -466,7 +469,7 @@ int usage() {
                  "  disasm <prog.s|benchmark> [--bbr]\n"
                  "  faultmap [--mv V] [--seed N] [-o FILE]\n"
                  "  yield [--bits N] [--target Y]\n"
-                 "  sweep [--trials N] [--benchmarks a,b,...] [--scale S]\n"
+                 "  sweep [--trials N] [--benchmarks a,b,...] [--scale S] [--threads N]\n"
                  "      [--max-instructions N] [--json FILE] [--trace FILE] [--progress]\n"
                  "  list\n");
     return 2;
