@@ -10,6 +10,7 @@
 
 #include "bench_export.h"
 #include "compiler/passes.h"
+#include "core/replay.h"
 #include "core/sweep.h"
 #include "core/system.h"
 #include "cpu/simulator.h"
@@ -152,16 +153,42 @@ void BM_EndToEndSystemLeg(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSystemLeg)->Unit(benchmark::kMillisecond);
 
+// Trace-driven twin of BM_EndToEndSystemLeg: identical leg configuration,
+// evaluated through replaySystem() from pre-recorded traces. The ratio of
+// the two is the per-leg speedup of the record-once / replay-many engine.
+void BM_ReplayLegs(benchmark::State& state) {
+    const Module module = buildBenchmark("basicmath", WorkloadScale::Tiny);
+    Module bbrModule = module;
+    applyBbrTransforms(bbrModule);
+    TraceCache traces;
+    SystemConfig record;
+    record.scheme = SchemeKind::Conventional760;
+    SystemResult ignored;
+    traces.plain = recordReplaySource(module, record, 0, ignored);
+    traces.bbr = recordReplaySource(bbrModule, record, 0, ignored);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        SystemConfig config;
+        config.scheme = SchemeKind::FfwBbr;
+        config.op = DvfsTable::at(400_mV);
+        config.faultMapSeed = seed++;
+        benchmark::DoNotOptimize(replaySystem(&bbrModule, config, traces));
+    }
+}
+BENCHMARK(BM_ReplayLegs)->Unit(benchmark::kMillisecond);
+
 // --- end-to-end sweep throughput ---
 
 /// Small fixed sweep used for the legs/sec benchmarks: 2 benchmarks x
-/// 2 points x 2 schemes x 2 trials = 16 legs per sweep.
+/// 2 points x 2 schemes x 4 trials = 32 legs per sweep. Trials >= 4 so the
+/// record-once cost is amortized the way a real Monte Carlo grid amortizes
+/// it (the trace pays for itself from the second trial on).
 SweepConfig tinySweepConfig(unsigned threads) {
     SweepConfig config;
     config.benchmarks = {"crc32", "basicmath"};
     config.schemes = {SchemeKind::SimpleWordDisable, SchemeKind::FfwBbr};
     config.points = {DvfsTable::at(560_mV), DvfsTable::at(400_mV)};
-    config.trials = 2;
+    config.trials = 4;
     config.scale = WorkloadScale::Tiny;
     config.threads = threads;
     return config;
@@ -306,7 +333,8 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
         metrics.push_back(metricOf("faultmap.generations_per_sec", rate));
     }
 
-    // End-to-end sweep legs per second, serial and with all cores.
+    // End-to-end sweep legs per second, serial and with all cores, on the
+    // default (record-once / replay-many) path.
     for (const unsigned threads : {1u, 0u}) {
         const SweepConfig config = tinySweepConfig(threads);
         const auto legs = static_cast<double>(sweepLegCount(config));
@@ -319,6 +347,78 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
         metrics.push_back(metricOf(threads == 1 ? "sweep.legs_per_sec/threads1"
                                                 : "sweep.legs_per_sec/threads_all",
                                    rate));
+    }
+
+    // The same serial sweep execution-driven (`--no-replay`): the PR 3
+    // baseline the replay speedup is measured against.
+    {
+        SweepConfig config = tinySweepConfig(1);
+        config.useReplay = false;
+        const auto legs = static_cast<double>(sweepLegCount(config));
+        RunningStats rate;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            benchmark::DoNotOptimize(runSweep(config));
+            rate.add(legs / secondsSince(start));
+        }
+        metrics.push_back(metricOf("sweep.exec_legs_per_sec/threads1", rate));
+    }
+
+    // Raw replaySystem() legs per second (FFW+BBR at 400mV — the most
+    // expensive replayed leg: per-trial verified link + live predictor).
+    {
+        const Module module = buildBenchmark("basicmath", WorkloadScale::Tiny);
+        Module bbrModule = module;
+        applyBbrTransforms(bbrModule);
+        TraceCache traces;
+        SystemConfig record;
+        record.scheme = SchemeKind::Conventional760;
+        SystemResult ignored;
+        traces.plain = recordReplaySource(module, record, 0, ignored);
+        traces.bbr = recordReplaySource(bbrModule, record, 0, ignored);
+        constexpr int kLegsPerRep = 20;
+        std::uint64_t seed = 1;
+        RunningStats rate;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            for (int i = 0; i < kLegsPerRep; ++i) {
+                SystemConfig config;
+                config.scheme = SchemeKind::FfwBbr;
+                config.op = DvfsTable::at(400_mV);
+                config.faultMapSeed = seed++;
+                benchmark::DoNotOptimize(replaySystem(&bbrModule, config, traces));
+            }
+            rate.add(kLegsPerRep / secondsSince(start));
+        }
+        metrics.push_back(metricOf("replay.legs_per_sec", rate));
+    }
+
+    // Recording overhead: fractional slowdown of an execution-driven run
+    // with a TraceRecorder attached — the one-time cost each benchmark pays
+    // to unlock replayed trials.
+    {
+        const Module module = buildBenchmark("basicmath", WorkloadScale::Tiny);
+        RunningStats frac;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            SystemConfig config;
+            config.scheme = SchemeKind::Conventional760;
+            auto start = Clock::now();
+            benchmark::DoNotOptimize(simulateSystem(module, nullptr, config));
+            const double plain = secondsSince(start);
+
+            TraceRecorder recorder;
+            config.observers.push_back(&recorder);
+            start = Clock::now();
+            benchmark::DoNotOptimize(simulateSystem(module, nullptr, config));
+            frac.add((secondsSince(start) - plain) / plain);
+        }
+        voltcache::bench::BenchMetric metric;
+        metric.name = "trace.record_overhead_frac";
+        metric.value = frac.mean();
+        metric.ciHalfWidth = confidenceInterval(frac).halfWidth;
+        metric.unit = "frac";
+        metric.samples = frac.count();
+        metrics.push_back(metric);
     }
     return metrics;
 }

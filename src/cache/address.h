@@ -5,40 +5,58 @@
 // `wordAddr mod cacheWords` in direct-mapped mode — the invariant BBR's
 // Algorithm 1 relies on (cacheAddr = memAddr mod csize) and the layout the
 // FaultMap uses.
+//
+// Every simulated memory access computes set/tag/wordOffset (often twice:
+// L1 then L2), so the mapper precomputes shift/mask forms of the divisions.
+// All supported organizations have power-of-two geometry (Table I), which
+// the constructor enforces; the shift/mask results are identical to the
+// division forms they replace.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
+#include "common/contracts.h"
 #include "sram/cacti_lite.h"
 
 namespace voltcache {
 
 class AddressMapper {
 public:
-    explicit AddressMapper(const CacheOrganization& org) noexcept
-        : blockBytes_(org.blockBytes),
-          wordBytes_(org.wordBytes),
-          sets_(org.sets()),
+    explicit AddressMapper(const CacheOrganization& org)
+        : sets_(org.sets()),
           assoc_(org.associativity),
-          wordsPerBlock_(org.wordsPerBlock()) {}
+          wordsPerBlock_(org.wordsPerBlock()),
+          blockShift_(std::countr_zero(org.blockBytes)),
+          wordShift_(std::countr_zero(org.wordBytes)),
+          setShift_(std::countr_zero(sets_)),
+          setMask_(sets_ - 1),
+          wordMask_(wordsPerBlock_ - 1),
+          assocMask_(assoc_ - 1) {
+        VC_EXPECTS(std::has_single_bit(org.blockBytes));
+        VC_EXPECTS(std::has_single_bit(org.wordBytes));
+        VC_EXPECTS(std::has_single_bit(sets_));
+        VC_EXPECTS(std::has_single_bit(assoc_));
+        VC_EXPECTS(org.wordBytes <= org.blockBytes);
+    }
 
     [[nodiscard]] std::uint32_t set(std::uint32_t addr) const noexcept {
-        return (addr / blockBytes_) % sets_;
+        return (addr >> blockShift_) & setMask_;
     }
     [[nodiscard]] std::uint32_t tag(std::uint32_t addr) const noexcept {
-        return addr / blockBytes_ / sets_;
+        return addr >> (blockShift_ + setShift_);
     }
     [[nodiscard]] std::uint32_t wordOffset(std::uint32_t addr) const noexcept {
-        return (addr % blockBytes_) / wordBytes_;
+        return (addr >> wordShift_) & wordMask_;
     }
     [[nodiscard]] std::uint32_t blockAddress(std::uint32_t addr) const noexcept {
-        return addr / blockBytes_;
+        return addr >> blockShift_;
     }
 
     /// Direct-mapped way selection: the low log2(assoc) bits of the tag
     /// (Fig. 7's DAC-style combination of tag LSBs with the set index).
     [[nodiscard]] std::uint32_t directWay(std::uint32_t addr) const noexcept {
-        return tag(addr) % assoc_;
+        return tag(addr) & assocMask_;
     }
 
     /// Physical frame index of a (set, way), matching FaultMap line order.
@@ -52,11 +70,15 @@ public:
     [[nodiscard]] std::uint32_t wordsPerBlock() const noexcept { return wordsPerBlock_; }
 
 private:
-    std::uint32_t blockBytes_;
-    std::uint32_t wordBytes_;
     std::uint32_t sets_;
     std::uint32_t assoc_;
     std::uint32_t wordsPerBlock_;
+    std::uint32_t blockShift_;
+    std::uint32_t wordShift_;
+    std::uint32_t setShift_;
+    std::uint32_t setMask_;
+    std::uint32_t wordMask_;
+    std::uint32_t assocMask_;
 };
 
 } // namespace voltcache

@@ -1,0 +1,305 @@
+#include "core/replay.h"
+
+#include <optional>
+#include <utility>
+
+#include "analysis/verify.h"
+#include "common/contracts.h"
+#include "cpu/branch_predictor.h"
+#include "cpu/timing_kernel.h"
+#include "obs/metrics.h"
+
+namespace voltcache {
+
+namespace {
+
+constexpr std::uint32_t kUnmappedWord = 0xFFFFFFFFU;
+
+/// Recording-layout -> trial-layout address mapping shared by both replay
+/// drivers. A null table is the identity (non-BBR legs run the recorded
+/// layout itself).
+struct AddressTranslator {
+    const std::uint32_t* table = nullptr;
+    std::uint32_t tableWords = 0;
+    std::uint32_t base = 0;
+
+    [[nodiscard]] std::uint32_t translate(std::uint32_t recAddr) const {
+        if (table == nullptr) return recAddr;
+        const std::uint32_t word = (recAddr - base) / 4;
+        VC_EXPECTS(word < tableWords);
+        const std::uint32_t trialAddr = table[word];
+        VC_CHECK(trialAddr != kUnmappedWord);
+        return trialAddr;
+    }
+    /// Data addresses are translated only when they land inside the
+    /// recording image (literal reads through computed pointers); heap,
+    /// stack, and globals live outside the code image in both layouts.
+    [[nodiscard]] std::uint32_t translateData(std::uint32_t recAddr) const {
+        if (table == nullptr) return recAddr;
+        const std::uint32_t word = (recAddr - base) / 4;
+        if (word >= tableWords) return recAddr;
+        const std::uint32_t trialAddr = table[word];
+        VC_CHECK(trialAddr != kUnmappedWord);
+        return trialAddr;
+    }
+};
+
+/// Trace-driven Driver for timing::runPipeline: walks the recording image's
+/// decoded instructions, pops recorded control-flow/data facts, and carries
+/// no architectural state at all. With a translation table (BBR trials) the
+/// presented pc/addresses are the trial layout's; with a live predictor the
+/// recorded verdicts are ignored and the predictor runs on trial addresses.
+class ReplayDriver {
+public:
+    ReplayDriver(const Image& recording, const ArchTrace& trace,
+                 const AddressTranslator& xlate, BranchPredictor* predictor)
+        : code_(recording.decodedInstructions()),
+          cursor_(trace),
+          xlate_(xlate),
+          base_(recording.baseAddr()),
+          predictor_(predictor) {
+        recPc_ = recording.entryAddr();
+        trialPc_ = translate(recPc_);
+        ip_ = code_ + (recPc_ - base_) / 4;
+        end_ = trace.instructions();
+    }
+
+    [[nodiscard]] bool atEnd() const { return issued_ == end_; }
+    // Recorded streams only ever visit instruction words, so the driver
+    // walks the dense decoded array directly — no per-access fetch checks.
+    [[nodiscard]] const Instruction& inst() { return *(inst_ = ip_); }
+    [[nodiscard]] std::uint32_t pc() const { return trialPc_; }
+
+    [[nodiscard]] std::uint32_t loadAddr() { return translateData(cursor_.nextDataAddr()); }
+    [[nodiscard]] std::uint32_t literalAddr() {
+        return translate(recPc_ + static_cast<std::uint32_t>(inst_->imm) * 4);
+    }
+    [[nodiscard]] std::uint32_t storeAddr() { return translateData(cursor_.nextDataAddr()); }
+
+    [[nodiscard]] bool condTaken() {
+        cf_ = cursor_.nextCf();
+        return cf_.taken;
+    }
+    [[nodiscard]] std::uint32_t directTarget() {
+        recTarget_ = recPc_ + static_cast<std::uint32_t>(inst_->imm) * 4;
+        return translate(recTarget_);
+    }
+    [[nodiscard]] std::uint32_t jalrTarget() {
+        cf_ = cursor_.nextCf();
+        recTarget_ = cursor_.nextJalrTarget();
+        return translate(recTarget_);
+    }
+
+    [[nodiscard]] bool resolveJump(std::uint32_t pc, std::uint32_t target) {
+        const CfRecord rec = cursor_.nextCf(); // keep streams in sync either way
+        if (predictor_ == nullptr) return rec.correct;
+        const auto prediction = predictor_->predictJump(pc);
+        return predictor_->resolve(prediction, pc, true, target,
+                                   /*chargeMispredict=*/false);
+    }
+    [[nodiscard]] bool resolveReturn(std::uint32_t pc, std::uint32_t target) {
+        if (predictor_ == nullptr) return cf_.correct;
+        const auto prediction = predictor_->predictReturn(pc);
+        return predictor_->resolve(prediction, pc, true, target,
+                                   /*chargeMispredict=*/true);
+    }
+    [[nodiscard]] bool resolveBranch(std::uint32_t pc, bool taken, std::uint32_t target) {
+        if (predictor_ == nullptr) return cf_.correct;
+        const auto prediction = predictor_->predictBranch(pc);
+        return predictor_->resolve(prediction, pc, taken, target,
+                                   /*chargeMispredict=*/true);
+    }
+    void pushReturnAddress(std::uint32_t addr) {
+        if (predictor_ != nullptr) predictor_->pushReturnAddress(addr);
+    }
+
+    // Architectural side effects: replay has no values to carry.
+    void writeLui() {}
+    void writeAlu() {}
+    void writeLink() {}
+    void writeLoad(std::uint32_t /*addr*/) {}
+    void doStore(std::uint32_t /*addr*/) {}
+    void notifyControlFlow(bool /*taken*/, std::uint32_t /*nextPc*/, bool /*correct*/) {}
+    void notifyIssue() { ++issued_; }
+
+    void stepFallthrough() {
+        // Sequential flow never leaves a placed section (BBR-shaped blocks
+        // end in control flow), so both layouts advance by one word.
+        recPc_ += 4;
+        trialPc_ += 4;
+        ++ip_;
+    }
+    void stepBranch(bool taken, std::uint32_t target) {
+        recPc_ = taken ? recTarget_ : recPc_ + 4;
+        trialPc_ = taken ? target : trialPc_ + 4;
+        ip_ = code_ + (recPc_ - base_) / 4;
+    }
+    void stepJump(std::uint32_t target) {
+        recPc_ = recTarget_;
+        trialPc_ = target;
+        ip_ = code_ + (recPc_ - base_) / 4;
+    }
+    void stepJalr(std::uint32_t target) {
+        recPc_ = recTarget_;
+        trialPc_ = target;
+        ip_ = code_ + (recPc_ - base_) / 4;
+    }
+
+    [[nodiscard]] bool fullyConsumed() const noexcept { return cursor_.fullyConsumed(); }
+
+private:
+    [[nodiscard]] std::uint32_t translate(std::uint32_t recAddr) const {
+        return xlate_.translate(recAddr);
+    }
+    [[nodiscard]] std::uint32_t translateData(std::uint32_t recAddr) const {
+        return xlate_.translateData(recAddr);
+    }
+
+    const Instruction* code_;
+    const Instruction* ip_ = nullptr;
+    ArchTrace::Cursor cursor_;
+    AddressTranslator xlate_;
+    std::uint32_t base_;
+    BranchPredictor* predictor_;
+    const Instruction* inst_ = nullptr;
+    std::uint32_t recPc_ = 0;
+    std::uint32_t trialPc_ = 0;
+    std::uint32_t recTarget_ = 0;
+    CfRecord cf_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t end_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<const ReplaySource> recordReplaySource(const Module& module,
+                                                       const SystemConfig& recordConfig,
+                                                       std::uint64_t byteCap,
+                                                       SystemResult& outResult) {
+    VC_EXPECTS(!schemeNeedsBbrLinking(recordConfig.scheme));
+    TraceRecorder recorder(byteCap);
+    SystemConfig config = recordConfig;
+    config.observers.push_back(&recorder);
+    outResult = simulateSystem(module, nullptr, config);
+    VC_CHECK(!outResult.linkFailed);
+    if (recorder.overflowed()) {
+        obs::MetricsRegistry::global().add("trace.overflows", {});
+        return nullptr;
+    }
+
+    // Re-link for the cache: link() is deterministic, so this image has the
+    // exact layout the recording run executed.
+    LinkOutput linked = link(module);
+    linked.image.warmDecodeCache();
+    ArchTrace trace =
+        recorder.finish(outResult.run.halted, outResult.checksum, recordConfig.maxInstructions,
+                        linked.image.entryAddr(), linked.image.sizeWords());
+    VC_CHECK(trace.instructions() == outResult.run.instructions);
+    return std::make_unique<const ReplaySource>(
+        ReplaySource{std::move(trace), std::move(linked)});
+}
+
+std::vector<std::uint32_t> buildAddressTranslation(const Image& recording,
+                                                   const Image& trial) {
+    std::vector<std::uint32_t> table(recording.sizeWords(), kUnmappedWord);
+    const auto mapSection = [&](std::uint32_t recByte, std::uint32_t trialByte,
+                                std::uint32_t words) {
+        const std::uint32_t recWord = (recByte - recording.baseAddr()) / 4;
+        VC_EXPECTS(recWord + words <= table.size());
+        for (std::uint32_t w = 0; w < words; ++w) table[recWord + w] = trialByte + w * 4;
+    };
+
+    const auto& recBlocks = recording.placements();
+    const auto& trialBlocks = trial.placements();
+    VC_EXPECTS(recBlocks.size() == trialBlocks.size());
+    for (std::size_t i = 0; i < recBlocks.size(); ++i) {
+        const PlacedBlock& rec = recBlocks[i];
+        const PlacedBlock& tri = trialBlocks[i];
+        VC_EXPECTS(rec.functionIndex == tri.functionIndex &&
+                   rec.blockIndex == tri.blockIndex && rec.codeWords == tri.codeWords &&
+                   rec.literalWords == tri.literalWords);
+        mapSection(rec.byteAddr, tri.byteAddr, rec.sizeWords());
+    }
+    const auto& recPools = recording.poolPlacements();
+    const auto& trialPools = trial.poolPlacements();
+    VC_EXPECTS(recPools.size() == trialPools.size());
+    for (std::size_t i = 0; i < recPools.size(); ++i) {
+        const PlacedPool& rec = recPools[i];
+        const PlacedPool& tri = trialPools[i];
+        VC_EXPECTS(rec.functionIndex == tri.functionIndex &&
+                   rec.sizeWords == tri.sizeWords);
+        mapSection(rec.byteAddr, tri.byteAddr, rec.sizeWords);
+    }
+    return table;
+}
+
+SystemResult replaySystem(const Module* bbrModule, const SystemConfig& config,
+                          const TraceCache& cache, const detail::LegFaultMaps* chipMaps) {
+    const bool needsBbr = schemeNeedsBbrLinking(config.scheme);
+    const ReplaySource* source = needsBbr ? cache.bbr.get() : cache.plain.get();
+    VC_EXPECTS(source != nullptr);
+    VC_EXPECTS(source->trace.finalized() && !source->trace.overflowed());
+    VC_EXPECTS(source->trace.maxInstructions() == config.maxInstructions);
+    VC_EXPECTS(source->trace.entryAddr() == source->link.image.entryAddr());
+    VC_EXPECTS(source->trace.imageWords() == source->link.image.sizeWords());
+    VC_EXPECTS(config.observers.empty());
+
+    SystemResult result;
+    std::optional<detail::LegFaultMaps> local;
+    if (chipMaps == nullptr || detail::schemeIsDefectFree(config.scheme)) {
+        local.emplace(detail::generateLegFaultMaps(config));
+    }
+    const detail::LegFaultMaps& maps = local.has_value() ? *local : *chipMaps;
+
+    L2Cache::Config l2Config;
+    l2Config.dramLatencyCycles = dramLatencyCycles(config.dramLatencyNs, config.op.frequency);
+    L2Cache l2(l2Config);
+
+    SchemePair pair = makeSchemes(config.scheme, config.l1Org, maps.dcache, maps.icache, l2);
+    VC_CHECK(pair.needsBbrLinking == needsBbr);
+
+    std::vector<std::uint32_t> table;
+    std::optional<BranchPredictor> predictor;
+    std::optional<LinkOutput> trialLink;
+    if (needsBbr) {
+        VC_EXPECTS(bbrModule != nullptr);
+        LinkOptions options;
+        options.bbrPlacement = true;
+        options.icacheFaultMap = &maps.icache;
+        try {
+            trialLink = analysis::linkVerified(*bbrModule, options);
+        } catch (const LinkError&) {
+            // Same yield-loss accounting as the execution-driven path.
+            result.linkFailed = true;
+            detail::publishLegMetrics(config, result);
+            return result;
+        }
+        result.linkStats = trialLink->stats;
+        table = buildAddressTranslation(source->link.image, trialLink->image);
+        predictor.emplace(config.pipeline.predictor);
+    } else {
+        result.linkStats = source->link.stats;
+    }
+
+    PipelineConfig pipeline = config.pipeline;
+    pipeline.maxInstructions = config.maxInstructions;
+    AddressTranslator xlate;
+    xlate.table = table.empty() ? nullptr : table.data();
+    xlate.tableWords = static_cast<std::uint32_t>(table.size());
+    xlate.base = source->link.image.baseAddr();
+    ReplayDriver driver(source->link.image, source->trace, xlate,
+                        predictor.has_value() ? &*predictor : nullptr);
+
+    result.run = timing::runPipeline(driver, *pair.icache, *pair.dcache, pipeline);
+
+    // The replayed run must retrace the recording exactly.
+    VC_CHECK(result.run.instructions == source->trace.instructions());
+    VC_CHECK(result.run.halted == source->trace.halted());
+    VC_CHECK(driver.fullyConsumed());
+    result.checksum = source->trace.checksum();
+
+    detail::finalizeLegResult(config, pair, result);
+    return result;
+}
+
+} // namespace voltcache

@@ -6,12 +6,16 @@
 #include <cmath>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include <cstdio>
+
 #include "common/contracts.h"
 #include "common/rng.h"
+#include "core/replay.h"
 #include "obs/metrics.h"
 
 namespace voltcache {
@@ -62,6 +66,9 @@ struct BenchmarkContext {
     Module bbrModule;
     SystemResult ref760;                  ///< conventional cache at Vccmin
     std::vector<SystemResult> defectFree; ///< one per operating point
+    /// Recorded architectural traces (plain + BBR layout) every trial leg
+    /// replays from; empty slots mean execution-driven fallback.
+    TraceCache traces;
 };
 
 /// One unit of work: indices into (contexts, points, schemes) plus a trial.
@@ -70,6 +77,15 @@ struct Leg {
     std::uint32_t point = 0;
     std::uint32_t scheme = 0;
     std::uint32_t trial = 0;
+};
+
+/// Lazily-generated fault maps for one chip — one (point, trial) pair. The
+/// chip seed is scheme- and benchmark-independent, so every defect-tolerant
+/// leg of that chip shares one draw instead of regenerating ~8K-word maps
+/// per leg (the draw is O(bits) and dominates short replayed legs).
+struct ChipMapSlot {
+    std::once_flag once;
+    std::optional<detail::LegFaultMaps> maps;
 };
 
 /// Run `job(0..jobCount)` on `threads` workers pulling indices off an atomic
@@ -101,9 +117,19 @@ void runIndexed(std::size_t jobCount, unsigned threads,
 /// touches the registry lock or another thread's cells.
 class LegCounters {
 public:
-    LegCounters() : legs_(obs::MetricsRegistry::global().counter("sweep.legs")) {}
+    LegCounters()
+        : legs_(obs::MetricsRegistry::global().counter("sweep.legs")),
+          replayed_(obs::MetricsRegistry::global().counter("sweep.legs_replayed")),
+          executed_(obs::MetricsRegistry::global().counter("sweep.legs_executed")) {}
 
-    void legDone() { legs_.add(); }
+    void legDone(bool replayed) {
+        legs_.add();
+        if (replayed) {
+            replayed_.add();
+        } else {
+            executed_.add();
+        }
+    }
 
     void record(SchemeKind scheme, int voltageMv, bool linkFailed) {
         const auto key = std::make_pair(scheme, voltageMv);
@@ -130,6 +156,8 @@ private:
         obs::Counter linkFailures;
     };
     obs::Counter legs_;
+    obs::Counter replayed_;
+    obs::Counter executed_;
     std::map<std::pair<SchemeKind, int>, Handles> handles_;
 };
 
@@ -169,6 +197,14 @@ SweepResult runSweep(const SweepConfig& config) {
     SystemConfig baseTemplate = config.systemTemplate;
     baseTemplate.maxInstructions = config.maxInstructions;
 
+    // Replay needs the legs to run exactly what was recorded: external
+    // observers must watch real execution, so their presence disables the
+    // fast path wholesale.
+    const bool replayEnabled = config.useReplay && config.systemTemplate.observers.empty();
+    const bool anyBbrScheme =
+        std::any_of(schemes.begin(), schemes.end(),
+                    [](SchemeKind kind) { return schemeNeedsBbrLinking(kind); });
+
     std::vector<BenchmarkContext> contexts(benchmarks.size());
     std::vector<std::exception_ptr> contextErrors(benchmarks.size());
     const auto buildContext = [&](std::size_t b) {
@@ -181,18 +217,49 @@ SweepResult runSweep(const SweepConfig& config) {
 
             // Conventional cache pinned at Vccmin = 760mV: the Fig. 12
             // normalization baseline (and the functional reference checksum).
+            // With replay enabled this run doubles as the plain-layout trace
+            // recording — the reference results are the recording run's.
             SystemConfig ref = baseTemplate;
             ref.scheme = SchemeKind::Conventional760;
             ref.op = DvfsTable::vccminBaseline();
-            ctx.ref760 = simulateSystem(ctx.module, nullptr, ref);
+            if (replayEnabled) {
+                ctx.traces.plain =
+                    recordReplaySource(ctx.module, ref, config.traceByteCap, ctx.ref760);
+                if (ctx.traces.plain == nullptr) {
+                    std::fprintf(stderr,
+                                 "sweep: trace for '%s' exceeded the %llu-byte cap; "
+                                 "falling back to execution-driven legs\n",
+                                 ctx.name.c_str(),
+                                 static_cast<unsigned long long>(config.traceByteCap));
+                }
+            } else {
+                ctx.ref760 = simulateSystem(ctx.module, nullptr, ref);
+            }
             VC_ENSURES(!ctx.ref760.linkFailed);
+
+            // The BBR twin runs a different layout, so BBR legs replay their
+            // own recording (one extra execution-driven run, amortized over
+            // every FFW+BBR trial).
+            if (replayEnabled && anyBbrScheme && ctx.traces.plain != nullptr) {
+                SystemResult bbrRef;
+                ctx.traces.bbr =
+                    recordReplaySource(ctx.bbrModule, ref, config.traceByteCap, bbrRef);
+                if (ctx.traces.bbr != nullptr && bbrRef.run.halted &&
+                    ctx.ref760.run.halted) {
+                    // The transform must not change the program's answer.
+                    VC_CHECK(bbrRef.checksum == ctx.ref760.checksum);
+                }
+            }
 
             ctx.defectFree.reserve(points.size());
             for (const auto& point : points) {
                 SystemConfig defectFree = ref;
                 defectFree.scheme = SchemeKind::DefectFree;
                 defectFree.op = point;
-                ctx.defectFree.push_back(simulateSystem(ctx.module, nullptr, defectFree));
+                ctx.defectFree.push_back(
+                    ctx.traces.plain != nullptr
+                        ? replaySystem(nullptr, defectFree, ctx.traces)
+                        : simulateSystem(ctx.module, nullptr, defectFree));
             }
         } catch (...) {
             contextErrors[b] = std::current_exception();
@@ -202,6 +269,17 @@ SweepResult runSweep(const SweepConfig& config) {
                buildContext);
     for (const std::exception_ptr& error : contextErrors) {
         if (error) std::rethrow_exception(error);
+    }
+
+    {
+        // Resident trace footprint, visible while the sweep holds the caches.
+        std::uint64_t residentBytes = 0;
+        for (const BenchmarkContext& ctx : contexts) {
+            residentBytes += ctx.traces.residentBytes();
+        }
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+        reg.set("trace.resident_bytes", {}, static_cast<double>(residentBytes));
+        reg.gauge("trace.resident_bytes_peak").setMax(static_cast<double>(residentBytes));
     }
 
     // --- Phase 2: flatten the grid into legs, in canonical order. ---
@@ -232,8 +310,14 @@ SweepResult runSweep(const SweepConfig& config) {
         pendingPerBenchmark[leg.benchmark].fetch_add(1, std::memory_order_relaxed);
     }
     std::atomic<std::size_t> legsCompleted{0};
+    std::atomic<std::size_t> legsReplayed{0};
+    std::atomic<std::size_t> legsExecuted{0};
     std::size_t benchmarksCompleted = 0;
     std::mutex progressMutex;
+
+    // One chip = one (point, trial): all defect-tolerant scheme legs across
+    // every benchmark run against the same pre-drawn map pair.
+    std::vector<ChipMapSlot> chipMapCache(points.size() * config.trials);
 
     const auto finishBenchmark = [&](std::uint32_t b) {
         const std::scoped_lock lock(progressMutex);
@@ -245,6 +329,8 @@ SweepResult runSweep(const SweepConfig& config) {
             tick.benchmark = contexts[b].name;
             tick.legsCompleted = legsCompleted.load(std::memory_order_relaxed);
             tick.legsTotal = legs.size();
+            tick.legsReplayed = legsReplayed.load(std::memory_order_relaxed);
+            tick.legsExecuted = legsExecuted.load(std::memory_order_relaxed);
             tick.workers = workers;
             config.onProgress(tick);
         }
@@ -255,12 +341,25 @@ SweepResult runSweep(const SweepConfig& config) {
         const BenchmarkContext& ctx = contexts[leg.benchmark];
         const OperatingPoint& point = points[leg.point];
         const SchemeKind scheme = schemes[leg.scheme];
+        const bool replayed = ctx.traces.canReplay(scheme);
         try {
             SystemConfig sys = baseTemplate;
             sys.scheme = scheme;
             sys.op = point;
             sys.faultMapSeed = chipSeed(config.baseSeed, mv(point.voltage), leg.trial);
-            const SystemResult res = simulateSystem(ctx.module, &ctx.bbrModule, sys);
+
+            const detail::LegFaultMaps* chipMaps = nullptr;
+            if (!detail::schemeIsDefectFree(scheme)) {
+                ChipMapSlot& slot = chipMapCache[leg.point * config.trials + leg.trial];
+                std::call_once(slot.once, [&] {
+                    slot.maps.emplace(detail::generateChipFaultMaps(sys));
+                });
+                chipMaps = &*slot.maps;
+            }
+
+            const SystemResult res =
+                replayed ? replaySystem(&ctx.bbrModule, sys, ctx.traces, chipMaps)
+                         : simulateSystem(ctx.module, &ctx.bbrModule, sys, chipMaps);
 
             LegMetrics metrics;
             metrics.linkFailed = res.linkFailed;
@@ -289,8 +388,9 @@ SweepResult runSweep(const SweepConfig& config) {
         } catch (...) {
             legErrors[index] = std::current_exception();
         }
-        counters.legDone();
+        counters.legDone(replayed);
         legsCompleted.fetch_add(1, std::memory_order_relaxed);
+        (replayed ? legsReplayed : legsExecuted).fetch_add(1, std::memory_order_relaxed);
         if (pendingPerBenchmark[leg.benchmark].fetch_sub(1, std::memory_order_acq_rel) ==
             1) {
             finishBenchmark(leg.benchmark);

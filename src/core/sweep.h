@@ -37,6 +37,8 @@ struct SweepProgress {
     std::string benchmark;         ///< the one that just finished
     std::size_t legsCompleted = 0; ///< legs finished so far, sweep-wide
     std::size_t legsTotal = 0;     ///< legs in this sweep
+    std::size_t legsReplayed = 0;  ///< legs served by the trace-replay fast path
+    std::size_t legsExecuted = 0;  ///< legs that ran execution-driven
     unsigned workers = 0;          ///< worker threads executing legs
 };
 
@@ -52,6 +54,17 @@ struct SweepConfig {
     /// legs (not benchmarks), so many-core hosts stay busy to the end.
     unsigned threads = 0;
     SystemConfig systemTemplate = {};       ///< org / energy / pipeline knobs
+    /// Record-once / replay-many fast path: each benchmark context records
+    /// one architectural trace per layout (plain + BBR twin) and every trial
+    /// leg replays it through the trial's fault maps and scheme state.
+    /// Results are bit-identical to execution-driven legs (core/replay.h);
+    /// `--no-replay` / false falls back to full execution. Automatically
+    /// disabled when systemTemplate.observers is non-empty (observers must
+    /// see real execution) or when a trace overflows traceByteCap.
+    bool useReplay = true;
+    /// Per-trace payload cap in bytes; an overflowing benchmark logs once
+    /// and runs execution-driven instead of holding an unbounded trace.
+    std::uint64_t traceByteCap = 256ull << 20;
     /// Invoked after each benchmark's last leg completes, serialized under
     /// the progress lock (safe to print / write from). Empty = no reporting.
     std::function<void(const SweepProgress&)> onProgress;

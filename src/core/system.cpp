@@ -12,12 +12,9 @@
 
 namespace voltcache {
 
-namespace {
+namespace detail {
 
-/// Absorb the leg's ad-hoc stat structs (RunStats / L1Stats / LinkStats)
-/// into the global metrics registry, labelled by (scheme, voltage). Cold
-/// path: one-shot registry calls, once per leg.
-void publishLeg(const SystemConfig& config, const SystemResult& result) {
+void publishLegMetrics(const SystemConfig& config, const SystemResult& result) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
     const obs::LabelList labels = {
         {"scheme", std::string(schemeName(config.scheme))},
@@ -43,71 +40,33 @@ void publishLeg(const SystemConfig& config, const SystemResult& result) {
     reg.add("link.wrap_arounds", labels, result.linkStats.wrapArounds);
 }
 
-} // namespace
-
-std::uint32_t dramLatencyCycles(double dramLatencyNs, Frequency f) noexcept {
-    return static_cast<std::uint32_t>(
-        std::lround(dramLatencyNs * 1e-9 * f.hertz()));
+LegFaultMaps generateChipFaultMaps(const SystemConfig& config) {
+    const CacheOrganization& org = config.l1Org;
+    Rng rng(config.faultMapSeed);
+    FaultMapGenerator generator{FailureModel{}};
+    LegFaultMaps maps{generator.generate(rng, config.op.voltage, org.lines(),
+                                         org.wordsPerBlock()),
+                      FaultMap(org.lines(), org.wordsPerBlock())};
+    maps.icache =
+        generator.generate(rng, config.op.voltage, org.lines(), org.wordsPerBlock());
+    return maps;
 }
 
-SystemResult simulateSystem(const Module& module, const Module* bbrModule,
-                            const SystemConfig& config) {
-    SystemResult result;
+LegFaultMaps generateLegFaultMaps(const SystemConfig& config) {
     const CacheOrganization& org = config.l1Org;
 
     // One fault map per L1 cache, drawn from the chip's seed at this DVFS
     // point. Defect-free schemes get clean maps (and 760mV is clean by
     // construction: P_fail there is ~1e-8.4 per bit).
-    Rng rng(config.faultMapSeed);
-    FaultMapGenerator generator{FailureModel{}};
-    const bool defectFree = config.scheme == SchemeKind::DefectFree ||
-                            config.scheme == SchemeKind::Conventional760 ||
-                            config.scheme == SchemeKind::Robust8T;
-    FaultMap dcacheMap(org.lines(), org.wordsPerBlock());
-    FaultMap icacheMap(org.lines(), org.wordsPerBlock());
-    if (!defectFree) {
-        dcacheMap = generator.generate(rng, config.op.voltage, org.lines(),
-                                       org.wordsPerBlock());
-        icacheMap = generator.generate(rng, config.op.voltage, org.lines(),
-                                       org.wordsPerBlock());
+    if (schemeIsDefectFree(config.scheme)) {
+        return LegFaultMaps{FaultMap(org.lines(), org.wordsPerBlock()),
+                            FaultMap(org.lines(), org.wordsPerBlock())};
     }
+    return generateChipFaultMaps(config);
+}
 
-    L2Cache::Config l2Config;
-    l2Config.dramLatencyCycles = dramLatencyCycles(config.dramLatencyNs, config.op.frequency);
-    L2Cache l2(l2Config);
-
-    SchemePair pair = makeSchemes(config.scheme, org, dcacheMap, icacheMap, l2);
-
-    std::optional<LinkOutput> linked;
-    try {
-        if (pair.needsBbrLinking) {
-            VC_EXPECTS(bbrModule != nullptr);
-            LinkOptions options;
-            options.bbrPlacement = true;
-            options.icacheFaultMap = &icacheMap;
-            // Statically prove the placement before any simulation: the
-            // runtime PlacementViolation path never fires on verified images.
-            linked = analysis::linkVerified(*bbrModule, options);
-        } else {
-            linked = link(module);
-        }
-    } catch (const LinkError&) {
-        // No fault-free chunk large enough for some basic block: this chip
-        // cannot run BBR at this voltage — a yield loss the Monte Carlo
-        // aggregation counts rather than a simulation result.
-        result.linkFailed = true;
-        publishLeg(config, result);
-        return result;
-    }
-    result.linkStats = linked->stats;
-
-    PipelineConfig pipeline = config.pipeline;
-    pipeline.maxInstructions = config.maxInstructions;
-    const Module& running = pair.needsBbrLinking ? *bbrModule : module;
-    Simulator simulator(linked->image, running.data, *pair.icache, *pair.dcache, pipeline);
-    for (TraceObserver* observer : config.observers) simulator.addObserver(observer);
-    result.run = simulator.run();
-    result.checksum = simulator.reg(1);
+void finalizeLegResult(const SystemConfig& config, const SchemePair& pair,
+                       SystemResult& result) {
     result.icacheStats = pair.icache->stats();
     result.dcacheStats = pair.dcache->stats();
 
@@ -125,7 +84,65 @@ SystemResult simulateSystem(const Module& module, const Module* bbrModule,
                  static_cast<double>(result.run.activity.instructions);
     result.runtimeSeconds =
         static_cast<double>(result.run.cycles) * config.op.frequency.periodSeconds();
-    publishLeg(config, result);
+    publishLegMetrics(config, result);
+}
+
+} // namespace detail
+
+std::uint32_t dramLatencyCycles(double dramLatencyNs, Frequency f) noexcept {
+    return static_cast<std::uint32_t>(
+        std::lround(dramLatencyNs * 1e-9 * f.hertz()));
+}
+
+SystemResult simulateSystem(const Module& module, const Module* bbrModule,
+                            const SystemConfig& config,
+                            const detail::LegFaultMaps* chipMaps) {
+    SystemResult result;
+    const CacheOrganization& org = config.l1Org;
+
+    std::optional<detail::LegFaultMaps> local;
+    if (chipMaps == nullptr || detail::schemeIsDefectFree(config.scheme)) {
+        local.emplace(detail::generateLegFaultMaps(config));
+    }
+    const detail::LegFaultMaps& maps = local.has_value() ? *local : *chipMaps;
+
+    L2Cache::Config l2Config;
+    l2Config.dramLatencyCycles = dramLatencyCycles(config.dramLatencyNs, config.op.frequency);
+    L2Cache l2(l2Config);
+
+    SchemePair pair = makeSchemes(config.scheme, org, maps.dcache, maps.icache, l2);
+
+    std::optional<LinkOutput> linked;
+    try {
+        if (pair.needsBbrLinking) {
+            VC_EXPECTS(bbrModule != nullptr);
+            LinkOptions options;
+            options.bbrPlacement = true;
+            options.icacheFaultMap = &maps.icache;
+            // Statically prove the placement before any simulation: the
+            // runtime PlacementViolation path never fires on verified images.
+            linked = analysis::linkVerified(*bbrModule, options);
+        } else {
+            linked = link(module);
+        }
+    } catch (const LinkError&) {
+        // No fault-free chunk large enough for some basic block: this chip
+        // cannot run BBR at this voltage — a yield loss the Monte Carlo
+        // aggregation counts rather than a simulation result.
+        result.linkFailed = true;
+        detail::publishLegMetrics(config, result);
+        return result;
+    }
+    result.linkStats = linked->stats;
+
+    PipelineConfig pipeline = config.pipeline;
+    pipeline.maxInstructions = config.maxInstructions;
+    const Module& running = pair.needsBbrLinking ? *bbrModule : module;
+    Simulator simulator(linked->image, running.data, *pair.icache, *pair.dcache, pipeline);
+    for (TraceObserver* observer : config.observers) simulator.addObserver(observer);
+    result.run = simulator.run();
+    result.checksum = simulator.reg(1);
+    detail::finalizeLegResult(config, pair, result);
     return result;
 }
 

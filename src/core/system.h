@@ -46,13 +46,61 @@ struct SystemResult {
     std::int32_t checksum = 0;   ///< r1 at Halt — functional-correctness witness
 };
 
+namespace detail {
+struct LegFaultMaps;
+}
+
 /// Simulate one leg. `module` is the untransformed program (what baseline
 /// schemes run); `bbrModule` is its BBR-transformed twin (required when the
-/// scheme needs BBR linking, ignored otherwise).
+/// scheme needs BBR linking, ignored otherwise). `chipMaps`, when non-null,
+/// is this chip's pre-drawn defective map pair (detail::generateChipFaultMaps
+/// with the same seed/point) — the sweep shares it across the scheme legs of
+/// one (point, trial) instead of re-drawing per leg; defect-free schemes
+/// ignore it.
 [[nodiscard]] SystemResult simulateSystem(const Module& module, const Module* bbrModule,
-                                          const SystemConfig& config);
+                                          const SystemConfig& config,
+                                          const detail::LegFaultMaps* chipMaps = nullptr);
 
 /// Convenience: dramLatencyNs converted to core cycles at frequency f.
 [[nodiscard]] std::uint32_t dramLatencyCycles(double dramLatencyNs, Frequency f) noexcept;
+
+namespace detail {
+
+// Shared between simulateSystem and replaySystem (core/replay.h), so the
+// two evaluation paths cannot drift: the fault-map draw order, the final
+// stat reconciliation, the energy accounting, and the metrics published
+// per leg are one implementation each.
+
+struct LegFaultMaps {
+    FaultMap dcache;
+    FaultMap icache;
+};
+
+/// Whether `kind` models a defect-free array (clean fault maps regardless
+/// of the operating point).
+[[nodiscard]] constexpr bool schemeIsDefectFree(SchemeKind kind) noexcept {
+    return kind == SchemeKind::DefectFree || kind == SchemeKind::Conventional760 ||
+           kind == SchemeKind::Robust8T;
+}
+
+/// Draw the chip's two defective fault maps from the seed at the configured
+/// DVFS point (D-cache first, then I-cache) — the same pair for every
+/// defect-tolerant scheme leg on that chip, so the sweep can generate it
+/// once per (point, trial) and share it across schemes.
+[[nodiscard]] LegFaultMaps generateChipFaultMaps(const SystemConfig& config);
+
+/// The maps one leg actually runs against: the chip maps for
+/// defect-tolerant schemes, clean maps for defect-free kinds.
+[[nodiscard]] LegFaultMaps generateLegFaultMaps(const SystemConfig& config);
+
+/// Absorb the leg's stat structs into the global metrics registry.
+void publishLegMetrics(const SystemConfig& config, const SystemResult& result);
+
+/// Fill the scheme/energy/runtime tail of a SystemResult (run + checksum +
+/// linkStats already set) and publish its metrics.
+void finalizeLegResult(const SystemConfig& config, const SchemePair& pair,
+                       SystemResult& result);
+
+} // namespace detail
 
 } // namespace voltcache

@@ -1,0 +1,26 @@
+#include "cpu/arch_trace.h"
+
+#include <utility>
+
+namespace voltcache {
+
+void ArchTrace::finalize(bool halted, std::int32_t checksum, std::uint64_t maxInstructions,
+                         std::uint32_t entryAddr, std::uint32_t imageWords) {
+    VC_EXPECTS(!finalized_);
+    finalized_ = true;
+    halted_ = halted;
+    checksum_ = checksum;
+    maxInstructions_ = maxInstructions;
+    entryAddr_ = entryAddr;
+    imageWords_ = imageWords;
+}
+
+ArchTrace TraceRecorder::finish(bool halted, std::int32_t checksum,
+                                std::uint64_t maxInstructions, std::uint32_t entryAddr,
+                                std::uint32_t imageWords) {
+    VC_EXPECTS(!trace_.overflowed());
+    trace_.finalize(halted, checksum, maxInstructions, entryAddr, imageWords);
+    return std::move(trace_);
+}
+
+} // namespace voltcache

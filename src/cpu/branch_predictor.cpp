@@ -13,6 +13,12 @@ BranchPredictor::BranchPredictor(Config config)
       btbTargets_(config.btbEntries, 0) {
     VC_EXPECTS(config.bhtEntries > 0 && (config.bhtEntries & (config.bhtEntries - 1)) == 0);
     VC_EXPECTS(config.btbEntries % config.btbWays == 0);
+    // The set/tag split below is shift/mask, so the set count must be a
+    // power of two (it is for the Table I 512-entry 8-way BTB).
+    const std::uint32_t sets = btbTags_.sets();
+    VC_EXPECTS(sets > 0 && (sets & (sets - 1)) == 0);
+    btbSetMask_ = sets - 1;
+    btbSetShift_ = static_cast<std::uint32_t>(std::countr_zero(sets));
     ras_.reserve(config.rasEntries);
 }
 
@@ -23,9 +29,8 @@ std::uint32_t BranchPredictor::bhtIndex(std::uint32_t pc) const noexcept {
 BranchPredictor::Prediction BranchPredictor::btbLookup(std::uint32_t pc, bool taken) {
     Prediction prediction;
     prediction.taken = taken;
-    const std::uint32_t sets = btbTags_.sets();
-    const std::uint32_t set = (pc >> 2) % sets;
-    const std::uint32_t tag = (pc >> 2) / sets;
+    const std::uint32_t set = (pc >> 2) & btbSetMask_;
+    const std::uint32_t tag = (pc >> 2) >> btbSetShift_;
     if (const auto hit = btbTags_.lookup(set, tag); hit.hit) {
         prediction.targetKnown = true;
         prediction.target = btbTargets_[set * btbTags_.ways() + hit.way];
@@ -34,9 +39,8 @@ BranchPredictor::Prediction BranchPredictor::btbLookup(std::uint32_t pc, bool ta
 }
 
 void BranchPredictor::btbUpdate(std::uint32_t pc, std::uint32_t target) {
-    const std::uint32_t sets = btbTags_.sets();
-    const std::uint32_t set = (pc >> 2) % sets;
-    const std::uint32_t tag = (pc >> 2) / sets;
+    const std::uint32_t set = (pc >> 2) & btbSetMask_;
+    const std::uint32_t tag = (pc >> 2) >> btbSetShift_;
     if (const auto hit = btbTags_.lookup(set, tag); hit.hit) {
         btbTags_.touch(set, hit.way);
         btbTargets_[set * btbTags_.ways() + hit.way] = target;

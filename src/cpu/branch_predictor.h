@@ -4,6 +4,7 @@
 // model the paper simulates).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,8 @@ private:
     TagArray btbTags_;
     std::vector<std::uint32_t> btbTargets_;
     std::vector<std::uint32_t> ras_;
+    std::uint32_t btbSetMask_ = 0;
+    std::uint32_t btbSetShift_ = 0;
     Stats stats_;
 };
 

@@ -3,28 +3,11 @@
 #include <limits>
 
 #include "common/contracts.h"
+#include "cpu/timing_kernel.h"
 
 namespace voltcache {
 
 namespace {
-
-/// Which source registers an opcode actually reads.
-struct SourceUse {
-    bool rs1 = false;
-    bool rs2 = false;
-};
-
-SourceUse sourcesOf(const Instruction& inst) {
-    const Opcode op = inst.op;
-    if (op <= Opcode::Sltu) return {true, true};                  // R-type
-    if (op <= Opcode::Slti) return {true, false};                 // ALU-imm
-    if (op == Opcode::Lui || op == Opcode::Ldl) return {false, false};
-    if (op == Opcode::Lw) return {true, false};
-    if (op == Opcode::Sw) return {true, true};
-    if (isConditionalBranch(op)) return {true, true};
-    if (op == Opcode::Jalr) return {true, false};
-    return {false, false}; // Jal, Nop, Halt
-}
 
 std::int32_t aluOp(Opcode op, std::int32_t a, std::int32_t b) {
     const auto ua = static_cast<std::uint32_t>(a);
@@ -78,6 +61,101 @@ bool branchTaken(Opcode op, std::int32_t a, std::int32_t b) {
 
 } // namespace
 
+/// Execution-driven Driver for timing::runPipeline: functional simulation
+/// supplies the dynamic facts (register values, memory, live branch
+/// predictor) and carries the architectural side effects.
+class ExecDriver {
+public:
+    explicit ExecDriver(Simulator& sim) : sim_(sim) {}
+
+    [[nodiscard]] bool atEnd() const { return false; }
+    [[nodiscard]] const Instruction& inst() { return *(inst_ = &sim_.image_->fetch(sim_.pc_)); }
+    [[nodiscard]] std::uint32_t pc() const { return sim_.pc_; }
+
+    [[nodiscard]] std::uint32_t loadAddr() {
+        const auto addr = static_cast<std::uint32_t>(sim_.regs_[inst_->rs1] + inst_->imm);
+        for (TraceObserver* observer : sim_.observers_) observer->onDataAccess(addr, false);
+        return addr;
+    }
+    [[nodiscard]] std::uint32_t literalAddr() {
+        const std::uint32_t addr = sim_.pc_ + static_cast<std::uint32_t>(inst_->imm) * 4;
+        for (TraceObserver* observer : sim_.observers_) observer->onDataAccess(addr, false);
+        return addr;
+    }
+    [[nodiscard]] std::uint32_t storeAddr() {
+        const auto addr = static_cast<std::uint32_t>(sim_.regs_[inst_->rs1] + inst_->imm);
+        for (TraceObserver* observer : sim_.observers_) observer->onDataAccess(addr, true);
+        return addr;
+    }
+
+    [[nodiscard]] bool condTaken() const {
+        return branchTaken(inst_->op, sim_.regs_[inst_->rs1], sim_.regs_[inst_->rs2]);
+    }
+    [[nodiscard]] std::uint32_t directTarget() const {
+        return sim_.pc_ + static_cast<std::uint32_t>(inst_->imm) * 4;
+    }
+    [[nodiscard]] std::uint32_t jalrTarget() const {
+        return static_cast<std::uint32_t>(sim_.regs_[inst_->rs1] + inst_->imm) & ~3u;
+    }
+
+    [[nodiscard]] bool resolveJump(std::uint32_t pc, std::uint32_t target) {
+        const auto prediction = sim_.predictor_.predictJump(pc);
+        return sim_.predictor_.resolve(prediction, pc, true, target,
+                                       /*chargeMispredict=*/false);
+    }
+    [[nodiscard]] bool resolveReturn(std::uint32_t pc, std::uint32_t target) {
+        const auto prediction = sim_.predictor_.predictReturn(pc);
+        return sim_.predictor_.resolve(prediction, pc, true, target,
+                                       /*chargeMispredict=*/true);
+    }
+    [[nodiscard]] bool resolveBranch(std::uint32_t pc, bool taken, std::uint32_t target) {
+        const auto prediction = sim_.predictor_.predictBranch(pc);
+        return sim_.predictor_.resolve(prediction, pc, taken, target,
+                                       /*chargeMispredict=*/true);
+    }
+    void pushReturnAddress(std::uint32_t addr) { sim_.predictor_.pushReturnAddress(addr); }
+
+    void writeLui() { writeReg(inst_->rd, inst_->imm << 10); }
+    void writeAlu() {
+        const bool immediate = inst_->op >= Opcode::Addi && inst_->op <= Opcode::Slti;
+        const std::int32_t b = immediate ? inst_->imm : sim_.regs_[inst_->rs2];
+        writeReg(inst_->rd, aluOp(inst_->op, sim_.regs_[inst_->rs1], b));
+    }
+    void writeLink() { writeReg(inst_->rd, static_cast<std::int32_t>(sim_.pc_ + 4)); }
+    void writeLoad(std::uint32_t addr) {
+        const std::int32_t value = sim_.memory_.read(addr);
+        writeReg(inst_->rd, value);
+    }
+    void doStore(std::uint32_t addr) { sim_.memory_.write(addr, sim_.regs_[inst_->rs2]); }
+
+    void notifyIssue() {
+        for (TraceObserver* observer : sim_.observers_) {
+            observer->onInstruction(sim_.pc_, *inst_);
+        }
+    }
+    void notifyControlFlow(bool taken, std::uint32_t nextPc, bool predictedCorrect) {
+        for (TraceObserver* observer : sim_.observers_) {
+            observer->onControlFlow(sim_.pc_, *inst_, taken, nextPc, predictedCorrect);
+        }
+    }
+
+    void stepFallthrough() { sim_.pc_ += 4; }
+    void stepBranch(bool taken, std::uint32_t target) {
+        sim_.pc_ = taken ? target : sim_.pc_ + 4;
+    }
+    void stepJump(std::uint32_t target) { sim_.pc_ = target; }
+    void stepJalr(std::uint32_t target) { sim_.pc_ = target; }
+
+private:
+    void writeReg(unsigned index, std::int32_t value) {
+        if (index == kZeroRegister) return;
+        sim_.regs_[index] = value;
+    }
+
+    Simulator& sim_;
+    const Instruction* inst_ = nullptr;
+};
+
 Simulator::Simulator(const Image& image, const std::vector<DataSegment>& data,
                      InstrCacheScheme& icache, DataCacheScheme& dcache,
                      PipelineConfig config)
@@ -99,239 +177,9 @@ std::int32_t Simulator::reg(unsigned index) const {
     return regs_[index];
 }
 
-void Simulator::advanceTo(std::uint64_t targetCycle, StallCause cause) {
-    if (targetCycle <= cycle_) return;
-    const std::uint64_t stall = targetCycle - cycle_;
-    switch (cause) {
-        case StallCause::IFetch: stats_.ifetchStallCycles += stall; break;
-        case StallCause::Branch: stats_.branchStallCycles += stall; break;
-        case StallCause::Dmem: stats_.dmemStallCycles += stall; break;
-        case StallCause::Exec: stats_.execStallCycles += stall; break;
-        case StallCause::None: break;
-    }
-    cycle_ = targetCycle;
-    slotsUsed_ = 0;
-    memOpsThisCycle_ = 0;
-    branchesThisCycle_ = 0;
-}
-
-void Simulator::setReg(unsigned index, std::int32_t value, std::uint64_t readyCycle,
-                       bool fromLoad) {
-    if (index == kZeroRegister) return;
-    regs_[index] = value;
-    regReady_[index] = readyCycle;
-    regFromLoad_[index] = fromLoad;
-}
-
-std::uint64_t Simulator::sourceReady(const Instruction& inst, StallCause& cause) const {
-    const SourceUse use = sourcesOf(inst);
-    std::uint64_t ready = 0;
-    cause = StallCause::Exec;
-    if (use.rs1 && regReady_[inst.rs1] > ready) {
-        ready = regReady_[inst.rs1];
-        cause = regFromLoad_[inst.rs1] ? StallCause::Dmem : StallCause::Exec;
-    }
-    if (use.rs2 && regReady_[inst.rs2] > ready) {
-        ready = regReady_[inst.rs2];
-        cause = regFromLoad_[inst.rs2] ? StallCause::Dmem : StallCause::Exec;
-    }
-    return ready;
-}
-
 RunStats Simulator::run() {
-    const std::uint32_t iHitLatency = kL1HitLatencyCycles + icache_->latencyOverhead();
-    const std::uint32_t takenBubble =
-        config_.takenBranchFetchBubble ? iHitLatency - 1 : 0;
-    bool running = true;
-
-    while (running) {
-        if (config_.maxInstructions != 0 && stats_.instructions >= config_.maxInstructions) {
-            break;
-        }
-        const Instruction& inst = image_->fetch(pc_);
-
-        // --- Instruction fetch: one I-cache access per cache-line entry. ---
-        const std::uint64_t fetchBlock = pc_ / 32;
-        if (fetchBlock != lastFetchBlock_) {
-            lastFetchBlock_ = fetchBlock;
-            const AccessResult fetch = icache_->fetch(pc_);
-            ++stats_.activity.l1iAccesses;
-            stats_.activity.l2Accesses += fetch.l2Reads;
-            if (fetch.dram) ++stats_.activity.dramAccesses;
-            if (fetch.auxProbe) ++stats_.activity.auxAccesses;
-            if (!fetch.l1Hit) {
-                // Miss penalty beyond the pipelined hit latency stalls fetch.
-                const std::uint64_t penalty = fetch.latencyCycles - iHitLatency;
-                if (cycle_ + penalty > frontendReady_) {
-                    frontendReady_ = cycle_ + penalty;
-                    frontendCause_ = StallCause::IFetch;
-                }
-            }
-        }
-        advanceTo(frontendReady_, frontendCause_);
-
-        // --- Register dependences. ---
-        StallCause depCause = StallCause::Exec;
-        const std::uint64_t depReady = sourceReady(inst, depCause);
-        advanceTo(depReady, depCause);
-
-        // --- Issue-width and structural constraints. ---
-        if (slotsUsed_ >= config_.issueWidth ||
-            (isMemory(inst.op) && memOpsThisCycle_ >= 1) ||
-            (isControlFlow(inst.op) && branchesThisCycle_ >= 1)) {
-            advanceTo(cycle_ + 1, StallCause::None);
-        }
-        if (isMemory(inst.op) && config_.dcachePortOccupancy) {
-            const std::uint64_t portFree = dportBusyUntil_;
-            if (portFree > cycle_) advanceTo(portFree, StallCause::Dmem);
-            dportBusyUntil_ = cycle_ + 1 + dcache_->latencyOverhead();
-        }
-        ++slotsUsed_;
-        if (isMemory(inst.op)) ++memOpsThisCycle_;
-        if (isControlFlow(inst.op)) ++branchesThisCycle_;
-
-        for (TraceObserver* observer : observers_) observer->onInstruction(pc_, inst);
-        ++stats_.instructions;
-
-        // --- Execute. ---
-        std::uint32_t nextPc = pc_ + 4;
-        switch (inst.op) {
-            case Opcode::Nop: break;
-            case Opcode::Halt:
-                stats_.halted = true;
-                running = false;
-                break;
-            case Opcode::Lui:
-                setReg(inst.rd, inst.imm << 10, cycle_ + 1, false);
-                break;
-            case Opcode::Lw:
-            case Opcode::Ldl: {
-                const std::uint32_t addr =
-                    inst.op == Opcode::Lw
-                        ? static_cast<std::uint32_t>(regs_[inst.rs1] + inst.imm)
-                        : pc_ + static_cast<std::uint32_t>(inst.imm) * 4;
-                for (TraceObserver* observer : observers_) observer->onDataAccess(addr, false);
-                const AccessResult res = dcache_->read(addr);
-                ++stats_.loads;
-                ++stats_.activity.l1dAccesses;
-                stats_.activity.l2Accesses += res.l2Reads;
-                if (res.dram) ++stats_.activity.dramAccesses;
-                if (res.auxProbe) ++stats_.activity.auxAccesses;
-                setReg(inst.rd, memory_.read(addr), cycle_ + res.latencyCycles, true);
-                if (config_.extraDcacheCycleStalls && dcache_->latencyOverhead() > 0) {
-                    // The pipe has no slot for the extra cache cycle(s): they
-                    // bubble behind every load, used or not — nothing issues
-                    // while the lengthened MEM stage drains.
-                    advanceTo(cycle_ + 1 + dcache_->latencyOverhead(), StallCause::Dmem);
-                }
-                break;
-            }
-            case Opcode::Sw: {
-                const std::uint32_t addr =
-                    static_cast<std::uint32_t>(regs_[inst.rs1] + inst.imm);
-                for (TraceObserver* observer : observers_) observer->onDataAccess(addr, true);
-                memory_.write(addr, regs_[inst.rs2]);
-                const AccessResult res = dcache_->write(addr);
-                ++stats_.stores;
-                ++stats_.activity.l1dAccesses;
-                stats_.activity.l2WriteThroughs += res.l2Writes;
-                stats_.activity.l2Accesses += res.l2Reads;
-                if (res.dram) ++stats_.activity.dramAccesses;
-                if (res.auxProbe) ++stats_.activity.auxAccesses;
-                // Ideal write buffer: the store retires without stalling.
-                break;
-            }
-            case Opcode::Jal: {
-                const std::uint32_t target =
-                    pc_ + static_cast<std::uint32_t>(inst.imm) * 4;
-                const auto prediction = predictor_.predictJump(pc_);
-                const bool correct =
-                    predictor_.resolve(prediction, pc_, true, target,
-                                       /*chargeMispredict=*/false);
-                if (inst.rd != kZeroRegister) {
-                    setReg(inst.rd, static_cast<std::int32_t>(pc_ + 4), cycle_ + 1, false);
-                    predictor_.pushReturnAddress(pc_ + 4);
-                }
-                if (!correct) {
-                    // Direct jump with a cold BTB: the target is extracted
-                    // in decode — an I-fetch-latency redirect bubble.
-                    frontendReady_ = cycle_ + 1 + iHitLatency;
-                    frontendCause_ = StallCause::Branch;
-                } else if (takenBubble > 0) {
-                    frontendReady_ = std::max(frontendReady_, cycle_ + takenBubble);
-                    frontendCause_ = StallCause::Branch;
-                }
-                nextPc = target;
-                break;
-            }
-            case Opcode::Jalr: {
-                const std::uint32_t target = static_cast<std::uint32_t>(
-                                                 regs_[inst.rs1] + inst.imm) &
-                                             ~3u;
-                const auto prediction = predictor_.predictReturn(pc_);
-                const bool correct = predictor_.resolve(prediction, pc_, true, target,
-                                                        /*chargeMispredict=*/true);
-                if (inst.rd != kZeroRegister) {
-                    setReg(inst.rd, static_cast<std::int32_t>(pc_ + 4), cycle_ + 1, false);
-                    predictor_.pushReturnAddress(pc_ + 4);
-                }
-                if (!correct) {
-                    ++stats_.mispredicts;
-                    frontendReady_ = cycle_ + 1 + config_.mispredictPenalty + iHitLatency +
-                                     icache_->latencyOverhead();
-                    frontendCause_ = StallCause::Branch;
-                } else if (takenBubble > 0) {
-                    frontendReady_ = std::max(frontendReady_, cycle_ + takenBubble);
-                    frontendCause_ = StallCause::Branch;
-                }
-                nextPc = target;
-                break;
-            }
-            default: {
-                if (isConditionalBranch(inst.op)) {
-                    const bool taken = branchTaken(inst.op, regs_[inst.rs1], regs_[inst.rs2]);
-                    const std::uint32_t target =
-                        pc_ + static_cast<std::uint32_t>(inst.imm) * 4;
-                    const auto prediction = predictor_.predictBranch(pc_);
-                    const bool correct = predictor_.resolve(prediction, pc_, taken, target,
-                                                            /*chargeMispredict=*/true);
-                    ++stats_.condBranches;
-                    if (taken) {
-                        ++stats_.takenBranches;
-                        nextPc = target;
-                    }
-                    if (!correct) {
-                        ++stats_.mispredicts;
-                        // The refill pays the I-fetch latency plus the extra
-                        // drain of the deeper front end (the overhead stage
-                        // lengthens both refetch and flush).
-                        frontendReady_ = cycle_ + 1 + config_.mispredictPenalty +
-                                         iHitLatency + icache_->latencyOverhead();
-                        frontendCause_ = StallCause::Branch;
-                    } else if (taken && takenBubble > 0) {
-                        frontendReady_ = std::max(frontendReady_, cycle_ + takenBubble);
-                        frontendCause_ = StallCause::Branch;
-                    }
-                    break;
-                }
-                // Plain ALU op (R-type or ALU-imm).
-                const bool immediate = inst.op >= Opcode::Addi && inst.op <= Opcode::Slti;
-                const std::int32_t b = immediate ? inst.imm : regs_[inst.rs2];
-                std::uint32_t latency = 1;
-                if (inst.op == Opcode::Mul) latency = config_.mulLatency;
-                if (inst.op == Opcode::Div || inst.op == Opcode::Rem) {
-                    latency = config_.divLatency;
-                }
-                setReg(inst.rd, aluOp(inst.op, regs_[inst.rs1], b), cycle_ + latency, false);
-                break;
-            }
-        }
-        pc_ = nextPc;
-    }
-
-    stats_.cycles = cycle_ + 1;
-    stats_.activity.instructions = stats_.instructions;
-    stats_.activity.cycles = stats_.cycles;
+    ExecDriver driver(*this);
+    stats_ = timing::runPipeline(driver, *icache_, *dcache_, config_);
     return stats_;
 }
 

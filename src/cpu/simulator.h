@@ -107,6 +107,19 @@ public:
         (void)addr;
         (void)isWrite;
     }
+    /// Fires once per retired control-flow instruction (Jal/Jalr/conditional
+    /// branch), after the predictor resolved it. `nextPc` is the actual
+    /// successor (fall-through for a not-taken branch); `predictedCorrect`
+    /// is the predictor's verdict. The TraceRecorder (cpu/arch_trace.h)
+    /// lives on this hook.
+    virtual void onControlFlow(std::uint32_t pc, const Instruction& inst, bool taken,
+                               std::uint32_t nextPc, bool predictedCorrect) {
+        (void)pc;
+        (void)inst;
+        (void)taken;
+        (void)nextPc;
+        (void)predictedCorrect;
+    }
 };
 
 class Simulator {
@@ -137,11 +150,9 @@ public:
     [[nodiscard]] const BranchPredictor& predictor() const noexcept { return predictor_; }
 
 private:
-    enum class StallCause : std::uint8_t { None, IFetch, Branch, Dmem, Exec };
-
-    void advanceTo(std::uint64_t targetCycle, StallCause cause);
-    void setReg(unsigned index, std::int32_t value, std::uint64_t readyCycle, bool fromLoad);
-    [[nodiscard]] std::uint64_t sourceReady(const Instruction& inst, StallCause& cause) const;
+    // The timing model itself lives in cpu/timing_kernel.h (shared with the
+    // trace-replay engine); ExecDriver supplies the functional half.
+    friend class ExecDriver;
 
     const Image* image_;
     InstrCacheScheme* icache_;
@@ -154,18 +165,6 @@ private:
     // Architectural state.
     std::array<std::int32_t, kNumRegisters> regs_{};
     std::uint32_t pc_ = 0;
-
-    // Timing state.
-    std::uint64_t cycle_ = 0;
-    std::uint32_t slotsUsed_ = 0;
-    std::uint32_t memOpsThisCycle_ = 0;
-    std::uint32_t branchesThisCycle_ = 0;
-    std::array<std::uint64_t, kNumRegisters> regReady_{};
-    std::array<bool, kNumRegisters> regFromLoad_{};
-    std::uint64_t frontendReady_ = 0;
-    StallCause frontendCause_ = StallCause::None;
-    std::uint64_t lastFetchBlock_ = ~std::uint64_t{0};
-    std::uint64_t dportBusyUntil_ = 0;
 
     RunStats stats_;
 };

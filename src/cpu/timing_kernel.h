@@ -1,0 +1,338 @@
+// The two-wide in-order pipeline timing model, factored out of the
+// execution-driven Simulator so that the trace-replay engine (core/replay.h)
+// runs the *same* timing code — cycle accounting, stall attribution, issue
+// constraints, D-port occupancy — against a recorded architectural stream.
+// Bit-identical results between execution and replay are guaranteed by
+// construction: there is exactly one copy of the timing semantics, and the
+// Driver policy only supplies the dynamic facts (instruction stream, data
+// addresses, branch outcomes) plus the functional side effects execution
+// needs and replay skips.
+//
+// Driver concept (all methods hot; drivers inline everything):
+//   bool atEnd();                       // replay: trace exhausted; exec: false
+//   const Instruction& inst();          // instruction at the current position
+//   std::uint32_t pc();                 // its architectural byte address
+//   std::uint32_t loadAddr();           // Lw effective address
+//   std::uint32_t literalAddr();        // Ldl effective address (pc-relative)
+//   std::uint32_t storeAddr();          // Sw effective address
+//   bool condTaken();                   // conditional branch direction
+//   std::uint32_t directTarget();       // Jal / conditional-branch target
+//   std::uint32_t jalrTarget();         // Jalr target
+//   bool resolveJump/Branch/Return(pc, [taken,] target);  // predictor outcome
+//   void pushReturnAddress(addr);
+//   void writeLui/writeAlu/writeLink(); // exec: register value side effects
+//   void writeLoad(addr); void doStore(addr);
+//   void notifyIssue();                 // exec: observer onInstruction hook
+//   void notifyControlFlow(taken, nextPc, correct);
+//   void stepFallthrough();             // advance position past the op
+//   void stepBranch(taken, target) / stepJump(target) / stepJalr(target);
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "cpu/simulator.h"
+#include "isa/instruction.h"
+#include "schemes/scheme.h"
+
+namespace voltcache::timing {
+
+enum class StallCause : std::uint8_t { None, IFetch, Branch, Dmem, Exec };
+
+/// Which source registers an opcode actually reads.
+struct SourceUse {
+    bool rs1 = false;
+    bool rs2 = false;
+};
+
+[[nodiscard]] constexpr SourceUse sourcesOf(const Instruction& inst) noexcept {
+    const Opcode op = inst.op;
+    if (op <= Opcode::Sltu) return {true, true};                  // R-type
+    if (op <= Opcode::Slti) return {true, false};                 // ALU-imm
+    if (op == Opcode::Lui || op == Opcode::Ldl) return {false, false};
+    if (op == Opcode::Lw) return {true, false};
+    if (op == Opcode::Sw) return {true, true};
+    if (isConditionalBranch(op)) return {true, true};
+    if (op == Opcode::Jalr) return {true, false};
+    return {false, false}; // Jal, Nop, Halt
+}
+
+namespace detail {
+
+// Per-opcode issue-stage facts folded into one byte, so the hot loop pays a
+// single table load instead of re-deriving sourcesOf/isMemory/isControlFlow
+// compare chains for every dynamic instruction.
+inline constexpr std::uint8_t kReadsRs1 = 1U << 0;
+inline constexpr std::uint8_t kReadsRs2 = 1U << 1;
+inline constexpr std::uint8_t kIsMemory = 1U << 2;
+inline constexpr std::uint8_t kIsControlFlow = 1U << 3;
+
+[[nodiscard]] constexpr std::array<std::uint8_t, kOpcodeCount> makeOpFlags() noexcept {
+    std::array<std::uint8_t, kOpcodeCount> flags{};
+    for (unsigned i = 0; i < kOpcodeCount; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const SourceUse use = sourcesOf(Instruction{op});
+        std::uint8_t f = 0;
+        if (use.rs1) f |= kReadsRs1;
+        if (use.rs2) f |= kReadsRs2;
+        if (isMemory(op)) f |= kIsMemory;
+        if (isControlFlow(op)) f |= kIsControlFlow; // includes Halt
+        flags[i] = f;
+    }
+    return flags;
+}
+
+inline constexpr std::array<std::uint8_t, kOpcodeCount> kOpFlags = makeOpFlags();
+
+} // namespace detail
+
+/// `ICache`/`DCache` default to the scheme base classes; callers that know
+/// the concrete (final) scheme types pass them instead, devirtualizing —
+/// and, with IPO, inlining — every per-access call in the loop.
+template <class Driver, class ICache = InstrCacheScheme, class DCache = DataCacheScheme>
+RunStats runPipeline(Driver& driver, ICache& icache, DCache& dcache,
+                     const PipelineConfig& config) {
+    RunStats stats;
+
+    // Timing state (the Simulator's former scoreboard members). The register
+    // scoreboards carry one extra scratch slot: writes to the zero register
+    // are redirected there instead of branching on rd == 0, so slot 0 stays
+    // permanently ready and the write path is branch-free.
+    std::uint64_t cycle = 0;
+    std::uint32_t slotsUsed = 0;
+    std::uint32_t memOpsThisCycle = 0;
+    std::uint32_t branchesThisCycle = 0;
+    std::array<std::uint64_t, kNumRegisters + 1> regReady{};
+    std::array<bool, kNumRegisters + 1> regFromLoad{};
+    std::uint64_t frontendReady = 0;
+    StallCause frontendCause = StallCause::None;
+    std::uint64_t lastFetchBlock = ~std::uint64_t{0};
+    std::uint64_t dportBusyUntil = 0;
+
+    const std::uint32_t iOverhead = icache.latencyOverhead();
+    const std::uint32_t iHitLatency = kL1HitLatencyCycles + iOverhead;
+    const std::uint32_t takenBubble = config.takenBranchFetchBubble ? iHitLatency - 1 : 0;
+    const std::uint32_t dOverhead = dcache.latencyOverhead();
+
+    // Stall cycles indexed by StallCause (slot 0 = None is discarded), so
+    // the hot advanceTo is a single indexed add instead of a branch tree.
+    std::array<std::uint64_t, 5> stallCycles{};
+
+    const auto advanceTo = [&](std::uint64_t targetCycle, StallCause cause) {
+        if (targetCycle <= cycle) return;
+        stallCycles[static_cast<unsigned>(cause)] += targetCycle - cycle;
+        cycle = targetCycle;
+        slotsUsed = 0;
+        memOpsThisCycle = 0;
+        branchesThisCycle = 0;
+    };
+    const auto setRegTiming = [&](unsigned index, std::uint64_t readyCycle, bool fromLoad) {
+        const unsigned slot = index == kZeroRegister ? kNumRegisters : index;
+        regReady[slot] = readyCycle;
+        regFromLoad[slot] = fromLoad;
+    };
+
+    const std::uint64_t instrLimit =
+        config.maxInstructions != 0 ? config.maxInstructions : ~std::uint64_t{0};
+
+    bool running = true;
+    while (running) {
+        if (stats.instructions >= instrLimit) break;
+        if (driver.atEnd()) break;
+        const Instruction& inst = driver.inst();
+        const std::uint32_t pc = driver.pc();
+
+        // --- Instruction fetch: one I-cache access per cache-line entry. ---
+        const std::uint64_t fetchBlock = pc / 32;
+        if (fetchBlock != lastFetchBlock) {
+            lastFetchBlock = fetchBlock;
+            const AccessResult fetch = icache.fetch(pc);
+            ++stats.activity.l1iAccesses;
+            stats.activity.l2Accesses += fetch.l2Reads;
+            if (fetch.dram) ++stats.activity.dramAccesses;
+            if (fetch.auxProbe) ++stats.activity.auxAccesses;
+            if (!fetch.l1Hit) {
+                // Miss penalty beyond the pipelined hit latency stalls fetch.
+                const std::uint64_t penalty = fetch.latencyCycles - iHitLatency;
+                if (cycle + penalty > frontendReady) {
+                    frontendReady = cycle + penalty;
+                    frontendCause = StallCause::IFetch;
+                }
+            }
+        }
+        advanceTo(frontendReady, frontendCause);
+
+        const std::uint8_t opFlags = detail::kOpFlags[static_cast<unsigned>(inst.op)];
+
+        // --- Register dependences. ---
+        // Branch-free in the common no-stall case: compute both effective
+        // ready cycles (0 when the source is unread), take the max, and only
+        // attribute a cause on the rare path where it actually stalls. Ties
+        // attribute to rs1, exactly as the sequential compare chain did.
+        {
+            const std::uint64_t ready1 =
+                (opFlags & detail::kReadsRs1) != 0 ? regReady[inst.rs1] : 0;
+            const std::uint64_t ready2 =
+                (opFlags & detail::kReadsRs2) != 0 ? regReady[inst.rs2] : 0;
+            const std::uint64_t ready = std::max(ready1, ready2);
+            if (ready > cycle) [[unlikely]] {
+                const bool fromLoad =
+                    ready1 >= ready2 ? regFromLoad[inst.rs1] : regFromLoad[inst.rs2];
+                advanceTo(ready, fromLoad ? StallCause::Dmem : StallCause::Exec);
+            }
+        }
+
+        // --- Issue-width and structural constraints. ---
+        const bool isMem = (opFlags & detail::kIsMemory) != 0;
+        const bool isCf = (opFlags & detail::kIsControlFlow) != 0;
+        if (slotsUsed >= config.issueWidth || (isMem && memOpsThisCycle >= 1) ||
+            (isCf && branchesThisCycle >= 1)) {
+            advanceTo(cycle + 1, StallCause::None);
+        }
+        if (isMem && config.dcachePortOccupancy) {
+            const std::uint64_t portFree = dportBusyUntil;
+            if (portFree > cycle) advanceTo(portFree, StallCause::Dmem);
+            dportBusyUntil = cycle + 1 + dOverhead;
+        }
+        ++slotsUsed;
+        if (isMem) ++memOpsThisCycle;
+        if (isCf) ++branchesThisCycle;
+
+        driver.notifyIssue();
+        ++stats.instructions;
+
+        // --- Execute. ---
+        switch (inst.op) {
+            case Opcode::Nop: break;
+            case Opcode::Halt:
+                stats.halted = true;
+                running = false;
+                continue;
+            case Opcode::Lui:
+                setRegTiming(inst.rd, cycle + 1, false);
+                driver.writeLui();
+                break;
+            case Opcode::Lw:
+            case Opcode::Ldl: {
+                const std::uint32_t addr =
+                    inst.op == Opcode::Lw ? driver.loadAddr() : driver.literalAddr();
+                const AccessResult res = dcache.read(addr);
+                ++stats.loads;
+                ++stats.activity.l1dAccesses;
+                stats.activity.l2Accesses += res.l2Reads;
+                if (res.dram) ++stats.activity.dramAccesses;
+                if (res.auxProbe) ++stats.activity.auxAccesses;
+                setRegTiming(inst.rd, cycle + res.latencyCycles, true);
+                driver.writeLoad(addr);
+                if (config.extraDcacheCycleStalls && dOverhead > 0) {
+                    // The pipe has no slot for the extra cache cycle(s): they
+                    // bubble behind every load, used or not — nothing issues
+                    // while the lengthened MEM stage drains.
+                    advanceTo(cycle + 1 + dOverhead, StallCause::Dmem);
+                }
+                break;
+            }
+            case Opcode::Sw: {
+                const std::uint32_t addr = driver.storeAddr();
+                driver.doStore(addr);
+                const AccessResult res = dcache.write(addr);
+                ++stats.stores;
+                ++stats.activity.l1dAccesses;
+                stats.activity.l2WriteThroughs += res.l2Writes;
+                stats.activity.l2Accesses += res.l2Reads;
+                if (res.dram) ++stats.activity.dramAccesses;
+                if (res.auxProbe) ++stats.activity.auxAccesses;
+                // Ideal write buffer: the store retires without stalling.
+                break;
+            }
+            case Opcode::Jal: {
+                const std::uint32_t target = driver.directTarget();
+                const bool correct = driver.resolveJump(pc, target);
+                if (inst.rd != kZeroRegister) {
+                    setRegTiming(inst.rd, cycle + 1, false);
+                    driver.writeLink();
+                    driver.pushReturnAddress(pc + 4);
+                }
+                if (!correct) {
+                    // Direct jump with a cold BTB: the target is extracted
+                    // in decode — an I-fetch-latency redirect bubble.
+                    frontendReady = cycle + 1 + iHitLatency;
+                    frontendCause = StallCause::Branch;
+                } else if (takenBubble > 0) {
+                    frontendReady = std::max(frontendReady, cycle + takenBubble);
+                    frontendCause = StallCause::Branch;
+                }
+                driver.notifyControlFlow(true, target, correct);
+                driver.stepJump(target);
+                continue;
+            }
+            case Opcode::Jalr: {
+                const std::uint32_t target = driver.jalrTarget();
+                const bool correct = driver.resolveReturn(pc, target);
+                if (inst.rd != kZeroRegister) {
+                    setRegTiming(inst.rd, cycle + 1, false);
+                    driver.writeLink();
+                    driver.pushReturnAddress(pc + 4);
+                }
+                if (!correct) {
+                    ++stats.mispredicts;
+                    frontendReady = cycle + 1 + config.mispredictPenalty + iHitLatency +
+                                    iOverhead;
+                    frontendCause = StallCause::Branch;
+                } else if (takenBubble > 0) {
+                    frontendReady = std::max(frontendReady, cycle + takenBubble);
+                    frontendCause = StallCause::Branch;
+                }
+                driver.notifyControlFlow(true, target, correct);
+                driver.stepJalr(target);
+                continue;
+            }
+            default: {
+                if (isConditionalBranch(inst.op)) {
+                    const bool taken = driver.condTaken();
+                    const std::uint32_t target = driver.directTarget();
+                    const bool correct = driver.resolveBranch(pc, taken, target);
+                    ++stats.condBranches;
+                    if (taken) ++stats.takenBranches;
+                    if (!correct) {
+                        ++stats.mispredicts;
+                        // The refill pays the I-fetch latency plus the extra
+                        // drain of the deeper front end (the overhead stage
+                        // lengthens both refetch and flush).
+                        frontendReady = cycle + 1 + config.mispredictPenalty +
+                                        iHitLatency + iOverhead;
+                        frontendCause = StallCause::Branch;
+                    } else if (taken && takenBubble > 0) {
+                        frontendReady = std::max(frontendReady, cycle + takenBubble);
+                        frontendCause = StallCause::Branch;
+                    }
+                    driver.notifyControlFlow(taken, taken ? target : pc + 4, correct);
+                    driver.stepBranch(taken, target);
+                    continue;
+                }
+                // Plain ALU op (R-type or ALU-imm).
+                std::uint32_t latency = 1;
+                if (inst.op == Opcode::Mul) latency = config.mulLatency;
+                if (inst.op == Opcode::Div || inst.op == Opcode::Rem) {
+                    latency = config.divLatency;
+                }
+                setRegTiming(inst.rd, cycle + latency, false);
+                driver.writeAlu();
+                break;
+            }
+        }
+        driver.stepFallthrough();
+    }
+
+    stats.ifetchStallCycles = stallCycles[static_cast<unsigned>(StallCause::IFetch)];
+    stats.branchStallCycles = stallCycles[static_cast<unsigned>(StallCause::Branch)];
+    stats.dmemStallCycles = stallCycles[static_cast<unsigned>(StallCause::Dmem)];
+    stats.execStallCycles = stallCycles[static_cast<unsigned>(StallCause::Exec)];
+    stats.cycles = cycle + 1;
+    stats.activity.instructions = stats.instructions;
+    stats.activity.cycles = stats.cycles;
+    return stats;
+}
+
+} // namespace voltcache::timing

@@ -36,6 +36,16 @@ struct PlacedBlock {
     }
 };
 
+/// Where one function's shared literal pool landed. Kept separate from
+/// placements(): pools are data, and the CFG / placement-prover consumers
+/// of placements() expect code blocks only. The replay engine uses both to
+/// map recording-layout addresses onto a trial's layout.
+struct PlacedPool {
+    std::uint32_t functionIndex = 0;
+    std::uint32_t byteAddr = 0;
+    std::uint32_t sizeWords = 0;
+};
+
 class Image {
 public:
     Image(std::uint32_t baseAddr, std::uint32_t sizeWords);
@@ -82,6 +92,17 @@ public:
         if (decodeDirty_) rebuildDecodeCache();
     }
 
+    /// The dense decoded-instruction array behind fetch()'s fast path,
+    /// indexed by word offset from baseAddr(). Entries at non-instruction
+    /// words are default Instructions; callers that only ever visit
+    /// instruction words (the trace-replay driver, whose word stream was
+    /// recorded from a real run) index it directly and skip fetch()'s
+    /// per-access alignment/bounds/kind checks.
+    [[nodiscard]] const Instruction* decodedInstructions() const {
+        if (decodeDirty_) rebuildDecodeCache();
+        return decoded_.data();
+    }
+
     [[nodiscard]] std::uint32_t entryAddr() const noexcept { return entryAddr_; }
     void setEntryAddr(std::uint32_t addr) noexcept { entryAddr_ = addr; }
 
@@ -89,6 +110,11 @@ public:
         return placements_;
     }
     void addPlacement(PlacedBlock placement) { placements_.push_back(placement); }
+
+    [[nodiscard]] const std::vector<PlacedPool>& poolPlacements() const noexcept {
+        return poolPlacements_;
+    }
+    void addPoolPlacement(PlacedPool placement) { poolPlacements_.push_back(placement); }
 
     /// Encoded memory contents (for initializing the simulator's memory):
     /// instructions via encode(), literals as-is, gaps as zero.
@@ -105,6 +131,7 @@ private:
     std::uint32_t entryAddr_ = 0;
     std::vector<ImageWord> words_;
     std::vector<PlacedBlock> placements_;
+    std::vector<PlacedPool> poolPlacements_;
     // Fetch decode cache: dense per-word instruction copies plus a validity
     // flag, rebuilt lazily after mutations. `mutable` memo of words_ — an
     // Image is simulated single-threaded (one linked image per sweep leg);

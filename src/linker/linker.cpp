@@ -233,6 +233,13 @@ private:
                 word.kind = ImageWord::Kind::Literal;
                 word.value = fn.sharedLiteralPool[l];
             }
+            if (!fn.sharedLiteralPool.empty()) {
+                PlacedPool pool;
+                pool.functionIndex = static_cast<std::uint32_t>(f);
+                pool.byteAddr = poolAddr_[f];
+                pool.sizeWords = static_cast<std::uint32_t>(fn.sharedLiteralPool.size());
+                image.addPoolPlacement(pool);
+            }
         }
         for (std::size_t f = 0; f < module_.functions.size(); ++f) {
             if (module_.functions[f].name == module_.entryFunction) {

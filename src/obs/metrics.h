@@ -81,6 +81,15 @@ public:
     void set(double value) noexcept {
         if (cell_ != nullptr) cell_->value.store(value, std::memory_order_relaxed);
     }
+    /// Monotonic high-water mark: keep the larger of the current and new
+    /// value (e.g. peak resident trace bytes across concurrent recorders).
+    void setMax(double value) noexcept {
+        if (cell_ == nullptr) return;
+        double current = cell_->value.load(std::memory_order_relaxed);
+        while (current < value && !cell_->value.compare_exchange_weak(
+                                      current, value, std::memory_order_relaxed)) {
+        }
+    }
 
 private:
     friend class MetricsRegistry;

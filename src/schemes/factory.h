@@ -29,4 +29,12 @@ struct SchemePair {
                                      const FaultMap& dcacheMap, const FaultMap& icacheMap,
                                      L2Cache& l2);
 
+/// Whether `kind` runs the BBR-transformed twin linked against the trial's
+/// I-cache fault map (same answer as SchemePair::needsBbrLinking, without
+/// building the schemes). Sweep planning uses this to pick the recorded
+/// trace a leg replays from.
+[[nodiscard]] constexpr bool schemeNeedsBbrLinking(SchemeKind kind) noexcept {
+    return kind == SchemeKind::FfwBbr;
+}
+
 } // namespace voltcache

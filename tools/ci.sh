@@ -75,6 +75,20 @@ for threads in 2 8; do
     fi
 done
 
+echo "== replay smoke: sweep JSON identical with and without --no-replay =="
+# Trace-driven replay must be a pure fast path: the execution-driven sweep
+# (--no-replay) is the ground truth and the replayed export must match it
+# byte for byte. The determinism smoke above already produced the replayed
+# JSON at --threads 1; reuse it. (ctest runs the same equivalence per-leg
+# and per-field in test_replay, under the sanitizers configured above.)
+noreplay_json="$build_dir/ci_noreplay.json"
+"$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+    --scale tiny --threads 1 --no-replay --json "$noreplay_json" > /dev/null
+if ! cmp -s "$det_base" "$noreplay_json"; then
+    echo "ci: FAIL — sweep JSON differs between replayed and --no-replay runs" >&2
+    exit 1
+fi
+
 echo "== perf smoke: micro benches export BENCH_micro.json + BENCH_perf.json =="
 # Artifact-only check (no thresholds): one fast iteration of each micro bench
 # so the perf JSONs exist and parse; numbers are advisory in CI.

@@ -13,7 +13,7 @@
 //   voltcache yield [--bits N] [--target 0.999]
 //       Vccmin of an N-bit structure at a yield target
 //   voltcache sweep [--trials N] [--benchmarks a,b,...] [--scale S]
-//             [--threads N] [--json FILE] [--trace FILE] [--progress]
+//             [--threads N] [--json FILE] [--trace FILE] [--progress] [--no-replay]
 //       the Fig. 10/11/12 sweep, printed as one table; --json exports the
 //       full result (with CI half-widths), --trace a Chrome trace of the
 //       most recent events (open in Perfetto). --threads sets the worker
@@ -68,7 +68,7 @@ Args parseArgs(int argc, char** argv, int first) {
         const std::string token = argv[i];
         if (token.rfind("--", 0) == 0 || token == "-o") {
             const std::string key = token == "-o" ? "out" : token.substr(2);
-            if (key == "bbr" || key == "progress") { // boolean flags
+            if (key == "bbr" || key == "progress" || key == "no-replay") { // boolean flags
                 args.flags[key] = "1";
                 continue;
             }
@@ -310,11 +310,15 @@ int cmdSweep(const Args& args) {
         if (end > pos) config.benchmarks.push_back(benchmarks.substr(pos, end - pos));
         pos = end + 1;
     }
+    config.useReplay = !args.flags.contains("no-replay");
     if (args.flags.contains("progress")) {
         config.onProgress = [](const SweepProgress& progress) {
-            std::fprintf(stderr, "[%zu/%zu] %s done (%zu/%zu legs, %u workers)\n",
+            std::fprintf(stderr,
+                         "[%zu/%zu] %s done (%zu/%zu legs: %zu replayed, %zu executed, "
+                         "%u workers)\n",
                          progress.completed, progress.total, progress.benchmark.c_str(),
-                         progress.legsCompleted, progress.legsTotal, progress.workers);
+                         progress.legsCompleted, progress.legsTotal,
+                         progress.legsReplayed, progress.legsExecuted, progress.workers);
         };
     }
 
@@ -471,6 +475,8 @@ int usage() {
                  "  yield [--bits N] [--target Y]\n"
                  "  sweep [--trials N] [--benchmarks a,b,...] [--scale S] [--threads N]\n"
                  "      [--max-instructions N] [--json FILE] [--trace FILE] [--progress]\n"
+                 "      [--no-replay]  (disable the record-once/replay-many fast path;\n"
+                 "       results are bit-identical either way)\n"
                  "  list\n");
     return 2;
 }
