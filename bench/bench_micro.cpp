@@ -17,6 +17,7 @@
 #include "faults/bist.h"
 #include "linker/linker.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "schemes/conventional.h"
 #include "schemes/factory.h"
@@ -251,6 +252,35 @@ void BM_ObsTraceRecord(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObsTraceRecord);
+
+// Cost of a profiling span when the profiler is off — the price every
+// instrumented phase pays in a production sweep. Must stay within noise of
+// a bare relaxed atomic load (the span constructor's fast-path bail).
+void BM_SpanDisabled(benchmark::State& state) {
+    obs::Profiler::setEnabled(false);
+    for (auto _ : state) {
+        const obs::Span span("bench.disabled");
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+// Cost of a live span: two steady_clock reads plus the per-thread stack and
+// shard bookkeeping. Bounds the self-profiler's distortion of the phases it
+// measures.
+void BM_SpanEnabled(benchmark::State& state) {
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(true);
+    for (auto _ : state) {
+        const obs::Span span("bench.enabled");
+        benchmark::DoNotOptimize(&span);
+    }
+    obs::Profiler::setEnabled(false);
+    obs::Profiler::reset();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
 
 /// ConsoleReporter that also captures every iteration run, so main() can
 /// export BENCH_micro.json after the normal console output.

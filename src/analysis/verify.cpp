@@ -28,7 +28,8 @@ void attachStaticVerifier(LinkOptions& options, const Module* module) {
     options.postLinkVerifier = [map, module](const Image& image) {
         const PlacementProof proof = provePlacement(image, *map, module);
         if (!proof.verified) {
-            throw LinkError("static placement proof failed:\n" + formatProof(proof));
+            throw LinkError("static placement proof failed:\n" + formatProof(proof),
+                            LinkFailCause::Verifier);
         }
     };
 }

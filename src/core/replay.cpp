@@ -8,6 +8,7 @@
 #include "cpu/branch_predictor.h"
 #include "cpu/timing_kernel.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace voltcache {
 
@@ -176,6 +177,7 @@ std::unique_ptr<const ReplaySource> recordReplaySource(const Module& module,
                                                        const SystemConfig& recordConfig,
                                                        std::uint64_t byteCap,
                                                        SystemResult& outResult) {
+    const obs::Span span("record");
     VC_EXPECTS(!schemeNeedsBbrLinking(recordConfig.scheme));
     TraceRecorder recorder(byteCap);
     SystemConfig config = recordConfig;
@@ -235,6 +237,7 @@ std::vector<std::uint32_t> buildAddressTranslation(const Image& recording,
 
 SystemResult replaySystem(const Module* bbrModule, const SystemConfig& config,
                           const TraceCache& cache, const detail::LegFaultMaps* chipMaps) {
+    const obs::Span span("replay");
     const bool needsBbr = schemeNeedsBbrLinking(config.scheme);
     const ReplaySource* source = needsBbr ? cache.bbr.get() : cache.plain.get();
     VC_EXPECTS(source != nullptr);
@@ -268,9 +271,10 @@ SystemResult replaySystem(const Module* bbrModule, const SystemConfig& config,
         options.icacheFaultMap = &maps.icache;
         try {
             trialLink = analysis::linkVerified(*bbrModule, options);
-        } catch (const LinkError&) {
+        } catch (const LinkError& e) {
             // Same yield-loss accounting as the execution-driven path.
             result.linkFailed = true;
+            result.forensics.failCause = e.cause();
             detail::publishLegMetrics(config, result);
             return result;
         }
@@ -298,7 +302,7 @@ SystemResult replaySystem(const Module* bbrModule, const SystemConfig& config,
     VC_CHECK(driver.fullyConsumed());
     result.checksum = source->trace.checksum();
 
-    detail::finalizeLegResult(config, pair, result);
+    detail::finalizeLegResult(config, pair, maps, result);
     return result;
 }
 

@@ -4,6 +4,33 @@
 
 namespace voltcache {
 
+namespace {
+
+/// Emit a log2-bucketed forensic histogram as sparse {low, count} pairs
+/// (most buckets are empty; the sparse form keeps the export readable).
+template <std::size_t N>
+void writeLog2Histogram(JsonWriter& json, const std::array<std::uint64_t, N>& buckets) {
+    json.beginArray();
+    for (std::size_t b = 0; b < N; ++b) {
+        if (buckets[b] == 0) continue;
+        json.beginObject();
+        json.member("low", forensicsLog2BucketLow(b));
+        json.member("count", buckets[b]);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+/// Emit a dense small-domain histogram (index == value).
+template <std::size_t N>
+void writeDenseHistogram(JsonWriter& json, const std::array<std::uint64_t, N>& counts) {
+    json.beginArray();
+    for (const std::uint64_t count : counts) json.value(count);
+    json.endArray();
+}
+
+} // namespace
+
 void writeJson(JsonWriter& json, const RunningStats& stats, double ciLevel) {
     json.beginObject();
     json.member("n", stats.count());
@@ -119,6 +146,93 @@ std::string sweepResultToJson(const SweepResult& result, const SweepExportMeta& 
         json.endObject();
     }
     json.endArray();
+
+    json.key("forensics");
+    json.beginArray();
+    for (const auto& [key, cell] : result.forensics) {
+        json.beginObject();
+        json.member("scheme", schemeName(key.first));
+        json.member("mv", static_cast<std::int64_t>(key.second));
+        writeJson(json, cell);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
+    return json.str();
+}
+
+void writeJson(JsonWriter& json, const CellForensics& cell) {
+    json.member("legs", cell.legs);
+    if (cell.ffwLegs > 0) {
+        json.key("ffw");
+        json.beginObject();
+        json.member("legs", cell.ffwLegs);
+        json.member("recenters", cell.ffwRecenters);
+        json.key("windowWords");
+        writeDenseHistogram(json, cell.ffwWindowSize);
+        json.key("recenterDistance");
+        writeDenseHistogram(json, cell.ffwRecenterDistance);
+        json.endObject();
+    }
+    if (cell.bbrLegs > 0) {
+        json.key("bbr");
+        json.beginObject();
+        json.member("legs", cell.bbrLegs);
+        json.member("blocksPlaced", cell.bbrBlocksPlaced);
+        json.key("chunkWords");
+        writeLog2Histogram(json, cell.bbrChunkWords);
+        json.key("displacementWords");
+        writeLog2Histogram(json, cell.bbrDisplacement);
+        json.endObject();
+    }
+    json.key("yieldLoss");
+    json.beginObject();
+    for (std::size_t cause = 1; cause < cell.yieldLoss.size(); ++cause) {
+        if (cell.yieldLoss[cause] == 0) continue;
+        json.member(linkFailCauseName(static_cast<LinkFailCause>(cause)),
+                    cell.yieldLoss[cause]);
+    }
+    json.endObject();
+}
+
+std::string profileToJson(const std::vector<obs::SpanStat>& spans,
+                          const std::vector<obs::MetricSnapshot>& metrics,
+                          const ProfileExportMeta& meta) {
+    JsonWriter json;
+    json.beginObject();
+    json.member("tool", "voltcache");
+    json.member("kind", "profile");
+    json.member("version", meta.version);
+    json.member("wallSeconds", meta.wallSeconds);
+    json.member("threads", static_cast<std::uint64_t>(meta.threads));
+
+    double selfSeconds = 0.0;
+    for (const obs::SpanStat& span : spans) {
+        selfSeconds += static_cast<double>(span.selfNs) * 1e-9;
+    }
+    json.member("selfSeconds", selfSeconds);
+    json.member("coverage",
+                meta.wallSeconds > 0.0 ? selfSeconds / meta.wallSeconds : 0.0);
+
+    json.key("spans");
+    json.beginArray();
+    for (const obs::SpanStat& span : spans) {
+        json.beginObject();
+        json.member("name", span.name);
+        json.member("count", span.count);
+        json.member("totalNs", span.totalNs);
+        json.member("selfNs", span.selfNs);
+        json.member("selfFrac", meta.wallSeconds > 0.0
+                                    ? static_cast<double>(span.selfNs) * 1e-9 /
+                                          meta.wallSeconds
+                                    : 0.0);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("metrics");
+    obs::writeMetrics(json, metrics);
 
     json.endObject();
     return json.str();

@@ -12,6 +12,8 @@
 #include "common/stats.h"
 #include "core/sweep.h"
 #include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace voltcache {
 
@@ -49,5 +51,22 @@ struct RunExportMeta {
 void writeJson(JsonWriter& json, const SystemResult& result);
 [[nodiscard]] std::string systemResultToJson(const SystemResult& result,
                                              const RunExportMeta& meta);
+
+/// Emit one cell's forensic distributions (FFW window/recenter histograms,
+/// BBR chunk/displacement histograms, yield-loss cause counts).
+void writeJson(JsonWriter& json, const CellForensics& cell);
+
+/// Self-profile export (`voltcache sweep --profile`): per-span timing
+/// aggregates plus a metrics-registry snapshot. `coverage` is the summed
+/// span self-time divided by the measured wall time — the acceptance
+/// criterion for "the profiler explains where the sweep went".
+struct ProfileExportMeta {
+    std::string version;
+    double wallSeconds = 0.0;
+    unsigned threads = 0;
+};
+[[nodiscard]] std::string profileToJson(const std::vector<obs::SpanStat>& spans,
+                                        const std::vector<obs::MetricSnapshot>& metrics,
+                                        const ProfileExportMeta& meta);
 
 } // namespace voltcache

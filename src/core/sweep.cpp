@@ -17,6 +17,9 @@
 #include "common/rng.h"
 #include "core/replay.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 
 namespace voltcache {
 
@@ -40,6 +43,7 @@ struct LegMetrics {
     double ifetchFrac = 0.0;
     double dmemFrac = 0.0;
     double branchFrac = 0.0;
+    LegForensics forensics;
 };
 
 void accumulate(SweepCell& cell, const LegMetrics& metrics) {
@@ -177,6 +181,7 @@ std::vector<SchemeKind> paperSchemes() {
 }
 
 SweepResult runSweep(const SweepConfig& config) {
+    const obs::Span sweepSpan("sweep");
     std::vector<std::string> benchmarks = config.benchmarks;
     if (benchmarks.empty()) {
         for (const auto& info : benchmarkList()) benchmarks.emplace_back(info.name);
@@ -208,6 +213,7 @@ SweepResult runSweep(const SweepConfig& config) {
     std::vector<BenchmarkContext> contexts(benchmarks.size());
     std::vector<std::exception_ptr> contextErrors(benchmarks.size());
     const auto buildContext = [&](std::size_t b) {
+        const obs::Span span("context");
         try {
             BenchmarkContext& ctx = contexts[b];
             ctx.name = benchmarks[b];
@@ -336,7 +342,10 @@ SweepResult runSweep(const SweepConfig& config) {
         }
     };
 
+    std::atomic<std::uint64_t> activeWorkers{0};
+
     const auto runLeg = [&](std::size_t index, LegCounters& counters) {
+        activeWorkers.fetch_add(1, std::memory_order_relaxed);
         const Leg& leg = legs[index];
         const BenchmarkContext& ctx = contexts[leg.benchmark];
         const OperatingPoint& point = points[leg.point];
@@ -363,6 +372,7 @@ SweepResult runSweep(const SweepConfig& config) {
 
             LegMetrics metrics;
             metrics.linkFailed = res.linkFailed;
+            metrics.forensics = res.forensics;
             if (!res.linkFailed) {
                 // Functional correctness: every scheme must compute the same
                 // answer as the 760mV reference.
@@ -395,7 +405,24 @@ SweepResult runSweep(const SweepConfig& config) {
             1) {
             finishBenchmark(leg.benchmark);
         }
+        activeWorkers.fetch_sub(1, std::memory_order_relaxed);
     };
+
+    // Worker-utilization / queue-depth sampler, attached only when someone is
+    // watching (profiling enabled or a trace sink installed): its background
+    // thread reads the executor's atomics and never touches leg state, so it
+    // cannot perturb the deterministic result.
+    std::optional<obs::UtilizationSampler> sampler;
+    if (obs::Profiler::enabled() || obs::traceSink() != nullptr) {
+        const std::uint64_t totalLegs = legs.size();
+        sampler.emplace([&activeWorkers, &legsCompleted, workers, totalLegs] {
+            const std::uint64_t active = activeWorkers.load(std::memory_order_relaxed);
+            const std::uint64_t done = legsCompleted.load(std::memory_order_relaxed);
+            const std::uint64_t inFlight = done + active;
+            return obs::UtilizationSampler::Sample{
+                active, workers, totalLegs > inFlight ? totalLegs - inFlight : 0};
+        });
+    }
 
     const auto started = std::chrono::steady_clock::now();
     if (workers <= 1) {
@@ -417,6 +444,7 @@ SweepResult runSweep(const SweepConfig& config) {
         }
         for (auto& worker : team) worker.join();
     }
+    sampler.reset(); // joins the sampler thread and emits the final sample
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
     if (!legs.empty() && elapsed > 0.0) {
@@ -445,6 +473,7 @@ SweepResult runSweep(const SweepConfig& config) {
     // Every RunningStats sees its samples in exactly this sequence, so the
     // aggregated floating-point state — and the exported JSON — is
     // bit-identical regardless of how the legs were scheduled.
+    const obs::Span reduceSpan("reduce");
     SweepResult result;
     for (std::size_t i = 0; i < legs.size(); ++i) {
         const Leg& leg = legs[i];
@@ -453,6 +482,11 @@ SweepResult runSweep(const SweepConfig& config) {
         accumulate(result.cells[{scheme, voltageMv}], slots[i]);
         accumulate(result.perBenchmark[{contexts[leg.benchmark].name, scheme, voltageMv}],
                    slots[i]);
+        const LegForensics& forensics = slots[i].forensics;
+        if (forensics.hasFfw || forensics.hasBbr ||
+            forensics.failCause != LinkFailCause::None) {
+            accumulate(result.forensics[{scheme, voltageMv}], forensics);
+        }
     }
     return result;
 }

@@ -89,6 +89,11 @@ struct SweepResult {
     std::map<std::pair<SchemeKind, int>, SweepCell> cells;
     /// Per-benchmark per-cell normalized EPI means (for geomean reporting).
     std::map<std::tuple<std::string, SchemeKind, int>, SweepCell> perBenchmark;
+    /// Forensic distributions per cell, for legs that carried any (FFW
+    /// window/recenter histograms, BBR chunk/displacement histograms, or a
+    /// yield-loss cause). Deterministic integer counts, reduced in canonical
+    /// leg order like everything else.
+    std::map<std::pair<SchemeKind, int>, CellForensics> forensics;
 
     [[nodiscard]] const SweepCell& cell(SchemeKind kind, Voltage v) const;
 };

@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <string>
@@ -8,6 +9,8 @@
 #include "common/contracts.h"
 #include "faults/fault_map.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "schemes/ffw.h"
 #include "schemes/static_overheads.h"
 
 namespace voltcache {
@@ -41,6 +44,7 @@ void publishLegMetrics(const SystemConfig& config, const SystemResult& result) {
 }
 
 LegFaultMaps generateChipFaultMaps(const SystemConfig& config) {
+    const obs::Span span("mapgen");
     const CacheOrganization& org = config.l1Org;
     Rng rng(config.faultMapSeed);
     FaultMapGenerator generator{FailureModel{}};
@@ -66,9 +70,34 @@ LegFaultMaps generateLegFaultMaps(const SystemConfig& config) {
 }
 
 void finalizeLegResult(const SystemConfig& config, const SchemePair& pair,
-                       SystemResult& result) {
+                       const LegFaultMaps& maps, SystemResult& result) {
     result.icacheStats = pair.icache->stats();
     result.dcacheStats = pair.dcache->stats();
+
+    // Forensic harvest — shared by the execute and replay paths, so the two
+    // modes produce byte-identical distributions by construction.
+    if (const auto* ffw = dynamic_cast<const FfwDCache*>(pair.dcache.get())) {
+        result.forensics.hasFfw = true;
+        for (std::uint32_t line = 0; line < maps.dcache.lines(); ++line) {
+            const std::uint32_t freeWords = maps.dcache.faultFreeCount(line);
+            ++result.forensics.ffwWindowSize[std::min<std::size_t>(
+                freeWords, result.forensics.ffwWindowSize.size() - 1)];
+        }
+        result.forensics.ffwRecenterDistance = ffw->recenterDistances();
+        for (const std::uint64_t count : result.forensics.ffwRecenterDistance) {
+            result.forensics.ffwRecenters += count;
+        }
+    }
+    if (pair.needsBbrLinking) {
+        result.forensics.hasBbr = true;
+        for (const FaultFreeChunk& chunk : maps.icache.faultFreeChunks()) {
+            ++result.forensics.bbrChunkWords[forensicsLog2Bucket(chunk.length)];
+        }
+        for (std::size_t i = 0; i < result.forensics.bbrDisplacement.size(); ++i) {
+            result.forensics.bbrDisplacement[i] = result.linkStats.scanHist[i];
+        }
+        result.forensics.bbrBlocksPlaced = result.linkStats.blocksPlaced;
+    }
 
     // Every L2 read a scheme charges to itself (L1Stats::l2Reads) must have
     // been returned to the simulator via AccessResult::l2Reads and folded
@@ -125,11 +154,13 @@ SystemResult simulateSystem(const Module& module, const Module* bbrModule,
         } else {
             linked = link(module);
         }
-    } catch (const LinkError&) {
+    } catch (const LinkError& e) {
         // No fault-free chunk large enough for some basic block: this chip
         // cannot run BBR at this voltage — a yield loss the Monte Carlo
-        // aggregation counts rather than a simulation result.
+        // aggregation counts (attributed by cause) rather than a simulation
+        // result.
         result.linkFailed = true;
+        result.forensics.failCause = e.cause();
         detail::publishLegMetrics(config, result);
         return result;
     }
@@ -142,7 +173,7 @@ SystemResult simulateSystem(const Module& module, const Module* bbrModule,
     for (TraceObserver* observer : config.observers) simulator.addObserver(observer);
     result.run = simulator.run();
     result.checksum = simulator.reg(1);
-    detail::finalizeLegResult(config, pair, result);
+    detail::finalizeLegResult(config, pair, maps, result);
     return result;
 }
 

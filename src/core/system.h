@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "compiler/passes.h"
+#include "core/forensics.h"
 #include "cpu/simulator.h"
 #include "isa/module.h"
 #include "linker/linker.h"
@@ -44,6 +45,7 @@ struct SystemResult {
     double runtimeSeconds = 0.0; ///< cycles / core frequency
     EnergyBreakdown energyBreakdown;
     std::int32_t checksum = 0;   ///< r1 at Halt — functional-correctness witness
+    LegForensics forensics;      ///< per-leg distributions for the sweep report
 };
 
 namespace detail {
@@ -97,9 +99,10 @@ struct LegFaultMaps {
 void publishLegMetrics(const SystemConfig& config, const SystemResult& result);
 
 /// Fill the scheme/energy/runtime tail of a SystemResult (run + checksum +
-/// linkStats already set) and publish its metrics.
+/// linkStats already set), harvest its forensic distributions from the
+/// fault maps and scheme state, and publish its metrics.
 void finalizeLegResult(const SystemConfig& config, const SchemePair& pair,
-                       SystemResult& result);
+                       const LegFaultMaps& maps, SystemResult& result);
 
 } // namespace detail
 

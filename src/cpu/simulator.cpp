@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 #include "cpu/timing_kernel.h"
+#include "obs/span.h"
 
 namespace voltcache {
 
@@ -178,6 +179,7 @@ std::int32_t Simulator::reg(unsigned index) const {
 }
 
 RunStats Simulator::run() {
+    const obs::Span span("execute");
     ExecDriver driver(*this);
     stats_ = timing::runPipeline(driver, *icache_, *dcache_, config_);
     return stats_;

@@ -1,14 +1,29 @@
 #include "linker/linker.h"
 
+#include <bit>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/contracts.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace voltcache {
+
+const char* linkFailCauseName(LinkFailCause cause) noexcept {
+    switch (cause) {
+        case LinkFailCause::None: return "none";
+        case LinkFailCause::NoChunk: return "no_chunk";
+        case LinkFailCause::LiteralReach: return "literal_reach";
+        case LinkFailCause::RelocOverflow: return "reloc_overflow";
+        case LinkFailCause::Shape: return "shape";
+        case LinkFailCause::Verifier: return "verifier";
+        case LinkFailCause::Other: return "other";
+    }
+    return "other";
+}
 
 namespace {
 
@@ -18,7 +33,8 @@ public:
         : module_(module), options_(options) {
         if (options_.bbrPlacement) {
             if (options_.icacheFaultMap == nullptr) {
-                throw LinkError("BBR placement requires an I-cache fault map");
+                throw LinkError("BBR placement requires an I-cache fault map",
+                                LinkFailCause::Shape);
             }
             cacheWords_ = options_.icacheFaultMap->totalWords();
             scanWords_ = obs::MetricsRegistry::global().histogram("link.scan_words");
@@ -48,7 +64,8 @@ private:
         if (size > cacheWords_) {
             throw LinkError("basic block of " + std::to_string(size) +
                             " words exceeds the instruction cache (" +
-                            std::to_string(cacheWords_) + " words)");
+                            std::to_string(cacheWords_) + " words)",
+                            LinkFailCause::NoChunk);
         }
         std::uint32_t word = startWord;
         std::uint32_t restarts = 0;
@@ -62,7 +79,8 @@ private:
                 }
                 obs::MetricsRegistry::global().add("link.failures", {}, 1);
                 throw LinkError("no fault-free chunk of " + std::to_string(size) +
-                                " words: placement failed (yield loss)");
+                                " words: placement failed (yield loss)",
+                                LinkFailCause::NoChunk);
             }
             bool fits = true;
             for (std::uint32_t j = 0; j < size; ++j) {
@@ -93,15 +111,18 @@ private:
                 if (options_.bbrPlacement) {
                     throw LinkError("BBR placement on fall-through block '" + fn.name + ":" +
                                     block.label +
-                                    "': run the BBR code transformations first");
+                                    "': run the BBR code transformations first",
+                                    LinkFailCause::Shape);
                 }
                 if (last) {
                     throw LinkError("function '" + fn.name +
-                                    "' falls through past its last block");
+                                    "' falls through past its last block",
+                                    LinkFailCause::Shape);
                 }
                 if (!block.literalPool.empty()) {
                     throw LinkError("block '" + fn.name + ":" + block.label +
-                                    "' falls through into its own literal pool");
+                                    "' falls through into its own literal pool",
+                                    LinkFailCause::Shape);
                 }
             }
         }
@@ -145,7 +166,13 @@ private:
         if (!options_.bbrPlacement) return;
         stats_.scanRestarts += fit.restarts;
         stats_.wrapArounds += fit.wraps;
-        scanWords_.observe(fit.word - startWord);
+        const std::uint32_t displacement = fit.word - startWord;
+        const std::size_t bucket =
+            displacement == 0
+                ? 0
+                : std::min<std::size_t>(std::bit_width(displacement), stats_.scanHist.size() - 1);
+        ++stats_.scanHist[bucket];
+        scanWords_.observe(displacement);
         if (obs::TraceSink* sink = obs::traceSink()) {
             sink->record("link.place", "linker",
                          {{"block", stats_.blocksPlaced},
@@ -167,7 +194,8 @@ private:
                         return blockAddr_[g][0];
                     }
                 }
-                throw LinkError("unresolved call to '" + reloc.targetFunction + "'");
+                throw LinkError("unresolved call to '" + reloc.targetFunction + "'",
+                                LinkFailCause::Shape);
             }
             case RelocKind::SharedLiteral: return poolAddr_[f] + reloc.literalIndex * 4;
             case RelocKind::BlockLiteral:
@@ -201,14 +229,16 @@ private:
                                 options_.literalReachWords) {
                             throw LinkError("literal out of PC-relative reach in '" +
                                             fn.name + ":" + block.label +
-                                            "': run MoveLiteralPools");
+                                            "': run MoveLiteralPools",
+                                            LinkFailCause::LiteralReach);
                         }
                     }
                     try {
                         (void)encode(inst); // displacement range check
                     } catch (const EncodingError& e) {
                         throw LinkError("relocation overflow in '" + fn.name + ":" +
-                                        block.label + "': " + e.what());
+                                        block.label + "': " + e.what(),
+                                        LinkFailCause::RelocOverflow);
                     }
                     ImageWord& word = image.at(instAddr);
                     word.kind = ImageWord::Kind::Instruction;
@@ -261,6 +291,7 @@ private:
 } // namespace
 
 LinkOutput link(const Module& module, const LinkOptions& options) {
+    const obs::Span span("link");
     module.validate();
     LinkOutput out = LinkContext(module, options).run();
     if (options.postLinkVerifier) options.postLinkVerifier(out.image);

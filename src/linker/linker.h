@@ -10,6 +10,8 @@
 // PC-relative literal loads (whose ±4KB page reach is enforced).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 
@@ -19,13 +21,35 @@
 
 namespace voltcache {
 
+/// Why a link was rejected — drives the yield-loss cause breakdown in the
+/// sweep forensics (which chunk of Monte Carlo yield loss is placement
+/// capacity vs. reach vs. a verifier veto).
+enum class LinkFailCause : std::uint8_t {
+    None = 0,      ///< link succeeded
+    NoChunk,       ///< no fault-free chunk large enough (Algorithm 1 gave up)
+    LiteralReach,  ///< PC-relative literal out of its ±4KB page
+    RelocOverflow, ///< branch/call displacement does not encode
+    Shape,         ///< module unsuitable (fall-through, missing fault map, ...)
+    Verifier,      ///< post-link static verifier vetoed the image
+    Other,         ///< unclassified
+};
+
+[[nodiscard]] const char* linkFailCauseName(LinkFailCause cause) noexcept;
+
 /// A block could not be placed (no fault-free chunk is large enough), a
 /// literal went out of reach, or the module shape is unsuitable (e.g. BBR
 /// placement requested on untransformed fall-through code). In the Monte
-/// Carlo harness an unplaceable map counts as a yield loss.
+/// Carlo harness an unplaceable map counts as a yield loss, attributed by
+/// cause() in the forensics report.
 class LinkError : public std::runtime_error {
 public:
-    using std::runtime_error::runtime_error;
+    explicit LinkError(const std::string& what, LinkFailCause cause = LinkFailCause::Other)
+        : std::runtime_error(what), cause_(cause) {}
+
+    [[nodiscard]] LinkFailCause cause() const noexcept { return cause_; }
+
+private:
+    LinkFailCause cause_;
 };
 
 struct LinkOptions {
@@ -53,6 +77,10 @@ struct LinkStats {
     /// First-fit scan behaviour (BBR placement only; zero otherwise):
     std::uint32_t scanRestarts = 0; ///< scans restarted past a defective word
     std::uint32_t wrapArounds = 0;  ///< cache-size boundaries crossed while scanning
+    /// Log2 histogram of per-block placement displacement (words scanned past
+    /// the back-to-back position): bucket 0 counts zero-displacement fits,
+    /// bucket k counts displacements with bit width k, capped at the last.
+    std::array<std::uint32_t, 17> scanHist{};
 };
 
 struct LinkOutput {

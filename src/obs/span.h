@@ -1,0 +1,69 @@
+// RAII hierarchical timing spans — the sweep's self-profiler.
+//
+// A Span stamps steady_clock on construction and destruction and attributes
+// the elapsed time to its name. Spans nest lexically per thread: each thread
+// keeps a stack of live spans, and a closing span subtracts its total from
+// the parent's *self* time, so for any thread the self times of all spans
+// partition that thread's wall clock (a root span covering the whole phase
+// makes the partition exact). Aggregates live in per-thread shards merged at
+// snapshot() time, mirroring the metrics registry's sharding — the hot path
+// never touches a lock another thread contends.
+//
+// Profiling is globally off by default: a disabled Span construction is one
+// relaxed atomic load and a branch (the zero-overhead guard bench_micro
+// enforces, like the PR 2 no-sink check). When enabled, every closing span
+// also feeds the registry ("prof.span_ns"{span=name} log2 histograms) and,
+// when a TraceSink is attached, emits a Chrome "ph":"X" duration event — so
+// one sweep yields both the aggregate profile and the per-leg timeline.
+//
+// Span names must be string literals (stored by pointer, like TraceSink's).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace voltcache::obs {
+
+/// Aggregated timing of one span name across all threads.
+struct SpanStat {
+    std::string name;
+    std::uint64_t count = 0;   ///< spans closed under this name
+    std::uint64_t totalNs = 0; ///< wall time inside the span (children included)
+    std::uint64_t selfNs = 0;  ///< totalNs minus time spent in child spans
+};
+
+/// Process-wide profiler switch + aggregate access.
+class Profiler {
+public:
+    [[nodiscard]] static bool enabled() noexcept;
+    static void setEnabled(bool on) noexcept;
+
+    /// Merge every thread's shard into a name-sorted list (deterministic for
+    /// fixed aggregates). Concurrent spans are tolerated; a still-open span
+    /// is simply not counted yet.
+    [[nodiscard]] static std::vector<SpanStat> snapshot();
+
+    /// Zero all aggregates (tests / between CLI phases). Live spans keep
+    /// running and report into the cleared shards when they close.
+    static void reset();
+};
+
+/// One timed scope. Construct with a string literal; the destructor closes
+/// the span. Non-copyable and non-movable: the per-thread stack stores raw
+/// parent pointers into enclosing stack frames.
+class Span {
+public:
+    explicit Span(const char* name) noexcept;
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    const char* name_ = nullptr; ///< nullptr == profiling was off at construction
+    Span* parent_ = nullptr;
+    std::uint64_t startNs_ = 0;
+    std::uint64_t childNs_ = 0; ///< accumulated totals of closed children
+};
+
+} // namespace voltcache::obs

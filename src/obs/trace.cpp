@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "common/contracts.h"
 #include "common/json.h"
@@ -16,33 +17,92 @@ std::uint64_t traceThreadId() noexcept {
     return id;
 }
 
+std::uint64_t steadyNowNs() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+const char* phaseLetter(TracePhase phase) noexcept {
+    switch (phase) {
+        case TracePhase::Instant: return "i";
+        case TracePhase::Span: return "X";
+        case TracePhase::Counter: return "C";
+    }
+    return "i";
+}
+
 } // namespace
 
-TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity),
+      epochNs_(steadyNowNs()),
+      droppedTotal_(MetricsRegistry::global().counter("obs.trace_dropped_total")) {
     VC_EXPECTS(capacity > 0);
     ring_.reserve(capacity);
+}
+
+TraceEvent& TraceSink::claimSlotLocked(std::uint64_t tid) {
+    TraceEvent* slot = nullptr;
+    if (ring_.size() < capacity_) {
+        slot = &ring_.emplace_back();
+    } else {
+        slot = &ring_[next_ % capacity_];
+        droppedTotal_.add(); // an old event just became unrecoverable
+    }
+    slot->ts = next_;
+    slot->tid = tid;
+    const std::uint64_t now = steadyNowNs();
+    slot->wallUs = now > epochNs_ ? (now - epochNs_) / 1000 : 0;
+    slot->durUs = 0;
+    slot->argCount = 0;
+    ++next_;
+    return *slot;
 }
 
 void TraceSink::record(const char* name, const char* category,
                        std::initializer_list<TraceArg> args) {
     const std::uint64_t tid = traceThreadId();
     const std::lock_guard<std::mutex> lock(mutex_);
-    TraceEvent* slot = nullptr;
-    if (ring_.size() < capacity_) {
-        slot = &ring_.emplace_back();
-    } else {
-        slot = &ring_[next_ % capacity_];
-    }
-    slot->name = name;
-    slot->category = category;
-    slot->ts = next_;
-    slot->tid = tid;
-    slot->argCount = 0;
+    TraceEvent& slot = claimSlotLocked(tid);
+    slot.name = name;
+    slot.category = category;
+    slot.phase = TracePhase::Instant;
     for (const TraceArg& arg : args) {
-        if (slot->argCount == kMaxTraceArgs) break;
-        slot->args[slot->argCount++] = arg;
+        if (slot.argCount == kMaxTraceArgs) break;
+        slot.args[slot.argCount++] = arg;
     }
-    ++next_;
+}
+
+void TraceSink::recordSpan(const char* name, const char* category, std::uint64_t startNs,
+                           std::uint64_t durationNs, std::initializer_list<TraceArg> args) {
+    const std::uint64_t tid = traceThreadId();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent& slot = claimSlotLocked(tid);
+    slot.name = name;
+    slot.category = category;
+    slot.phase = TracePhase::Span;
+    slot.wallUs = startNs > epochNs_ ? (startNs - epochNs_) / 1000 : 0;
+    slot.durUs = durationNs / 1000;
+    for (const TraceArg& arg : args) {
+        if (slot.argCount == kMaxTraceArgs) break;
+        slot.args[slot.argCount++] = arg;
+    }
+}
+
+void TraceSink::recordCounter(const char* name, const char* category,
+                              std::initializer_list<TraceArg> args) {
+    const std::uint64_t tid = traceThreadId();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent& slot = claimSlotLocked(tid);
+    slot.name = name;
+    slot.category = category;
+    slot.phase = TracePhase::Counter;
+    for (const TraceArg& arg : args) {
+        if (slot.argCount == kMaxTraceArgs) break;
+        slot.args[slot.argCount++] = arg;
+    }
 }
 
 std::vector<TraceEvent> TraceSink::events() const {
@@ -86,13 +146,15 @@ std::string TraceSink::toChromeJson() const {
         json.beginObject();
         json.member("name", ev.name);
         json.member("cat", ev.category);
-        json.member("ph", "i"); // instant event
-        json.member("s", "t");  // thread-scoped
-        json.member("ts", ev.ts);
+        json.member("ph", phaseLetter(ev.phase));
+        if (ev.phase == TracePhase::Instant) json.member("s", "t"); // thread-scoped
+        json.member("ts", ev.wallUs);
+        if (ev.phase == TracePhase::Span) json.member("dur", ev.durUs);
         json.member("pid", std::uint64_t{1});
         json.member("tid", ev.tid);
         json.key("args");
         json.beginObject();
+        if (ev.phase == TracePhase::Instant) json.member("seq", ev.ts);
         for (std::size_t i = 0; i < ev.argCount; ++i) {
             json.member(ev.args[i].key, ev.args[i].value);
         }

@@ -6,9 +6,17 @@
 // `const char*` by design — they must be string literals (or otherwise outlive
 // the sink); the sink stores the pointers, never copies.
 //
+// Three event phases share the ring: instant events ('i', the simulation
+// instrumentation), complete spans ('X', emitted by obs::Span when profiling
+// is on), and counter samples ('C', emitted by the worker-utilization
+// sampler). Span and counter events carry wall-clock microseconds relative to
+// sink construction, so Perfetto lays them out on a real timeline.
+//
 // The ring is fixed-capacity and overwrites the oldest event, so a trace of a
 // billion-instruction run is bounded memory and ends with the most recent
-// window of activity — which is what one debugs.
+// window of activity — which is what one debugs. Overwrites are counted into
+// the process-wide "obs.trace_dropped_total" metric, so a truncated trace is
+// detectable from the registry snapshot alone.
 #pragma once
 
 #include <array>
@@ -18,6 +26,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace voltcache::obs {
 
@@ -29,11 +39,21 @@ struct TraceArg {
 
 inline constexpr std::size_t kMaxTraceArgs = 8;
 
+/// Chrome trace-event phase of a recorded event.
+enum class TracePhase : std::uint8_t {
+    Instant, ///< "ph":"i" — a point event
+    Span,    ///< "ph":"X" — a complete duration event
+    Counter, ///< "ph":"C" — a counter sample (args are the series values)
+};
+
 struct TraceEvent {
     const char* name = nullptr;     ///< string literal
     const char* category = nullptr; ///< string literal
     std::uint64_t ts = 0;           ///< sink-local sequence number (monotonic)
     std::uint64_t tid = 0;          ///< dense per-thread id
+    TracePhase phase = TracePhase::Instant;
+    std::uint64_t wallUs = 0;       ///< µs since sink construction
+    std::uint64_t durUs = 0;        ///< Span events: duration in µs
     std::size_t argCount = 0;
     std::array<TraceArg, kMaxTraceArgs> args{};
 };
@@ -46,6 +66,16 @@ public:
     void record(const char* name, const char* category,
                 std::initializer_list<TraceArg> args = {});
 
+    /// Record a complete span ("ph":"X"). `startNs` is a steady_clock
+    /// since-epoch stamp (obs::Span's clock); spans started before the sink
+    /// existed clamp to the sink's construction instant.
+    void recordSpan(const char* name, const char* category, std::uint64_t startNs,
+                    std::uint64_t durationNs, std::initializer_list<TraceArg> args = {});
+
+    /// Record a counter sample ("ph":"C"); each arg is one series value.
+    void recordCounter(const char* name, const char* category,
+                       std::initializer_list<TraceArg> args);
+
     /// Events oldest-first (at most `capacity` of them).
     [[nodiscard]] std::vector<TraceEvent> events() const;
 
@@ -55,11 +85,21 @@ public:
     /// Events lost to ring overwrite.
     [[nodiscard]] std::uint64_t dropped() const;
 
+    /// steady_clock since-epoch nanoseconds at construction (the trace's t=0).
+    [[nodiscard]] std::uint64_t epochNs() const noexcept { return epochNs_; }
+
     /// Render as Chrome trace-event JSON (load in Perfetto / chrome://tracing).
     [[nodiscard]] std::string toChromeJson() const;
 
 private:
+    /// Claim the next ring slot (caller must hold mutex_) and stamp the
+    /// sequence/thread/wall fields; bumps the dropped-total counter when an
+    /// old event is overwritten.
+    TraceEvent& claimSlotLocked(std::uint64_t tid);
+
     const std::size_t capacity_;
+    const std::uint64_t epochNs_;
+    Counter droppedTotal_; ///< process-wide "obs.trace_dropped_total"
     mutable std::mutex mutex_;
     std::vector<TraceEvent> ring_;
     std::uint64_t next_ = 0; ///< sequence number of the next event

@@ -50,6 +50,11 @@ void FfwDCache::setWindow(std::uint32_t frame, Window window) {
     lineState_[frame].windowLength = static_cast<std::uint8_t>(window.length);
 }
 
+void FfwDCache::noteRecenter(std::uint32_t oldStart, std::uint32_t newStart) {
+    const std::uint32_t dist = oldStart > newStart ? oldStart - newStart : newStart - oldStart;
+    ++recenterDist_[std::min<std::size_t>(dist, recenterDist_.size() - 1)];
+}
+
 FfwDCache::Window FfwDCache::windowOf(std::uint32_t set, std::uint32_t way) const {
     const LineState& state = lineState_[frameOf(set, way)];
     return Window{state.windowStart, state.windowLength};
@@ -115,6 +120,7 @@ AccessResult FfwDCache::read(std::uint32_t addr) {
                               {"new_len", next.length}});
             }
             recenters_.add();
+            noteRecenter(state.windowStart, next.start);
             setWindow(frame, next);
         }
         result.l2Reads = 1;
@@ -166,7 +172,9 @@ AccessResult FfwDCache::write(std::uint32_t addr) {
             ++stats_.hits;
             result.l1Hit = true;
         } else if (config_.updateOnWriteMiss) {
-            setWindow(frame, recentered(frame, word));
+            const Window next = recentered(frame, word);
+            noteRecenter(state.windowStart, next.start);
+            setWindow(frame, next);
         }
     }
     // Write-through, no-write-allocate.

@@ -19,6 +19,7 @@
 // dropping non-window words safe.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -86,6 +87,12 @@ public:
 
     [[nodiscard]] const FfwConfig& config() const noexcept { return config_; }
 
+    /// Forensics: histogram of recenter distances (how many words the window
+    /// start moved per recenter, 0..7), accumulated over the leg's run.
+    [[nodiscard]] const std::array<std::uint64_t, 8>& recenterDistances() const noexcept {
+        return recenterDist_;
+    }
+
 private:
     struct LineState {
         std::uint8_t windowStart = 0;
@@ -97,6 +104,7 @@ private:
     }
     [[nodiscard]] Window recentered(std::uint32_t frame, std::uint32_t missedWord) const;
     void setWindow(std::uint32_t frame, Window window);
+    void noteRecenter(std::uint32_t oldStart, std::uint32_t newStart);
 
     AddressMapper mapper_;
     TagArray tags_;
@@ -108,6 +116,7 @@ private:
     std::vector<std::uint32_t> usableWayMask_; ///< per set: ways with >=1 entry
     L1Stats stats_;
     obs::Counter recenters_; ///< process-wide "ffw.recenters" counter
+    std::array<std::uint64_t, 8> recenterDist_{}; ///< window-start move distances
 };
 
 } // namespace voltcache

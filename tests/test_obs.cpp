@@ -190,13 +190,25 @@ TEST(Metrics, SnapshotRendersAsJson) {
 
 // ---- Trace sink ----
 
+/// Current count of a (label-free) counter in the global registry, or 0.
+std::uint64_t globalCounterValue(const char* name) {
+    for (const auto& metric : obs::MetricsRegistry::global().snapshot()) {
+        if (metric.name == name && metric.labels.empty()) return metric.count;
+    }
+    return 0;
+}
+
 TEST(TraceSink, RingOverwritesOldestAndCountsDrops) {
+    const std::uint64_t droppedBefore = globalCounterValue("obs.trace_dropped_total");
     obs::TraceSink sink(4);
     for (std::int64_t i = 0; i < 6; ++i) {
         sink.record("event", "test", {{"i", i}});
     }
     EXPECT_EQ(sink.recorded(), 6u);
     EXPECT_EQ(sink.dropped(), 2u);
+    // Drops are mirrored into the process-wide registry so a truncated trace
+    // is detectable without the sink in hand.
+    EXPECT_EQ(globalCounterValue("obs.trace_dropped_total"), droppedBefore + 2);
     const auto events = sink.events();
     ASSERT_EQ(events.size(), 4u);
     for (std::size_t k = 0; k < events.size(); ++k) {
@@ -216,6 +228,41 @@ TEST(TraceSink, ChromeJsonIsWellFormed) {
     EXPECT_NE(json.find("\"alpha\""), std::string::npos);
     EXPECT_NE(json.find("\"beta\""), std::string::npos);
     EXPECT_NE(json.find("\"catA\""), std::string::npos);
+}
+
+TEST(TraceSink, SpanEventsExportAsCompleteDurations) {
+    obs::TraceSink sink(8);
+    sink.recordSpan("phase", "prof", sink.epochNs() + 2000, 5000, {{"leg", 3}});
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].phase, obs::TracePhase::Span);
+    EXPECT_EQ(events[0].wallUs, 2u);
+    EXPECT_EQ(events[0].durUs, 5u);
+    const std::string json = sink.toChromeJson();
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"phase\""), std::string::npos);
+}
+
+TEST(TraceSink, SpanStartBeforeSinkClampsToEpoch) {
+    obs::TraceSink sink(8);
+    sink.recordSpan("early", "prof", 0, 7000);
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].wallUs, 0u) << "pre-epoch start clamps to the trace's t=0";
+    EXPECT_EQ(events[0].durUs, 7u);
+}
+
+TEST(TraceSink, CounterEventsExportSeriesArgs) {
+    obs::TraceSink sink(8);
+    sink.recordCounter("sweep.workers", "sweep", {{"active", 3}, {"total", 4}});
+    const auto events = sink.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].phase, obs::TracePhase::Counter);
+    const std::string json = sink.toChromeJson();
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"active\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"total\":4"), std::string::npos);
 }
 
 TEST(TraceSink, ScopedAttachRestoresPrevious) {

@@ -1,0 +1,164 @@
+// bench_check — noise-aware bench regression gate.
+//
+//   bench_check --baseline BENCH_x.json --fresh BENCH_x.json
+//              [--rel-threshold 0.10] [--ci-mult 3]
+//
+// Compares a freshly produced BENCH_*.json against a committed baseline,
+// metric by metric. A metric regresses when it moves in its bad direction
+// (inferred from the unit: throughput units are lower-is-worse, time and
+// ratio units are higher-is-worse, unknown units are two-sided) by more than
+//
+//   tol = max(rel_threshold * |baseline|, ci_mult * (baseCi + freshCi))
+//
+// — i.e. the stored confidence-interval half-widths widen the tolerance so
+// run-to-run Monte Carlo / timer noise does not trip the gate, while a real
+// shift beyond both the relative floor and the statistical noise fails it.
+// Exit 0 = no regressions, 1 = at least one, 2 = usage/parse error.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.h"
+
+using voltcache::JsonParseError;
+using voltcache::JsonValue;
+using voltcache::parseJson;
+
+namespace {
+
+struct Metric {
+    double value = 0.0;
+    double ciHalfWidth = 0.0;
+    std::string unit;
+};
+
+enum class BadDirection { Higher, Lower, Both };
+
+/// Which way is "worse" for a metric, from its unit string. Throughput
+/// (anything per second) regresses downward; time, ratios, and fractions
+/// regress upward; unknown units gate both directions.
+BadDirection badDirectionFor(const std::string& unit) {
+    if (unit == "1/s" || unit.find("/s") != std::string::npos) return BadDirection::Lower;
+    if (unit == "ns" || unit == "us" || unit == "ms" || unit == "s" || unit == "cycles" ||
+        unit == "ratio" || unit == "frac" || unit == "bytes" || unit == "words") {
+        return BadDirection::Higher;
+    }
+    return BadDirection::Both;
+}
+
+std::map<std::string, Metric> loadMetrics(const std::string& path, std::string* artifact) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue doc = parseJson(text.str());
+    *artifact = doc.stringOr("artifact", "?");
+    const JsonValue* metrics = doc.find("metrics");
+    if (metrics == nullptr || !metrics->isArray()) {
+        throw std::runtime_error(path + ": no metrics array");
+    }
+    std::map<std::string, Metric> out;
+    for (const JsonValue& entry : metrics->items) {
+        Metric metric;
+        metric.value = entry.numberOr("value", 0.0);
+        metric.ciHalfWidth = entry.numberOr("ci_half_width", 0.0);
+        metric.unit = entry.stringOr("unit", "");
+        out.emplace(entry.stringOr("name", "?"), metric);
+    }
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string baselinePath;
+    std::string freshPath;
+    double relThreshold = 0.10;
+    double ciMult = 3.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench_check: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--baseline") {
+            baselinePath = next();
+        } else if (arg == "--fresh") {
+            freshPath = next();
+        } else if (arg == "--rel-threshold") {
+            relThreshold = std::strtod(next(), nullptr);
+        } else if (arg == "--ci-mult") {
+            ciMult = std::strtod(next(), nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_check --baseline FILE --fresh FILE\n"
+                         "       [--rel-threshold %.2f] [--ci-mult %.1f]\n",
+                         relThreshold, ciMult);
+            return 2;
+        }
+    }
+    if (baselinePath.empty() || freshPath.empty()) {
+        std::fprintf(stderr, "bench_check: --baseline and --fresh are required\n");
+        return 2;
+    }
+
+    try {
+        std::string baseArtifact;
+        std::string freshArtifact;
+        const auto baseline = loadMetrics(baselinePath, &baseArtifact);
+        const auto fresh = loadMetrics(freshPath, &freshArtifact);
+        if (baseArtifact != freshArtifact) {
+            std::fprintf(stderr, "bench_check: artifact mismatch ('%s' vs '%s')\n",
+                         baseArtifact.c_str(), freshArtifact.c_str());
+            return 2;
+        }
+
+        int regressions = 0;
+        int compared = 0;
+        int missing = 0;
+        for (const auto& [name, base] : baseline) {
+            const auto it = fresh.find(name);
+            if (it == fresh.end()) {
+                std::fprintf(stderr, "MISSING  %s (in baseline, not in fresh run)\n",
+                             name.c_str());
+                ++missing;
+                continue;
+            }
+            const Metric& now = it->second;
+            ++compared;
+            const double tol = std::max(relThreshold * std::fabs(base.value),
+                                        ciMult * (base.ciHalfWidth + now.ciHalfWidth));
+            const double delta = now.value - base.value;
+            const BadDirection bad = badDirectionFor(base.unit);
+            const bool regressed =
+                (bad == BadDirection::Higher && delta > tol) ||
+                (bad == BadDirection::Lower && -delta > tol) ||
+                (bad == BadDirection::Both && std::fabs(delta) > tol);
+            if (regressed) {
+                std::fprintf(stderr,
+                             "REGRESSED %s: %.6g -> %.6g (delta %+.6g, tol %.6g, unit %s)\n",
+                             name.c_str(), base.value, now.value, delta, tol,
+                             base.unit.c_str());
+                ++regressions;
+            }
+        }
+        std::printf("bench_check %s: %d compared, %d regressed, %d missing\n",
+                    baseArtifact.c_str(), compared, regressions, missing);
+        // A metric that vanished from the export is a broken gate, not noise.
+        return regressions > 0 || missing > 0 ? 1 : 0;
+    } catch (const JsonParseError& e) {
+        std::fprintf(stderr, "bench_check: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_check: %s\n", e.what());
+        return 2;
+    }
+}

@@ -39,6 +39,34 @@ if "$build_dir/tools/vcverify" basicmath --mv 400 --seed 1 --verify-seed 2 > /de
     exit 1
 fi
 
+echo "== profile smoke: sweep self-profiler + forensics export =="
+# A profiled sweep must explain where the time went (per-phase self times),
+# emit worker-utilization counter events into the Chrome trace, and attach a
+# forensics block to the sweep JSON.
+prof_json="$build_dir/ci_prof_sweep.json"
+prof_out="$build_dir/ci_prof.profile.json"
+prof_trace="$build_dir/ci_prof.trace.json"
+"$build_dir/tools/voltcache" sweep --trials 1 --benchmarks crc32 --scale tiny \
+    --json "$prof_json" --profile "$prof_out" --trace "$prof_trace" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$prof_out" > /dev/null
+fi
+if ! grep -q '"kind":"profile"' "$prof_out"; then
+    echo "ci: FAIL — --profile did not write a profile document" >&2
+    exit 1
+fi
+if ! grep -q '"ph":"C"' "$prof_trace"; then
+    echo "ci: FAIL — profiled trace lacks worker-utilization counter events" >&2
+    exit 1
+fi
+if ! grep -q '"forensics"' "$prof_json"; then
+    echo "ci: FAIL — sweep JSON lacks the forensics block" >&2
+    exit 1
+fi
+# Both renderers must accept their own artifacts.
+"$build_dir/tools/voltcache" profile "$prof_out" > /dev/null
+"$build_dir/tools/voltcache" profile "$prof_json" > /dev/null
+
 echo "== bench smoke: tiny sweep with JSON + trace export =="
 # A one-trial tiny sweep must produce parseable JSON with non-empty cells and
 # a Chrome trace containing the FFW recenter and BBR fetch instrumentation.
@@ -91,7 +119,9 @@ fi
 
 echo "== perf smoke: micro benches export BENCH_micro.json + BENCH_perf.json =="
 # Artifact-only check (no thresholds): one fast iteration of each micro bench
-# so the perf JSONs exist and parse; numbers are advisory in CI.
+# so the perf JSONs exist and parse; numbers are advisory in CI. This also
+# exercises the obs primitives (counter add, trace record, span open/close)
+# under whatever sanitizers this leg configured.
 (cd "$build_dir" && VOLTCACHE_BENCH_DIR="$build_dir" \
     ./bench/bench_micro --benchmark_min_time=0.01 > /dev/null)
 for artifact in BENCH_micro.json BENCH_perf.json; do
@@ -103,5 +133,42 @@ for artifact in BENCH_micro.json BENCH_perf.json; do
         python3 -m json.tool "$build_dir/$artifact" > /dev/null
     fi
 done
+
+echo "== bench gate: bench_check against committed baselines =="
+# Self-test the gate on the synthetic fixtures first: identical inputs must
+# pass, a 20% regression must exit non-zero.
+"$build_dir/tools/bench_check" \
+    --baseline "$repo_root/tools/testdata/bench_base.json" \
+    --fresh "$repo_root/tools/testdata/bench_base.json" > /dev/null
+if "$build_dir/tools/bench_check" \
+    --baseline "$repo_root/tools/testdata/bench_base.json" \
+    --fresh "$repo_root/tools/testdata/bench_regressed.json" > /dev/null 2>&1; then
+    echo "ci: FAIL — bench_check accepted a synthetic 20% regression" >&2
+    exit 1
+fi
+# Figure artifacts are deterministic at fixed trials/scale/benchmarks, so
+# compare them against the committed baselines on every run.
+for artifact in fig10 fig12; do
+    VOLTCACHE_BENCH_DIR="$build_dir" VOLTCACHE_TRIALS=2 VOLTCACHE_SCALE=tiny \
+        VOLTCACHE_BENCHMARKS=crc32,basicmath \
+        "$build_dir/bench/bench_$artifact" > /dev/null
+    "$build_dir/tools/bench_check" \
+        --baseline "$repo_root/bench/baselines/BENCH_$artifact.json" \
+        --fresh "$build_dir/BENCH_$artifact.json"
+done
+# Timing artifacts are machine- and sanitizer-dependent: only gate them in
+# unsanitized runs, with a generous relative threshold on top of the stored
+# CI half-widths.
+if [ "$sanitize" = "OFF" ]; then
+    for artifact in micro perf; do
+        "$build_dir/tools/bench_check" \
+            --baseline "$repo_root/bench/baselines/BENCH_$artifact.json" \
+            --fresh "$build_dir/BENCH_$artifact.json" \
+            --rel-threshold 0.5
+    done
+else
+    echo "   (skipping micro/perf timing gate: sanitizers distort timings;"
+    echo "    rerun with VOLTCACHE_CI_SANITIZE=OFF to enforce it)"
+fi
 
 echo "== ci: all checks passed =="

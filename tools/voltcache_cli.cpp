@@ -13,17 +13,24 @@
 //   voltcache yield [--bits N] [--target 0.999]
 //       Vccmin of an N-bit structure at a yield target
 //   voltcache sweep [--trials N] [--benchmarks a,b,...] [--scale S]
-//             [--threads N] [--json FILE] [--trace FILE] [--progress] [--no-replay]
+//             [--threads N] [--json FILE] [--trace FILE] [--profile FILE]
+//             [--progress] [--no-replay]
 //       the Fig. 10/11/12 sweep, printed as one table; --json exports the
-//       full result (with CI half-widths), --trace a Chrome trace of the
-//       most recent events (open in Perfetto). --threads sets the worker
-//       count (0 = all cores); the result is bit-identical either way
+//       full result (with CI half-widths and the forensics block), --trace
+//       a Chrome trace of the most recent events (open in Perfetto),
+//       --profile a self-profile (per-phase span self-times + metrics
+//       snapshot). --threads sets the worker count (0 = all cores); the
+//       result is bit-identical either way
+//   voltcache profile <profile.json | sweep.json>
+//       human-readable rendering of a --profile artifact (span table) or a
+//       sweep export's forensics block
 //   voltcache stats <prog.s | benchmark> [--scheme S] [--mv V] [--seed N]
 //             [--json FILE] [--trace FILE]
 //       one instrumented leg: run + L1 + link + locality stats and the full
 //       metrics-registry snapshot
 //   voltcache list
 //       available benchmarks and schemes
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "analysis/verify.h"
+#include "common/json_parse.h"
 #include "common/table.h"
 #include "common/version.h"
 #include "core/report.h"
@@ -44,6 +52,7 @@
 #include "isa/assembler.h"
 #include "isa/disasm.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "workload/locality.h"
 #include "workload/workload.h"
@@ -312,13 +321,41 @@ int cmdSweep(const Args& args) {
     }
     config.useReplay = !args.flags.contains("no-replay");
     if (args.flags.contains("progress")) {
-        config.onProgress = [](const SweepProgress& progress) {
+        // ETA from an EWMA of the sweep's legs/sec; ticks are serialized
+        // under the progress lock, so the mutable lambda state is safe.
+        const auto started = std::chrono::steady_clock::now();
+        double ewmaLegsPerSec = 0.0;
+        double lastElapsed = 0.0;
+        std::size_t lastLegs = 0;
+        config.onProgress = [started, ewmaLegsPerSec, lastElapsed,
+                             lastLegs](const SweepProgress& progress) mutable {
+            const double elapsed =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                    .count();
+            const double dt = elapsed - lastElapsed;
+            if (dt > 0.0 && progress.legsCompleted > lastLegs) {
+                const double instantaneous =
+                    static_cast<double>(progress.legsCompleted - lastLegs) / dt;
+                ewmaLegsPerSec = ewmaLegsPerSec == 0.0
+                                     ? instantaneous
+                                     : 0.7 * ewmaLegsPerSec + 0.3 * instantaneous;
+                lastElapsed = elapsed;
+                lastLegs = progress.legsCompleted;
+            }
+            char eta[32] = "--";
+            if (ewmaLegsPerSec > 0.0 && progress.legsTotal >= progress.legsCompleted) {
+                std::snprintf(eta, sizeof(eta), "%.0fs",
+                              static_cast<double>(progress.legsTotal -
+                                                  progress.legsCompleted) /
+                                  ewmaLegsPerSec);
+            }
             std::fprintf(stderr,
                          "[%zu/%zu] %s done (%zu/%zu legs: %zu replayed, %zu executed, "
-                         "%u workers)\n",
+                         "%u workers, ETA %s)\n",
                          progress.completed, progress.total, progress.benchmark.c_str(),
                          progress.legsCompleted, progress.legsTotal,
-                         progress.legsReplayed, progress.legsExecuted, progress.workers);
+                         progress.legsReplayed, progress.legsExecuted, progress.workers,
+                         eta);
         };
     }
 
@@ -326,7 +363,29 @@ int cmdSweep(const Args& args) {
     std::optional<obs::ScopedTraceSink> traceGuard;
     if (args.flags.contains("trace")) traceGuard.emplace(&sink);
 
+    const bool profiling = args.flags.contains("profile");
+    if (profiling) {
+        obs::Profiler::reset();
+        obs::Profiler::setEnabled(true);
+    }
+    const auto wallStart = std::chrono::steady_clock::now();
+
     const SweepResult result = runSweep(config);
+
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart)
+            .count();
+    if (profiling) {
+        obs::Profiler::setEnabled(false);
+        ProfileExportMeta profileMeta;
+        profileMeta.version = std::string(buildVersion());
+        profileMeta.wallSeconds = wallSeconds;
+        profileMeta.threads = config.threads;
+        writeTextFile(args.get("profile", ""),
+                      profileToJson(obs::Profiler::snapshot(),
+                                    obs::MetricsRegistry::global().snapshot(),
+                                    profileMeta));
+    }
 
     if (args.flags.contains("trace")) {
         writeTextFile(args.get("trace", ""), sink.toChromeJson());
@@ -462,6 +521,87 @@ int cmdStats(const Args& args) {
     return result.linkFailed ? 1 : 0;
 }
 
+/// Human-readable rendering of a profile or sweep JSON artifact: per-span
+/// self-times for `kind:"profile"`, the forensics block for `kind:"sweep"`.
+int cmdProfile(const Args& args) {
+    if (args.positional.empty()) throw std::runtime_error("profile: need a JSON file");
+    std::ifstream in(args.positional);
+    if (!in) throw std::runtime_error("cannot open '" + args.positional + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue doc = parseJson(text.str());
+    const std::string kind = doc.stringOr("kind", "");
+
+    if (kind == "profile") {
+        const double wall = doc.numberOr("wallSeconds", 0.0);
+        std::printf("profile: wall %.3fs, self-time coverage %.1f%% (%u threads)\n", wall,
+                    100.0 * doc.numberOr("coverage", 0.0),
+                    static_cast<unsigned>(doc.numberOr("threads", 0.0)));
+        TextTable table({"span", "count", "total ms", "self ms", "self %"});
+        if (const JsonValue* spans = doc.find("spans"); spans != nullptr) {
+            for (const JsonValue& span : spans->items) {
+                table.addRow({span.stringOr("name", "?"),
+                              std::to_string(static_cast<std::uint64_t>(
+                                  span.numberOr("count", 0.0))),
+                              formatDouble(span.numberOr("totalNs", 0.0) * 1e-6, 1),
+                              formatDouble(span.numberOr("selfNs", 0.0) * 1e-6, 1),
+                              formatDouble(100.0 * span.numberOr("selfFrac", 0.0), 1)});
+            }
+        }
+        std::fputs(table.render().c_str(), stdout);
+        return 0;
+    }
+
+    if (kind == "sweep") {
+        const JsonValue* forensics = doc.find("forensics");
+        if (forensics == nullptr || forensics->items.empty()) {
+            std::printf("no forensics block in '%s' (re-run the sweep with this build)\n",
+                        args.positional.c_str());
+            return 1;
+        }
+        TextTable table({"scheme", "voltage", "legs", "ffw recenters", "bbr blocks",
+                         "yield losses"});
+        for (const JsonValue& cell : forensics->items) {
+            const JsonValue* ffw = cell.find("ffw");
+            const JsonValue* bbr = cell.find("bbr");
+            std::uint64_t losses = 0;
+            if (const JsonValue* yieldLoss = cell.find("yieldLoss"); yieldLoss != nullptr) {
+                for (const auto& [cause, count] : yieldLoss->members) {
+                    losses += static_cast<std::uint64_t>(count.number);
+                }
+            }
+            table.addRow(
+                {cell.stringOr("scheme", "?"),
+                 std::to_string(static_cast<int>(cell.numberOr("mv", 0.0))) + "mV",
+                 std::to_string(static_cast<std::uint64_t>(cell.numberOr("legs", 0.0))),
+                 ffw != nullptr ? std::to_string(static_cast<std::uint64_t>(
+                                      ffw->numberOr("recenters", 0.0)))
+                                : "-",
+                 bbr != nullptr ? std::to_string(static_cast<std::uint64_t>(
+                                      bbr->numberOr("blocksPlaced", 0.0)))
+                                : "-",
+                 std::to_string(losses)});
+        }
+        std::fputs(table.render().c_str(), stdout);
+        // Per-cell yield-loss cause breakdown, where any occurred.
+        for (const JsonValue& cell : forensics->items) {
+            const JsonValue* yieldLoss = cell.find("yieldLoss");
+            if (yieldLoss == nullptr || yieldLoss->members.empty()) continue;
+            std::printf("yield losses for %s @ %dmV:", cell.stringOr("scheme", "?").c_str(),
+                        static_cast<int>(cell.numberOr("mv", 0.0)));
+            for (const auto& [cause, count] : yieldLoss->members) {
+                std::printf(" %s=%llu", cause.c_str(),
+                            static_cast<unsigned long long>(count.number));
+            }
+            std::printf("\n");
+        }
+        return 0;
+    }
+
+    throw std::runtime_error("unrecognized document kind '" + kind +
+                             "' (expected \"profile\" or \"sweep\")");
+}
+
 int usage() {
     std::fprintf(stderr,
                  "usage: voltcache <command> [options]\n"
@@ -475,8 +615,10 @@ int usage() {
                  "  yield [--bits N] [--target Y]\n"
                  "  sweep [--trials N] [--benchmarks a,b,...] [--scale S] [--threads N]\n"
                  "      [--max-instructions N] [--json FILE] [--trace FILE] [--progress]\n"
+                 "      [--profile FILE]  (self-profile: per-phase span times + metrics)\n"
                  "      [--no-replay]  (disable the record-once/replay-many fast path;\n"
                  "       results are bit-identical either way)\n"
+                 "  profile <profile.json|sweep.json>  (render span times / forensics)\n"
                  "  list\n");
     return 2;
 }
@@ -495,6 +637,7 @@ int main(int argc, char** argv) {
         if (command == "faultmap") return cmdFaultmap(args);
         if (command == "yield") return cmdYield(args);
         if (command == "sweep") return cmdSweep(args);
+        if (command == "profile") return cmdProfile(args);
         if (command == "list") return cmdList();
         return usage();
     } catch (const std::exception& e) {
