@@ -12,6 +12,7 @@
 #include "bench_export.h"
 #include "bench_util.h"
 #include "common/table.h"
+#include "core/analytic_gate.h"
 
 using namespace voltcache;
 
@@ -79,6 +80,21 @@ int main() {
                                                 cell.normRuntime, "ratio"));
         }
     }
+    // Statistical oracle: worst z-equivalent divergence between this sweep's
+    // forensics/link outcomes and the closed-form FFW/BBR models. Exported so
+    // bench_check flags any drift from the analytic prediction, not just from
+    // the previous run.
+    const analysis::CrosscheckReport analytic = analyticCrosscheck(result, config);
+    bench::BenchMetric gate;
+    gate.name = "model.analytic_vs_mc_max_z";
+    gate.value = analytic.maxZ();
+    gate.unit = "z";
+    gate.samples = analytic.checks.size();
+    metrics.push_back(gate);
+    std::printf("\nanalytic cross-check: max z = %.2f over %zu checks (%zu skipped) — %s\n",
+                analytic.maxZ(), analytic.checks.size(), analytic.skippedCount(),
+                analytic.passed() ? "PASS" : "FAIL");
+
     bench::writeBenchJson("fig10", config, metrics);
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "bench_export.h"
 #include "bench_util.h"
 #include "common/table.h"
+#include "core/analytic_gate.h"
 
 using namespace voltcache;
 
@@ -90,6 +91,19 @@ int main() {
             metrics.push_back(metric);
         }
     }
+    // Statistical oracle over the same sweep (baselines included): bench_check
+    // tracks the worst analytic-vs-MC z so model drift gates the artifact.
+    const analysis::CrosscheckReport analytic = analyticCrosscheck(result, withBaselines);
+    bench::BenchMetric gate;
+    gate.name = "model.analytic_vs_mc_max_z";
+    gate.value = analytic.maxZ();
+    gate.unit = "z";
+    gate.samples = analytic.checks.size();
+    metrics.push_back(gate);
+    std::printf("\nanalytic cross-check: max z = %.2f over %zu checks (%zu skipped) — %s\n",
+                analytic.maxZ(), analytic.checks.size(), analytic.skippedCount(),
+                analytic.passed() ? "PASS" : "FAIL");
+
     bench::writeBenchJson("fig12", config, metrics);
     return 0;
 }

@@ -1,0 +1,393 @@
+#include "analysis/crosscheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.h"
+
+namespace voltcache::analysis {
+
+namespace {
+
+/// z cap where two-sided p-values underflow double precision.
+constexpr double kMaxZ = 40.0;
+
+/// Distinct chips behind `legs` accumulated legs when each chip's map is
+/// shared by up to `benchmarks` legs. Clamped to [1, trials]: link failures
+/// can make the per-chip leg count fractional, and a cell never holds more
+/// distinct chips than the sweep drew.
+std::uint64_t effectiveChips(std::uint64_t legs, std::uint32_t benchmarks,
+                             std::uint32_t trials) {
+    const std::uint64_t divisor = std::max<std::uint32_t>(benchmarks, 1);
+    const std::uint64_t chips = (legs + divisor - 1) / divisor;
+    return std::clamp<std::uint64_t>(chips, 1,
+                                     std::max<std::uint32_t>(trials, 1));
+}
+
+} // namespace
+
+double normalQuantile(double p) {
+    VC_EXPECTS(p > 0.0 && p < 1.0);
+    // Acklam's rational approximation, three regions.
+    static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                   -2.759285104469687e+02, 1.383577518672690e+02,
+                                   -3.066479806614716e+01, 2.506628277459239e+00};
+    static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                   -1.556989798598866e+02, 6.680131188771972e+01,
+                                   -1.328068155288572e+01};
+    static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                   -2.400758277161838e+00, -2.549732539343734e+00,
+                                   4.374664141464968e+00,  2.938163982698783e+00};
+    static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                   2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double pLow = 0.02425;
+    if (p < pLow) {
+        const double t = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t + c[4]) * t + c[5]) /
+               ((((d[0] * t + d[1]) * t + d[2]) * t + d[3]) * t + 1.0);
+    }
+    if (p > 1.0 - pLow) {
+        const double t = std::sqrt(-2.0 * std::log1p(-p));
+        return -(((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t + c[4]) * t + c[5]) /
+               ((((d[0] * t + d[1]) * t + d[2]) * t + d[3]) * t + 1.0);
+    }
+    const double t = p - 0.5;
+    const double r = t * t;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * t /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double chiSquareToZ(double chiSquare, std::uint32_t df) {
+    VC_EXPECTS(df >= 1);
+    VC_EXPECTS(chiSquare >= 0.0);
+    // Wilson–Hilferty: (X²/k)^(1/3) is approximately normal with mean
+    // 1 - 2/(9k) and variance 2/(9k).
+    const double k = static_cast<double>(df);
+    const double variance = 2.0 / (9.0 * k);
+    const double z =
+        (std::cbrt(chiSquare / k) - (1.0 - variance)) / std::sqrt(variance);
+    return std::min(z, kMaxZ);
+}
+
+double binomialTwoSidedZ(std::uint32_t n, std::uint32_t k, double p) {
+    VC_EXPECTS(k <= n);
+    VC_EXPECTS(p >= 0.0 && p <= 1.0);
+    if (n == 0) return 0.0;
+    const std::vector<double> pmf = binomialPmf(n, p);
+    double lowTail = 0.0;
+    for (std::uint32_t i = 0; i <= k; ++i) lowTail += pmf[i];
+    double highTail = 0.0;
+    for (std::uint32_t i = k; i <= n; ++i) highTail += pmf[i];
+    const double pValue = std::min(1.0, 2.0 * std::min(lowTail, highTail));
+    if (pValue <= 0.0) return kMaxZ;
+    if (pValue >= 1.0) return 0.0;
+    return std::min(-normalQuantile(pValue / 2.0), kMaxZ);
+}
+
+namespace {
+
+/// Chi-square of observed counts against expected counts, merging adjacent
+/// buckets (low index upward) until each merged group carries at least
+/// `minExpected`. Returns false when fewer than two groups survive.
+bool mergedChiSquare(const std::vector<double>& observed,
+                     const std::vector<double>& expected, double minExpected,
+                     double* chiSquare, std::uint32_t* df) {
+    VC_EXPECTS(observed.size() == expected.size());
+    std::vector<std::pair<double, double>> groups; // (obs, exp)
+    double obsAcc = 0.0;
+    double expAcc = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        obsAcc += observed[i];
+        expAcc += expected[i];
+        if (expAcc >= minExpected) {
+            groups.emplace_back(obsAcc, expAcc);
+            obsAcc = 0.0;
+            expAcc = 0.0;
+        }
+    }
+    if (expAcc > 0.0 || obsAcc > 0.0) {
+        if (!groups.empty()) {
+            groups.back().first += obsAcc;
+            groups.back().second += expAcc;
+        } else {
+            groups.emplace_back(obsAcc, expAcc);
+        }
+    }
+    if (groups.size() < 2) return false;
+    double stat = 0.0;
+    for (const auto& [obs, exp] : groups) {
+        const double delta = obs - exp;
+        stat += delta * delta / exp;
+    }
+    *chiSquare = stat;
+    *df = static_cast<std::uint32_t>(groups.size() - 1);
+    return true;
+}
+
+void checkFfwWindows(const CellSample& cell, const CrosscheckConfig& config,
+                     std::vector<CheckOutcome>& out) {
+    const CellForensics& f = cell.forensics;
+    CheckOutcome check;
+    check.name = "ffw-window";
+    check.scheme = std::string(schemeName(cell.scheme));
+    check.mv = cell.mv;
+    check.threshold = config.zThreshold;
+
+    const FfwModel model = FfwModel::at(
+        config.model, Voltage::fromMillivolts(cell.mv), config.lines,
+        config.wordsPerLine, config.bitsPerWord);
+
+    double totalObserved = 0.0;
+    for (const std::uint64_t count : f.ffwWindowSize) {
+        totalObserved += static_cast<double>(count);
+    }
+    if (totalObserved <= 0.0) {
+        check.skipped = true;
+        check.note = "no window observations";
+        out.push_back(check);
+        return;
+    }
+    // Rescale the (duplicated) leg-level histogram to the distinct chips
+    // actually drawn: the per-chip histogram is repeated once per benchmark.
+    const std::uint64_t chips =
+        effectiveChips(f.ffwLegs, config.benchmarks, config.trials);
+    const double effN = static_cast<double>(chips) * config.lines;
+    const double scale = effN / totalObserved;
+    const std::size_t buckets =
+        std::min<std::size_t>(f.ffwWindowSize.size(),
+                              static_cast<std::size_t>(config.wordsPerLine) + 1);
+    std::vector<double> observed(buckets, 0.0);
+    std::vector<double> expected(buckets, 0.0);
+    double meanObserved = 0.0;
+    for (std::size_t k = 0; k < buckets; ++k) {
+        observed[k] = static_cast<double>(f.ffwWindowSize[k]) * scale;
+        expected[k] = model.expectedWindowCount(static_cast<unsigned>(k), chips);
+        meanObserved += static_cast<double>(k) * observed[k];
+    }
+    check.expected = model.meanWindowWords();
+    check.observed = meanObserved / effN;
+    check.samples = static_cast<std::uint64_t>(effN);
+
+    double chiSquare = 0.0;
+    std::uint32_t df = 0;
+    if (!mergedChiSquare(observed, expected, config.minExpectedPerBucket,
+                         &chiSquare, &df)) {
+        check.skipped = true;
+        check.note = "too few samples for a chi-square";
+        out.push_back(check);
+        return;
+    }
+    check.statistic = chiSquareToZ(chiSquare, df);
+    char note[64];
+    std::snprintf(note, sizeof(note), "chi2=%.2f df=%u", chiSquare, df);
+    check.note = note;
+    out.push_back(check);
+}
+
+void checkBbrChunks(const CellSample& cell, const CrosscheckConfig& config,
+                    std::vector<CheckOutcome>& out) {
+    const CellForensics& f = cell.forensics;
+    CheckOutcome check;
+    check.name = "bbr-chunks";
+    check.scheme = std::string(schemeName(cell.scheme));
+    check.mv = cell.mv;
+    check.threshold = config.zThreshold;
+
+    std::uint64_t linkFailures = 0;
+    for (const PlacementSample& placement : cell.placements) {
+        linkFailures += placement.linkFailures;
+    }
+    if (linkFailures > 0) {
+        // Chunk histograms are harvested only from legs that linked, so with
+        // failures present the surviving maps are a biased (placeable-only)
+        // sample of the generator's output.
+        check.skipped = true;
+        check.note = "selection bias: cell has link failures";
+        out.push_back(check);
+        return;
+    }
+    double totalObserved = 0.0;
+    for (const std::uint64_t count : f.bbrChunkWords) {
+        totalObserved += static_cast<double>(count);
+    }
+    if (totalObserved <= 0.0 || f.bbrLegs == 0) {
+        check.skipped = true;
+        check.note = "no chunk observations";
+        out.push_back(check);
+        return;
+    }
+
+    const BbrModel model = BbrModel::at(
+        config.model, Voltage::fromMillivolts(cell.mv),
+        config.lines * config.wordsPerLine, config.bitsPerWord);
+    const std::uint64_t chips =
+        effectiveChips(f.bbrLegs, config.benchmarks, config.trials);
+    const double scale =
+        static_cast<double>(chips) / static_cast<double>(f.bbrLegs);
+    const std::array<double, kForensicsLog2Buckets> perMap =
+        model.expectedChunkLog2Histogram();
+
+    // Per-bucket z under a Poisson variance approximation, plus the total
+    // count; gate on the worst bucket with enough expected mass.
+    double worstZ = 0.0;
+    double expectedTotal = 0.0;
+    double observedTotal = 0.0;
+    std::uint32_t tested = 0;
+    for (std::size_t b = 0; b < kForensicsLog2Buckets; ++b) {
+        const double expectedCount = perMap[b] * static_cast<double>(chips);
+        const double observedCount =
+            static_cast<double>(f.bbrChunkWords[b]) * scale;
+        expectedTotal += expectedCount;
+        observedTotal += observedCount;
+        if (expectedCount < config.minExpectedPerBucket) continue;
+        ++tested;
+        const double z =
+            std::abs(observedCount - expectedCount) / std::sqrt(expectedCount);
+        worstZ = std::max(worstZ, z);
+    }
+    if (expectedTotal >= config.minExpectedPerBucket) {
+        ++tested;
+        worstZ = std::max(worstZ, std::abs(observedTotal - expectedTotal) /
+                                      std::sqrt(expectedTotal));
+    }
+    if (tested == 0) {
+        check.skipped = true;
+        check.note = "too few samples for a count test";
+        out.push_back(check);
+        return;
+    }
+    check.statistic = std::min(worstZ, kMaxZ);
+    check.expected = expectedTotal;
+    check.observed = observedTotal;
+    check.samples = chips;
+    char note[64];
+    std::snprintf(note, sizeof(note), "%u bucket tests (Poisson approx)", tested);
+    check.note = note;
+    out.push_back(check);
+}
+
+void checkBbrYield(const CellSample& cell, const CrosscheckConfig& config,
+                   std::vector<CheckOutcome>& out) {
+    const BbrModel model = BbrModel::at(
+        config.model, Voltage::fromMillivolts(cell.mv),
+        config.lines * config.wordsPerLine, config.bitsPerWord);
+    for (const PlacementSample& placement : cell.placements) {
+        CheckOutcome check;
+        check.name = "bbr-yield/" + placement.benchmark;
+        check.scheme = std::string(schemeName(cell.scheme));
+        check.mv = cell.mv;
+        check.threshold = config.zThreshold;
+        if (placement.chips == 0) {
+            check.skipped = true;
+            check.note = "no chips evaluated";
+            out.push_back(check);
+            continue;
+        }
+        const double pFail =
+            1.0 - model.placementSuccessExact(placement.needWords);
+        check.expected = pFail;
+        check.observed = static_cast<double>(placement.linkFailures) /
+                         static_cast<double>(placement.chips);
+        check.samples = placement.chips;
+        check.statistic =
+            binomialTwoSidedZ(placement.chips, placement.linkFailures, pFail);
+        char note[64];
+        std::snprintf(note, sizeof(note), "need=%u words, %u/%u failed",
+                      placement.needWords, placement.linkFailures,
+                      placement.chips);
+        check.note = note;
+        out.push_back(check);
+    }
+}
+
+} // namespace
+
+double CrosscheckReport::maxZ() const noexcept {
+    double worst = 0.0;
+    for (const CheckOutcome& check : checks) {
+        if (!check.skipped) worst = std::max(worst, check.statistic);
+    }
+    return worst;
+}
+
+bool CrosscheckReport::passed() const noexcept {
+    return std::all_of(checks.begin(), checks.end(),
+                       [](const CheckOutcome& check) { return check.passed(); });
+}
+
+std::size_t CrosscheckReport::skippedCount() const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(checks.begin(), checks.end(),
+                      [](const CheckOutcome& check) { return check.skipped; }));
+}
+
+CrosscheckReport crosscheckCells(const std::vector<CellSample>& cells,
+                                 const CrosscheckConfig& config) {
+    CrosscheckReport report;
+    for (const CellSample& cell : cells) {
+        if (cell.hasForensics && cell.forensics.ffwLegs > 0) {
+            checkFfwWindows(cell, config, report.checks);
+        }
+        if (cell.hasForensics && cell.forensics.bbrLegs > 0) {
+            checkBbrChunks(cell, config, report.checks);
+        }
+        checkBbrYield(cell, config, report.checks);
+    }
+    return report;
+}
+
+void writeJson(JsonWriter& json, const CrosscheckReport& report) {
+    json.beginObject();
+    json.member("maxZ", report.maxZ());
+    json.member("passed", report.passed());
+    json.member("skipped", static_cast<std::uint64_t>(report.skippedCount()));
+    json.key("checks");
+    json.beginArray();
+    for (const CheckOutcome& check : report.checks) {
+        json.beginObject();
+        json.member("name", check.name);
+        json.member("scheme", check.scheme);
+        json.member("mv", static_cast<std::int64_t>(check.mv));
+        json.member("z", check.statistic);
+        json.member("threshold", check.threshold);
+        json.member("expected", check.expected);
+        json.member("observed", check.observed);
+        json.member("samples", check.samples);
+        json.member("skipped", check.skipped);
+        json.member("note", check.note);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+std::string formatReport(const CrosscheckReport& report) {
+    std::string text;
+    char line[256];
+    for (const CheckOutcome& check : report.checks) {
+        if (check.skipped) {
+            std::snprintf(line, sizeof(line), "  SKIP %-22s %-12s %4dmV  (%s)\n",
+                          check.name.c_str(), check.scheme.c_str(), check.mv,
+                          check.note.c_str());
+        } else {
+            std::snprintf(line, sizeof(line),
+                          "  %s %-22s %-12s %4dmV  z=%6.2f  expected %.6g  "
+                          "observed %.6g  n=%llu  %s\n",
+                          check.passed() ? "ok  " : "FAIL", check.name.c_str(),
+                          check.scheme.c_str(), check.mv, check.statistic,
+                          check.expected, check.observed,
+                          static_cast<unsigned long long>(check.samples),
+                          check.note.c_str());
+        }
+        text += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "analytic cross-check: %zu checks, %zu skipped, max z = %.2f -> %s\n",
+                  report.checks.size(), report.skippedCount(), report.maxZ(),
+                  report.passed() ? "PASS" : "FAIL");
+    text += line;
+    return text;
+}
+
+} // namespace voltcache::analysis

@@ -1,0 +1,119 @@
+// CI-aware statistical cross-check of a Monte Carlo sweep against the
+// closed-form scheme models (analysis/scheme_model.h).
+//
+// Every sweep cell carries forensic histograms (FFW window sizes, BBR
+// fault-free chunk lengths) and per-benchmark link outcomes; under the iid
+// Bernoulli fault model each has an exact analytic prediction. This module
+// compares the two with tests sized to the number of *distinct chips*
+// (trials) — the sweep shares one fault-map pair per (point, trial) across
+// benchmarks and schemes, so leg-level counts duplicate observations — and
+// converts each to a z-equivalent statistic:
+//
+//   * FFW window histogram: chi-square against the Binomial pmf, low-mass
+//     buckets merged, Wilson–Hilferty chi-square -> z conversion;
+//   * BBR chunk histogram: per-log2-bucket z with Poisson variance (maximal
+//     runs are sums of short-range-dependent indicators, so Poisson is a
+//     variance approximation, not exact — hence the generous default gate);
+//   * BBR yield: exact two-sided Binomial test of the per-benchmark link
+//     failure count against 1 - placementSuccessExact(needWords).
+//
+// The default threshold (z = 6, ~1e-9 two-sided) is deliberately loose: the
+// oracle exists to catch gross RNG / bit-packing / fault-map corruption —
+// the failure mode the bit-packed map and geometric gap-skipping generator
+// could harbor silently — without ever tripping on sampling noise. Checks
+// with a known selection bias (BBR chunk histograms when some legs failed to
+// link: forensics are only harvested from linkable maps) are reported as
+// skipped rather than tested against a biased sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/scheme_model.h"
+#include "common/json.h"
+#include "core/forensics.h"
+#include "schemes/scheme.h"
+
+namespace voltcache::analysis {
+
+/// Phi^{-1}: standard normal quantile (Acklam's rational approximation,
+/// |error| < 1.2e-9 over (0, 1)).
+[[nodiscard]] double normalQuantile(double p);
+
+/// Wilson–Hilferty z-equivalent of a chi-square statistic with df >= 1.
+[[nodiscard]] double chiSquareToZ(double chiSquare, std::uint32_t df);
+
+/// z-equivalent of the exact two-sided Binomial test of k successes in n
+/// trials at success probability p (doubled smaller tail, capped at z = 40
+/// where the p-value underflows).
+[[nodiscard]] double binomialTwoSidedZ(std::uint32_t n, std::uint32_t k, double p);
+
+/// One comparison between an MC estimate and its analytic prediction.
+struct CheckOutcome {
+    std::string name;    ///< e.g. "ffw-window", "bbr-yield/crc32"
+    std::string scheme;
+    int mv = 0;
+    double statistic = 0.0; ///< z-equivalent (0 when skipped)
+    double threshold = 0.0;
+    double expected = 0.0;  ///< headline analytic value (mean / probability)
+    double observed = 0.0;  ///< headline MC value
+    std::uint64_t samples = 0; ///< effective sample size the test was sized to
+    bool skipped = false;
+    std::string note;
+
+    [[nodiscard]] bool passed() const noexcept {
+        return skipped || statistic <= threshold;
+    }
+};
+
+/// Per-benchmark BBR placement outcome for one (scheme, voltage) cell.
+struct PlacementSample {
+    std::string benchmark;
+    std::uint32_t needWords = 0;    ///< modulePlacementNeedWords of the BBR twin
+    std::uint32_t chips = 0;        ///< distinct chips evaluated (runs + failures)
+    std::uint32_t linkFailures = 0;
+};
+
+/// Everything the cross-check needs about one sweep cell. Plain data so the
+/// analysis layer stays independent of core's sweep machinery.
+struct CellSample {
+    SchemeKind scheme = SchemeKind::FfwBbr;
+    int mv = 0;
+    bool hasForensics = false;
+    CellForensics forensics;
+    std::vector<PlacementSample> placements;
+};
+
+struct CrosscheckConfig {
+    FailureModel model;           ///< the analytic truth (never the corrupted one)
+    std::uint32_t lines = 1024;
+    std::uint32_t wordsPerLine = 8;
+    unsigned bitsPerWord = 32;
+    std::uint32_t trials = 0;     ///< distinct chips per operating point
+    std::uint32_t benchmarks = 1; ///< legs per chip sharing one fault map
+    double zThreshold = 6.0;
+    /// Minimum expected count per chi-square bucket before merging.
+    double minExpectedPerBucket = 5.0;
+};
+
+struct CrosscheckReport {
+    std::vector<CheckOutcome> checks;
+
+    /// Largest z over the non-skipped checks (0 when none ran).
+    [[nodiscard]] double maxZ() const noexcept;
+    [[nodiscard]] bool passed() const noexcept;
+    [[nodiscard]] std::size_t skippedCount() const noexcept;
+};
+
+/// Run every applicable check over the given cells.
+[[nodiscard]] CrosscheckReport crosscheckCells(const std::vector<CellSample>& cells,
+                                               const CrosscheckConfig& config);
+
+/// JSON rendering: {"threshold","maxZ","passed","checks":[...]}.
+void writeJson(JsonWriter& json, const CrosscheckReport& report);
+
+/// Human-readable table of the report (one line per check).
+[[nodiscard]] std::string formatReport(const CrosscheckReport& report);
+
+} // namespace voltcache::analysis

@@ -1,0 +1,233 @@
+#include "analysis/scheme_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace voltcache::analysis {
+
+std::vector<double> binomialPmf(unsigned n, double p) {
+    VC_EXPECTS(p >= 0.0 && p <= 1.0);
+    std::vector<double> pmf(static_cast<std::size_t>(n) + 1, 0.0);
+    if (p <= 0.0) {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if (p >= 1.0) {
+        pmf[n] = 1.0;
+        return pmf;
+    }
+    // Start from whichever endpoint carries the larger mass and recurse with
+    // pmf[k+1]/pmf[k] = ((n-k)/(k+1)) * (p/q): ratios of adjacent terms are
+    // well-conditioned even when the endpoint itself underflows.
+    const double q = 1.0 - p;
+    if (p <= 0.5) {
+        pmf[0] = std::exp(static_cast<double>(n) * std::log1p(-p));
+        for (unsigned k = 0; k < n; ++k) {
+            pmf[k + 1] = pmf[k] * (static_cast<double>(n - k) /
+                                   static_cast<double>(k + 1)) *
+                         (p / q);
+        }
+    } else {
+        pmf[n] = std::exp(static_cast<double>(n) * std::log(p));
+        for (unsigned k = n; k > 0; --k) {
+            pmf[k - 1] = pmf[k] * (static_cast<double>(k) /
+                                   static_cast<double>(n - k + 1)) *
+                         (q / p);
+        }
+    }
+    return pmf;
+}
+
+double binomialTailAtLeast(unsigned n, double p, unsigned k) {
+    if (k == 0) return 1.0;
+    if (k > n) return 0.0;
+    const std::vector<double> pmf = binomialPmf(n, p);
+    // Sum the shorter side to limit accumulated rounding.
+    if (n - k + 1 <= k) {
+        double tail = 0.0;
+        for (unsigned i = n + 1; i-- > k;) tail += pmf[i];
+        return std::min(tail, 1.0);
+    }
+    double head = 0.0;
+    for (unsigned i = 0; i < k; ++i) head += pmf[i];
+    return std::max(0.0, 1.0 - head);
+}
+
+// ---- FfwModel ----
+
+FfwModel::FfwModel(double pWord, std::uint32_t lines, std::uint32_t wordsPerLine)
+    : pWord_(pWord), lines_(lines), wordsPerLine_(wordsPerLine) {
+    VC_EXPECTS(pWord >= 0.0 && pWord <= 1.0);
+    VC_EXPECTS(lines > 0);
+    VC_EXPECTS(wordsPerLine > 0 && wordsPerLine <= 32);
+    // Window size == number of fault-free entries == Binomial(n, 1 - pWord).
+    pmf_ = binomialPmf(wordsPerLine, 1.0 - pWord);
+}
+
+FfwModel FfwModel::at(const FailureModel& model, Voltage v, std::uint32_t lines,
+                      std::uint32_t wordsPerLine, unsigned bitsPerWord) {
+    return FfwModel(model.pFailStructure(v, bitsPerWord), lines, wordsPerLine);
+}
+
+double FfwModel::expectedWindowCount(unsigned k, std::uint64_t maps) const {
+    if (k >= pmf_.size()) return 0.0;
+    return pmf_[k] * static_cast<double>(lines_) * static_cast<double>(maps);
+}
+
+double FfwModel::meanWindowWords() const noexcept {
+    return static_cast<double>(wordsPerLine_) * (1.0 - pWord_);
+}
+
+double FfwModel::yield(std::uint32_t minWindow) const {
+    if (minWindow == 0) return 1.0;
+    if (minWindow > wordsPerLine_) return 0.0;
+    const double pLine = binomialTailAtLeast(wordsPerLine_, 1.0 - pWord_, minWindow);
+    if (pLine <= 0.0) return 0.0;
+    return std::exp(static_cast<double>(lines_) * std::log(pLine));
+}
+
+// ---- BbrModel ----
+
+BbrModel::BbrModel(double pWord, std::uint32_t cacheWords)
+    : pWord_(pWord), cacheWords_(cacheWords) {
+    VC_EXPECTS(pWord >= 0.0 && pWord <= 1.0);
+    VC_EXPECTS(cacheWords > 0);
+}
+
+BbrModel BbrModel::at(const FailureModel& model, Voltage v, std::uint32_t cacheWords,
+                      unsigned bitsPerWord) {
+    return BbrModel(model.pFailStructure(v, bitsPerWord), cacheWords);
+}
+
+double BbrModel::expectedChunkCount(std::uint32_t length) const {
+    const std::uint32_t n = cacheWords_;
+    if (length == 0 || length > n) return 0.0;
+    const double p = pWord_;
+    if (p >= 1.0) return 0.0;
+    const double qPowL = std::exp(static_cast<double>(length) * std::log1p(-p));
+    if (length == n) return qPowL;
+    // A maximal run of exactly L at the left or right border needs one
+    // bounding fault; an interior start needs two.
+    return qPowL * (2.0 * p + static_cast<double>(n - length - 1) * p * p);
+}
+
+std::array<double, kForensicsLog2Buckets> BbrModel::expectedChunkLog2Histogram() const {
+    std::array<double, kForensicsLog2Buckets> buckets{};
+    for (std::uint32_t length = 1; length <= cacheWords_; ++length) {
+        buckets[forensicsLog2Bucket(length)] += expectedChunkCount(length);
+    }
+    return buckets;
+}
+
+double BbrModel::expectedTotalChunks() const {
+    // Sum over L of E[count L] telescopes to E[#runs] = q (first word starts
+    // a run) + (N-1) p q (each fault->clean border starts one); summing the
+    // per-length series keeps the code tied to expectedChunkCount.
+    double total = 0.0;
+    for (std::uint32_t length = 1; length <= cacheWords_; ++length) {
+        total += expectedChunkCount(length);
+    }
+    return total;
+}
+
+double BbrModel::placementSuccessExact(std::uint32_t needWords) const {
+    const std::uint32_t n = cacheWords_;
+    if (needWords == 0) return 1.0;
+    if (needWords > n) return 0.0;
+    if (pWord_ <= 0.0) return 1.0; // the clean map's circular run is n >= need
+    if (pWord_ >= 1.0) return 0.0;
+    const double p = pWord_;
+    const double q = 1.0 - p;
+    const std::uint32_t runCap = needWords; // forbidden run length
+
+    // P(no circular run >= B), conditioning on the first defective word at
+    // flat index j. Words 0..j-1 are clean (probability q^j p); the run that
+    // wraps through word 0 then has length j + t where t is the trailing
+    // clean run of the remaining linear suffix of m = n-1-j words. The
+    // conditional event is: the suffix has no interior run >= B, and
+    // j + t <= B-1. A first defect at j >= B would itself leave a leading
+    // run >= B, so only j <= B-1 contributes.
+    //
+    // D[t] = P(linear m-word suffix: no run >= B, trailing clean run == t),
+    // advanced over m: a defective word resets t to 0, a clean word shifts
+    // t up, and mass at t == B-1 that would shift to B has created a
+    // forbidden run and is dropped.
+    std::vector<double> trailing(runCap, 0.0);
+    trailing[0] = 1.0; // m == 0: empty suffix
+    std::vector<double> next(runCap, 0.0);
+
+    const std::uint32_t firstContributingM = n - std::min(runCap, n);
+    double pNone = 0.0;
+    const auto contribution = [&](std::uint32_t m, const std::vector<double>& dist) {
+        // j = n-1-m; require the wrap run j + t <= B-1.
+        const std::uint32_t j = n - 1 - m;
+        const std::uint32_t tCap = runCap - 1 - j; // == B-1-j, >= 0 here
+        double sum = 0.0;
+        for (std::uint32_t t = 0; t <= std::min<std::uint32_t>(tCap, runCap - 1); ++t) {
+            sum += dist[t];
+        }
+        pNone += std::exp(static_cast<double>(j) * std::log1p(-p)) * p * sum;
+    };
+
+    if (firstContributingM == 0) contribution(0, trailing);
+    for (std::uint32_t m = 1; m < n; ++m) {
+        double all = 0.0;
+        for (const double mass : trailing) all += mass;
+        next[0] = p * all;
+        for (std::uint32_t t = runCap; t-- > 1;) next[t] = q * trailing[t - 1];
+        trailing.swap(next);
+        if (m >= firstContributingM) contribution(m, trailing);
+    }
+    return std::clamp(1.0 - pNone, 0.0, 1.0);
+}
+
+double BbrModel::placementSuccessUpper(std::uint32_t needWords) const {
+    const std::uint32_t n = cacheWords_;
+    if (needWords == 0) return 1.0;
+    if (needWords > n) return 0.0;
+    const double q = 1.0 - pWord_;
+    // Capacity: a run of B needs at least B fault-free words in the map.
+    const double capacity = binomialTailAtLeast(n, q, needWords);
+    // Union over the n circular start positions, each clean with q^B.
+    const double unionBound =
+        q > 0.0 ? static_cast<double>(n) *
+                      std::exp(static_cast<double>(needWords) * std::log(q))
+                : 0.0;
+    return std::min({1.0, capacity, unionBound});
+}
+
+double BbrModel::placementSuccessLower(std::uint32_t needWords) const {
+    const std::uint32_t n = cacheWords_;
+    if (needWords == 0) return 1.0;
+    if (needWords > n) return 0.0;
+    const double q = 1.0 - pWord_;
+    if (q <= 0.0) return 0.0;
+    const std::uint32_t windows = n / needWords;
+    const double qPowB = std::exp(static_cast<double>(needWords) * std::log(q));
+    // The disjoint aligned windows are independent; any clean one places.
+    return 1.0 - std::exp(static_cast<double>(windows) * std::log1p(-qPowB));
+}
+
+// ---- module / map oracles ----
+
+std::uint32_t modulePlacementNeedWords(const Module& module) {
+    std::uint32_t need = 0;
+    for (const Function& fn : module.functions) {
+        for (const BasicBlock& block : fn.blocks) {
+            need = std::max(need, block.sizeWords());
+        }
+        need = std::max(need,
+                        static_cast<std::uint32_t>(fn.sharedLiteralPool.size()));
+    }
+    return need;
+}
+
+bool placementFeasible(const FaultMap& icacheMap, std::uint32_t needWords) {
+    if (needWords == 0) return true;
+    if (needWords > icacheMap.totalWords()) return false;
+    return icacheMap.largestPlaceableChunkWords() >= needWords;
+}
+
+} // namespace voltcache::analysis

@@ -1,0 +1,148 @@
+// Closed-form FFW / BBR yield models (the analytic counterpart of the Monte
+// Carlo sweep, paper Sections IV-V).
+//
+// Under the iid Bernoulli word-failure model every distribution the sweep
+// estimates by sampling is derivable exactly:
+//
+//   * FFW (Section IV-A): a frame's fault-free window size is the number of
+//     fault-free word entries, Binomial(wordsPerLine, 1 - pWord). The
+//     per-frame window histogram, its mean, and the exact L1D yield at any
+//     minimum-window requirement follow in closed form.
+//
+//   * BBR (Section IV-B2): Algorithm 1's first-fit scan covers every
+//     circular start position and never skips a valid one (each restart
+//     jumps just past a defective word, and any skipped candidate window
+//     would contain that word), and its scan budget of cacheWords + size
+//     words cannot expire before the first valid start is reached. Placement
+//     of a `size`-word section therefore succeeds *exactly* when the fault
+//     map has a circular fault-free run of >= size words — computed here by
+//     an O(cacheWords * size) conditioning DP over run lengths, bracketed by
+//     two independently-provable bounds (a capacity/union upper bound and a
+//     disjoint-window lower bound) that the enumeration tests sandwich.
+//
+// These models are the statistical oracle the sweep cross-check
+// (analysis/crosscheck.h) gates every Monte Carlo run against, and the
+// reference the ROADMAP's pluggable fault-model work must reproduce at the
+// iid point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/forensics.h"
+#include "faults/failure_model.h"
+#include "faults/fault_map.h"
+#include "isa/module.h"
+
+namespace voltcache::analysis {
+
+/// Exact Binomial(n, p) pmf, index k == P(X = k). Computed by stable ratio
+/// recursion from the log-space endpoint, so tiny p (760mV word-failure
+/// rates ~ 1e-7) keeps full precision.
+[[nodiscard]] std::vector<double> binomialPmf(unsigned n, double p);
+
+/// P(Binomial(n, p) >= k). Sums the smaller tail and complements when that
+/// is the cheaper side.
+[[nodiscard]] double binomialTailAtLeast(unsigned n, double p, unsigned k);
+
+/// Closed-form FFW D-cache model at one operating point: the distribution
+/// of per-frame fault-free window sizes and the exact cache yield under a
+/// minimum-window requirement.
+class FfwModel {
+public:
+    FfwModel(double pWord, std::uint32_t lines, std::uint32_t wordsPerLine);
+
+    /// Model at a voltage: pWord = pFailStructure(v, bitsPerWord).
+    [[nodiscard]] static FfwModel at(const FailureModel& model, Voltage v,
+                                     std::uint32_t lines, std::uint32_t wordsPerLine,
+                                     unsigned bitsPerWord = 32);
+
+    [[nodiscard]] double pWord() const noexcept { return pWord_; }
+    [[nodiscard]] std::uint32_t lines() const noexcept { return lines_; }
+    [[nodiscard]] std::uint32_t wordsPerLine() const noexcept { return wordsPerLine_; }
+
+    /// P(window size == k), k in [0, wordsPerLine]: the window of a frame is
+    /// its fault-free entries, so the size is Binomial(wordsPerLine, 1-pWord).
+    [[nodiscard]] const std::vector<double>& windowPmf() const noexcept { return pmf_; }
+
+    /// Expected number of frames with window == k across `maps` independent
+    /// fault maps (the analytic prediction for the forensics histogram).
+    [[nodiscard]] double expectedWindowCount(unsigned k, std::uint64_t maps) const;
+
+    [[nodiscard]] double meanWindowWords() const noexcept;
+
+    /// Exact L1D yield: P(every frame keeps a window of >= minWindow words).
+    /// minWindow = 1 is "every line stores something"; minWindow =
+    /// wordsPerLine degenerates to the conventional all-words-good yield.
+    [[nodiscard]] double yield(std::uint32_t minWindow) const;
+
+private:
+    double pWord_;
+    std::uint32_t lines_;
+    std::uint32_t wordsPerLine_;
+    std::vector<double> pmf_;
+};
+
+/// Closed-form BBR I-cache model at one operating point: the fault-free
+/// chunk-length distribution of the flat cache word array and the exact /
+/// bounded probability that Algorithm 1 places a section of a given size.
+class BbrModel {
+public:
+    BbrModel(double pWord, std::uint32_t cacheWords);
+
+    [[nodiscard]] static BbrModel at(const FailureModel& model, Voltage v,
+                                     std::uint32_t cacheWords,
+                                     unsigned bitsPerWord = 32);
+
+    [[nodiscard]] double pWord() const noexcept { return pWord_; }
+    [[nodiscard]] std::uint32_t cacheWords() const noexcept { return cacheWords_; }
+
+    /// E[number of *maximal* linear fault-free runs of exactly `length`
+    /// words] per fault map — the distribution FaultMap::faultFreeChunks()
+    /// (and the sweep's bbrChunkWords forensics) samples. For L < N the two
+    /// border positions contribute q^L p each and the N-L-1 interior
+    /// positions p q^L p; the whole-array run contributes q^N at L == N.
+    [[nodiscard]] double expectedChunkCount(std::uint32_t length) const;
+
+    /// Per-map expected chunk histogram in the forensics log2 bucketing.
+    [[nodiscard]] std::array<double, kForensicsLog2Buckets>
+    expectedChunkLog2Histogram() const;
+
+    /// E[total maximal chunks] per map (sum of expectedChunkCount over L).
+    [[nodiscard]] double expectedTotalChunks() const;
+
+    /// Exact P(Algorithm 1 places a `needWords`-word section) == P(the map
+    /// has a circular fault-free run >= needWords), by conditioning on the
+    /// position of the first defective word and running a trailing-run DP
+    /// over the remaining linear suffix. O(cacheWords * needWords).
+    [[nodiscard]] double placementSuccessExact(std::uint32_t needWords) const;
+
+    /// Provable upper bound: success needs >= needWords fault-free words in
+    /// total (capacity argument) and is union-bounded by N q^B over the N
+    /// circular start positions. Returns the tighter of the two.
+    [[nodiscard]] double placementSuccessUpper(std::uint32_t needWords) const;
+
+    /// Provable lower bound: partition the circle into floor(N/B) disjoint
+    /// aligned windows; a fully clean window is a valid placement (greedy
+    /// matching), so success >= 1 - (1 - q^B)^floor(N/B).
+    [[nodiscard]] double placementSuccessLower(std::uint32_t needWords) const;
+
+private:
+    double pWord_;
+    std::uint32_t cacheWords_;
+};
+
+/// The largest contiguous section Algorithm 1 must place for this module:
+/// the maximum over every basic block's sizeWords() and every non-empty
+/// shared literal pool (pools are placed as sections too; LinkStats'
+/// largestBlockWords excludes them). Placement of the whole module succeeds
+/// exactly when a circular fault-free run of this many words exists.
+[[nodiscard]] std::uint32_t modulePlacementNeedWords(const Module& module);
+
+/// Whether Algorithm 1 can place a `needWords`-word section against this
+/// map: needWords <= largest circular fault-free run. The per-map oracle the
+/// enumeration tests check the probabilistic model against.
+[[nodiscard]] bool placementFeasible(const FaultMap& icacheMap, std::uint32_t needWords);
+
+} // namespace voltcache::analysis

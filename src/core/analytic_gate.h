@@ -1,0 +1,21 @@
+// Bridge from a finished Monte Carlo sweep to the analytic cross-check
+// (analysis/crosscheck.h): rebuilds each benchmark's BBR placement need,
+// packages the sweep's forensic histograms and per-benchmark link outcomes
+// as plain CellSamples, and runs every applicable statistical test against
+// the closed-form FFW/BBR models. Shared by `voltcache sweep
+// --analytic-check`, `voltcache model`, and the bench binaries' gate metric.
+#pragma once
+
+#include "analysis/crosscheck.h"
+#include "core/sweep.h"
+
+namespace voltcache {
+
+/// Cross-check `result` (produced by runSweep(config)) against the analytic
+/// models. The prediction always comes from the pristine FailureModel —
+/// systemTemplate.faultRateScale deliberately corrupts only the sampler, so
+/// a scaled sweep must fail this check (the ci.sh negative control).
+[[nodiscard]] analysis::CrosscheckReport analyticCrosscheck(
+    const SweepResult& result, const SweepConfig& config, double zThreshold = 6.0);
+
+} // namespace voltcache

@@ -158,6 +158,8 @@ std::string sweepResultToJson(const SweepResult& result, const SweepExportMeta& 
     }
     json.endArray();
 
+    if (meta.extensions) meta.extensions(json);
+
     json.endObject();
     return json.str();
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,9 @@ struct SweepExportMeta {
     std::string scale;
     std::vector<std::string> benchmarks;
     double ciLevel = 0.95;
+    /// Optional extra top-level members appended before the closing brace
+    /// (e.g. the analytic cross-check report: `json.key("analytic"); ...`).
+    std::function<void(JsonWriter&)> extensions;
 };
 
 /// Emit {"n","mean","stddev","min","max","ciHalfWidth"} for one accumulator.

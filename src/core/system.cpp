@@ -47,7 +47,7 @@ LegFaultMaps generateChipFaultMaps(const SystemConfig& config) {
     const obs::Span span("mapgen");
     const CacheOrganization& org = config.l1Org;
     Rng rng(config.faultMapSeed);
-    FaultMapGenerator generator{FailureModel{}};
+    FaultMapGenerator generator{FailureModel{}, 32, config.faultRateScale};
     LegFaultMaps maps{generator.generate(rng, config.op.voltage, org.lines(),
                                          org.wordsPerBlock()),
                       FaultMap(org.lines(), org.wordsPerBlock())};

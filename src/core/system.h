@@ -25,6 +25,11 @@ struct SystemConfig {
     std::uint64_t maxInstructions = 0;
     double dramLatencyNs = 60.0;      ///< fixed wall-clock DRAM latency
     std::uint32_t maxBlockWords = kDefaultMaxBlockWords;
+    /// Multiplier on the per-word fault probability used when drawing chip
+    /// fault maps. 1.0 simulates the physical FailureModel; any other value
+    /// is a deliberate corruption knob for the analytic cross-check's
+    /// negative control (the check always predicts from the unscaled model).
+    double faultRateScale = 1.0;
     EnergyParams energy = {};
     PipelineConfig pipeline = {};
     /// Trace observers attached to the simulator for this leg (multiplexed:

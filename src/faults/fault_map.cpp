@@ -92,7 +92,7 @@ std::uint32_t FaultMap::largestPlaceableChunkWords() const {
 
 FaultMap FaultMapGenerator::generate(Rng& rng, Voltage v, std::uint32_t lines,
                                      std::uint32_t wordsPerLine) const {
-    const double pWord = model_.pFailStructure(v, bitsPerWord_);
+    const double pWord = pWordAt(v);
     FaultMap map(lines, wordsPerLine);
     const std::uint32_t total = map.totalWords();
     if (pWord <= 0.0) return map;
@@ -122,7 +122,7 @@ FaultMap FaultMapGenerator::generate(Rng& rng, Voltage v, std::uint32_t lines,
 FaultMap FaultMapGenerator::generateBernoulliReference(Rng& rng, Voltage v,
                                                        std::uint32_t lines,
                                                        std::uint32_t wordsPerLine) const {
-    const double pWord = model_.pFailStructure(v, bitsPerWord_);
+    const double pWord = pWordAt(v);
     FaultMap map(lines, wordsPerLine);
     const std::uint32_t total = map.totalWords();
     if (pWord <= 0.0) return map;
@@ -139,7 +139,11 @@ FaultMap FaultMapGenerator::generateBernoulliReference(Rng& rng, Voltage v,
     for (std::uint32_t flat = 0; flat < total; ++flat) {
         if (r < pWord) {
             map.setFaultyFlat(flat);
-            r = rng.nextDouble();
+            // Redraw only while words remain: generate() ends with no
+            // trailing draw when the final word is faulty (next == total
+            // exits its loop), and matching its draw count exactly keeps the
+            // two coupled across *sequential* maps on one stream.
+            if (flat + 1 < total) r = rng.nextDouble();
         } else {
             r = (r - pWord) / (1.0 - pWord);
         }

@@ -123,9 +123,13 @@ private:
 /// tests).
 class FaultMapGenerator {
 public:
+    /// `pWordScale` multiplies the per-word failure probability (clamped to
+    /// [0, 1]). 1.0 is the physical model; other values exist for negative
+    /// controls that must diverge from the analytic oracle on purpose.
     explicit FaultMapGenerator(FailureModel model = FailureModel{},
-                               unsigned bitsPerWord = 32) noexcept
-        : model_(model), bitsPerWord_(bitsPerWord) {}
+                               unsigned bitsPerWord = 32,
+                               double pWordScale = 1.0) noexcept
+        : model_(model), bitsPerWord_(bitsPerWord), pWordScale_(pWordScale) {}
 
     /// Draw one fault map for an array of `lines` x `wordsPerLine` words.
     [[nodiscard]] FaultMap generate(Rng& rng, Voltage v, std::uint32_t lines,
@@ -140,10 +144,19 @@ public:
 
     [[nodiscard]] const FailureModel& model() const noexcept { return model_; }
     [[nodiscard]] unsigned bitsPerWord() const noexcept { return bitsPerWord_; }
+    [[nodiscard]] double pWordScale() const noexcept { return pWordScale_; }
+
+    /// The (possibly scaled) per-word failure probability both generation
+    /// paths sample from at voltage `v`.
+    [[nodiscard]] double pWordAt(Voltage v) const noexcept {
+        const double p = pWordScale_ * model_.pFailStructure(v, bitsPerWord_);
+        return p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    }
 
 private:
     FailureModel model_;
     unsigned bitsPerWord_;
+    double pWordScale_;
 };
 
 } // namespace voltcache

@@ -244,5 +244,84 @@ TEST(FaultMapGenerator, CleanAtHighVoltage) {
     EXPECT_TRUE(map.clean());
 }
 
+// ---- geometric / Bernoulli coupling at the extremes and across maps ----
+
+TEST(FaultMapGenerator, PZeroExtremeMatchesReferenceAndDrawsNothing) {
+    // pWordScale 0 forces p = 0 exactly: both paths must return a clean map
+    // without consuming ANY draws (the streams stay aligned afterwards).
+    const FaultMapGenerator generator(FailureModel{}, 32, 0.0);
+    Rng a(7);
+    Rng b(7);
+    EXPECT_TRUE(generator.generate(a, 400_mV, 16, 8).clean());
+    EXPECT_TRUE(generator.generateBernoulliReference(b, 400_mV, 16, 8).clean());
+    EXPECT_EQ(a.nextDouble(), b.nextDouble());
+}
+
+TEST(FaultMapGenerator, POneExtremeMatchesReferenceAndDrawsNothing) {
+    // A huge scale clamps p to 1: all-faulty map, zero draws, both paths.
+    const FaultMapGenerator generator(FailureModel{}, 32, 1e12);
+    Rng a(7);
+    Rng b(7);
+    const FaultMap fast = generator.generate(a, 400_mV, 16, 8);
+    const FaultMap slow = generator.generateBernoulliReference(b, 400_mV, 16, 8);
+    EXPECT_EQ(fast.totalFaultyWords(), fast.totalWords());
+    EXPECT_EQ(fast, slow);
+    EXPECT_EQ(a.nextDouble(), b.nextDouble());
+}
+
+TEST(FaultMapGenerator, SequentialMapsStayCoupledAcrossOneStream) {
+    // The sweep draws the D-cache map then the I-cache map from ONE stream
+    // (detail::generateChipFaultMaps). The coupling must therefore hold for
+    // the second map too, which requires the two paths to consume identical
+    // draw counts even when a map's final word is faulty (at 400mV that
+    // happens for ~27.5% of maps, so 64 seeds exercise it many times).
+    const FaultMapGenerator generator;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        Rng fast(seed);
+        Rng slow(seed);
+        const FaultMap fast1 = generator.generate(fast, 400_mV, 16, 8);
+        const FaultMap fast2 = generator.generate(fast, 400_mV, 16, 8);
+        const FaultMap slow1 = generator.generateBernoulliReference(slow, 400_mV, 16, 8);
+        const FaultMap slow2 = generator.generateBernoulliReference(slow, 400_mV, 16, 8);
+        EXPECT_EQ(fast1, slow1) << "seed " << seed;
+        EXPECT_EQ(fast2, slow2) << "seed " << seed << " (draw-count desync)";
+    }
+}
+
+TEST(FaultMapGenerator, SequentialCouplingAtExtremeVoltages) {
+    const FaultMapGenerator generator;
+    // 1400mV: p is astronomically small — clean maps, one draw each.
+    for (const double mv : {1400.0, 320.0}) {
+        const Voltage v = Voltage::fromMillivolts(mv);
+        for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+            Rng fast(seed);
+            Rng slow(seed);
+            const FaultMap fast1 = generator.generate(fast, v, 8, 8);
+            const FaultMap fast2 = generator.generate(fast, v, 8, 8);
+            const FaultMap slow1 = generator.generateBernoulliReference(slow, v, 8, 8);
+            const FaultMap slow2 = generator.generateBernoulliReference(slow, v, 8, 8);
+            EXPECT_EQ(fast1, slow1) << mv << "mV seed " << seed;
+            EXPECT_EQ(fast2, slow2) << mv << "mV seed " << seed;
+        }
+    }
+}
+
+TEST(FaultMapGenerator, ScaledRateShiftsTheObservedFaultRate) {
+    // The --corrupt-mapgen knob: scale 2 at 400mV must roughly double the
+    // word fault rate (clamped composition, so only approximately 2x).
+    const FailureModel model;
+    const FaultMapGenerator honest(model);
+    const FaultMapGenerator corrupted(model, 32, 2.0);
+    Rng a(5);
+    Rng b(5);
+    std::uint64_t honestFaults = 0;
+    std::uint64_t corruptedFaults = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        honestFaults += honest.generate(a, 400_mV, 1024, 8).totalFaultyWords();
+        corruptedFaults += corrupted.generate(b, 400_mV, 1024, 8).totalFaultyWords();
+    }
+    EXPECT_GT(corruptedFaults, honestFaults + honestFaults / 2);
+}
+
 } // namespace
 } // namespace voltcache

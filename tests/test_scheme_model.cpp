@@ -1,0 +1,407 @@
+// Brute-force validation of the closed-form FFW/BBR models
+// (analysis/scheme_model.h) and the statistical cross-check layer
+// (analysis/crosscheck.h): on caches small enough to enumerate every fault
+// pattern, the analytic distributions must match the probability-weighted
+// enumeration exactly (up to floating-point rounding), with the per-map
+// FaultMap queries themselves serving as the ground-truth oracle.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "analysis/crosscheck.h"
+#include "analysis/scheme_model.h"
+#include "common/contracts.h"
+#include "compiler/passes.h"
+#include "faults/yield.h"
+#include "workload/workload.h"
+
+namespace voltcache {
+namespace {
+
+using voltcache::literals::operator""_mV;
+
+/// P(this exact fault pattern) under iid word failure probability p.
+double patternWeight(std::uint32_t pattern, std::uint32_t words, double p) {
+    const int faulty = std::popcount(pattern);
+    return std::pow(p, faulty) * std::pow(1.0 - p, static_cast<int>(words) - faulty);
+}
+
+FaultMap mapFromPattern(std::uint32_t pattern, std::uint32_t lines,
+                        std::uint32_t wordsPerLine) {
+    FaultMap map(lines, wordsPerLine);
+    for (std::uint32_t flat = 0; flat < map.totalWords(); ++flat) {
+        if ((pattern >> flat) & 1u) map.setFaultyFlat(flat);
+    }
+    return map;
+}
+
+// ---- binomial helpers ----
+
+TEST(SchemeModel, BinomialPmfMatchesDirectFormula) {
+    const unsigned n = 8;
+    const double p = 0.3;
+    const std::vector<double> pmf = analysis::binomialPmf(n, p);
+    ASSERT_EQ(pmf.size(), n + 1);
+    double total = 0.0;
+    double choose = 1.0; // C(8, k) built incrementally
+    for (unsigned k = 0; k <= n; ++k) {
+        const double direct = choose * std::pow(p, k) * std::pow(1.0 - p, n - k);
+        EXPECT_NEAR(pmf[k], direct, 1e-14) << "k=" << k;
+        total += pmf[k];
+        choose = choose * static_cast<double>(n - k) / static_cast<double>(k + 1);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SchemeModel, BinomialPmfStableAtTinyP) {
+    // 760mV word rates (~4e-6): pmf[0] must keep full precision, and the
+    // tail must stay positive rather than underflow to zero garbage.
+    const double p = 3.9e-6;
+    const std::vector<double> pmf = analysis::binomialPmf(8, p);
+    EXPECT_NEAR(pmf[0], std::exp(8 * std::log1p(-p)), 1e-18);
+    EXPECT_GT(pmf[1], 0.0);
+    EXPECT_NEAR(analysis::binomialTailAtLeast(8, p, 1), 1.0 - pmf[0], 1e-18);
+}
+
+TEST(SchemeModel, BinomialTailEdgeCases) {
+    EXPECT_EQ(analysis::binomialTailAtLeast(8, 0.3, 0), 1.0);
+    EXPECT_EQ(analysis::binomialTailAtLeast(8, 0.3, 9), 0.0);
+    EXPECT_NEAR(analysis::binomialTailAtLeast(8, 0.0, 1), 0.0, 1e-15);
+    EXPECT_NEAR(analysis::binomialTailAtLeast(8, 1.0, 8), 1.0, 1e-15);
+}
+
+// ---- FFW: exact on enumerable caches ----
+
+TEST(SchemeModel, FfwWindowPmfMatchesEnumeration) {
+    // One 8-word line, all 2^8 patterns: the distribution of
+    // FaultMap::faultFreeCount must equal the model's Binomial pmf.
+    const double p = 0.3;
+    analysis::FfwModel model(p, 1, 8);
+    std::array<double, 9> enumerated{};
+    for (std::uint32_t pattern = 0; pattern < 256; ++pattern) {
+        const FaultMap map = mapFromPattern(pattern, 1, 8);
+        enumerated[map.faultFreeCount(0)] += patternWeight(pattern, 8, p);
+    }
+    for (unsigned k = 0; k <= 8; ++k) {
+        EXPECT_NEAR(model.windowPmf()[k], enumerated[k], 1e-12) << "k=" << k;
+        EXPECT_NEAR(model.expectedWindowCount(k, 10), enumerated[k] * 10.0, 1e-10);
+    }
+}
+
+TEST(SchemeModel, FfwYieldMatchesEnumeration) {
+    // 2 lines x 4 words: yield(minWindow) == P(every line keeps >= minWindow
+    // fault-free words), enumerated over all 2^8 patterns.
+    const double p = 0.25;
+    analysis::FfwModel model(p, 2, 4);
+    for (std::uint32_t minWindow = 0; minWindow <= 4; ++minWindow) {
+        double enumerated = 0.0;
+        for (std::uint32_t pattern = 0; pattern < 256; ++pattern) {
+            const FaultMap map = mapFromPattern(pattern, 2, 4);
+            if (map.faultFreeCount(0) >= minWindow && map.faultFreeCount(1) >= minWindow) {
+                enumerated += patternWeight(pattern, 8, p);
+            }
+        }
+        EXPECT_NEAR(model.yield(minWindow), enumerated, 1e-12)
+            << "minWindow=" << minWindow;
+    }
+}
+
+TEST(SchemeModel, FfwYieldDegenerateCases) {
+    analysis::FfwModel model(0.3, 1024, 8);
+    EXPECT_EQ(model.yield(0), 1.0);
+    EXPECT_EQ(model.yield(9), 0.0);
+    analysis::FfwModel clean(0.0, 1024, 8);
+    EXPECT_NEAR(clean.yield(8), 1.0, 1e-15);
+    analysis::FfwModel dead(1.0, 1024, 8);
+    EXPECT_EQ(dead.yield(1), 0.0);
+    EXPECT_NEAR(clean.meanWindowWords(), 8.0, 1e-15);
+}
+
+// ---- BBR chunk-length distribution: exact on enumerable caches ----
+
+TEST(SchemeModel, BbrChunkCountsMatchEnumeration) {
+    // 16-word array, all 2^16 patterns: E[#maximal runs of length L] from
+    // FaultMap::faultFreeChunks must equal expectedChunkCount(L).
+    const double p = 0.3;
+    const std::uint32_t words = 16;
+    analysis::BbrModel model(p, words);
+    std::vector<double> enumerated(words + 1, 0.0);
+    double totalEnumerated = 0.0;
+    for (std::uint32_t pattern = 0; pattern < (1u << words); ++pattern) {
+        const double weight = patternWeight(pattern, words, p);
+        const FaultMap map = mapFromPattern(pattern, 2, 8);
+        for (const FaultFreeChunk& chunk : map.faultFreeChunks()) {
+            enumerated[chunk.length] += weight;
+            totalEnumerated += weight;
+        }
+    }
+    for (std::uint32_t length = 1; length <= words; ++length) {
+        EXPECT_NEAR(model.expectedChunkCount(length), enumerated[length], 1e-12)
+            << "L=" << length;
+    }
+    EXPECT_NEAR(model.expectedTotalChunks(), totalEnumerated, 1e-11);
+}
+
+TEST(SchemeModel, BbrLog2HistogramConsistentWithPerLengthCounts) {
+    analysis::BbrModel model(0.1, 8192);
+    const auto buckets = model.expectedChunkLog2Histogram();
+    std::array<double, kForensicsLog2Buckets> rebuilt{};
+    double total = 0.0;
+    for (std::uint32_t length = 1; length <= 8192; ++length) {
+        rebuilt[forensicsLog2Bucket(length)] += model.expectedChunkCount(length);
+    }
+    for (std::size_t b = 0; b < kForensicsLog2Buckets; ++b) {
+        EXPECT_NEAR(buckets[b], rebuilt[b], 1e-9) << "bucket " << b;
+        total += buckets[b];
+    }
+    EXPECT_NEAR(total, model.expectedTotalChunks(), 1e-9);
+    EXPECT_EQ(buckets[0], 0.0); // maximal chunks are never length 0
+}
+
+// ---- BBR placement: exact DP + bounds vs enumeration ----
+
+TEST(SchemeModel, PlacementSuccessExactMatchesEnumeration) {
+    // P(circular max fault-free run >= B) over all 2^16 patterns, with
+    // FaultMap::largestPlaceableChunkWords as the per-map oracle.
+    const std::uint32_t words = 16;
+    for (const double p : {0.05, 0.3, 0.7}) {
+        analysis::BbrModel model(p, words);
+        std::vector<double> enumerated(words + 1, 0.0); // [B] = P(run >= B)
+        for (std::uint32_t pattern = 0; pattern < (1u << words); ++pattern) {
+            const double weight = patternWeight(pattern, words, p);
+            const FaultMap map = mapFromPattern(pattern, 2, 8);
+            const std::uint32_t run = map.largestPlaceableChunkWords();
+            for (std::uint32_t need = 1; need <= run && need <= words; ++need) {
+                enumerated[need] += weight;
+            }
+        }
+        for (std::uint32_t need = 1; need <= words; ++need) {
+            EXPECT_NEAR(model.placementSuccessExact(need), enumerated[need], 1e-12)
+                << "p=" << p << " need=" << need;
+            EXPECT_TRUE(analysis::placementFeasible(mapFromPattern(0, 2, 8), need));
+        }
+    }
+}
+
+TEST(SchemeModel, PlacementSuccessClosedFormEdges) {
+    analysis::BbrModel model(0.3, 16);
+    EXPECT_EQ(model.placementSuccessExact(0), 1.0);
+    EXPECT_EQ(model.placementSuccessExact(17), 0.0);
+    // need == 1: succeeds unless every word is faulty.
+    EXPECT_NEAR(model.placementSuccessExact(1), 1.0 - std::pow(0.3, 16), 1e-12);
+    // need == N: every word must be clean.
+    EXPECT_NEAR(model.placementSuccessExact(16), std::pow(0.7, 16), 1e-12);
+    analysis::BbrModel one(0.3, 1);
+    EXPECT_NEAR(one.placementSuccessExact(1), 0.7, 1e-15);
+    analysis::BbrModel clean(0.0, 16);
+    EXPECT_EQ(clean.placementSuccessExact(16), 1.0);
+    analysis::BbrModel dead(1.0, 16);
+    EXPECT_EQ(dead.placementSuccessExact(1), 0.0);
+}
+
+TEST(SchemeModel, PlacementBoundsSandwichExact) {
+    for (const double p : {0.01, 0.1, 0.3, 0.6, 0.9}) {
+        for (const std::uint32_t words : {8u, 16u, 33u, 64u}) {
+            analysis::BbrModel model(p, words);
+            for (std::uint32_t need = 1; need <= words; ++need) {
+                const double exact = model.placementSuccessExact(need);
+                const double lower = model.placementSuccessLower(need);
+                const double upper = model.placementSuccessUpper(need);
+                EXPECT_LE(lower, exact + 1e-12)
+                    << "p=" << p << " N=" << words << " B=" << need;
+                EXPECT_GE(upper, exact - 1e-12)
+                    << "p=" << p << " N=" << words << " B=" << need;
+            }
+        }
+    }
+}
+
+TEST(SchemeModel, PlacementFeasibleMatchesCircularFirstFit) {
+    // The oracle behind the whole BBR model: a section of `size` words is
+    // first-fit placeable iff some circular window of `size` consecutive
+    // words is fault-free. Checked against a literal window scan on every
+    // 12-word pattern.
+    const std::uint32_t words = 12;
+    for (std::uint32_t pattern = 0; pattern < (1u << words); ++pattern) {
+        const FaultMap map = mapFromPattern(pattern, 3, 4);
+        for (std::uint32_t size = 1; size <= words; ++size) {
+            bool anyWindow = false;
+            for (std::uint32_t start = 0; start < words && !anyWindow; ++start) {
+                bool clean = true;
+                for (std::uint32_t i = 0; i < size && clean; ++i) {
+                    clean = !map.isFaultyFlat((start + i) % words);
+                }
+                anyWindow = clean;
+            }
+            EXPECT_EQ(analysis::placementFeasible(map, size), anyWindow)
+                << "pattern=" << pattern << " size=" << size;
+        }
+    }
+}
+
+TEST(SchemeModel, ModuleNeedCoversBlocksAndSharedPools) {
+    Module module = buildBenchmark("crc32", WorkloadScale::Tiny);
+    applyBbrTransforms(module);
+    const std::uint32_t need = analysis::modulePlacementNeedWords(module);
+    std::uint32_t maxBlock = 0;
+    std::uint32_t maxPool = 0;
+    for (const Function& fn : module.functions) {
+        for (const BasicBlock& block : fn.blocks) {
+            maxBlock = std::max(maxBlock, block.sizeWords());
+        }
+        maxPool = std::max(maxPool,
+                           static_cast<std::uint32_t>(fn.sharedLiteralPool.size()));
+    }
+    EXPECT_EQ(need, std::max(maxBlock, maxPool));
+    EXPECT_GT(need, 0u);
+}
+
+// ---- YieldAnalyzer::vccmin edge cases (satellite) ----
+
+TEST(Yield, VccminRejectsDegenerateInputs) {
+    const YieldAnalyzer analyzer;
+    EXPECT_THROW((void)analyzer.vccmin(0), ContractViolation);
+    EXPECT_THROW((void)analyzer.vccmin(1024, 1.0), ContractViolation);
+    EXPECT_THROW((void)analyzer.vccmin(1024, 0.0), ContractViolation);
+    EXPECT_THROW((void)analyzer.vccmin(1024, -0.5), ContractViolation);
+}
+
+TEST(Yield, VccminOnNearZeroFailureCurve) {
+    // The 8T curve is the "p ~ 0" regime across the whole deep-voltage
+    // range: bisection must still terminate, land far below the 6T Vccmin,
+    // and satisfy its own yield target.
+    const YieldAnalyzer analyzer8t(FailureModel(Technology::Node45nm, CellKind::Sram8T));
+    const YieldAnalyzer analyzer6t;
+    const Voltage v8 = analyzer8t.vccmin(granularity::kCache32KB);
+    const Voltage v6 = analyzer6t.vccmin(granularity::kCache32KB);
+    EXPECT_LT(v8.millivolts() + 100.0, v6.millivolts());
+    EXPECT_GE(analyzer8t.yield(v8, granularity::kCache32KB), kPaperYieldTarget);
+    // One single bit is the smallest legal structure.
+    const Voltage vBit = analyzer6t.vccmin(granularity::kBit);
+    EXPECT_GE(analyzer6t.yield(vBit, granularity::kBit), kPaperYieldTarget);
+    EXPECT_LT(vBit.volts(), v6.volts());
+}
+
+// ---- cross-check statistics ----
+
+TEST(Crosscheck, NormalQuantileMatchesKnownValues) {
+    EXPECT_NEAR(analysis::normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(analysis::normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(analysis::normalQuantile(0.025), -1.959964, 1e-5);
+    EXPECT_NEAR(analysis::normalQuantile(1e-9), -5.997807, 1e-4);
+}
+
+TEST(Crosscheck, ChiSquareToZCalibration) {
+    // A chi-square at its own mean is unremarkable; far above it is not.
+    EXPECT_LT(std::abs(analysis::chiSquareToZ(7.0, 7)), 0.5);
+    EXPECT_GT(analysis::chiSquareToZ(70.0, 7), 6.0);
+    EXPECT_LT(analysis::chiSquareToZ(1.0, 7), 0.0);
+}
+
+TEST(Crosscheck, BinomialTwoSidedZBehaves) {
+    // Dead-on observation: no evidence. Impossible observation: capped z.
+    EXPECT_LT(analysis::binomialTwoSidedZ(1000, 300, 0.3), 1.0);
+    EXPECT_GT(analysis::binomialTwoSidedZ(1000, 500, 0.3), 6.0);
+    EXPECT_EQ(analysis::binomialTwoSidedZ(100, 100, 0.0), 40.0);
+    EXPECT_NEAR(analysis::binomialTwoSidedZ(100, 0, 0.0), 0.0, 1e-12);
+    EXPECT_NEAR(analysis::binomialTwoSidedZ(0, 0, 0.5), 0.0, 1e-12);
+}
+
+analysis::CrosscheckConfig smallCheckConfig() {
+    analysis::CrosscheckConfig config;
+    config.lines = 1024;
+    config.wordsPerLine = 8;
+    config.trials = 4;
+    config.benchmarks = 1;
+    return config;
+}
+
+analysis::CellSample modelDistributedCell(int mv, std::uint64_t maps) {
+    // A cell whose histograms are the analytic expectation itself (rounded):
+    // the null hypothesis made flesh — every check must pass.
+    analysis::CellSample cell;
+    cell.scheme = SchemeKind::FfwBbr;
+    cell.mv = mv;
+    cell.hasForensics = true;
+    cell.forensics.legs = maps;
+    cell.forensics.ffwLegs = maps;
+    cell.forensics.bbrLegs = maps;
+    const FailureModel model;
+    const auto ffw = analysis::FfwModel::at(model, Voltage::fromMillivolts(mv), 1024, 8);
+    for (unsigned k = 0; k <= 8; ++k) {
+        cell.forensics.ffwWindowSize[k] = static_cast<std::uint64_t>(
+            std::llround(ffw.expectedWindowCount(k, maps)));
+    }
+    const auto bbr = analysis::BbrModel::at(model, Voltage::fromMillivolts(mv), 8192);
+    const auto chunkBuckets = bbr.expectedChunkLog2Histogram();
+    for (std::size_t b = 0; b < kForensicsLog2Buckets; ++b) {
+        cell.forensics.bbrChunkWords[b] = static_cast<std::uint64_t>(
+            std::llround(chunkBuckets[b] * static_cast<double>(maps)));
+    }
+    analysis::PlacementSample placement;
+    placement.benchmark = "synthetic";
+    placement.needWords = 12;
+    placement.chips = static_cast<std::uint32_t>(maps);
+    placement.linkFailures = 0;
+    cell.placements.push_back(placement);
+    return cell;
+}
+
+TEST(Crosscheck, ModelDistributedCellPasses) {
+    const std::vector<analysis::CellSample> cells = {modelDistributedCell(400, 4)};
+    const auto report = analysis::crosscheckCells(cells, smallCheckConfig());
+    ASSERT_FALSE(report.checks.empty());
+    EXPECT_TRUE(report.passed()) << analysis::formatReport(report);
+    EXPECT_LT(report.maxZ(), 3.0) << analysis::formatReport(report);
+}
+
+TEST(Crosscheck, GrosslyDistortedHistogramFails) {
+    // Observe the 440mV window distribution while claiming 400mV: a gross
+    // fault-rate corruption the chi-square must catch at n = 4096 lines.
+    analysis::CellSample cell = modelDistributedCell(440, 4);
+    cell.mv = 400;
+    const std::vector<analysis::CellSample> cells = {cell};
+    const auto report = analysis::crosscheckCells(cells, smallCheckConfig());
+    EXPECT_FALSE(report.passed()) << analysis::formatReport(report);
+    EXPECT_GT(report.maxZ(), 6.0);
+}
+
+TEST(Crosscheck, AllChipsFailingLinkWhenModelSaysTheyCannotFails) {
+    analysis::CellSample cell = modelDistributedCell(400, 4);
+    cell.forensics.bbrLegs = 0; // chunk histograms absent for failed legs
+    cell.placements[0].linkFailures = cell.placements[0].chips;
+    const std::vector<analysis::CellSample> cells = {cell};
+    const auto report = analysis::crosscheckCells(cells, smallCheckConfig());
+    EXPECT_FALSE(report.passed()) << analysis::formatReport(report);
+}
+
+TEST(Crosscheck, ChunkCheckSkippedUnderSelectionBias) {
+    // One link failure: the surviving chunk histograms are a placeable-only
+    // sample, so the chunk check must report skipped, not a verdict.
+    analysis::CellSample cell = modelDistributedCell(400, 4);
+    cell.placements[0].linkFailures = 1;
+    const std::vector<analysis::CellSample> cells = {cell};
+    const auto report = analysis::crosscheckCells(cells, smallCheckConfig());
+    bool sawSkippedChunks = false;
+    for (const analysis::CheckOutcome& check : report.checks) {
+        if (check.name == "bbr-chunks") sawSkippedChunks = check.skipped;
+    }
+    EXPECT_TRUE(sawSkippedChunks) << analysis::formatReport(report);
+    EXPECT_GT(report.skippedCount(), 0u);
+}
+
+TEST(Crosscheck, ReportJsonRoundTrips) {
+    const std::vector<analysis::CellSample> cells = {modelDistributedCell(400, 4)};
+    const auto report = analysis::crosscheckCells(cells, smallCheckConfig());
+    JsonWriter json;
+    analysis::writeJson(json, report);
+    const std::string text = json.str();
+    EXPECT_NE(text.find("\"maxZ\""), std::string::npos);
+    EXPECT_NE(text.find("\"passed\":true"), std::string::npos);
+    EXPECT_NE(text.find("ffw-window"), std::string::npos);
+}
+
+} // namespace
+} // namespace voltcache

@@ -87,6 +87,27 @@ if ! grep -q 'ffw.recenter' "$sweep_trace" || ! grep -q 'bbr.fetch' "$sweep_trac
     exit 1
 fi
 
+echo "== analytic gate: MC sweep vs closed-form FFW/BBR models =="
+# The statistical oracle: a two-voltage sweep (including 400mV, where the
+# fault distributions carry real mass) must agree with the closed-form
+# models, and the JSON must carry the analytic block.
+gate_json="$build_dir/ci_analytic.json"
+"$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+    --scale tiny --mv 560,400 --analytic-check --json "$gate_json" > /dev/null
+if ! grep -q '"analytic"' "$gate_json"; then
+    echo "ci: FAIL — sweep JSON lacks the analytic cross-check block" >&2
+    exit 1
+fi
+# Negative control: deliberately doubling the sampled fault rate (while the
+# oracle keeps predicting from the physical model) must fail the gate.
+if "$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+    --scale tiny --mv 560,400 --analytic-check --corrupt-mapgen 2.0 > /dev/null 2>&1; then
+    echo "ci: FAIL — analytic gate accepted a corrupted fault-map generator" >&2
+    exit 1
+fi
+# The closed-form renderer must accept the full Table II grid.
+"$build_dir/tools/voltcache" model > /dev/null
+
 echo "== determinism smoke: sweep JSON identical across --threads 1/2/8 =="
 # The parallel executor reduces per-leg slots in canonical order, so the
 # export must be byte-identical for any worker count.

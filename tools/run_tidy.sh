@@ -5,9 +5,12 @@
 #   tools/run_tidy.sh [build-dir] [extra clang-tidy args...]
 #
 # The build dir must have a compile_commands.json; the script configures one
-# with CMAKE_EXPORT_COMPILE_COMMANDS=ON if it is missing. Exits 0 when no
-# findings remain, nonzero otherwise; exits 0 with a notice when clang-tidy
-# is not installed (CI images without LLVM skip the pass rather than fail).
+# with CMAKE_EXPORT_COMPILE_COMMANDS=ON if it is missing. The repo config
+# sets WarningsAsErrors to '*', so ANY finding from the enabled check groups
+# (bugprone-*, performance-*, concurrency-*, select modernize/readability)
+# makes this script exit nonzero — the tree must stay warning-free. Exits 0
+# with a notice when clang-tidy is not installed (CI images without LLVM
+# skip the pass rather than fail).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

@@ -13,14 +13,21 @@
 //   voltcache yield [--bits N] [--target 0.999]
 //       Vccmin of an N-bit structure at a yield target
 //   voltcache sweep [--trials N] [--benchmarks a,b,...] [--scale S]
-//             [--threads N] [--json FILE] [--trace FILE] [--profile FILE]
-//             [--progress] [--no-replay]
+//             [--threads N] [--mv V1,V2,...] [--json FILE] [--trace FILE]
+//             [--profile FILE] [--progress] [--no-replay] [--analytic-check]
+//             [--check-z Z] [--corrupt-mapgen SCALE]
 //       the Fig. 10/11/12 sweep, printed as one table; --json exports the
 //       full result (with CI half-widths and the forensics block), --trace
 //       a Chrome trace of the most recent events (open in Perfetto),
 //       --profile a self-profile (per-phase span self-times + metrics
 //       snapshot). --threads sets the worker count (0 = all cores); the
-//       result is bit-identical either way
+//       result is bit-identical either way. --analytic-check gates the MC
+//       estimates against the closed-form FFW/BBR models (nonzero exit on
+//       divergence); --corrupt-mapgen deliberately scales the sampled fault
+//       rate so the gate's negative control has something to catch
+//   voltcache model [--mv V1,V2,...] [--need WORDS] [--json FILE]
+//       render the closed-form FFW window / yield curves and BBR placement
+//       success probabilities (exact + provable bounds) without simulating
 //   voltcache profile <profile.json | sweep.json>
 //       human-readable rendering of a --profile artifact (span table) or a
 //       sweep export's forensics block
@@ -40,8 +47,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/scheme_model.h"
 #include "analysis/verify.h"
 #include "common/json_parse.h"
+#include "core/analytic_gate.h"
 #include "common/table.h"
 #include "common/version.h"
 #include "core/report.h"
@@ -77,7 +86,8 @@ Args parseArgs(int argc, char** argv, int first) {
         const std::string token = argv[i];
         if (token.rfind("--", 0) == 0 || token == "-o") {
             const std::string key = token == "-o" ? "out" : token.substr(2);
-            if (key == "bbr" || key == "progress" || key == "no-replay") { // boolean flags
+            if (key == "bbr" || key == "progress" || key == "no-replay" ||
+                key == "analytic-check") { // boolean flags
                 args.flags[key] = "1";
                 continue;
             }
@@ -138,6 +148,27 @@ void writeTextFile(const std::string& path, const std::string& content) {
     std::ofstream out(path);
     if (!out) throw std::runtime_error("cannot write '" + path + "'");
     out << content << "\n";
+}
+
+std::vector<std::string> splitCsv(const std::string& text) {
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? text.size() : comma;
+        if (end > pos) parts.push_back(text.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return parts;
+}
+
+/// Parse "560,520,400" into DVFS operating points (Table II lookup).
+std::vector<OperatingPoint> parseMvList(const std::string& text) {
+    std::vector<OperatingPoint> points;
+    for (const std::string& mv : splitCsv(text)) {
+        points.push_back(DvfsTable::at(Voltage::fromMillivolts(std::stod(mv))));
+    }
+    return points;
 }
 
 /// Parse run/stats leg flags shared by cmdRun and cmdStats.
@@ -311,14 +342,12 @@ int cmdSweep(const Args& args) {
     config.scale = parseScale(args.get("scale", "small"));
     config.maxInstructions = std::stoull(args.get("max-instructions", "0"));
     config.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
-    const std::string benchmarks = args.get("benchmarks", "");
-    std::size_t pos = 0;
-    while (pos < benchmarks.size()) {
-        const std::size_t comma = benchmarks.find(',', pos);
-        const std::size_t end = comma == std::string::npos ? benchmarks.size() : comma;
-        if (end > pos) config.benchmarks.push_back(benchmarks.substr(pos, end - pos));
-        pos = end + 1;
-    }
+    config.benchmarks = splitCsv(args.get("benchmarks", ""));
+    if (args.flags.contains("mv")) config.points = parseMvList(args.get("mv", ""));
+    // --corrupt-mapgen scales the sampled fault rate while the analytic
+    // check keeps predicting from the physical model: the gate's negative
+    // control (any value != 1 must make --analytic-check fail).
+    config.systemTemplate.faultRateScale = std::stod(args.get("corrupt-mapgen", "1"));
     config.useReplay = !args.flags.contains("no-replay");
     if (args.flags.contains("progress")) {
         // ETA from an EWMA of the sweep's legs/sec; ticks are serialized
@@ -390,6 +419,14 @@ int cmdSweep(const Args& args) {
     if (args.flags.contains("trace")) {
         writeTextFile(args.get("trace", ""), sink.toChromeJson());
     }
+
+    std::optional<analysis::CrosscheckReport> analytic;
+    if (args.flags.contains("analytic-check")) {
+        const double zThreshold = std::stod(args.get("check-z", "6"));
+        analytic = analyticCrosscheck(result, config, zThreshold);
+        std::fputs(analysis::formatReport(*analytic).c_str(), stdout);
+    }
+
     if (args.flags.contains("json")) {
         SweepExportMeta meta;
         meta.version = std::string(buildVersion());
@@ -400,13 +437,26 @@ int cmdSweep(const Args& args) {
         if (meta.benchmarks.empty()) {
             for (const auto& info : benchmarkList()) meta.benchmarks.emplace_back(info.name);
         }
+        if (analytic.has_value()) {
+            meta.extensions = [&analytic](JsonWriter& json) {
+                json.key("analytic");
+                analysis::writeJson(json, *analytic);
+            };
+        }
         writeTextFile(args.get("json", ""), sweepResultToJson(result, meta));
     }
 
     TextTable table({"scheme", "voltage", "norm runtime", "L2/1k", "norm EPI",
                      "yield losses"});
-    for (const SchemeKind scheme : paperSchemes()) {
-        for (const auto& point : DvfsTable::lowVoltagePoints()) {
+    const std::vector<SchemeKind> schemes =
+        config.schemes.empty() ? paperSchemes() : config.schemes;
+    std::vector<OperatingPoint> points = config.points;
+    if (points.empty()) {
+        const auto low = DvfsTable::lowVoltagePoints();
+        points.assign(low.begin(), low.end());
+    }
+    for (const SchemeKind scheme : schemes) {
+        for (const auto& point : points) {
             const SweepCell& cell = result.cell(scheme, point.voltage);
             table.addRow({std::string(schemeName(scheme)),
                           formatDouble(point.voltage.millivolts(), 0) + "mV",
@@ -417,6 +467,91 @@ int cmdSweep(const Args& args) {
         }
     }
     std::fputs(table.render().c_str(), stdout);
+    if (analytic.has_value() && !analytic->passed()) {
+        std::fprintf(stderr,
+                     "sweep FAILED the analytic cross-check (max z %.2f)\n",
+                     analytic->maxZ());
+        return 1;
+    }
+    return 0;
+}
+
+/// Render the closed-form FFW/BBR curves (no simulation): per-voltage word
+/// failure probability, FFW window pmf/mean and yield at every minimum
+/// window, and BBR placement success (exact + provable bounds) at the
+/// requested section size. `--json FILE` exports the same numbers.
+int cmdModel(const Args& args) {
+    const SystemConfig system; // default Table I geometry
+    const std::uint32_t lines = system.l1Org.lines();
+    const std::uint32_t wordsPerLine = system.l1Org.wordsPerBlock();
+    const auto need =
+        static_cast<std::uint32_t>(std::stoul(args.get("need", "12")));
+    const FailureModel model;
+
+    std::vector<OperatingPoint> points;
+    if (args.flags.contains("mv")) {
+        points = parseMvList(args.get("mv", ""));
+    } else {
+        const auto paper = DvfsTable::paperPoints();
+        points.assign(paper.begin(), paper.end());
+    }
+
+    TextTable table({"voltage", "p(word)", "E[window]", "yield w>=1", "yield w>=4",
+                     "P(place " + std::to_string(need) + "w)", "lower", "upper"});
+    JsonWriter json;
+    json.beginObject();
+    json.member("tool", "voltcache");
+    json.member("kind", "model");
+    json.member("version", buildVersion());
+    json.member("lines", lines);
+    json.member("wordsPerLine", wordsPerLine);
+    json.member("needWords", need);
+    json.key("points");
+    json.beginArray();
+    for (const OperatingPoint& point : points) {
+        const auto ffw =
+            analysis::FfwModel::at(model, point.voltage, lines, wordsPerLine);
+        const auto bbr =
+            analysis::BbrModel::at(model, point.voltage, lines * wordsPerLine);
+        table.addRow({formatDouble(point.voltage.millivolts(), 0) + "mV",
+                      formatDouble(ffw.pWord(), 9),
+                      formatDouble(ffw.meanWindowWords(), 4),
+                      formatDouble(ffw.yield(1), 6), formatDouble(ffw.yield(4), 6),
+                      formatDouble(bbr.placementSuccessExact(need), 6),
+                      formatDouble(bbr.placementSuccessLower(need), 6),
+                      formatDouble(bbr.placementSuccessUpper(need), 6)});
+        json.beginObject();
+        json.member("mv",
+                    static_cast<std::int64_t>(point.voltage.millivolts() + 0.5));
+        json.member("pWord", ffw.pWord());
+        json.key("ffw");
+        json.beginObject();
+        json.member("meanWindowWords", ffw.meanWindowWords());
+        json.key("windowPmf");
+        json.beginArray();
+        for (const double p : ffw.windowPmf()) json.value(p);
+        json.endArray();
+        json.key("yieldByMinWindow");
+        json.beginArray();
+        for (std::uint32_t w = 0; w <= wordsPerLine; ++w) json.value(ffw.yield(w));
+        json.endArray();
+        json.endObject();
+        json.key("bbr");
+        json.beginObject();
+        json.member("expectedTotalChunks", bbr.expectedTotalChunks());
+        json.member("placementSuccessExact", bbr.placementSuccessExact(need));
+        json.member("placementSuccessLower", bbr.placementSuccessLower(need));
+        json.member("placementSuccessUpper", bbr.placementSuccessUpper(need));
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    std::printf("analytic FFW/BBR models: %ux%u-word L1, section need %u words\n",
+                lines, wordsPerLine, need);
+    std::fputs(table.render().c_str(), stdout);
+    if (args.flags.contains("json")) writeTextFile(args.get("json", ""), json.str());
     return 0;
 }
 
@@ -614,10 +749,17 @@ int usage() {
                  "  faultmap [--mv V] [--seed N] [-o FILE]\n"
                  "  yield [--bits N] [--target Y]\n"
                  "  sweep [--trials N] [--benchmarks a,b,...] [--scale S] [--threads N]\n"
-                 "      [--max-instructions N] [--json FILE] [--trace FILE] [--progress]\n"
+                 "      [--max-instructions N] [--mv V1,V2,...] [--json FILE]\n"
+                 "      [--trace FILE] [--progress]\n"
                  "      [--profile FILE]  (self-profile: per-phase span times + metrics)\n"
                  "      [--no-replay]  (disable the record-once/replay-many fast path;\n"
                  "       results are bit-identical either way)\n"
+                 "      [--analytic-check] [--check-z Z]  (gate the MC result against\n"
+                 "       the closed-form FFW/BBR models; nonzero exit on divergence)\n"
+                 "      [--corrupt-mapgen SCALE]  (deliberately scale the sampled fault\n"
+                 "       rate — the analytic gate's negative control)\n"
+                 "  model [--mv V1,V2,...] [--need WORDS] [--json FILE]\n"
+                 "      (closed-form FFW/BBR curves, no simulation)\n"
                  "  profile <profile.json|sweep.json>  (render span times / forensics)\n"
                  "  list\n");
     return 2;
@@ -637,6 +779,7 @@ int main(int argc, char** argv) {
         if (command == "faultmap") return cmdFaultmap(args);
         if (command == "yield") return cmdYield(args);
         if (command == "sweep") return cmdSweep(args);
+        if (command == "model") return cmdModel(args);
         if (command == "profile") return cmdProfile(args);
         if (command == "list") return cmdList();
         return usage();
