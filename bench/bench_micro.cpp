@@ -394,6 +394,25 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
         metrics.push_back(metricOf("sweep.exec_legs_per_sec/threads1", rate));
     }
 
+    // The same serial execution-driven sweep with the telemetry plane
+    // explicitly disabled (no onProgress / onLegEvent hooks): guards the leg
+    // hot path — an unset hook must cost nothing, so this metric must track
+    // sweep.exec_legs_per_sec/threads1 release after release.
+    {
+        SweepConfig config = tinySweepConfig(1);
+        config.useReplay = false;
+        config.onProgress = nullptr;
+        config.onLegEvent = nullptr;
+        const auto legs = static_cast<double>(sweepLegCount(config));
+        RunningStats rate;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            benchmark::DoNotOptimize(runSweep(config));
+            rate.add(legs / secondsSince(start));
+        }
+        metrics.push_back(metricOf("sweep.exec_legs_per_sec/telemetry_off", rate));
+    }
+
     // Raw replaySystem() legs per second (FFW+BBR at 400mV — the most
     // expensive replayed leg: per-trial verified link + live predictor).
     {

@@ -1,0 +1,92 @@
+// Minimal POSIX TCP socket layer — the wire substrate of the live telemetry
+// plane (and, later, `voltcache serve`).
+//
+// Deliberately tiny and dependency-free: an RAII fd wrapper, a loopback
+// listener with a poll-based accept that a stop flag can unblock, a blocking
+// client connect, and a one-shot HTTP/1.1 GET helper for in-process scrape
+// tests and `voltcache top`. Everything binds/connects on 127.0.0.1 only —
+// the exporter is a local observability port, not an internet-facing server.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace voltcache::net {
+
+/// RAII file-descriptor wrapper. Move-only; closes on destruction.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) noexcept : fd_(fd) {}
+    ~Socket();
+    Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    void close() noexcept;
+
+    /// Write the whole buffer (retrying short writes, SIGPIPE suppressed).
+    /// Returns false if the peer went away.
+    bool sendAll(std::string_view data) noexcept;
+
+    /// Read until EOF or `maxBytes`, appending to `out`. Returns bytes read.
+    std::size_t recvAll(std::string& out, std::size_t maxBytes = 1 << 20);
+
+    /// Read until `delimiter` appears in `out` (headers), EOF, or `maxBytes`.
+    /// Returns true when the delimiter was seen.
+    bool recvUntil(std::string& out, std::string_view delimiter,
+                   std::size_t maxBytes = 64 * 1024);
+
+private:
+    int fd_ = -1;
+};
+
+/// Loopback TCP listener. Port 0 binds an ephemeral port; port() reports the
+/// actual one. accept() polls so a concurrent requestStop() unblocks it.
+class TcpListener {
+public:
+    /// Binds and listens on 127.0.0.1:port. Throws std::runtime_error on
+    /// failure (port in use, out of fds, ...).
+    explicit TcpListener(std::uint16_t port);
+    ~TcpListener() = default;
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Wait up to `timeout` for a connection. Returns an invalid Socket on
+    /// timeout or after requestStop().
+    [[nodiscard]] Socket accept(std::chrono::milliseconds timeout);
+
+    /// Make subsequent (and in-flight, within one poll period) accept()
+    /// calls return an invalid socket. Safe from any thread.
+    void requestStop() noexcept;
+    [[nodiscard]] bool stopping() const noexcept;
+
+private:
+    Socket listen_;
+    std::uint16_t port_ = 0;
+    std::atomic_bool stop_{false};
+};
+
+/// Blocking connect to 127.0.0.1:`port` (host names other than loopback
+/// aliases are rejected — the telemetry plane is local-only). Throws on
+/// failure.
+[[nodiscard]] Socket tcpConnect(const std::string& host, std::uint16_t port,
+                                std::chrono::milliseconds timeout);
+
+/// One-shot HTTP/1.1 GET. Returns the response body; throws
+/// std::runtime_error on connect failure or a non-200 status line.
+[[nodiscard]] std::string httpGet(const std::string& host, std::uint16_t port,
+                                  const std::string& path,
+                                  std::chrono::milliseconds timeout =
+                                      std::chrono::milliseconds(2000));
+
+} // namespace voltcache::net

@@ -27,6 +27,18 @@ namespace {
 
 int mv(Voltage v) { return static_cast<int>(std::lround(v.millivolts())); }
 
+std::uint64_t steadyNowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Leg-granular progress ticks are throttled to at most one per this period
+/// (~5 Hz), so a single-benchmark sweep still reports while it runs without
+/// turning the progress lock into a hot-path bottleneck.
+constexpr std::uint64_t kLegTickPeriodNs = 200'000'000;
+
 /// Chip seed: identical for every scheme and benchmark so comparisons are
 /// paired; distinct per (voltage, trial).
 std::uint64_t chipSeed(std::uint64_t base, int voltageMv, std::uint32_t trial) {
@@ -308,6 +320,24 @@ SweepResult runSweep(const SweepConfig& config) {
     const unsigned workers =
         std::min<unsigned>(requested, std::max<std::size_t>(legs.size(), 1));
 
+    // Leg lifecycle: every leg is announced once, in canonical order, from
+    // the coordinating thread before any worker starts.
+    if (config.onLegEvent) {
+        for (std::size_t i = 0; i < legs.size(); ++i) {
+            const Leg& leg = legs[i];
+            SweepLegEvent event;
+            event.phase = SweepLegEvent::Phase::Enqueued;
+            event.leg = i;
+            event.worker = 0;
+            event.benchmark = contexts[leg.benchmark].name;
+            event.scheme = schemes[leg.scheme];
+            event.voltageMv = mv(points[leg.point].voltage);
+            event.trial = leg.trial;
+            event.replayed = contexts[leg.benchmark].traces.canReplay(schemes[leg.scheme]);
+            config.onLegEvent(event);
+        }
+    }
+
     // --- Phase 3: workers pull legs and fill pre-sized slots. ---
     std::vector<LegMetrics> slots(legs.size());
     std::vector<std::exception_ptr> legErrors(legs.size());
@@ -342,15 +372,57 @@ SweepResult runSweep(const SweepConfig& config) {
         }
     };
 
+    // Leg-granular progress: completion-driven ticks, throttled so at most
+    // one fires per kLegTickPeriodNs across all workers (CAS claims the
+    // window). Pure observation — the sweep JSON stays byte-identical.
+    std::atomic<std::uint64_t> lastLegTickNs{steadyNowNs()};
+    const auto legTick = [&](unsigned workerCount) {
+        if (!config.onProgress) return;
+        const std::uint64_t now = steadyNowNs();
+        std::uint64_t last = lastLegTickNs.load(std::memory_order_relaxed);
+        if (now - last < kLegTickPeriodNs ||
+            !lastLegTickNs.compare_exchange_strong(last, now,
+                                                   std::memory_order_relaxed)) {
+            return;
+        }
+        const std::scoped_lock lock(progressMutex);
+        SweepProgress tick;
+        tick.boundary = false;
+        tick.completed = benchmarksCompleted;
+        tick.total = benchmarks.size();
+        tick.legsCompleted = legsCompleted.load(std::memory_order_relaxed);
+        tick.legsTotal = legs.size();
+        tick.legsReplayed = legsReplayed.load(std::memory_order_relaxed);
+        tick.legsExecuted = legsExecuted.load(std::memory_order_relaxed);
+        tick.workers = workerCount;
+        config.onProgress(tick);
+    };
+
     std::atomic<std::uint64_t> activeWorkers{0};
 
-    const auto runLeg = [&](std::size_t index, LegCounters& counters) {
+    const auto runLeg = [&](std::size_t index, unsigned workerId, LegCounters& counters) {
         activeWorkers.fetch_add(1, std::memory_order_relaxed);
         const Leg& leg = legs[index];
         const BenchmarkContext& ctx = contexts[leg.benchmark];
         const OperatingPoint& point = points[leg.point];
         const SchemeKind scheme = schemes[leg.scheme];
         const bool replayed = ctx.traces.canReplay(scheme);
+        const bool hooked = static_cast<bool>(config.onLegEvent);
+        SweepLegEvent event;
+        std::uint64_t startedNs = 0;
+        if (hooked) {
+            event.leg = index;
+            event.worker = workerId;
+            event.benchmark = ctx.name;
+            event.scheme = scheme;
+            event.voltageMv = mv(point.voltage);
+            event.trial = leg.trial;
+            event.replayed = replayed;
+            event.phase = SweepLegEvent::Phase::Started;
+            startedNs = steadyNowNs();
+            config.onLegEvent(event);
+        }
+        LegMetrics metrics; // hoisted so the Finished event can report the outcome
         try {
             SystemConfig sys = baseTemplate;
             sys.scheme = scheme;
@@ -370,7 +442,6 @@ SweepResult runSweep(const SweepConfig& config) {
                 replayed ? replaySystem(&ctx.bbrModule, sys, ctx.traces, chipMaps)
                          : simulateSystem(ctx.module, &ctx.bbrModule, sys, chipMaps);
 
-            LegMetrics metrics;
             metrics.linkFailed = res.linkFailed;
             metrics.forensics = res.forensics;
             if (!res.linkFailed) {
@@ -401,9 +472,18 @@ SweepResult runSweep(const SweepConfig& config) {
         counters.legDone(replayed);
         legsCompleted.fetch_add(1, std::memory_order_relaxed);
         (replayed ? legsReplayed : legsExecuted).fetch_add(1, std::memory_order_relaxed);
+        if (hooked) {
+            event.phase = SweepLegEvent::Phase::Finished;
+            event.durationNs = steadyNowNs() - startedNs;
+            event.linkFailed = metrics.linkFailed;
+            event.failCause = metrics.forensics.failCause;
+            config.onLegEvent(event);
+        }
         if (pendingPerBenchmark[leg.benchmark].fetch_sub(1, std::memory_order_acq_rel) ==
             1) {
             finishBenchmark(leg.benchmark);
+        } else {
+            legTick(workers);
         }
         activeWorkers.fetch_sub(1, std::memory_order_relaxed);
     };
@@ -427,18 +507,18 @@ SweepResult runSweep(const SweepConfig& config) {
     const auto started = std::chrono::steady_clock::now();
     if (workers <= 1) {
         LegCounters counters;
-        for (std::size_t i = 0; i < legs.size(); ++i) runLeg(i, counters);
+        for (std::size_t i = 0; i < legs.size(); ++i) runLeg(i, 0, counters);
     } else {
         std::atomic<std::size_t> next{0};
         std::vector<std::thread> team;
         team.reserve(workers);
         for (unsigned t = 0; t < workers; ++t) {
-            team.emplace_back([&] {
+            team.emplace_back([&, t] {
                 LegCounters counters;
                 while (true) {
                     const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
                     if (index >= legs.size()) return;
-                    runLeg(index, counters);
+                    runLeg(index, t, counters);
                 }
             });
         }

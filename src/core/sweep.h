@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.h"
@@ -28,18 +30,43 @@
 
 namespace voltcache {
 
-/// One progress tick of runSweep: a benchmark's legs all finished.
-/// Ticks fire in completion order (scheduling-dependent); the sweep result
-/// itself is deterministic regardless.
+/// One progress tick of runSweep. Boundary ticks fire when a benchmark's
+/// legs all finished (the original granularity); non-boundary ticks fire on
+/// leg completion, throttled to ~5 Hz, so even a single-benchmark sweep
+/// reports while it runs. Ticks fire in completion order
+/// (scheduling-dependent); the sweep result itself is deterministic
+/// regardless.
 struct SweepProgress {
     std::size_t completed = 0;     ///< benchmarks finished so far
     std::size_t total = 0;         ///< benchmarks in this sweep
-    std::string benchmark;         ///< the one that just finished
+    std::string benchmark;         ///< boundary ticks: the one that just finished
+    bool boundary = true;          ///< false = time-throttled leg tick
     std::size_t legsCompleted = 0; ///< legs finished so far, sweep-wide
     std::size_t legsTotal = 0;     ///< legs in this sweep
     std::size_t legsReplayed = 0;  ///< legs served by the trace-replay fast path
     std::size_t legsExecuted = 0;  ///< legs that ran execution-driven
     unsigned workers = 0;          ///< worker threads executing legs
+};
+
+/// One leg lifecycle transition, delivered to SweepConfig::onLegEvent.
+/// Enqueued events fire from the coordinating thread after the grid is
+/// flattened (before any leg runs); Started/Finished fire concurrently from
+/// worker threads, so the callback must be thread-safe and cheap — the
+/// telemetry journal pushes into per-worker SPSC rings (obs/export/journal).
+struct SweepLegEvent {
+    enum class Phase : std::uint8_t { Enqueued, Started, Finished };
+
+    Phase phase = Phase::Enqueued;
+    std::size_t leg = 0;           ///< canonical leg index
+    unsigned worker = 0;           ///< dense worker id; 0 for Enqueued events
+    std::string_view benchmark;    ///< valid only for the callback's duration
+    SchemeKind scheme = SchemeKind::DefectFree;
+    int voltageMv = 0;
+    std::uint32_t trial = 0;
+    bool replayed = false;         ///< served by the trace-replay fast path
+    std::uint64_t durationNs = 0;  ///< Finished only
+    bool linkFailed = false;       ///< Finished only
+    LinkFailCause failCause = LinkFailCause::None; ///< Finished only
 };
 
 struct SweepConfig {
@@ -65,9 +92,17 @@ struct SweepConfig {
     /// Per-trace payload cap in bytes; an overflowing benchmark logs once
     /// and runs execution-driven instead of holding an unbounded trace.
     std::uint64_t traceByteCap = 256ull << 20;
-    /// Invoked after each benchmark's last leg completes, serialized under
-    /// the progress lock (safe to print / write from). Empty = no reporting.
+    /// Invoked after each benchmark's last leg completes (boundary ticks)
+    /// and on leg completion at most every ~200ms (leg ticks), serialized
+    /// under the progress lock (safe to print / write from). Empty = no
+    /// reporting. Progress observation never changes the sweep result or
+    /// its JSON export.
     std::function<void(const SweepProgress&)> onProgress;
+    /// Leg lifecycle hook (telemetry journal). Enqueued fires from the
+    /// coordinator; Started/Finished fire concurrently from workers — the
+    /// callback must be thread-safe and must not block (drop, don't stall).
+    /// Empty = zero overhead on the leg hot path.
+    std::function<void(const SweepLegEvent&)> onLegEvent;
 };
 
 /// Aggregated results of one (scheme, voltage) cell.

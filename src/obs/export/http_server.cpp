@@ -1,0 +1,101 @@
+#include "obs/export/http_server.h"
+
+#include <chrono>
+
+namespace voltcache::obs {
+
+namespace {
+
+const char* reasonPhrase(int status) {
+    switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 400: return "Bad Request";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+    }
+}
+
+std::string renderResponse(const HttpServer::Response& response) {
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
+                      reasonPhrase(response.status) + "\r\n";
+    out += "Content-Type: " + response.contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    return out;
+}
+
+} // namespace
+
+HttpServer::HttpServer(std::uint16_t port) : listener_(port) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(std::string path, Handler handler) {
+    routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::start() {
+    thread_ = std::thread([this] { run(); });
+}
+
+void HttpServer::stop() {
+    listener_.requestStop();
+    if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::run() {
+    while (!listener_.stopping()) {
+        net::Socket client = listener_.accept(std::chrono::milliseconds(100));
+        if (!client.valid()) continue;
+        handle(client);
+        served_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void HttpServer::handle(net::Socket& client) {
+    std::string request;
+    Response response;
+    if (!client.recvUntil(request, "\r\n\r\n")) {
+        response = {400, "text/plain; charset=utf-8", "malformed request\n"};
+        client.sendAll(renderResponse(response));
+        return;
+    }
+    // Request line: METHOD SP PATH SP VERSION.
+    const std::size_t methodEnd = request.find(' ');
+    const std::size_t pathEnd =
+        methodEnd == std::string::npos ? std::string::npos
+                                       : request.find(' ', methodEnd + 1);
+    if (methodEnd == std::string::npos || pathEnd == std::string::npos) {
+        response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
+        client.sendAll(renderResponse(response));
+        return;
+    }
+    const std::string method = request.substr(0, methodEnd);
+    std::string path = request.substr(methodEnd + 1, pathEnd - methodEnd - 1);
+    if (const std::size_t query = path.find('?'); query != std::string::npos) {
+        path.resize(query);
+    }
+    if (method != "GET") {
+        response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+        client.sendAll(renderResponse(response));
+        return;
+    }
+    const auto it = routes_.find(path);
+    if (it == routes_.end()) {
+        response = {404, "text/plain; charset=utf-8", "no such route: " + path + "\n"};
+        client.sendAll(renderResponse(response));
+        return;
+    }
+    try {
+        response = it->second();
+    } catch (const std::exception& e) {
+        response = {500, "text/plain; charset=utf-8",
+                    std::string("handler error: ") + e.what() + "\n"};
+    }
+    client.sendAll(renderResponse(response));
+}
+
+} // namespace voltcache::obs

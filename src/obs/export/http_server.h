@@ -1,0 +1,70 @@
+// Minimal blocking-accept HTTP/1.1 server for the telemetry plane.
+//
+// One dedicated exporter thread accepts loopback connections and serves
+// exact-path GET routes, one request per connection (`Connection: close`).
+// Handlers run on the exporter thread and build their response from scratch
+// per request — each scrape gets its own registry snapshot, so concurrent
+// scrapers are isolated from each other and from the sweep's hot path (the
+// workers never block on the exporter; the exporter only takes the registry
+// snapshot lock).
+//
+// This is deliberately the smallest server that Prometheus and `voltcache
+// top` can talk to; `voltcache serve` will grow its own protocol on the same
+// socket layer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/socket.h"
+
+namespace voltcache::obs {
+
+class HttpServer {
+public:
+    struct Response {
+        int status = 200;
+        std::string contentType = "text/plain; charset=utf-8";
+        std::string body;
+    };
+    /// Called on the exporter thread with the request path (query stripped).
+    using Handler = std::function<Response()>;
+
+    /// Binds 127.0.0.1:`port` (0 = ephemeral). Register routes, then start().
+    explicit HttpServer(std::uint16_t port);
+    ~HttpServer();
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Register an exact-match GET route ("/metrics"). Not thread-safe with
+    /// respect to start(); register everything first.
+    void route(std::string path, Handler handler);
+
+    /// Launch the exporter thread.
+    void start();
+
+    /// Stop accepting and join the exporter thread (idempotent; also run by
+    /// the destructor).
+    void stop();
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+    /// Requests answered so far (any status).
+    [[nodiscard]] std::uint64_t requestsServed() const noexcept {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void run();
+    void handle(net::Socket& client);
+
+    net::TcpListener listener_;
+    std::map<std::string, Handler> routes_;
+    std::thread thread_;
+    std::atomic<std::uint64_t> served_{0};
+};
+
+} // namespace voltcache::obs

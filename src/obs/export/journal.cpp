@@ -1,0 +1,163 @@
+#include "obs/export/journal.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace voltcache::obs {
+
+namespace {
+
+void copyTruncated(char* dest, std::size_t capacity, std::string_view src) noexcept {
+    const std::size_t n = std::min(src.size(), capacity - 1);
+    std::memcpy(dest, src.data(), n);
+    dest[n] = '\0';
+}
+
+const char* phaseName(JournalEvent::Phase phase) {
+    switch (phase) {
+    case JournalEvent::Phase::Enqueued: return "enqueued";
+    case JournalEvent::Phase::Started: return "started";
+    case JournalEvent::Phase::Finished: return "finished";
+    }
+    return "?";
+}
+
+} // namespace
+
+void JournalEvent::setBenchmark(std::string_view name) noexcept {
+    copyTruncated(benchmark, sizeof benchmark, name);
+}
+
+void JournalEvent::setScheme(std::string_view name) noexcept {
+    copyTruncated(scheme, sizeof scheme, name);
+}
+
+void JournalEvent::setFailCause(std::string_view name) noexcept {
+    copyTruncated(failCause, sizeof failCause, name);
+}
+
+namespace detail {
+
+SpscEventRing::SpscEventRing(std::size_t capacityPow2)
+    : slots_(capacityPow2), mask_(capacityPow2 - 1) {}
+
+bool SpscEventRing::tryPush(const JournalEvent& event) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) return false; // full
+    slots_[tail & mask_] = event;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+}
+
+bool SpscEventRing::tryPop(JournalEvent& event) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false; // empty
+    event = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+}
+
+} // namespace detail
+
+LegJournal::LegJournal(const std::string& path, std::size_t producers,
+                       std::size_t ringCapacity, bool autoDrain)
+    : out_(path), epoch_(std::chrono::steady_clock::now()),
+      droppedCounter_(MetricsRegistry::global().counter("journal.dropped")),
+      eventCounter_(MetricsRegistry::global().counter("journal.events")) {
+    if (!out_) throw std::runtime_error("LegJournal: cannot write '" + path + "'");
+    if (producers == 0) producers = 1;
+    const std::size_t capacity = std::bit_ceil(std::max<std::size_t>(ringCapacity, 2));
+    rings_.reserve(producers);
+    sequences_.reserve(producers);
+    for (std::size_t i = 0; i < producers; ++i) {
+        rings_.push_back(std::make_unique<detail::SpscEventRing>(capacity));
+        sequences_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    }
+    if (autoDrain) {
+        drainer_ = std::thread([this] {
+            while (!stop_.load(std::memory_order_acquire)) {
+                if (drainOnce() == 0) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                }
+            }
+        });
+    }
+}
+
+LegJournal::~LegJournal() { close(); }
+
+void LegJournal::emit(std::size_t producer, JournalEvent event) noexcept {
+    if (producer >= rings_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        droppedCounter_.add();
+        return;
+    }
+    event.timestampNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    event.sequence = sequences_[producer]->fetch_add(1, std::memory_order_relaxed);
+    if (!rings_[producer]->tryPush(event)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        droppedCounter_.add();
+        return;
+    }
+    eventCounter_.add();
+}
+
+std::size_t LegJournal::drainOnce() {
+    std::size_t drained = 0;
+    JournalEvent event;
+    for (const auto& ring : rings_) {
+        while (ring->tryPop(event)) {
+            writeLine(event);
+            ++drained;
+        }
+    }
+    if (drained != 0) out_.flush();
+    return drained;
+}
+
+void LegJournal::close() {
+    if (closed_) return;
+    closed_ = true;
+    stop_.store(true, std::memory_order_release);
+    if (drainer_.joinable()) drainer_.join();
+    drainOnce();
+    out_.flush();
+}
+
+void LegJournal::writeLine(const JournalEvent& event) {
+    out_ << journalEventToJson(event) << '\n';
+    written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string journalEventToJson(const JournalEvent& event) {
+    JsonWriter json;
+    json.beginObject();
+    json.member("ev", phaseName(event.phase));
+    json.member("seq", event.sequence);
+    json.member("tNs", event.timestampNs);
+    json.member("leg", event.leg);
+    json.member("worker", event.worker);
+    json.member("benchmark", std::string_view(event.benchmark));
+    json.member("scheme", std::string_view(event.scheme));
+    json.member("mv", static_cast<std::int64_t>(event.voltageMv));
+    json.member("trial", event.trial);
+    json.member("replay", event.replayed);
+    if (event.phase == JournalEvent::Phase::Finished) {
+        json.member("durationNs", event.durationNs);
+        json.member("outcome", event.linkFailed ? "link_failed" : "ok");
+        json.member("cause", std::string_view(event.failCause));
+    }
+    json.endObject();
+    return json.str();
+}
+
+} // namespace voltcache::obs

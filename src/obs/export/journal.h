@@ -1,0 +1,131 @@
+// Bounded, lock-light NDJSON leg journal.
+//
+// One event per leg lifecycle transition (enqueued / started / finished).
+// Producers — the sweep coordinator and each worker thread — push fixed-size
+// POD events into their own single-producer/single-consumer ring; a drainer
+// thread pops every ring in order and serializes each event as one JSON line.
+// The hot path is therefore two relaxed atomic loads, a slot write, and a
+// release store — no mutex, no allocation, no syscall. When a ring is full
+// the event is *dropped, not blocked on*: the sweep must never stall on the
+// observer. Drops are accounted per journal (dropped()) and process-wide
+// ("journal.dropped" registry counter), so a saturated journal is visible in
+// the same /metrics endpoint it starves.
+//
+// Per-producer event order is preserved end-to-end (SPSC FIFO + in-order
+// drain); events from different producers interleave arbitrarily, which is
+// why every line carries its worker id and a per-producer sequence number.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace voltcache::obs {
+
+/// Fixed-size leg lifecycle event. Strings are truncating copies so the
+/// ring slots stay POD (no allocation on the producer path).
+struct JournalEvent {
+    enum class Phase : std::uint8_t { Enqueued, Started, Finished };
+
+    Phase phase = Phase::Enqueued;
+    std::uint32_t leg = 0;     ///< canonical leg index
+    std::uint32_t worker = 0;  ///< dense worker id (coordinator events: 0)
+    char benchmark[24] = {};
+    char scheme[24] = {};
+    std::int32_t voltageMv = 0;
+    std::uint32_t trial = 0;
+    bool replayed = false;          ///< served by the trace-replay fast path
+    bool linkFailed = false;        ///< Finished only
+    char failCause[16] = {};        ///< Finished only ("none" when healthy)
+    std::uint64_t durationNs = 0;   ///< Finished only
+    std::uint64_t timestampNs = 0;  ///< stamped at emit(), relative to journal epoch
+    std::uint64_t sequence = 0;     ///< per-producer, stamped at emit()
+
+    /// Truncating copy helpers for the two name fields.
+    void setBenchmark(std::string_view name) noexcept;
+    void setScheme(std::string_view name) noexcept;
+    void setFailCause(std::string_view name) noexcept;
+};
+
+namespace detail {
+
+/// Single-producer / single-consumer bounded ring of JournalEvents.
+class SpscEventRing {
+public:
+    explicit SpscEventRing(std::size_t capacityPow2);
+    [[nodiscard]] bool tryPush(const JournalEvent& event) noexcept; ///< producer
+    [[nodiscard]] bool tryPop(JournalEvent& event) noexcept;        ///< consumer
+
+private:
+    std::vector<JournalEvent> slots_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::uint64_t> head_{0}; ///< next pop
+    alignas(64) std::atomic<std::uint64_t> tail_{0}; ///< next push
+};
+
+} // namespace detail
+
+class LegJournal {
+public:
+    /// Opens `path` for writing and sizes one ring per producer. Producer 0
+    /// is conventionally the sweep coordinator (enqueue events); workers use
+    /// 1 + workerId. `ringCapacity` is rounded up to a power of two.
+    /// `autoDrain=false` skips the drainer thread — tests drive drainOnce()
+    /// by hand to make overflow accounting deterministic.
+    LegJournal(const std::string& path, std::size_t producers,
+               std::size_t ringCapacity = 4096, bool autoDrain = true);
+    ~LegJournal();
+    LegJournal(const LegJournal&) = delete;
+    LegJournal& operator=(const LegJournal&) = delete;
+
+    /// Producer side: stamp timestamp + sequence and push. A full ring (or an
+    /// out-of-range producer index) drops the event and bumps the counters.
+    void emit(std::size_t producer, JournalEvent event) noexcept;
+
+    /// Pop-and-write everything currently queued; returns events written.
+    /// The drainer thread calls this continuously; with autoDrain=false the
+    /// owner does.
+    std::size_t drainOnce();
+
+    /// Stop the drainer, perform a final drain, and flush the file.
+    /// Idempotent; also run by the destructor.
+    void close();
+
+    [[nodiscard]] std::size_t producers() const noexcept { return rings_.size(); }
+    [[nodiscard]] std::uint64_t written() const noexcept {
+        return written_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t dropped() const noexcept {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void writeLine(const JournalEvent& event);
+
+    std::ofstream out_;
+    std::vector<std::unique_ptr<detail::SpscEventRing>> rings_;
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> sequences_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<std::uint64_t> written_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    Counter droppedCounter_; ///< "journal.dropped" in the global registry
+    Counter eventCounter_;   ///< "journal.events"
+    std::atomic_bool stop_{false};
+    bool closed_ = false;
+    std::thread drainer_;
+};
+
+/// Serialize one event as its NDJSON line (no trailing newline) — exposed
+/// for tests and for `voltcache top`'s journal tailing.
+[[nodiscard]] std::string journalEventToJson(const JournalEvent& event);
+
+} // namespace voltcache::obs

@@ -1,0 +1,187 @@
+#include "obs/export/prometheus.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace voltcache::obs {
+
+namespace {
+
+bool validNameChar(char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+                       c == ':';
+    if (first) return alpha;
+    return alpha || (c >= '0' && c <= '9');
+}
+
+void appendDouble(std::string& out, double v) {
+    if (std::isnan(v)) {
+        out += "NaN";
+        return;
+    }
+    if (std::isinf(v)) {
+        out += v > 0 ? "+Inf" : "-Inf";
+        return;
+    }
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, ptr);
+}
+
+void appendLabels(std::string& out, const LabelList& labels,
+                  std::string_view extraKey = {}, std::string_view extraValue = {}) {
+    if (labels.empty() && extraKey.empty()) return;
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += prometheusLabelName(k);
+        out += "=\"";
+        out += prometheusEscapeLabel(v);
+        out += '"';
+    }
+    if (!extraKey.empty()) {
+        if (!first) out += ',';
+        out += extraKey;
+        out += "=\"";
+        out += extraValue;
+        out += '"';
+    }
+    out += '}';
+}
+
+const char* typeName(MetricKind kind) {
+    switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+/// Inclusive integer upper bound of log2 bucket `b` (values in [2^(b-1), 2^b)).
+std::uint64_t bucketUpperBound(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << b) - 1;
+}
+
+} // namespace
+
+std::string prometheusName(std::string_view name) {
+    std::string out = "voltcache_";
+    for (char c : name) {
+        out += validNameChar(c, false) ? c : '_';
+    }
+    if (out.size() > 10 && !validNameChar(out[10], true)) out[10] = '_';
+    return out;
+}
+
+std::string prometheusLabelName(std::string_view name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        // Label names are [a-zA-Z_][a-zA-Z0-9_]* — no ':' and no namespace
+        // prefix (that convention applies to metric names only).
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        c == '_' || (!out.empty() && c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    if (out.empty()) out = "_";
+    return out;
+}
+
+std::string prometheusEscapeHelp(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string prometheusEscapeLabel(std::string_view value) {
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string renderPrometheus(const std::vector<MetricSnapshot>& snapshot) {
+    std::string out;
+    out.reserve(snapshot.size() * 96);
+    std::string lastHeader; // HELP/TYPE emitted once per exposition name
+    for (const MetricSnapshot& snap : snapshot) {
+        std::string base = prometheusName(snap.name);
+        if (snap.kind == MetricKind::Counter) base += "_total";
+        if (base != lastHeader) {
+            out += "# HELP " + base + " voltcache metric '" +
+                   prometheusEscapeHelp(snap.name) + "'\n";
+            out += "# TYPE " + base + ' ';
+            out += typeName(snap.kind);
+            out += '\n';
+            lastHeader = base;
+        }
+        switch (snap.kind) {
+        case MetricKind::Counter:
+            out += base;
+            appendLabels(out, snap.labels);
+            out += ' ';
+            out += std::to_string(snap.count);
+            out += '\n';
+            break;
+        case MetricKind::Gauge:
+            out += base;
+            appendLabels(out, snap.labels);
+            out += ' ';
+            appendDouble(out, snap.value);
+            out += '\n';
+            break;
+        case MetricKind::Histogram: {
+            std::uint64_t cumulative = 0;
+            for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+                cumulative += snap.buckets[b];
+                out += base + "_bucket";
+                appendLabels(out, snap.labels, "le",
+                             std::to_string(bucketUpperBound(b)));
+                out += ' ';
+                out += std::to_string(cumulative);
+                out += '\n';
+            }
+            out += base + "_bucket";
+            appendLabels(out, snap.labels, "le", "+Inf");
+            out += ' ';
+            out += std::to_string(snap.count);
+            out += '\n';
+            out += base + "_sum";
+            appendLabels(out, snap.labels);
+            out += ' ';
+            out += std::to_string(snap.sum);
+            out += '\n';
+            out += base + "_count";
+            appendLabels(out, snap.labels);
+            out += ' ';
+            out += std::to_string(snap.count);
+            out += '\n';
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+} // namespace voltcache::obs

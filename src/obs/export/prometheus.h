@@ -1,0 +1,45 @@
+// Prometheus text-exposition renderer over MetricsRegistry::snapshot().
+//
+// Maps the registry's three kinds onto the exposition format version 0.0.4:
+//   counter   -> `voltcache_<name>_total` with a TYPE/HELP header
+//   gauge     -> `voltcache_<name>`
+//   histogram -> cumulative `_bucket{le="..."}` series derived from the
+//                registry's log2 buckets (bucket b holds integer values in
+//                [2^(b-1), 2^b), so its inclusive upper bound is 2^b - 1),
+//                plus `_sum`, `_count`, and the mandatory `le="+Inf"` bucket.
+//
+// Output is deterministic: families render in snapshot order (the registry
+// sorts by name + labels), labels render in registration order with `le`
+// last, and HELP/TYPE headers are emitted once per metric name. Everything
+// is escaped per the exposition rules (backslash, newline — plus the double
+// quote inside label values).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace voltcache::obs {
+
+/// Sanitize a dotted registry name into a Prometheus metric name:
+/// `sweep.legs` -> `voltcache_sweep_legs` (invalid chars become '_').
+[[nodiscard]] std::string prometheusName(std::string_view name);
+
+/// Sanitize a label key into a Prometheus label name — no namespace prefix
+/// (that convention applies to metric names only), no ':' allowed.
+[[nodiscard]] std::string prometheusLabelName(std::string_view name);
+
+/// Escape a HELP text: backslash and newline.
+[[nodiscard]] std::string prometheusEscapeHelp(std::string_view text);
+
+/// Escape a label value: backslash, double quote, and newline.
+[[nodiscard]] std::string prometheusEscapeLabel(std::string_view value);
+
+/// Render a full snapshot as one exposition document (trailing newline
+/// included). Safe to call on a live registry — the snapshot is already a
+/// coherent copy, so each scrape is isolated from concurrent updates.
+[[nodiscard]] std::string renderPrometheus(const std::vector<MetricSnapshot>& snapshot);
+
+} // namespace voltcache::obs

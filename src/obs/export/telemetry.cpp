@@ -1,0 +1,152 @@
+#include "obs/export/telemetry.h"
+
+#include <chrono>
+
+#include "common/json.h"
+#include "obs/export/prometheus.h"
+#include "obs/span.h"
+
+namespace voltcache::obs {
+
+namespace {
+
+std::uint64_t nowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ProgressBoard::ProgressBoard() : startNs_(nowNs()), lastTickNs_(startNs_) {}
+
+void ProgressBoard::update(const Tick& tick) {
+    const std::uint64_t now = nowNs();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // EWMA of the instantaneous legs/s between ticks: robust to the bursty
+    // tick cadence (leg ticks are throttled, boundary ticks are not).
+    if (tick.legsCompleted > lastTickLegs_ && now > lastTickNs_) {
+        const double instantaneous =
+            static_cast<double>(tick.legsCompleted - lastTickLegs_) /
+            (static_cast<double>(now - lastTickNs_) * 1e-9);
+        ewmaLegsPerSec_ = ewmaLegsPerSec_ == 0.0
+                              ? instantaneous
+                              : 0.7 * ewmaLegsPerSec_ + 0.3 * instantaneous;
+        lastTickNs_ = now;
+        lastTickLegs_ = tick.legsCompleted;
+    }
+    latest_ = tick;
+}
+
+void ProgressBoard::finish() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+}
+
+double ProgressBoard::ewmaLegsPerSec() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ewmaLegsPerSec_;
+}
+
+std::string ProgressBoard::toJson() {
+    // Snapshot the registry before taking the board lock (the registry has
+    // its own lock; never hold both in the other order anywhere).
+    TimedMetricsSnapshot fresh = MetricsRegistry::global().snapshotTimed();
+    const std::vector<SpanStat> spans = Profiler::snapshot();
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricRate> rates;
+    if (prevScrape_.has_value()) rates = metricsDelta(*prevScrape_, fresh);
+    prevScrape_ = std::move(fresh);
+
+    const std::uint64_t now = nowNs();
+    JsonWriter json;
+    json.beginObject();
+    json.member("tool", "voltcache");
+    json.member("kind", "progress");
+    json.member("done", done_);
+    json.member("elapsedSeconds", static_cast<double>(now - startNs_) * 1e-9);
+    json.key("benchmarks");
+    json.beginObject();
+    json.member("completed", static_cast<std::uint64_t>(latest_.benchmarksCompleted));
+    json.member("total", static_cast<std::uint64_t>(latest_.benchmarksTotal));
+    json.member("latest", latest_.benchmark);
+    json.endObject();
+    json.key("legs");
+    json.beginObject();
+    json.member("completed", static_cast<std::uint64_t>(latest_.legsCompleted));
+    json.member("total", static_cast<std::uint64_t>(latest_.legsTotal));
+    json.member("replayed", static_cast<std::uint64_t>(latest_.legsReplayed));
+    json.member("executed", static_cast<std::uint64_t>(latest_.legsExecuted));
+    json.endObject();
+    json.member("workers", latest_.workers);
+    json.member("ewmaLegsPerSec", ewmaLegsPerSec_);
+    if (ewmaLegsPerSec_ > 0.0 && latest_.legsTotal >= latest_.legsCompleted) {
+        json.member("etaSeconds",
+                    static_cast<double>(latest_.legsTotal - latest_.legsCompleted) /
+                        ewmaLegsPerSec_);
+    } else {
+        json.key("etaSeconds");
+        json.null();
+    }
+    // Per-phase span attribution (empty unless the profiler is enabled).
+    json.key("spans");
+    json.beginArray();
+    std::uint64_t totalSelfNs = 0;
+    for (const SpanStat& span : spans) totalSelfNs += span.selfNs;
+    for (const SpanStat& span : spans) {
+        json.beginObject();
+        json.member("name", span.name);
+        json.member("count", span.count);
+        json.member("totalNs", span.totalNs);
+        json.member("selfNs", span.selfNs);
+        json.member("selfFrac", totalSelfNs == 0
+                                    ? 0.0
+                                    : static_cast<double>(span.selfNs) /
+                                          static_cast<double>(totalSelfNs));
+        json.endObject();
+    }
+    json.endArray();
+    // Counter rates since the previous /progress scrape (first scrape: []).
+    json.key("rates");
+    json.beginArray();
+    for (const MetricRate& rate : rates) {
+        json.beginObject();
+        json.member("name", rate.name);
+        json.key("labels");
+        json.beginObject();
+        for (const auto& [k, v] : rate.labels) json.member(k, v);
+        json.endObject();
+        json.member("delta", rate.delta);
+        json.member("perSec", rate.perSec);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+TelemetryServer::TelemetryServer(std::uint16_t port, ProgressBoard& board)
+    : server_(port) {
+    server_.route("/metrics", [] {
+        HttpServer::Response response;
+        response.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = renderPrometheus(MetricsRegistry::global().snapshot());
+        return response;
+    });
+    server_.route("/progress", [&board] {
+        HttpServer::Response response;
+        response.contentType = "application/json";
+        response.body = board.toJson();
+        return response;
+    });
+    server_.route("/healthz", [] {
+        HttpServer::Response response;
+        response.body = "ok\n";
+        return response;
+    });
+    server_.start();
+}
+
+} // namespace voltcache::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <deque>
 #include <unordered_map>
 
@@ -165,6 +166,52 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
     // families_ is keyed by name + sorted labels, so iteration is already
     // deterministic; keep the order.
     return out;
+}
+
+TimedMetricsSnapshot MetricsRegistry::snapshotTimed() const {
+    TimedMetricsSnapshot timed;
+    timed.monotonicNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    timed.metrics = snapshot();
+    return timed;
+}
+
+std::vector<MetricRate> MetricsRegistry::snapshotDelta(TimedMetricsSnapshot& prev) const {
+    TimedMetricsSnapshot now = snapshotTimed();
+    std::vector<MetricRate> rates = metricsDelta(prev, now);
+    prev = std::move(now);
+    return rates;
+}
+
+std::vector<MetricRate> metricsDelta(const TimedMetricsSnapshot& prev,
+                                     const TimedMetricsSnapshot& now) {
+    const double seconds =
+        now.monotonicNs > prev.monotonicNs
+            ? static_cast<double>(now.monotonicNs - prev.monotonicNs) * 1e-9
+            : 0.0;
+    // Both snapshots are (name, labels)-sorted, so a single map over prev
+    // resolves matches; the delta list keeps now's deterministic order.
+    std::map<std::pair<std::string, LabelList>, std::uint64_t> before;
+    for (const MetricSnapshot& snap : prev.metrics) {
+        if (snap.kind == MetricKind::Gauge) continue;
+        before.emplace(std::make_pair(snap.name, snap.labels), snap.count);
+    }
+    std::vector<MetricRate> rates;
+    rates.reserve(now.metrics.size());
+    for (const MetricSnapshot& snap : now.metrics) {
+        if (snap.kind == MetricKind::Gauge) continue;
+        MetricRate rate;
+        rate.name = snap.name;
+        rate.labels = snap.labels;
+        const auto it = before.find(std::make_pair(snap.name, snap.labels));
+        const std::uint64_t was = it != before.end() ? it->second : 0;
+        rate.delta = snap.count > was ? snap.count - was : 0;
+        rate.perSec = seconds > 0.0 ? static_cast<double>(rate.delta) / seconds : 0.0;
+        rates.push_back(std::move(rate));
+    }
+    return rates;
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -125,6 +125,28 @@ struct MetricSnapshot {
     std::vector<std::uint64_t> buckets;   ///< histogram log2 buckets (trimmed)
 };
 
+/// A snapshot stamped with the steady clock, so two of them turn cumulative
+/// counters into rates (legs/s, faults/s) without scrapers re-deriving dt.
+struct TimedMetricsSnapshot {
+    std::uint64_t monotonicNs = 0;        ///< steady_clock at snapshot time
+    std::vector<MetricSnapshot> metrics;
+};
+
+/// Per-family rate between two timed snapshots (counters and histogram
+/// sample counts; gauges have no meaningful rate and are skipped).
+struct MetricRate {
+    std::string name;
+    LabelList labels;
+    std::uint64_t delta = 0; ///< count increase from prev to now
+    double perSec = 0.0;     ///< delta / elapsed seconds
+};
+
+/// Rates for every counter/histogram family present in `now`. Families
+/// absent from `prev` rate from zero; a counter that went backwards (e.g.
+/// prev from another registry) clamps to zero rather than going negative.
+[[nodiscard]] std::vector<MetricRate> metricsDelta(const TimedMetricsSnapshot& prev,
+                                                   const TimedMetricsSnapshot& now);
+
 class MetricsRegistry {
 public:
     MetricsRegistry();
@@ -148,6 +170,13 @@ public:
     /// Merge all per-thread shards into a deterministic (name, labels)-sorted
     /// list. Concurrent updates are tolerated (relaxed reads).
     [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+    /// snapshot() stamped with the steady clock.
+    [[nodiscard]] TimedMetricsSnapshot snapshotTimed() const;
+
+    /// Rates since `prev`, advancing `prev` to the fresh snapshot — the
+    /// exporter's scrape-to-scrape delta in one call.
+    [[nodiscard]] std::vector<MetricRate> snapshotDelta(TimedMetricsSnapshot& prev) const;
 
     /// Process-wide registry used by the built-in instrumentation.
     [[nodiscard]] static MetricsRegistry& global();

@@ -1,0 +1,427 @@
+// Tests for the live telemetry plane: the Prometheus text-exposition
+// renderer (names, escaping, log2 -> cumulative `le` buckets, deterministic
+// ordering), the HTTP exporter, the bounded NDJSON leg journal (per-producer
+// ordering + drop accounting under a saturated ring), metrics deltas, and a
+// live in-process scrape against a real running sweep — which also proves
+// that attaching the whole plane leaves the sweep JSON byte-identical.
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json_parse.h"
+#include "common/socket.h"
+#include "core/report.h"
+#include "core/sweep.h"
+#include "obs/export/http_server.h"
+#include "obs/export/journal.h"
+#include "obs/export/prometheus.h"
+#include "obs/export/telemetry.h"
+#include "obs/metrics.h"
+#include "power/dvfs.h"
+
+namespace voltcache {
+namespace {
+
+using literals::operator""_mV;
+using obs::LabelList;
+using obs::MetricKind;
+using obs::MetricSnapshot;
+
+std::string tempPath(const char* stem) {
+    return testing::TempDir() + stem;
+}
+
+// ---- Prometheus renderer ----
+
+TEST(Prometheus, NameSanitization) {
+    EXPECT_EQ(obs::prometheusName("sweep.legs_per_sec"),
+              "voltcache_sweep_legs_per_sec");
+    EXPECT_EQ(obs::prometheusName("l1d.faulty-words"), "voltcache_l1d_faulty_words");
+    // A leading digit after the prefix is still a valid exposition name, but
+    // sanitize anything that is not [a-zA-Z0-9_:].
+    EXPECT_EQ(obs::prometheusName("a b"), "voltcache_a_b");
+    EXPECT_EQ(obs::prometheusLabelName("mv"), "mv");
+    EXPECT_EQ(obs::prometheusLabelName("fail.cause"), "fail_cause");
+    // Label names may not start with a digit and never take the namespace
+    // prefix.
+    EXPECT_EQ(obs::prometheusLabelName("9lives"), "_lives");
+}
+
+TEST(Prometheus, LabelValueEscaping) {
+    EXPECT_EQ(obs::prometheusEscapeLabel("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(obs::prometheusEscapeHelp("slash \\ newline \n"),
+              "slash \\\\ newline \\n");
+}
+
+TEST(Prometheus, CounterRendering) {
+    std::vector<MetricSnapshot> snapshot(1);
+    snapshot[0].name = "bbr.fetch_misses";
+    snapshot[0].labels = {{"scheme", "ffw+bbr"}, {"mv", "400"}};
+    snapshot[0].kind = MetricKind::Counter;
+    snapshot[0].count = 42;
+    const std::string text = obs::renderPrometheus(snapshot);
+    EXPECT_NE(text.find("# HELP voltcache_bbr_fetch_misses_total "
+                        "voltcache metric 'bbr.fetch_misses'\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE voltcache_bbr_fetch_misses_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_bbr_fetch_misses_total"
+                        "{scheme=\"ffw+bbr\",mv=\"400\"} 42\n"),
+              std::string::npos);
+}
+
+// Hand-computed log2 -> cumulative `le` mapping: observations {0,1,2,3,8}.
+// Bucket 0 holds 0; bucket b>0 holds [2^(b-1), 2^b), so the inclusive upper
+// bounds are 0, 1, 3, 7, 15, ... and the cumulative counts must be
+// 1, 2, 4, 4, 5, +Inf=5 with sum 14 and count 5.
+TEST(Prometheus, HistogramCumulativeBuckets) {
+    obs::MetricsRegistry registry;
+    for (const std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 8ull}) {
+        registry.observe("leg.duration", {}, v);
+    }
+    const std::string text = obs::renderPrometheus(registry.snapshot());
+    EXPECT_NE(text.find("# TYPE voltcache_leg_duration histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_bucket{le=\"0\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_bucket{le=\"1\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_bucket{le=\"3\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_bucket{le=\"7\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_bucket{le=\"15\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_bucket{le=\"+Inf\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_sum 14\n"), std::string::npos);
+    EXPECT_NE(text.find("voltcache_leg_duration_count 5\n"), std::string::npos);
+}
+
+TEST(Prometheus, HelpAndTypeOncePerFamilyAndDeterministicOrder) {
+    obs::MetricsRegistry registry;
+    registry.add("l1.hits", {{"scheme", "8T"}}, 1);
+    registry.add("l1.hits", {{"scheme", "ffw+bbr"}}, 2);
+    registry.set("sweep.workers", {}, 4.0);
+    const std::string text = obs::renderPrometheus(registry.snapshot());
+    // One HELP/TYPE header covers both label sets of the same family.
+    std::size_t helpCount = 0;
+    for (std::size_t pos = 0;
+         (pos = text.find("# HELP voltcache_l1_hits_total", pos)) != std::string::npos;
+         ++pos) {
+        ++helpCount;
+    }
+    EXPECT_EQ(helpCount, 1u);
+    // Two scrapes of the same registry are byte-identical (snapshot is
+    // (name, labels)-sorted and the renderer adds no nondeterminism).
+    EXPECT_EQ(text, obs::renderPrometheus(registry.snapshot()));
+    // Counters sort before the gauge (name order), labels in value order.
+    EXPECT_LT(text.find("scheme=\"8T\""), text.find("scheme=\"ffw+bbr\""));
+    EXPECT_LT(text.find("voltcache_l1_hits_total"),
+              text.find("voltcache_sweep_workers"));
+}
+
+// ---- metrics deltas ----
+
+TEST(MetricsDelta, TurnsCumulativeCountersIntoRates) {
+    obs::TimedMetricsSnapshot prev;
+    prev.monotonicNs = 1'000'000'000;
+    prev.metrics.resize(1);
+    prev.metrics[0].name = "sweep.legs";
+    prev.metrics[0].kind = MetricKind::Counter;
+    prev.metrics[0].count = 10;
+
+    obs::TimedMetricsSnapshot now;
+    now.monotonicNs = 3'000'000'000; // +2s
+    now.metrics.resize(2);
+    now.metrics[0].name = "sweep.legs";
+    now.metrics[0].kind = MetricKind::Counter;
+    now.metrics[0].count = 30;
+    now.metrics[1].name = "sweep.workers";
+    now.metrics[1].kind = MetricKind::Gauge;
+    now.metrics[1].value = 8.0;
+
+    const auto rates = obs::metricsDelta(prev, now);
+    ASSERT_EQ(rates.size(), 1u); // the gauge is skipped
+    EXPECT_EQ(rates[0].name, "sweep.legs");
+    EXPECT_EQ(rates[0].delta, 20u);
+    EXPECT_NEAR(rates[0].perSec, 10.0, 1e-9);
+}
+
+TEST(MetricsDelta, ClampsBackwardsCountersAndRatesNewFamiliesFromZero) {
+    obs::TimedMetricsSnapshot prev;
+    prev.monotonicNs = 0;
+    prev.metrics.resize(1);
+    prev.metrics[0].name = "a";
+    prev.metrics[0].kind = MetricKind::Counter;
+    prev.metrics[0].count = 100;
+
+    obs::TimedMetricsSnapshot now;
+    now.monotonicNs = 1'000'000'000;
+    now.metrics.resize(2);
+    now.metrics[0].name = "a";
+    now.metrics[0].kind = MetricKind::Counter;
+    now.metrics[0].count = 40; // went backwards: clamp, don't go negative
+    now.metrics[1].name = "b";
+    now.metrics[1].kind = MetricKind::Counter;
+    now.metrics[1].count = 7; // absent from prev: rates from zero
+
+    const auto rates = obs::metricsDelta(prev, now);
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_EQ(rates[0].delta, 0u);
+    EXPECT_EQ(rates[1].delta, 7u);
+}
+
+TEST(MetricsDelta, SnapshotDeltaAdvancesThePreviousSnapshot) {
+    obs::MetricsRegistry registry;
+    registry.add("x", {}, 5);
+    obs::TimedMetricsSnapshot prev = registry.snapshotTimed();
+    registry.add("x", {}, 3);
+    const auto rates = registry.snapshotDelta(prev);
+    ASSERT_EQ(rates.size(), 1u);
+    EXPECT_EQ(rates[0].delta, 3u);
+    // prev advanced: an immediate second delta is zero.
+    const auto again = registry.snapshotDelta(prev);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].delta, 0u);
+}
+
+// ---- HTTP server ----
+
+TEST(HttpServer, ServesRoutesAnd404s) {
+    obs::HttpServer server(0);
+    server.route("/healthz", [] {
+        obs::HttpServer::Response response;
+        response.body = "ok\n";
+        return response;
+    });
+    server.start();
+    ASSERT_NE(server.port(), 0);
+    EXPECT_EQ(net::httpGet("127.0.0.1", server.port(), "/healthz"), "ok\n");
+    EXPECT_THROW((void)net::httpGet("127.0.0.1", server.port(), "/nope"),
+                 std::runtime_error);
+    EXPECT_GE(server.requestsServed(), 2u);
+    server.stop();
+}
+
+// ---- NDJSON leg journal ----
+
+TEST(LegJournal, WritesParseableLinesInPerProducerOrder) {
+    const std::string path = tempPath("journal_order.ndjson");
+    {
+        obs::LegJournal journal(path, 2, 64, /*autoDrain=*/false);
+        for (int i = 0; i < 5; ++i) {
+            obs::JournalEvent event;
+            event.phase = obs::JournalEvent::Phase::Enqueued;
+            event.leg = static_cast<std::uint32_t>(i);
+            event.setBenchmark("crc32");
+            event.setScheme("ffw+bbr");
+            event.voltageMv = 400;
+            journal.emit(0, event);
+        }
+        obs::JournalEvent finished;
+        finished.phase = obs::JournalEvent::Phase::Finished;
+        finished.leg = 2;
+        finished.worker = 1;
+        finished.setBenchmark("crc32");
+        finished.setScheme("ffw+bbr");
+        finished.voltageMv = 400;
+        finished.linkFailed = true;
+        finished.setFailCause("shape");
+        finished.durationNs = 1234;
+        journal.emit(1, finished);
+        journal.close();
+        EXPECT_EQ(journal.written(), 6u);
+        EXPECT_EQ(journal.dropped(), 0u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::uint64_t expectedSeq = 0;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        const JsonValue doc = parseJson(line); // throws on a malformed line
+        ++lines;
+        if (doc.stringOr("ev", "") == "enqueued") {
+            // SPSC FIFO + in-order drain: producer-0 sequences ascend.
+            EXPECT_EQ(doc.numberOr("seq", -1.0), static_cast<double>(expectedSeq++));
+            EXPECT_EQ(doc.stringOr("benchmark", ""), "crc32");
+        } else {
+            EXPECT_EQ(doc.stringOr("ev", ""), "finished");
+            EXPECT_EQ(doc.stringOr("outcome", ""), "link_failed");
+            EXPECT_EQ(doc.stringOr("cause", ""), "shape");
+            EXPECT_EQ(doc.numberOr("durationNs", 0.0), 1234.0);
+        }
+    }
+    EXPECT_EQ(lines, 6u);
+    std::remove(path.c_str());
+}
+
+TEST(LegJournal, DropsInsteadOfBlockingWhenTheRingSaturates) {
+    const std::string path = tempPath("journal_drop.ndjson");
+    obs::LegJournal journal(path, 1, /*ringCapacity=*/4, /*autoDrain=*/false);
+    obs::JournalEvent event;
+    event.setBenchmark("qsort");
+    for (int i = 0; i < 10; ++i) journal.emit(0, event);
+    // Capacity 4 ring, no drainer: 4 held, 6 dropped — never a stall.
+    EXPECT_EQ(journal.dropped(), 6u);
+    EXPECT_EQ(journal.drainOnce(), 4u);
+    // Draining frees the slots; later events flow again.
+    journal.emit(0, event);
+    EXPECT_EQ(journal.dropped(), 6u);
+    journal.close();
+    EXPECT_EQ(journal.written(), 5u);
+    // An out-of-range producer index is accounted as a drop, not UB.
+    std::remove(path.c_str());
+}
+
+TEST(LegJournal, OutOfRangeProducerCountsAsDrop) {
+    const std::string path = tempPath("journal_range.ndjson");
+    obs::LegJournal journal(path, 1, 8, /*autoDrain=*/false);
+    obs::JournalEvent event;
+    journal.emit(5, event);
+    EXPECT_EQ(journal.dropped(), 1u);
+    journal.close();
+    EXPECT_EQ(journal.written(), 0u);
+    std::remove(path.c_str());
+}
+
+// ---- live integration: a real sweep with the full plane attached ----
+
+SweepConfig tinySweep(unsigned threads) {
+    SweepConfig config;
+    config.benchmarks = {"crc32"};
+    config.schemes = {SchemeKind::SimpleWordDisable, SchemeKind::FfwBbr};
+    config.points = {DvfsTable::at(560_mV), DvfsTable::at(400_mV)};
+    config.trials = 2;
+    config.scale = WorkloadScale::Tiny;
+    config.threads = threads;
+    return config;
+}
+
+std::string exportJson(const SweepResult& result, const SweepConfig& config) {
+    SweepExportMeta meta;
+    meta.version = "telemetry-test"; // fixed: exclude git describe from the diff
+    meta.seed = config.baseSeed;
+    meta.trials = config.trials;
+    meta.scale = "tiny";
+    meta.benchmarks = config.benchmarks;
+    return sweepResultToJson(result, meta);
+}
+
+TEST(Telemetry, LiveScrapeDuringSweepAndByteIdenticalExport) {
+    // Reference run: no hooks at all.
+    const SweepConfig plain = tinySweep(2);
+    const std::string referenceJson = exportJson(runSweep(plain), plain);
+
+    obs::ProgressBoard board;
+    obs::TelemetryServer server(0, board);
+    ASSERT_NE(server.port(), 0);
+
+    const std::string journalPath = tempPath("journal_live.ndjson");
+    obs::LegJournal journal(journalPath, 1 + 2, 4096);
+
+    std::atomic<std::size_t> enqueued{0};
+    std::atomic<std::size_t> started{0};
+    std::atomic<std::size_t> finished{0};
+    std::string metricsBody;
+    std::string progressBody;
+    bool scraped = false;
+
+    SweepConfig instrumented = tinySweep(2);
+    instrumented.onLegEvent = [&](const SweepLegEvent& event) {
+        obs::JournalEvent line;
+        switch (event.phase) {
+        case SweepLegEvent::Phase::Enqueued:
+            line.phase = obs::JournalEvent::Phase::Enqueued;
+            enqueued.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case SweepLegEvent::Phase::Started:
+            line.phase = obs::JournalEvent::Phase::Started;
+            started.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case SweepLegEvent::Phase::Finished:
+            line.phase = obs::JournalEvent::Phase::Finished;
+            finished.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        line.leg = static_cast<std::uint32_t>(event.leg);
+        line.worker = event.worker;
+        line.setBenchmark(event.benchmark);
+        line.setScheme(schemeName(event.scheme));
+        line.voltageMv = event.voltageMv;
+        line.trial = event.trial;
+        line.replayed = event.replayed;
+        line.linkFailed = event.linkFailed;
+        line.durationNs = event.durationNs;
+        journal.emit(event.phase == SweepLegEvent::Phase::Enqueued ? 0
+                                                                   : event.worker + 1,
+                     line);
+    };
+    instrumented.onProgress = [&](const SweepProgress& progress) {
+        obs::ProgressBoard::Tick tick;
+        tick.benchmarksCompleted = progress.completed;
+        tick.benchmarksTotal = progress.total;
+        tick.benchmark = progress.benchmark;
+        tick.boundary = progress.boundary;
+        tick.legsCompleted = progress.legsCompleted;
+        tick.legsTotal = progress.legsTotal;
+        tick.legsReplayed = progress.legsReplayed;
+        tick.legsExecuted = progress.legsExecuted;
+        tick.workers = progress.workers;
+        board.update(tick);
+        // Scrape from inside the sweep — this is a genuinely mid-run scrape,
+        // serialized under the progress lock so it happens exactly once.
+        if (!scraped) {
+            scraped = true;
+            metricsBody = net::httpGet("127.0.0.1", server.port(), "/metrics");
+            progressBody = net::httpGet("127.0.0.1", server.port(), "/progress");
+        }
+    };
+
+    const SweepResult result = runSweep(instrumented);
+    board.finish();
+    journal.close();
+
+    // The plane observed the run...
+    ASSERT_TRUE(scraped);
+    EXPECT_NE(metricsBody.find("# TYPE voltcache_"), std::string::npos);
+    const JsonValue progress = parseJson(progressBody); // well-formed JSON
+    EXPECT_EQ(progress.stringOr("kind", ""), "progress");
+    const JsonValue* legs = progress.find("legs");
+    ASSERT_NE(legs, nullptr);
+    EXPECT_GT(legs->numberOr("total", 0.0), 0.0);
+
+    // ...every leg produced its full lifecycle...
+    const std::size_t legCount = enqueued.load();
+    EXPECT_GT(legCount, 0u);
+    EXPECT_EQ(started.load(), legCount);
+    EXPECT_EQ(finished.load(), legCount);
+    EXPECT_EQ(journal.written() + journal.dropped(), 3 * legCount);
+
+    // ...the journal is valid NDJSON end to end...
+    std::ifstream in(journalPath);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_NO_THROW((void)parseJson(line));
+        ++lines;
+    }
+    EXPECT_EQ(lines, journal.written());
+    std::remove(journalPath.c_str());
+
+    // ...and observation never changed the result: byte-identical export.
+    EXPECT_EQ(exportJson(result, instrumented), referenceJson);
+
+    // The finished board reports done with an up-to-date leg count.
+    const JsonValue finalDoc = parseJson(board.toJson());
+    const JsonValue* done = finalDoc.find("done");
+    ASSERT_NE(done, nullptr);
+    EXPECT_TRUE(done->asBool());
+}
+
+} // namespace
+} // namespace voltcache

@@ -138,6 +138,73 @@ if ! cmp -s "$det_base" "$noreplay_json"; then
     exit 1
 fi
 
+echo "== telemetry smoke: live /metrics + /progress scrape, journal, identical JSON =="
+# A sweep with the full telemetry plane attached (exporter on an ephemeral
+# port + NDJSON leg journal) is scraped while it runs via `voltcache top`
+# (no curl dependency). --telemetry-linger keeps the exporter up briefly so
+# the scrape cannot lose the race on fast machines; we then wait for the
+# natural exit so the JSON export is complete.
+tele_json="$build_dir/ci_tele.json"
+tele_plain="$build_dir/ci_tele_plain.json"
+tele_journal="$build_dir/ci_tele.ndjson"
+tele_log="$build_dir/ci_tele.log"
+tele_metrics="$build_dir/ci_tele_metrics.txt"
+tele_progress="$build_dir/ci_tele_progress.json"
+"$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+    --scale tiny --threads 2 --telemetry-port 0 --telemetry-linger 10 \
+    --journal "$tele_journal" --json "$tele_json" > /dev/null 2> "$tele_log" &
+tele_pid=$!
+tele_port=""
+i=0
+while [ "$i" -lt 100 ]; do
+    tele_port=$(sed -n 's/^telemetry: listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+        "$tele_log" 2> /dev/null | head -n 1)
+    [ -n "$tele_port" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$tele_port" ]; then
+    echo "ci: FAIL — sweep never announced its telemetry port" >&2
+    kill "$tele_pid" 2> /dev/null || true
+    exit 1
+fi
+"$build_dir/tools/voltcache" top "127.0.0.1:$tele_port" --once \
+    --metrics-out "$tele_metrics" --progress-out "$tele_progress" > /dev/null
+wait "$tele_pid"
+if ! grep -q '^# TYPE voltcache_' "$tele_metrics"; then
+    echo "ci: FAIL — /metrics is not Prometheus text exposition" >&2
+    exit 1
+fi
+if ! grep -q '^voltcache_journal_events_total' "$tele_metrics"; then
+    echo "ci: FAIL — /metrics lacks the journal event counter" >&2
+    exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$tele_progress" > /dev/null
+    # Every journal line must be one valid JSON object (NDJSON).
+    python3 - "$tele_journal" << 'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert lines, "journal is empty"
+phases = [e["ev"] for e in lines]
+assert phases.count("enqueued") == phases.count("started") == phases.count("finished"), \
+    "leg lifecycle events are unbalanced: %r" % {p: phases.count(p) for p in set(phases)}
+EOF
+fi
+if ! grep -q '"ev":"finished"' "$tele_journal"; then
+    echo "ci: FAIL — journal has no finished leg events" >&2
+    exit 1
+fi
+# Observation must never change the result: the same sweep without any
+# telemetry produces a byte-identical JSON export.
+"$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+    --scale tiny --threads 2 --json "$tele_plain" > /dev/null
+if ! cmp -s "$tele_json" "$tele_plain"; then
+    echo "ci: FAIL — sweep JSON differs with the telemetry plane attached" >&2
+    exit 1
+fi
+
 echo "== perf smoke: micro benches export BENCH_micro.json + BENCH_perf.json =="
 # Artifact-only check (no thresholds): one fast iteration of each micro bench
 # so the perf JSONs exist and parse; numbers are advisory in CI. This also

@@ -45,11 +45,13 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/scheme_model.h"
 #include "analysis/verify.h"
 #include "common/json_parse.h"
+#include "common/socket.h"
 #include "core/analytic_gate.h"
 #include "common/table.h"
 #include "common/version.h"
@@ -60,6 +62,8 @@
 #include "faults/yield.h"
 #include "isa/assembler.h"
 #include "isa/disasm.h"
+#include "obs/export/journal.h"
+#include "obs/export/telemetry.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -87,7 +91,7 @@ Args parseArgs(int argc, char** argv, int first) {
         if (token.rfind("--", 0) == 0 || token == "-o") {
             const std::string key = token == "-o" ? "out" : token.substr(2);
             if (key == "bbr" || key == "progress" || key == "no-replay" ||
-                key == "analytic-check") { // boolean flags
+                key == "analytic-check" || key == "once") { // boolean flags
                 args.flags[key] = "1";
                 continue;
             }
@@ -378,13 +382,97 @@ int cmdSweep(const Args& args) {
                                                   progress.legsCompleted) /
                                   ewmaLegsPerSec);
             }
-            std::fprintf(stderr,
-                         "[%zu/%zu] %s done (%zu/%zu legs: %zu replayed, %zu executed, "
-                         "%u workers, ETA %s)\n",
-                         progress.completed, progress.total, progress.benchmark.c_str(),
-                         progress.legsCompleted, progress.legsTotal,
-                         progress.legsReplayed, progress.legsExecuted, progress.workers,
-                         eta);
+            if (progress.boundary) {
+                std::fprintf(stderr,
+                             "[%zu/%zu] %s done (%zu/%zu legs: %zu replayed, "
+                             "%zu executed, %u workers, ETA %s)\n",
+                             progress.completed, progress.total,
+                             progress.benchmark.c_str(), progress.legsCompleted,
+                             progress.legsTotal, progress.legsReplayed,
+                             progress.legsExecuted, progress.workers, eta);
+            } else {
+                // Throttled leg tick — no benchmark finished yet.
+                std::fprintf(stderr,
+                             "[%zu/%zu] %zu/%zu legs (%zu replayed, %zu executed, "
+                             "%u workers, ETA %s)\n",
+                             progress.completed, progress.total,
+                             progress.legsCompleted, progress.legsTotal,
+                             progress.legsReplayed, progress.legsExecuted,
+                             progress.workers, eta);
+            }
+        };
+    }
+
+    // --telemetry-port: live exporter (GET /metrics, /progress, /healthz) on
+    // a dedicated thread, started *before* the sweep so `voltcache top` and
+    // Prometheus can watch it run. Port 0 binds an ephemeral port; the
+    // chosen one is announced on stderr.
+    std::optional<obs::ProgressBoard> board;
+    std::optional<obs::TelemetryServer> telemetry;
+    if (args.flags.contains("telemetry-port")) {
+        board.emplace();
+        telemetry.emplace(
+            static_cast<std::uint16_t>(std::stoul(args.get("telemetry-port", "0"))),
+            *board);
+        std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%u\n",
+                     static_cast<unsigned>(telemetry->port()));
+    }
+    if (board.has_value()) {
+        // Feed every tick to the board, then to the stderr printer (if any).
+        auto chained = std::move(config.onProgress);
+        config.onProgress = [&boardRef = *board,
+                             chained](const SweepProgress& progress) {
+            obs::ProgressBoard::Tick tick;
+            tick.benchmarksCompleted = progress.completed;
+            tick.benchmarksTotal = progress.total;
+            tick.benchmark = progress.benchmark;
+            tick.boundary = progress.boundary;
+            tick.legsCompleted = progress.legsCompleted;
+            tick.legsTotal = progress.legsTotal;
+            tick.legsReplayed = progress.legsReplayed;
+            tick.legsExecuted = progress.legsExecuted;
+            tick.workers = progress.workers;
+            boardRef.update(tick);
+            if (chained) chained(progress);
+        };
+    }
+
+    // --journal: bounded NDJSON leg lifecycle journal. Rings are sized
+    // before runSweep computes its worker count, so mirror its sizing rule
+    // (runSweep may clamp down to the leg count, never up).
+    std::optional<obs::LegJournal> journal;
+    if (args.flags.contains("journal")) {
+        unsigned maxWorkers = config.threads != 0 ? config.threads
+                                                  : std::thread::hardware_concurrency();
+        if (maxWorkers == 0) maxWorkers = 4;
+        journal.emplace(args.get("journal", ""), maxWorkers + 1);
+        config.onLegEvent = [&journalRef = *journal](const SweepLegEvent& event) {
+            obs::JournalEvent line;
+            switch (event.phase) {
+                case SweepLegEvent::Phase::Enqueued:
+                    line.phase = obs::JournalEvent::Phase::Enqueued;
+                    break;
+                case SweepLegEvent::Phase::Started:
+                    line.phase = obs::JournalEvent::Phase::Started;
+                    break;
+                case SweepLegEvent::Phase::Finished:
+                    line.phase = obs::JournalEvent::Phase::Finished;
+                    break;
+            }
+            line.leg = static_cast<std::uint32_t>(event.leg);
+            line.worker = event.worker;
+            line.setBenchmark(event.benchmark);
+            line.setScheme(schemeName(event.scheme));
+            line.voltageMv = event.voltageMv;
+            line.trial = event.trial;
+            line.replayed = event.replayed;
+            line.linkFailed = event.linkFailed;
+            line.durationNs = event.durationNs;
+            line.setFailCause(linkFailCauseName(event.failCause));
+            // Producer 0 is the coordinator (Enqueued); worker w uses 1+w.
+            const std::size_t producer =
+                event.phase == SweepLegEvent::Phase::Enqueued ? 0 : event.worker + 1;
+            journalRef.emit(producer, line);
         };
     }
 
@@ -393,7 +481,8 @@ int cmdSweep(const Args& args) {
     if (args.flags.contains("trace")) traceGuard.emplace(&sink);
 
     const bool profiling = args.flags.contains("profile");
-    if (profiling) {
+    if (profiling || board.has_value()) {
+        // Spans feed --profile and the exporter's /progress attribution.
         obs::Profiler::reset();
         obs::Profiler::setEnabled(true);
     }
@@ -401,11 +490,14 @@ int cmdSweep(const Args& args) {
 
     const SweepResult result = runSweep(config);
 
+    if (board.has_value()) board->finish();
+    if (journal.has_value()) journal->close();
+
     const double wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart)
             .count();
+    if (profiling || board.has_value()) obs::Profiler::setEnabled(false);
     if (profiling) {
-        obs::Profiler::setEnabled(false);
         ProfileExportMeta profileMeta;
         profileMeta.version = std::string(buildVersion());
         profileMeta.wallSeconds = wallSeconds;
@@ -467,6 +559,13 @@ int cmdSweep(const Args& args) {
         }
     }
     std::fputs(table.render().c_str(), stdout);
+    // --telemetry-linger SECONDS: keep the exporter up after the sweep so an
+    // external scraper that raced the run can still collect the final state
+    // (ci.sh scrapes, then kills the process).
+    if (telemetry.has_value() && args.flags.contains("telemetry-linger")) {
+        std::this_thread::sleep_for(
+            std::chrono::seconds(std::stoi(args.get("telemetry-linger", "0"))));
+    }
     if (analytic.has_value() && !analytic->passed()) {
         std::fprintf(stderr,
                      "sweep FAILED the analytic cross-check (max z %.2f)\n",
@@ -737,6 +836,108 @@ int cmdProfile(const Args& args) {
                              "' (expected \"profile\" or \"sweep\")");
 }
 
+/// Refreshing terminal dashboard over a live telemetry endpoint: scrape
+/// GET /progress (and optionally /metrics), render benchmarks / legs /
+/// throughput / ETA / span attribution / counter rates, repeat until the
+/// sweep reports done or --iterations runs out.
+int cmdTop(const Args& args) {
+    if (args.positional.empty()) {
+        throw std::runtime_error("top: need host:port (e.g. 127.0.0.1:9090)");
+    }
+    const std::size_t colon = args.positional.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= args.positional.size()) {
+        throw std::runtime_error("top: target must be host:port");
+    }
+    const std::string host = args.positional.substr(0, colon);
+    const auto port =
+        static_cast<std::uint16_t>(std::stoul(args.positional.substr(colon + 1)));
+    const auto interval =
+        std::chrono::milliseconds(std::stoul(args.get("interval", "1000")));
+    std::uint64_t iterations = std::stoull(args.get("iterations", "0"));
+    if (args.flags.contains("once")) iterations = 1;
+    const bool live = iterations != 1;
+
+    for (std::uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+        if (i != 0) std::this_thread::sleep_for(interval);
+        const std::string body = net::httpGet(host, port, "/progress");
+        if (args.flags.contains("progress-out")) {
+            writeTextFile(args.get("progress-out", ""), body);
+        }
+        if (args.flags.contains("metrics-out")) {
+            writeTextFile(args.get("metrics-out", ""),
+                          net::httpGet(host, port, "/metrics"));
+        }
+        const JsonValue doc = parseJson(body);
+        const JsonValue* doneValue = doc.find("done");
+        const bool done = doneValue != nullptr && doneValue->asBool();
+
+        if (live) std::fputs("\x1b[2J\x1b[H", stdout); // clear + home per frame
+        std::printf("voltcache top — %s:%u   elapsed %.1fs   %s\n",
+                    host.c_str(), static_cast<unsigned>(port),
+                    doc.numberOr("elapsedSeconds", 0.0),
+                    done ? "done" : "running");
+        if (const JsonValue* benchmarks = doc.find("benchmarks");
+            benchmarks != nullptr) {
+            std::printf("benchmarks  %llu/%llu   latest: %s\n",
+                        static_cast<unsigned long long>(
+                            benchmarks->numberOr("completed", 0.0)),
+                        static_cast<unsigned long long>(
+                            benchmarks->numberOr("total", 0.0)),
+                        benchmarks->stringOr("latest", "-").c_str());
+        }
+        if (const JsonValue* legs = doc.find("legs"); legs != nullptr) {
+            std::printf(
+                "legs        %llu/%llu   (replayed %llu, executed %llu)\n",
+                static_cast<unsigned long long>(legs->numberOr("completed", 0.0)),
+                static_cast<unsigned long long>(legs->numberOr("total", 0.0)),
+                static_cast<unsigned long long>(legs->numberOr("replayed", 0.0)),
+                static_cast<unsigned long long>(legs->numberOr("executed", 0.0)));
+        }
+        const JsonValue* eta = doc.find("etaSeconds");
+        std::printf("throughput  %.1f legs/s   workers %u   ETA %s\n",
+                    doc.numberOr("ewmaLegsPerSec", 0.0),
+                    static_cast<unsigned>(doc.numberOr("workers", 0.0)),
+                    eta != nullptr && !eta->isNull()
+                        ? (formatDouble(eta->asNumber(), 1) + "s").c_str()
+                        : "--");
+        if (const JsonValue* spans = doc.find("spans");
+            spans != nullptr && !spans->items.empty()) {
+            TextTable table({"span", "count", "total ms", "self ms", "self %"});
+            for (const JsonValue& span : spans->items) {
+                table.addRow({span.stringOr("name", "?"),
+                              std::to_string(static_cast<std::uint64_t>(
+                                  span.numberOr("count", 0.0))),
+                              formatDouble(span.numberOr("totalNs", 0.0) * 1e-6, 1),
+                              formatDouble(span.numberOr("selfNs", 0.0) * 1e-6, 1),
+                              formatDouble(100.0 * span.numberOr("selfFrac", 0.0), 1)});
+            }
+            std::fputs(table.render().c_str(), stdout);
+        }
+        if (const JsonValue* rates = doc.find("rates");
+            rates != nullptr && !rates->items.empty()) {
+            TextTable table({"counter", "labels", "delta", "per sec"});
+            for (const JsonValue& rate : rates->items) {
+                std::string labels;
+                if (const JsonValue* labelObject = rate.find("labels");
+                    labelObject != nullptr) {
+                    for (const auto& [k, v] : labelObject->members) {
+                        if (!labels.empty()) labels += ",";
+                        labels += k + "=" + v.string;
+                    }
+                }
+                table.addRow({rate.stringOr("name", "?"), labels,
+                              std::to_string(static_cast<std::uint64_t>(
+                                  rate.numberOr("delta", 0.0))),
+                              formatDouble(rate.numberOr("perSec", 0.0), 1)});
+            }
+            std::fputs(table.render().c_str(), stdout);
+        }
+        std::fflush(stdout);
+        if (done) break;
+    }
+    return 0;
+}
+
 int usage() {
     std::fprintf(stderr,
                  "usage: voltcache <command> [options]\n"
@@ -758,6 +959,15 @@ int usage() {
                  "       the closed-form FFW/BBR models; nonzero exit on divergence)\n"
                  "      [--corrupt-mapgen SCALE]  (deliberately scale the sampled fault\n"
                  "       rate — the analytic gate's negative control)\n"
+                 "      [--telemetry-port N]  (serve GET /metrics /progress /healthz on\n"
+                 "       127.0.0.1:N while the sweep runs; 0 = ephemeral port)\n"
+                 "      [--telemetry-linger SECONDS]  (keep the exporter up after the\n"
+                 "       sweep so external scrapers can collect the final state)\n"
+                 "      [--journal FILE]  (NDJSON leg lifecycle journal: one line per\n"
+                 "       enqueue/start/finish; bounded, drops rather than stalls)\n"
+                 "  top <host:port> [--interval MS] [--iterations N] [--once]\n"
+                 "      [--metrics-out FILE] [--progress-out FILE]\n"
+                 "      (refreshing dashboard over a live --telemetry-port endpoint)\n"
                  "  model [--mv V1,V2,...] [--need WORDS] [--json FILE]\n"
                  "      (closed-form FFW/BBR curves, no simulation)\n"
                  "  profile <profile.json|sweep.json>  (render span times / forensics)\n"
@@ -779,6 +989,7 @@ int main(int argc, char** argv) {
         if (command == "faultmap") return cmdFaultmap(args);
         if (command == "yield") return cmdYield(args);
         if (command == "sweep") return cmdSweep(args);
+        if (command == "top") return cmdTop(args);
         if (command == "model") return cmdModel(args);
         if (command == "profile") return cmdProfile(args);
         if (command == "list") return cmdList();
