@@ -6,7 +6,9 @@
 // (see bench_export.h) so CI can diff the numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "bench_export.h"
 #include "compiler/passes.h"
@@ -181,15 +183,17 @@ BENCHMARK(BM_ReplayLegs)->Unit(benchmark::kMillisecond);
 // --- end-to-end sweep throughput ---
 
 /// Small fixed sweep used for the legs/sec benchmarks: 2 benchmarks x
-/// 2 points x 2 schemes x 4 trials = 32 legs per sweep. Trials >= 4 so the
-/// record-once cost is amortized the way a real Monte Carlo grid amortizes
-/// it (the trace pays for itself from the second trial on).
+/// 2 points x 2 schemes x 16 trials = 128 legs per sweep. Trials >= 16 so
+/// the record-once and decode-once costs are amortized the way a real Monte
+/// Carlo grid amortizes them: the trace pays for itself from the second
+/// trial on, and a trial group fills a whole batch (core/replay.cpp
+/// replayBatch) instead of a sliver of one.
 SweepConfig tinySweepConfig(unsigned threads) {
     SweepConfig config;
     config.benchmarks = {"crc32", "basicmath"};
     config.schemes = {SchemeKind::SimpleWordDisable, SchemeKind::FfwBbr};
     config.points = {DvfsTable::at(560_mV), DvfsTable::at(400_mV)};
-    config.trials = 4;
+    config.trials = 16;
     config.scale = WorkloadScale::Tiny;
     config.threads = threads;
     return config;
@@ -363,10 +367,20 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
         metrics.push_back(metricOf("faultmap.generations_per_sec", rate));
     }
 
-    // End-to-end sweep legs per second, serial and with all cores, on the
-    // default (record-once / replay-many) path.
-    for (const unsigned threads : {1u, 0u}) {
-        const SweepConfig config = tinySweepConfig(threads);
+    // End-to-end sweep legs per second on the default (record-once, batched
+    // replay) path: the thread-scaling curve {1, 2, 4, all} plus the
+    // parallel efficiency at all threads. runSweep clamps its workers to
+    // the host and the schedulable units, so on a small machine the higher
+    // points collapse onto the hardware limit; the efficiency metric
+    // divides by the worker count actually used, so it stays meaningful
+    // (and is 1.0 by construction on a single-core host).
+    double serialLegsPerSec = 0.0;
+    for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+        SweepConfig config = tinySweepConfig(threads);
+        unsigned workersUsed = 1;
+        config.onProgress = [&workersUsed](const SweepProgress& progress) {
+            workersUsed = std::max(workersUsed, progress.workers);
+        };
         const auto legs = static_cast<double>(sweepLegCount(config));
         RunningStats rate;
         for (int rep = 0; rep < kPerfReps; ++rep) {
@@ -374,9 +388,39 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
             benchmark::DoNotOptimize(runSweep(config));
             rate.add(legs / secondsSince(start));
         }
-        metrics.push_back(metricOf(threads == 1 ? "sweep.legs_per_sec/threads1"
-                                                : "sweep.legs_per_sec/threads_all",
-                                   rate));
+        const char* name = threads == 1   ? "sweep.legs_per_sec/threads1"
+                           : threads == 2 ? "sweep.legs_per_sec/threads2"
+                           : threads == 4 ? "sweep.legs_per_sec/threads4"
+                                          : "sweep.legs_per_sec/threads_all";
+        metrics.push_back(metricOf(name, rate));
+        if (threads == 1) serialLegsPerSec = rate.mean();
+        if (threads == 0 && serialLegsPerSec > 0.0) {
+            voltcache::bench::BenchMetric efficiency;
+            efficiency.name = "sweep.parallel_efficiency";
+            efficiency.value =
+                rate.mean() / (static_cast<double>(workersUsed) * serialLegsPerSec);
+            efficiency.ciHalfWidth =
+                confidenceInterval(rate).halfWidth /
+                (static_cast<double>(workersUsed) * serialLegsPerSec);
+            efficiency.unit = "frac";
+            efficiency.samples = rate.count();
+            metrics.push_back(efficiency);
+        }
+    }
+
+    // The same serial sweep with batching disabled (`--no-batch`): the
+    // per-leg replay path the batched engine is measured against.
+    {
+        SweepConfig config = tinySweepConfig(1);
+        config.useBatch = false;
+        const auto legs = static_cast<double>(sweepLegCount(config));
+        RunningStats rate;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            benchmark::DoNotOptimize(runSweep(config));
+            rate.add(legs / secondsSince(start));
+        }
+        metrics.push_back(metricOf("sweep.nobatch_legs_per_sec/threads1", rate));
     }
 
     // The same serial sweep execution-driven (`--no-replay`): the PR 3
@@ -444,22 +488,36 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
 
     // Recording overhead: fractional slowdown of an execution-driven run
     // with a TraceRecorder attached — the one-time cost each benchmark pays
-    // to unlock replayed trials.
+    // to unlock replayed trials. The overhead is a difference of two
+    // similar durations, so single timings drown in scheduler noise: each
+    // sample is the min-of-3 of both sides (the min estimates the
+    // noise-free duration), and the rep count is 5x the rate probes', so
+    // the exported confidence interval is small against the mean instead
+    // of dwarfing it.
     {
         const Module module = buildBenchmark("basicmath", WorkloadScale::Tiny);
+        constexpr int kOverheadReps = 5 * kPerfReps;
+        constexpr int kMinOf = 3;
         RunningStats frac;
-        for (int rep = 0; rep < kPerfReps; ++rep) {
+        for (int rep = 0; rep < kOverheadReps; ++rep) {
             SystemConfig config;
             config.scheme = SchemeKind::Conventional760;
-            auto start = Clock::now();
-            benchmark::DoNotOptimize(simulateSystem(module, nullptr, config));
-            const double plain = secondsSince(start);
+            double plain = std::numeric_limits<double>::infinity();
+            for (int i = 0; i < kMinOf; ++i) {
+                const auto start = Clock::now();
+                benchmark::DoNotOptimize(simulateSystem(module, nullptr, config));
+                plain = std::min(plain, secondsSince(start));
+            }
 
             TraceRecorder recorder;
             config.observers.push_back(&recorder);
-            start = Clock::now();
-            benchmark::DoNotOptimize(simulateSystem(module, nullptr, config));
-            frac.add((secondsSince(start) - plain) / plain);
+            double recorded = std::numeric_limits<double>::infinity();
+            for (int i = 0; i < kMinOf; ++i) {
+                const auto start = Clock::now();
+                benchmark::DoNotOptimize(simulateSystem(module, nullptr, config));
+                recorded = std::min(recorded, secondsSince(start));
+            }
+            frac.add((recorded - plain) / plain);
         }
         voltcache::bench::BenchMetric metric;
         metric.name = "trace.record_overhead_frac";

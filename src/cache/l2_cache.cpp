@@ -54,4 +54,13 @@ void L2Cache::invalidateAll() {
     dirty_.assign(dirty_.size(), false);
 }
 
+void L2Cache::reinitialize(const Config& config) {
+    VC_EXPECTS(config.org.sizeBytes == config_.org.sizeBytes);
+    VC_EXPECTS(config.org.blockBytes == config_.org.blockBytes);
+    VC_EXPECTS(config.org.associativity == config_.org.associativity);
+    config_ = config;
+    invalidateAll();
+    stats_ = {};
+}
+
 } // namespace voltcache

@@ -56,6 +56,11 @@ public:
     Result write(std::uint32_t addr);
 
     void invalidateAll();
+    /// Return a used cache to as-constructed state (tags, dirty bits, stats)
+    /// without reallocating the ~400KB tag store — the batch replay engine
+    /// pools L2 objects across legs. Latency knobs may change between lives;
+    /// the organization must not (the arrays are sized for it).
+    void reinitialize(const Config& config);
     void setDramLatency(std::uint32_t cycles) { config_.dramLatencyCycles = cycles; }
 
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }

@@ -18,7 +18,7 @@ TagArray::Fill TagArray::fill(std::uint32_t set, std::uint32_t tag, std::uint32_
     for (std::uint32_t way = 0; way < ways_; ++way) {
         if ((wayMask & (1u << way)) == 0) continue;
         const Entry& e = entry(set, way);
-        if (!e.valid) {
+        if (e.epoch != epoch_) {
             victim = way;
             break;
         }
@@ -29,15 +29,21 @@ TagArray::Fill TagArray::fill(std::uint32_t set, std::uint32_t tag, std::uint32_
     }
     VC_ENSURES(victim < ways_); // wayMask must allow at least one way
     Entry& v = entry(set, victim);
-    Fill fill{victim, v.valid, v.tag};
+    Fill fill{victim, v.epoch == epoch_, v.tag};
     v.tag = tag;
-    v.valid = true;
+    v.epoch = epoch_;
     v.lastUse = ++useCounter_;
     return fill;
 }
 
 void TagArray::invalidateAll() {
-    for (auto& e : entries_) e.valid = false;
+    ++epoch_;
+    if (epoch_ == 0) {
+        // uint32 wrap after 2^32 - 1 invalidations: rewrite the entries once
+        // so stale epochs can never alias the restarted counter.
+        for (auto& e : entries_) e.epoch = 0;
+        epoch_ = 1;
+    }
 }
 
 } // namespace voltcache

@@ -29,7 +29,7 @@ public:
     [[nodiscard]] Lookup lookup(std::uint32_t set, std::uint32_t tag) const {
         const Entry* line = &entry(set, 0);
         for (std::uint32_t way = 0; way < ways_; ++way) {
-            if (line[way].valid && line[way].tag == tag) return {true, way};
+            if (line[way].epoch == epoch_ && line[way].tag == tag) return {true, way};
         }
         return {false, 0};
     }
@@ -53,25 +53,28 @@ public:
     [[nodiscard]] bool probeWay(std::uint32_t set, std::uint32_t way,
                                 std::uint32_t tag) const {
         const Entry& e = entry(set, way);
-        return e.valid && e.tag == tag;
+        return e.epoch == epoch_ && e.tag == tag;
     }
     /// Direct fill of one way (direct-mapped mode). Returns evicted state.
     Fill fillAt(std::uint32_t set, std::uint32_t way, std::uint32_t tag) {
         Entry& e = entry(set, way);
-        Fill fill{way, e.valid, e.tag};
+        Fill fill{way, e.epoch == epoch_, e.tag};
         e.tag = tag;
-        e.valid = true;
+        e.epoch = epoch_;
         e.lastUse = ++useCounter_;
         return fill;
     }
 
     void invalidate(std::uint32_t set, std::uint32_t way) {
-        entry(set, way).valid = false;
+        entry(set, way).epoch = 0;
     }
+    /// O(1): bumps the validity epoch instead of walking the entries, so a
+    /// pooled cache (core/replay.cpp's batch L2 pool) resets for free.
     void invalidateAll();
 
     [[nodiscard]] bool valid(std::uint32_t set, std::uint32_t way) const {
-        return entry(set, way).valid;
+        const Entry& e = entry(set, way);
+        return e.epoch == epoch_;
     }
     [[nodiscard]] std::uint32_t tagAt(std::uint32_t set, std::uint32_t way) const {
         return entry(set, way).tag;
@@ -81,10 +84,14 @@ public:
     [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
 
 private:
+    // Validity is epoch-coded: an entry is valid iff its epoch matches the
+    // array's. epoch_ starts at 1 and entries at 0 (invalid); invalidate()
+    // rewinds an entry to 0, which can never match because epoch_ never
+    // returns to 0 (the wrap path in invalidateAll rewrites the entries).
     struct Entry {
         std::uint32_t tag = 0;
+        std::uint32_t epoch = 0;
         std::uint64_t lastUse = 0;
-        bool valid = false;
     };
 
     [[nodiscard]] const Entry& entry(std::uint32_t set, std::uint32_t way) const {
@@ -100,6 +107,7 @@ private:
 
     std::uint32_t sets_;
     std::uint32_t ways_;
+    std::uint32_t epoch_ = 1;
     std::uint64_t useCounter_ = 0;
     std::vector<Entry> entries_;
 };

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/system.h"
@@ -83,5 +84,29 @@ struct TraceCache {
 [[nodiscard]] SystemResult replaySystem(const Module* bbrModule, const SystemConfig& config,
                                         const TraceCache& cache,
                                         const detail::LegFaultMaps* chipMaps = nullptr);
+
+/// One lane of a TrialBatch: the per-trial inputs of one sweep leg and, on
+/// return from replayBatch, its result. `config` and `chipMaps` have
+/// replaySystem's exact semantics; `result` per lane is byte-identical to
+/// `replaySystem(bbrModule, config, cache, chipMaps)`.
+struct BatchLane {
+    SystemConfig config;
+    const detail::LegFaultMaps* chipMaps = nullptr;
+    SystemResult result;
+};
+
+/// Stream one sealed ArchTrace through many fault maps simultaneously: the
+/// trace is decoded once per chunk into a flat pre-lowered tape, then every
+/// lane's timing state — scheme/tag arrays, L2 counters, energy inputs,
+/// pipeline scoreboard — advances through that chunk before the next one is
+/// decoded, so the decode cost is amortized across the batch and the tape
+/// stays cache-hot. All lanes must share the benchmark (the trace) and
+/// layout kind: every `config.scheme` either needs BBR linking (each lane
+/// then links/translates/predicts per trial) or none does. Per-lane results
+/// are byte-identical to per-trial replaySystem calls — the timing
+/// semantics are the same runPipelineChunk template, fed by a tape-walking
+/// driver instead of a cursor-walking one.
+void replayBatch(const Module* bbrModule, const TraceCache& cache,
+                 std::span<BatchLane> lanes);
 
 } // namespace voltcache

@@ -95,13 +95,15 @@ struct Leg {
     std::uint32_t trial = 0;
 };
 
-/// Lazily-generated fault maps for one chip — one (point, trial) pair. The
-/// chip seed is scheme- and benchmark-independent, so every defect-tolerant
-/// leg of that chip shares one draw instead of regenerating ~8K-word maps
-/// per leg (the draw is O(bits) and dominates short replayed legs).
-struct ChipMapSlot {
+/// Lazily-generated fault maps for one operating point — every trial's chip
+/// at once, drawn by the batched generator (generateChipFaultMapsBatch).
+/// The chip seeds are scheme- and benchmark-independent, so every
+/// defect-tolerant leg of a (point, trial) shares one draw instead of
+/// regenerating ~8K-word maps per leg, and batching the point's trials
+/// amortizes the failure-model evaluation and map allocation across them.
+struct PointMapSlot {
     std::once_flag once;
-    std::optional<detail::LegFaultMaps> maps;
+    std::vector<detail::LegFaultMaps> maps; ///< indexed by trial
 };
 
 /// Run `job(0..jobCount)` on `threads` workers pulling indices off an atomic
@@ -136,7 +138,9 @@ public:
     LegCounters()
         : legs_(obs::MetricsRegistry::global().counter("sweep.legs")),
           replayed_(obs::MetricsRegistry::global().counter("sweep.legs_replayed")),
-          executed_(obs::MetricsRegistry::global().counter("sweep.legs_executed")) {}
+          executed_(obs::MetricsRegistry::global().counter("sweep.legs_executed")),
+          batches_(obs::MetricsRegistry::global().counter("sweep.batches")),
+          batchLanes_(obs::MetricsRegistry::global().counter("sweep.batch_lanes")) {}
 
     void legDone(bool replayed) {
         legs_.add();
@@ -145,6 +149,11 @@ public:
         } else {
             executed_.add();
         }
+    }
+
+    void batchDone(std::uint64_t lanes) {
+        batches_.add();
+        batchLanes_.add(lanes);
     }
 
     void record(SchemeKind scheme, int voltageMv, bool linkFailed) {
@@ -174,6 +183,8 @@ private:
     obs::Counter legs_;
     obs::Counter replayed_;
     obs::Counter executed_;
+    obs::Counter batches_;
+    obs::Counter batchLanes_;
     std::map<std::pair<SchemeKind, int>, Handles> handles_;
 };
 
@@ -270,14 +281,31 @@ SweepResult runSweep(const SweepConfig& config) {
             }
 
             ctx.defectFree.reserve(points.size());
-            for (const auto& point : points) {
-                SystemConfig defectFree = ref;
-                defectFree.scheme = SchemeKind::DefectFree;
-                defectFree.op = point;
-                ctx.defectFree.push_back(
-                    ctx.traces.plain != nullptr
-                        ? replaySystem(nullptr, defectFree, ctx.traces)
-                        : simulateSystem(ctx.module, nullptr, defectFree));
+            if (ctx.traces.plain != nullptr && config.useBatch) {
+                // One batch over the operating points: the defect-free runs
+                // share the plain trace, so its tape decodes once for all of
+                // them. Per-lane results match replaySystem byte for byte.
+                std::vector<BatchLane> lanes(points.size());
+                for (std::size_t p = 0; p < points.size(); ++p) {
+                    SystemConfig defectFree = ref;
+                    defectFree.scheme = SchemeKind::DefectFree;
+                    defectFree.op = points[p];
+                    lanes[p].config = defectFree;
+                }
+                replayBatch(nullptr, ctx.traces, lanes);
+                for (BatchLane& lane : lanes) {
+                    ctx.defectFree.push_back(std::move(lane.result));
+                }
+            } else {
+                for (const auto& point : points) {
+                    SystemConfig defectFree = ref;
+                    defectFree.scheme = SchemeKind::DefectFree;
+                    defectFree.op = point;
+                    ctx.defectFree.push_back(
+                        ctx.traces.plain != nullptr
+                            ? replaySystem(nullptr, defectFree, ctx.traces)
+                            : simulateSystem(ctx.module, nullptr, defectFree));
+                }
             }
         } catch (...) {
             contextErrors[b] = std::current_exception();
@@ -317,8 +345,56 @@ SweepResult runSweep(const SweepConfig& config) {
         }
     }
 
+    // --- Phase 2b: group replayable legs into batched work units. ---
+    // One unit is either a single leg (execution-driven, or batching off)
+    // or a TrialBatch: consecutive replayable legs of one (benchmark,
+    // point, layout) group, capped at batchLanes, that stream the decoded
+    // tape together. Unit composition only affects scheduling — every leg
+    // still writes its own canonical slot, so the reduction (and the JSON)
+    // is byte-identical to the unbatched engine.
+    struct WorkUnit {
+        std::vector<std::size_t> legIdx;
+        bool batched = false;
+    };
+    constexpr std::uint32_t kDefaultBatchLanes = 32;
+    const std::uint32_t laneCap =
+        config.batchLanes == 0 ? kDefaultBatchLanes : config.batchLanes;
+    const bool batching = replayEnabled && config.useBatch;
+    std::vector<WorkUnit> units;
+    {
+        const auto pushChunked = [&](const std::vector<std::size_t>& group) {
+            for (std::size_t start = 0; start < group.size(); start += laneCap) {
+                const std::size_t count = std::min<std::size_t>(laneCap, group.size() - start);
+                WorkUnit unit;
+                unit.batched = true;
+                unit.legIdx.assign(group.begin() + static_cast<std::ptrdiff_t>(start),
+                                   group.begin() + static_cast<std::ptrdiff_t>(start + count));
+                units.push_back(std::move(unit));
+            }
+        };
+        std::size_t i = 0;
+        while (i < legs.size()) {
+            std::vector<std::size_t> plainGroup;
+            std::vector<std::size_t> bbrGroup;
+            std::size_t j = i;
+            for (; j < legs.size() && legs[j].benchmark == legs[i].benchmark &&
+                   legs[j].point == legs[i].point;
+                 ++j) {
+                const SchemeKind kind = schemes[legs[j].scheme];
+                if (batching && contexts[legs[j].benchmark].traces.canReplay(kind)) {
+                    (schemeNeedsBbrLinking(kind) ? bbrGroup : plainGroup).push_back(j);
+                } else {
+                    units.push_back(WorkUnit{{j}, false});
+                }
+            }
+            pushChunked(plainGroup);
+            pushChunked(bbrGroup);
+            i = j;
+        }
+    }
+
     const unsigned workers =
-        std::min<unsigned>(requested, std::max<std::size_t>(legs.size(), 1));
+        std::min<unsigned>(requested, std::max<std::size_t>(units.size(), 1));
 
     // Leg lifecycle: every leg is announced once, in canonical order, from
     // the coordinating thread before any worker starts.
@@ -352,8 +428,49 @@ SweepResult runSweep(const SweepConfig& config) {
     std::mutex progressMutex;
 
     // One chip = one (point, trial): all defect-tolerant scheme legs across
-    // every benchmark run against the same pre-drawn map pair.
-    std::vector<ChipMapSlot> chipMapCache(points.size() * config.trials);
+    // every benchmark run against the same pre-drawn map pair. The whole
+    // point's trials are drawn in one batched pass on first touch.
+    std::vector<PointMapSlot> chipMapCache(points.size());
+    const auto chipMapsFor = [&](std::uint32_t pointIdx, std::uint32_t trial,
+                                 const SystemConfig& sys) -> const detail::LegFaultMaps* {
+        PointMapSlot& slot = chipMapCache[pointIdx];
+        std::call_once(slot.once, [&] {
+            std::vector<std::uint64_t> seeds(config.trials);
+            for (std::uint32_t t = 0; t < config.trials; ++t) {
+                seeds[t] = chipSeed(config.baseSeed, mv(points[pointIdx].voltage), t);
+            }
+            slot.maps = detail::generateChipFaultMapsBatch(sys, seeds);
+        });
+        return &slot.maps[trial];
+    };
+
+    // Deterministic per-leg metric harvest, shared by the single-leg and
+    // batched paths (the computation is per lane either way).
+    const auto harvestLeg = [&](const Leg& leg, const SystemResult& res) {
+        const BenchmarkContext& ctx = contexts[leg.benchmark];
+        LegMetrics metrics;
+        metrics.linkFailed = res.linkFailed;
+        metrics.forensics = res.forensics;
+        if (!res.linkFailed) {
+            // Functional correctness: every scheme must compute the same
+            // answer as the 760mV reference.
+            if (res.run.halted && ctx.ref760.run.halted &&
+                res.checksum != ctx.ref760.checksum) {
+                throw std::logic_error("checksum mismatch in '" + ctx.name +
+                                       "': scheme corrupted execution");
+            }
+            const SystemResult& df = ctx.defectFree[leg.point];
+            metrics.normRuntime = res.runtimeSeconds / df.runtimeSeconds;
+            metrics.l2PerKilo = res.run.l2AccessesPerKilo();
+            metrics.normEpi = res.epi / ctx.ref760.epi;
+            const auto cycles = static_cast<double>(res.run.cycles);
+            metrics.busyFrac = static_cast<double>(res.run.busyCycles()) / cycles;
+            metrics.ifetchFrac = static_cast<double>(res.run.ifetchStallCycles) / cycles;
+            metrics.dmemFrac = static_cast<double>(res.run.dmemStallCycles) / cycles;
+            metrics.branchFrac = static_cast<double>(res.run.branchStallCycles) / cycles;
+        }
+        return metrics;
+    };
 
     const auto finishBenchmark = [&](std::uint32_t b) {
         const std::scoped_lock lock(progressMutex);
@@ -431,39 +548,14 @@ SweepResult runSweep(const SweepConfig& config) {
 
             const detail::LegFaultMaps* chipMaps = nullptr;
             if (!detail::schemeIsDefectFree(scheme)) {
-                ChipMapSlot& slot = chipMapCache[leg.point * config.trials + leg.trial];
-                std::call_once(slot.once, [&] {
-                    slot.maps.emplace(detail::generateChipFaultMaps(sys));
-                });
-                chipMaps = &*slot.maps;
+                chipMaps = chipMapsFor(leg.point, leg.trial, sys);
             }
 
             const SystemResult res =
                 replayed ? replaySystem(&ctx.bbrModule, sys, ctx.traces, chipMaps)
                          : simulateSystem(ctx.module, &ctx.bbrModule, sys, chipMaps);
 
-            metrics.linkFailed = res.linkFailed;
-            metrics.forensics = res.forensics;
-            if (!res.linkFailed) {
-                // Functional correctness: every scheme must compute the same
-                // answer as the 760mV reference.
-                if (res.run.halted && ctx.ref760.run.halted &&
-                    res.checksum != ctx.ref760.checksum) {
-                    throw std::logic_error("checksum mismatch in '" + ctx.name +
-                                           "': scheme corrupted execution");
-                }
-                const SystemResult& df = ctx.defectFree[leg.point];
-                metrics.normRuntime = res.runtimeSeconds / df.runtimeSeconds;
-                metrics.l2PerKilo = res.run.l2AccessesPerKilo();
-                metrics.normEpi = res.epi / ctx.ref760.epi;
-                const auto cycles = static_cast<double>(res.run.cycles);
-                metrics.busyFrac = static_cast<double>(res.run.busyCycles()) / cycles;
-                metrics.ifetchFrac =
-                    static_cast<double>(res.run.ifetchStallCycles) / cycles;
-                metrics.dmemFrac = static_cast<double>(res.run.dmemStallCycles) / cycles;
-                metrics.branchFrac =
-                    static_cast<double>(res.run.branchStallCycles) / cycles;
-            }
+            metrics = harvestLeg(leg, res);
             slots[index] = metrics;
             counters.record(scheme, mv(point.voltage), metrics.linkFailed);
         } catch (...) {
@@ -488,6 +580,106 @@ SweepResult runSweep(const SweepConfig& config) {
         activeWorkers.fetch_sub(1, std::memory_order_relaxed);
     };
 
+    // One TrialBatch: stream the group's shared tape through every lane,
+    // then run the same per-leg bookkeeping runLeg does, in canonical order
+    // within the unit. A failure inside replayBatch itself (before lanes
+    // have results) is charged to the unit's first leg — first-error-wins
+    // reduction surfaces it deterministically.
+    const auto runBatch = [&](const WorkUnit& unit, unsigned workerId,
+                              LegCounters& counters) {
+        activeWorkers.fetch_add(1, std::memory_order_relaxed);
+        const bool hooked = static_cast<bool>(config.onLegEvent);
+        const std::uint64_t startedNs = steadyNowNs();
+        const auto fillEvent = [&](SweepLegEvent& event, std::size_t index) {
+            const Leg& leg = legs[index];
+            event.leg = index;
+            event.worker = workerId;
+            event.benchmark = contexts[leg.benchmark].name;
+            event.scheme = schemes[leg.scheme];
+            event.voltageMv = mv(points[leg.point].voltage);
+            event.trial = leg.trial;
+            event.replayed = true;
+        };
+        if (hooked) {
+            for (const std::size_t index : unit.legIdx) {
+                SweepLegEvent event;
+                fillEvent(event, index);
+                event.phase = SweepLegEvent::Phase::Started;
+                config.onLegEvent(event);
+            }
+        }
+        std::vector<BatchLane> lanes(unit.legIdx.size());
+        bool ran = false;
+        try {
+            for (std::size_t i = 0; i < unit.legIdx.size(); ++i) {
+                const Leg& leg = legs[unit.legIdx[i]];
+                SystemConfig sys = baseTemplate;
+                sys.scheme = schemes[leg.scheme];
+                sys.op = points[leg.point];
+                sys.faultMapSeed =
+                    chipSeed(config.baseSeed, mv(points[leg.point].voltage), leg.trial);
+                lanes[i].config = sys;
+                if (!detail::schemeIsDefectFree(sys.scheme)) {
+                    lanes[i].chipMaps = chipMapsFor(leg.point, leg.trial, sys);
+                }
+            }
+            const BenchmarkContext& ctx = contexts[legs[unit.legIdx.front()].benchmark];
+            replayBatch(&ctx.bbrModule, ctx.traces, lanes);
+            ran = true;
+        } catch (...) {
+            legErrors[unit.legIdx.front()] = std::current_exception();
+        }
+        counters.batchDone(unit.legIdx.size());
+        const std::uint64_t laneNs =
+            (steadyNowNs() - startedNs) / unit.legIdx.size();
+        for (std::size_t i = 0; i < unit.legIdx.size(); ++i) {
+            const std::size_t index = unit.legIdx[i];
+            const Leg& leg = legs[index];
+            LegMetrics metrics;
+            if (ran) {
+                try {
+                    metrics = harvestLeg(leg, lanes[i].result);
+                    slots[index] = metrics;
+                    counters.record(schemes[leg.scheme], mv(points[leg.point].voltage),
+                                    metrics.linkFailed);
+                } catch (...) {
+                    legErrors[index] = std::current_exception();
+                }
+            }
+            counters.legDone(/*replayed=*/true);
+            legsCompleted.fetch_add(1, std::memory_order_relaxed);
+            legsReplayed.fetch_add(1, std::memory_order_relaxed);
+            if (hooked) {
+                SweepLegEvent event;
+                fillEvent(event, index);
+                event.phase = SweepLegEvent::Phase::Finished;
+                // Wall time attributed evenly: the lanes ran interleaved
+                // through the shared tape, not sequentially.
+                event.durationNs = laneNs;
+                event.linkFailed = metrics.linkFailed;
+                event.failCause = metrics.forensics.failCause;
+                config.onLegEvent(event);
+            }
+            if (pendingPerBenchmark[leg.benchmark].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                finishBenchmark(leg.benchmark);
+            } else {
+                legTick(workers);
+            }
+        }
+        activeWorkers.fetch_sub(1, std::memory_order_relaxed);
+    };
+
+    const auto runUnit = [&](std::size_t unitIndex, unsigned workerId,
+                             LegCounters& counters) {
+        const WorkUnit& unit = units[unitIndex];
+        if (unit.batched) {
+            runBatch(unit, workerId, counters);
+        } else {
+            runLeg(unit.legIdx.front(), workerId, counters);
+        }
+    };
+
     // Worker-utilization / queue-depth sampler, attached only when someone is
     // watching (profiling enabled or a trace sink installed): its background
     // thread reads the executor's atomics and never touches leg state, so it
@@ -507,7 +699,7 @@ SweepResult runSweep(const SweepConfig& config) {
     const auto started = std::chrono::steady_clock::now();
     if (workers <= 1) {
         LegCounters counters;
-        for (std::size_t i = 0; i < legs.size(); ++i) runLeg(i, 0, counters);
+        for (std::size_t i = 0; i < units.size(); ++i) runUnit(i, 0, counters);
     } else {
         std::atomic<std::size_t> next{0};
         std::vector<std::thread> team;
@@ -517,8 +709,8 @@ SweepResult runSweep(const SweepConfig& config) {
                 LegCounters counters;
                 while (true) {
                     const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-                    if (index >= legs.size()) return;
-                    runLeg(index, t, counters);
+                    if (index >= units.size()) return;
+                    runUnit(index, t, counters);
                 }
             });
         }

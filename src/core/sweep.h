@@ -78,7 +78,8 @@ struct SweepConfig {
     std::uint64_t baseSeed = 0xC0FFEE;
     std::uint64_t maxInstructions = 0;
     /// Worker threads; 0 = hardware concurrency. Clamped to the number of
-    /// legs (not benchmarks), so many-core hosts stay busy to the end.
+    /// schedulable work units (batches plus single legs — not benchmarks),
+    /// so many-core hosts stay busy to the end.
     unsigned threads = 0;
     SystemConfig systemTemplate = {};       ///< org / energy / pipeline knobs
     /// Record-once / replay-many fast path: each benchmark context records
@@ -92,6 +93,19 @@ struct SweepConfig {
     /// Per-trace payload cap in bytes; an overflowing benchmark logs once
     /// and runs execution-driven instead of holding an unbounded trace.
     std::uint64_t traceByteCap = 256ull << 20;
+    /// Batched multi-map replay: the replayable legs of one (benchmark,
+    /// point, layout) group stream one decoded tape through many trials at
+    /// once (core/replay.h replayBatch), instead of re-decoding the trace
+    /// per leg. Results are byte-identical either way; `--no-batch` / false
+    /// keeps the per-leg replaySystem path (the escape hatch, and the
+    /// baseline for before/after measurements). Execution-driven legs are
+    /// never batched.
+    bool useBatch = true;
+    /// Cap on lanes (trials) per batch; 0 picks the engine default (32).
+    /// Smaller batches trade decode amortization for scheduling grains and
+    /// a smaller resident state footprint (~200KB per lane: two tag
+    /// arrays, scheme state, L2 counters, pipeline scoreboard).
+    std::uint32_t batchLanes = 0;
     /// Invoked after each benchmark's last leg completes (boundary ticks)
     /// and on leg completion at most every ~200ms (leg ticks), serialized
     /// under the progress lock (safe to print / write from). Empty = no

@@ -56,6 +56,28 @@ LegFaultMaps generateChipFaultMaps(const SystemConfig& config) {
     return maps;
 }
 
+std::vector<LegFaultMaps> generateChipFaultMapsBatch(const SystemConfig& config,
+                                                     std::span<const std::uint64_t> seeds) {
+    const obs::Span span("mapgen");
+    const CacheOrganization& org = config.l1Org;
+    FaultMapGenerator generator{FailureModel{}, 32, config.faultRateScale};
+    std::vector<Rng> rngs;
+    rngs.reserve(seeds.size());
+    for (const std::uint64_t seed : seeds) rngs.emplace_back(seed);
+    // One pass per bit plane; each chip's RNG continues from its D-cache
+    // draw into its I-cache draw, exactly as the sequential pair does.
+    std::vector<FaultMap> dmaps =
+        generator.generateBatch(rngs, config.op.voltage, org.lines(), org.wordsPerBlock());
+    std::vector<FaultMap> imaps =
+        generator.generateBatch(rngs, config.op.voltage, org.lines(), org.wordsPerBlock());
+    std::vector<LegFaultMaps> chips;
+    chips.reserve(seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        chips.push_back(LegFaultMaps{std::move(dmaps[i]), std::move(imaps[i])});
+    }
+    return chips;
+}
+
 LegFaultMaps generateLegFaultMaps(const SystemConfig& config) {
     const CacheOrganization& org = config.l1Org;
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "compiler/passes.h"
@@ -95,6 +96,15 @@ struct LegFaultMaps {
 /// defect-tolerant scheme leg on that chip, so the sweep can generate it
 /// once per (point, trial) and share it across schemes.
 [[nodiscard]] LegFaultMaps generateChipFaultMaps(const SystemConfig& config);
+
+/// Batched form: draw one chip per seed at `config`'s operating point, in
+/// one pass per bit plane (all D-cache maps, then all I-cache maps, each
+/// chip's RNG stream continuing across the planes). Element i is
+/// byte-identical to generateChipFaultMaps(config with faultMapSeed =
+/// seeds[i]) — the batch only amortizes the model evaluation and the map
+/// arena, never the per-chip draw sequence.
+[[nodiscard]] std::vector<LegFaultMaps> generateChipFaultMapsBatch(
+    const SystemConfig& config, std::span<const std::uint64_t> seeds);
 
 /// The maps one leg actually runs against: the chip maps for
 /// defect-tolerant schemes, clean maps for defect-free kinds.

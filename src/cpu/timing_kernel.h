@@ -87,18 +87,17 @@ inline constexpr std::array<std::uint8_t, kOpcodeCount> kOpFlags = makeOpFlags()
 
 } // namespace detail
 
-/// `ICache`/`DCache` default to the scheme base classes; callers that know
-/// the concrete (final) scheme types pass them instead, devirtualizing —
-/// and, with IPO, inlining — every per-access call in the loop.
-template <class Driver, class ICache = InstrCacheScheme, class DCache = DataCacheScheme>
-RunStats runPipeline(Driver& driver, ICache& icache, DCache& dcache,
-                     const PipelineConfig& config) {
+/// The pipeline loop's complete timing state (the Simulator's former
+/// scoreboard members), hoisted into a struct so a run can be suspended and
+/// resumed: the scalar `runPipeline` drives one chunk to completion, while
+/// the batched replay engine (core/replay.cpp) interleaves many lanes
+/// through the same tape chunk, each carrying its own PipelineState.
+///
+/// The register scoreboards carry one extra scratch slot: writes to the
+/// zero register are redirected there instead of branching on rd == 0, so
+/// slot 0 stays permanently ready and the write path is branch-free.
+struct PipelineState {
     RunStats stats;
-
-    // Timing state (the Simulator's former scoreboard members). The register
-    // scoreboards carry one extra scratch slot: writes to the zero register
-    // are redirected there instead of branching on rd == 0, so slot 0 stays
-    // permanently ready and the write path is branch-free.
     std::uint64_t cycle = 0;
     std::uint32_t slotsUsed = 0;
     std::uint32_t memOpsThisCycle = 0;
@@ -109,15 +108,58 @@ RunStats runPipeline(Driver& driver, ICache& icache, DCache& dcache,
     StallCause frontendCause = StallCause::None;
     std::uint64_t lastFetchBlock = ~std::uint64_t{0};
     std::uint64_t dportBusyUntil = 0;
+    // Stall cycles indexed by StallCause (slot 0 = None is discarded), so
+    // the hot advanceTo is a single indexed add instead of a branch tree.
+    std::array<std::uint64_t, 5> stallCycles{};
+    bool running = true; ///< false once Halt retired — do not resume
+};
+
+/// Assemble the final RunStats from a finished run's state. Pairs with
+/// runPipelineChunk; `runPipeline` below is the one-shot composition.
+[[nodiscard]] inline RunStats finalizePipeline(const PipelineState& st) {
+    RunStats stats = st.stats;
+    stats.ifetchStallCycles = st.stallCycles[static_cast<unsigned>(StallCause::IFetch)];
+    stats.branchStallCycles = st.stallCycles[static_cast<unsigned>(StallCause::Branch)];
+    stats.dmemStallCycles = st.stallCycles[static_cast<unsigned>(StallCause::Dmem)];
+    stats.execStallCycles = st.stallCycles[static_cast<unsigned>(StallCause::Exec)];
+    stats.cycles = st.cycle + 1;
+    stats.activity.instructions = stats.instructions;
+    stats.activity.cycles = stats.cycles;
+    return stats;
+}
+
+/// Advance `st` until the driver's stream is exhausted, the instruction
+/// limit is reached, or Halt retires (st.running goes false). Resumable: a
+/// driver that reports atEnd() at a chunk boundary leaves the state ready
+/// for the next chunk. `ICache`/`DCache` default to the scheme base
+/// classes; callers that know the concrete (final) scheme types pass them
+/// instead, devirtualizing — and, with IPO, inlining — every per-access
+/// call in the loop.
+template <class Driver, class ICache = InstrCacheScheme, class DCache = DataCacheScheme>
+void runPipelineChunk(PipelineState& st, Driver& driver, ICache& icache, DCache& dcache,
+                      const PipelineConfig& config) {
+    // Hoist the state into locals for the chunk: their addresses never
+    // escape, so the compiler keeps the hot fields in registers across the
+    // (possibly opaque) cache-scheme calls, exactly as when they were local
+    // variables of the one-shot loop.
+    RunStats stats = st.stats;
+    std::uint64_t cycle = st.cycle;
+    std::uint32_t slotsUsed = st.slotsUsed;
+    std::uint32_t memOpsThisCycle = st.memOpsThisCycle;
+    std::uint32_t branchesThisCycle = st.branchesThisCycle;
+    std::array<std::uint64_t, kNumRegisters + 1> regReady = st.regReady;
+    std::array<bool, kNumRegisters + 1> regFromLoad = st.regFromLoad;
+    std::uint64_t frontendReady = st.frontendReady;
+    StallCause frontendCause = st.frontendCause;
+    std::uint64_t lastFetchBlock = st.lastFetchBlock;
+    std::uint64_t dportBusyUntil = st.dportBusyUntil;
+    std::array<std::uint64_t, 5> stallCycles = st.stallCycles;
+    bool running = st.running;
 
     const std::uint32_t iOverhead = icache.latencyOverhead();
     const std::uint32_t iHitLatency = kL1HitLatencyCycles + iOverhead;
     const std::uint32_t takenBubble = config.takenBranchFetchBubble ? iHitLatency - 1 : 0;
     const std::uint32_t dOverhead = dcache.latencyOverhead();
-
-    // Stall cycles indexed by StallCause (slot 0 = None is discarded), so
-    // the hot advanceTo is a single indexed add instead of a branch tree.
-    std::array<std::uint64_t, 5> stallCycles{};
 
     const auto advanceTo = [&](std::uint64_t targetCycle, StallCause cause) {
         if (targetCycle <= cycle) return;
@@ -136,7 +178,6 @@ RunStats runPipeline(Driver& driver, ICache& icache, DCache& dcache,
     const std::uint64_t instrLimit =
         config.maxInstructions != 0 ? config.maxInstructions : ~std::uint64_t{0};
 
-    bool running = true;
     while (running) {
         if (stats.instructions >= instrLimit) break;
         if (driver.atEnd()) break;
@@ -325,14 +366,28 @@ RunStats runPipeline(Driver& driver, ICache& icache, DCache& dcache,
         driver.stepFallthrough();
     }
 
-    stats.ifetchStallCycles = stallCycles[static_cast<unsigned>(StallCause::IFetch)];
-    stats.branchStallCycles = stallCycles[static_cast<unsigned>(StallCause::Branch)];
-    stats.dmemStallCycles = stallCycles[static_cast<unsigned>(StallCause::Dmem)];
-    stats.execStallCycles = stallCycles[static_cast<unsigned>(StallCause::Exec)];
-    stats.cycles = cycle + 1;
-    stats.activity.instructions = stats.instructions;
-    stats.activity.cycles = stats.cycles;
-    return stats;
+    st.stats = stats;
+    st.cycle = cycle;
+    st.slotsUsed = slotsUsed;
+    st.memOpsThisCycle = memOpsThisCycle;
+    st.branchesThisCycle = branchesThisCycle;
+    st.regReady = regReady;
+    st.regFromLoad = regFromLoad;
+    st.frontendReady = frontendReady;
+    st.frontendCause = frontendCause;
+    st.lastFetchBlock = lastFetchBlock;
+    st.dportBusyUntil = dportBusyUntil;
+    st.stallCycles = stallCycles;
+    st.running = running;
+}
+
+/// One-shot run: fresh state, a single chunk to completion, finalized stats.
+template <class Driver, class ICache = InstrCacheScheme, class DCache = DataCacheScheme>
+RunStats runPipeline(Driver& driver, ICache& icache, DCache& dcache,
+                     const PipelineConfig& config) {
+    PipelineState st;
+    runPipelineChunk(st, driver, icache, dcache, config);
+    return finalizePipeline(st);
 }
 
 } // namespace voltcache::timing

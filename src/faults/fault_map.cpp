@@ -119,6 +119,43 @@ FaultMap FaultMapGenerator::generate(Rng& rng, Voltage v, std::uint32_t lines,
     return map;
 }
 
+std::vector<FaultMap> FaultMapGenerator::generateBatch(std::span<Rng> rngs, Voltage v,
+                                                       std::uint32_t lines,
+                                                       std::uint32_t wordsPerLine) const {
+    // Lane-invariant work, once per batch: the model probability (a pow()
+    // inside pFailStructure), the inverse-CDF constant, and the arena that
+    // holds every lane's bit plane.
+    const double pWord = pWordAt(v);
+    std::vector<FaultMap> maps;
+    maps.reserve(rngs.size());
+    for (std::size_t i = 0; i < rngs.size(); ++i) maps.emplace_back(lines, wordsPerLine);
+    const std::uint32_t total = lines * wordsPerLine;
+    if (pWord <= 0.0) return maps;
+    if (pWord >= 1.0) {
+        for (FaultMap& map : maps) {
+            for (std::uint32_t flat = 0; flat < total; ++flat) map.setFaultyFlat(flat);
+        }
+        return maps;
+    }
+    // Per lane: generate()'s geometric gap-skipping, draw for draw, so each
+    // lane's map (and its RNG's final state) matches the sequential path.
+    const double invLog1mP = 1.0 / std::log1p(-pWord);
+    for (std::size_t i = 0; i < rngs.size(); ++i) {
+        Rng& rng = rngs[i];
+        FaultMap& map = maps[i];
+        std::uint64_t next = 0;
+        while (next < total) {
+            const double u = rng.nextDouble();
+            const double gap = std::floor(std::log1p(-u) * invLog1mP);
+            if (!(gap < static_cast<double>(total - next))) break;
+            next += static_cast<std::uint64_t>(gap);
+            map.setFaultyFlat(static_cast<std::uint32_t>(next));
+            ++next;
+        }
+    }
+    return maps;
+}
+
 FaultMap FaultMapGenerator::generateBernoulliReference(Rng& rng, Voltage v,
                                                        std::uint32_t lines,
                                                        std::uint32_t wordsPerLine) const {

@@ -15,6 +15,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/contracts.h"
@@ -134,6 +135,18 @@ public:
     /// Draw one fault map for an array of `lines` x `wordsPerLine` words.
     [[nodiscard]] FaultMap generate(Rng& rng, Voltage v, std::uint32_t lines,
                                     std::uint32_t wordsPerLine) const;
+
+    /// Draw one map per RNG lane — the batched form the sweep uses to fill
+    /// a whole (operating point)'s trial maps at once. The per-lane draw
+    /// math is generate()'s exactly (same inverse-CDF gaps off the same
+    /// uniform stream), so `generateBatch(rngs, ...)[i]` is byte-identical
+    /// to `generate(rngs[i], ...)`; what the batch amortizes is everything
+    /// lane-invariant — the failure-model probability evaluation (a pow()
+    /// per call otherwise) and the output arena, allocated once for all
+    /// lanes' bit planes instead of growing map by map.
+    [[nodiscard]] std::vector<FaultMap> generateBatch(std::span<Rng> rngs, Voltage v,
+                                                      std::uint32_t lines,
+                                                      std::uint32_t wordsPerLine) const;
 
     /// Slow per-word reference: one Bernoulli(p) test per word, coupled to
     /// generate()'s uniform stream so the two produce identical maps for the

@@ -3,9 +3,16 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "faults/fault_map.h"
+#include "schemes/bbr.h"
+#include "schemes/conventional.h"
+#include "schemes/fault_buffer.h"
+#include "schemes/ffw.h"
 #include "schemes/scheme.h"
+#include "schemes/wilkerson.h"
+#include "schemes/word_disable.h"
 
 namespace voltcache {
 
@@ -35,6 +42,37 @@ struct SchemePair {
 /// trace a leg replays from.
 [[nodiscard]] constexpr bool schemeNeedsBbrLinking(SchemeKind kind) noexcept {
     return kind == SchemeKind::FfwBbr;
+}
+
+/// Invoke `fn(concreteICache&, concreteDCache&)` with the pair downcast to
+/// the final types `makeSchemes(kind, ...)` constructed. This is how the
+/// batched replay engine devirtualizes — and, with IPO, inlines — every
+/// per-access scheme call inside the timing kernel: one kernel
+/// instantiation per concrete pair, selected once per chunk instead of a
+/// virtual dispatch per access.
+template <class Fn>
+decltype(auto) withConcreteSchemes(SchemeKind kind, const SchemePair& pair, Fn&& fn) {
+    switch (kind) {
+        case SchemeKind::DefectFree:
+        case SchemeKind::Conventional760:
+        case SchemeKind::Robust8T:
+            return std::forward<Fn>(fn)(static_cast<ConventionalICache&>(*pair.icache),
+                                        static_cast<ConventionalDCache&>(*pair.dcache));
+        case SchemeKind::SimpleWordDisable:
+            return std::forward<Fn>(fn)(static_cast<SimpleWordDisableICache&>(*pair.icache),
+                                        static_cast<SimpleWordDisableDCache&>(*pair.dcache));
+        case SchemeKind::WilkersonPlus:
+            return std::forward<Fn>(fn)(static_cast<WilkersonICache&>(*pair.icache),
+                                        static_cast<WilkersonDCache&>(*pair.dcache));
+        case SchemeKind::FbaPlus:
+        case SchemeKind::IdcPlus:
+            return std::forward<Fn>(fn)(static_cast<FaultBufferICache&>(*pair.icache),
+                                        static_cast<FaultBufferDCache&>(*pair.dcache));
+        case SchemeKind::FfwBbr:
+            return std::forward<Fn>(fn)(static_cast<BbrICache&>(*pair.icache),
+                                        static_cast<FfwDCache&>(*pair.dcache));
+    }
+    __builtin_unreachable();
 }
 
 } // namespace voltcache

@@ -270,6 +270,24 @@ TEST(ReplaySweep, JsonByteIdenticalReplayVsExecution) {
     }
 }
 
+// --no-batch is the escape hatch when the batched engine is suspected: it
+// must stay anchored to execution-driven simulation, not to the batched
+// path, so the three modes form one byte-identical equivalence class.
+TEST(ReplaySweep, NoBatchJsonByteIdenticalToExecution) {
+    SweepConfig exec = sweepConfig();
+    exec.useReplay = false;
+    const std::string execJson = exportJson(runSweep(exec), exec);
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        SweepConfig replay = sweepConfig();
+        replay.useBatch = false;
+        replay.threads = threads;
+        const std::string replayJson = exportJson(runSweep(replay), replay);
+        EXPECT_EQ(execJson, replayJson)
+            << "--no-batch replay diverges from execution at --threads " << threads;
+    }
+}
+
 TEST(ReplaySweep, ProgressAccountsEveryLeg) {
     SweepConfig config = sweepConfig();
     SweepProgress last;

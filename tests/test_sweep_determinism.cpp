@@ -4,6 +4,8 @@
 //     (per-leg slots + reduction in canonical leg order), and
 //   * geometric gap-skipping generation produces exactly the map the coupled
 //     per-word Bernoulli reference does, over a (seed, voltage) grid.
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,76 @@ TEST(SweepDeterminism, JsonBitIdenticalAcrossThreadCounts) {
         const SweepConfig cn = smallConfig(threads);
         const std::string jsonN = exportJson(runSweep(cn), cn);
         EXPECT_EQ(json1, jsonN) << "sweep JSON differs at --threads " << threads;
+    }
+}
+
+// The batched replay engine must be a pure scheduling change: streaming one
+// trace through B fault maps at once has to export the very bytes the
+// one-lane-at-a-time path exports, at every thread count and for batch sizes
+// below, at, and above the trial count (1 lane degenerates to the unbatched
+// shape, 7 splits a 9-trial group unevenly, 9 is exactly one batch, 64
+// clamps to the trial group, 0 asks for the engine default).
+TEST(SweepDeterminism, BatchedJsonBitIdenticalToUnbatched) {
+    const auto batchConfig = [](unsigned threads, bool useBatch, unsigned batchLanes) {
+        SweepConfig config;
+        config.benchmarks = {"crc32"};
+        config.schemes = {SchemeKind::Robust8T, SchemeKind::SimpleWordDisable,
+                          SchemeKind::FfwBbr};
+        config.points = {DvfsTable::at(560_mV), DvfsTable::at(400_mV)};
+        config.trials = 9;
+        config.scale = WorkloadScale::Tiny;
+        config.threads = threads;
+        config.useBatch = useBatch;
+        config.batchLanes = batchLanes;
+        return config;
+    };
+    const SweepConfig ref = batchConfig(1, false, 0);
+    const std::string refJson = exportJson(runSweep(ref), ref);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        for (const unsigned lanes : {1u, 7u, 9u, 64u, 0u}) {
+            const SweepConfig config = batchConfig(threads, true, lanes);
+            EXPECT_EQ(refJson, exportJson(runSweep(config), config))
+                << "batched sweep JSON diverges from unbatched at --threads "
+                << threads << " --batch " << lanes;
+        }
+    }
+}
+
+// generateBatch() is generate() run lane by lane off the same uniform
+// streams: each lane's map must match a sequential draw from an identically
+// seeded RNG, and the lane RNGs must land in the same state afterwards —
+// the chip builder draws the I-cache map from the continuation of the
+// D-cache map's stream, so a state divergence would silently decouple the
+// batched sweep from the sequential one on the *next* structure.
+TEST(SweepDeterminism, GenerateBatchMatchesSequentialGenerate) {
+    const FaultMapGenerator generator;
+    constexpr std::uint32_t kLanes = 8;
+    for (const std::uint64_t seed : {1ull, 42ull, 0xC0FFEEull}) {
+        for (const int mv : {760, 560, 480, 400}) {
+            const Voltage v = Voltage::fromMillivolts(mv);
+            std::vector<Rng> batched;
+            std::vector<Rng> sequential;
+            for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+                batched.emplace_back(seed + lane);
+                sequential.emplace_back(seed + lane);
+            }
+            const std::vector<FaultMap> maps =
+                generator.generateBatch(std::span<Rng>(batched), v, 1024, 8);
+            ASSERT_EQ(maps.size(), kLanes);
+            for (std::uint32_t lane = 0; lane < kLanes; ++lane) {
+                const FaultMap expected = generator.generate(sequential[lane], v, 1024, 8);
+                EXPECT_EQ(maps[lane], expected)
+                    << "lane " << lane << " diverges at seed " << seed << ", " << mv
+                    << "mV";
+                // Continuation draw: the next structure off the same stream.
+                const FaultMap nextBatched = generator.generate(batched[lane], v, 512, 8);
+                const FaultMap nextSequential =
+                    generator.generate(sequential[lane], v, 512, 8);
+                EXPECT_EQ(nextBatched, nextSequential)
+                    << "lane " << lane << " RNG state diverges after batch at seed "
+                    << seed << ", " << mv << "mV";
+            }
+        }
     }
 }
 

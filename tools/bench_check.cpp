@@ -13,6 +13,19 @@
 // — i.e. the stored confidence-interval half-widths widen the tolerance so
 // run-to-run Monte Carlo / timer noise does not trip the gate, while a real
 // shift beyond both the relative floor and the statistical noise fails it.
+//
+// Additional gates:
+//   * a committed baseline whose CI half-width exceeds |value| fails as
+//     ILL-CONDITIONED — such a baseline tolerates anything, so it gates
+//     nothing and must be re-measured with more reps;
+//   * metrics named *efficiency* regress downward (higher is better), even
+//     though their unit is a fraction;
+//   * --speedup REF:FRESH:RATIO (repeatable) requires fresh[FRESH] >=
+//     RATIO * reference[REF], where the reference file defaults to
+//     --baseline and can be pinned to a historical snapshot with
+//     --speedup-baseline (e.g. the pre-batching release's execution-driven
+//     throughput).
+//
 // Exit 0 = no regressions, 1 = at least one, 2 = usage/parse error.
 #include <cmath>
 #include <cstdio>
@@ -39,10 +52,13 @@ struct Metric {
 
 enum class BadDirection { Higher, Lower, Both };
 
-/// Which way is "worse" for a metric, from its unit string. Throughput
+/// Which way is "worse" for a metric, from its name and unit. Throughput
 /// (anything per second) regresses downward; time, ratios, and fractions
-/// regress upward; unknown units gate both directions.
-BadDirection badDirectionFor(const std::string& unit) {
+/// regress upward; unknown units gate both directions. Efficiency metrics
+/// are fractions where *higher* is better (the thread-scaling gate), so the
+/// name overrides the unit rule.
+BadDirection badDirectionFor(const std::string& name, const std::string& unit) {
+    if (name.find("efficiency") != std::string::npos) return BadDirection::Lower;
     if (unit == "1/s" || unit.find("/s") != std::string::npos) return BadDirection::Lower;
     if (unit == "ns" || unit == "us" || unit == "ms" || unit == "s" || unit == "cycles" ||
         unit == "ratio" || unit == "frac" || unit == "bytes" || unit == "words") {
@@ -75,9 +91,20 @@ std::map<std::string, Metric> loadMetrics(const std::string& path, std::string* 
 
 } // namespace
 
+/// A cross-release milestone: fresh[metric] must be at least `minRatio`
+/// times reference[metric2] from a (possibly historical) reference file.
+/// Spelled REF_METRIC:FRESH_METRIC:MIN_RATIO on the command line.
+struct SpeedupGate {
+    std::string refMetric;
+    std::string freshMetric;
+    double minRatio = 1.0;
+};
+
 int main(int argc, char** argv) {
     std::string baselinePath;
     std::string freshPath;
+    std::string speedupBaselinePath;
+    std::vector<SpeedupGate> speedups;
     double relThreshold = 0.10;
     double ciMult = 3.0;
     for (int i = 1; i < argc; ++i) {
@@ -97,10 +124,32 @@ int main(int argc, char** argv) {
             relThreshold = std::strtod(next(), nullptr);
         } else if (arg == "--ci-mult") {
             ciMult = std::strtod(next(), nullptr);
+        } else if (arg == "--speedup") {
+            const std::string spec = next();
+            const std::size_t c1 = spec.find(':');
+            const std::size_t c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+            if (c2 == std::string::npos) {
+                std::fprintf(stderr,
+                             "bench_check: --speedup wants REF_METRIC:FRESH_METRIC:RATIO\n");
+                return 2;
+            }
+            SpeedupGate gate;
+            gate.refMetric = spec.substr(0, c1);
+            gate.freshMetric = spec.substr(c1 + 1, c2 - c1 - 1);
+            gate.minRatio = std::strtod(spec.c_str() + c2 + 1, nullptr);
+            if (gate.minRatio <= 0.0) {
+                std::fprintf(stderr, "bench_check: --speedup ratio must be positive\n");
+                return 2;
+            }
+            speedups.push_back(gate);
+        } else if (arg == "--speedup-baseline") {
+            speedupBaselinePath = next();
         } else {
             std::fprintf(stderr,
                          "usage: bench_check --baseline FILE --fresh FILE\n"
-                         "       [--rel-threshold %.2f] [--ci-mult %.1f]\n",
+                         "       [--rel-threshold %.2f] [--ci-mult %.1f]\n"
+                         "       [--speedup REF_METRIC:FRESH_METRIC:MIN_RATIO]...\n"
+                         "       [--speedup-baseline FILE]\n",
                          relThreshold, ciMult);
             return 2;
         }
@@ -124,7 +173,19 @@ int main(int argc, char** argv) {
         int regressions = 0;
         int compared = 0;
         int missing = 0;
+        int illConditioned = 0;
         for (const auto& [name, base] : baseline) {
+            // A committed baseline whose confidence interval swallows its
+            // own mean cannot gate anything: every tolerance it produces is
+            // wider than the value it protects. Re-measure with more reps
+            // before committing it.
+            if (base.ciHalfWidth > std::fabs(base.value) && base.ciHalfWidth > 0.0) {
+                std::fprintf(stderr,
+                             "ILL-CONDITIONED %s: baseline %.6g +- %.6g "
+                             "(CI half-width exceeds |value|)\n",
+                             name.c_str(), base.value, base.ciHalfWidth);
+                ++illConditioned;
+            }
             const auto it = fresh.find(name);
             if (it == fresh.end()) {
                 std::fprintf(stderr, "MISSING  %s (in baseline, not in fresh run)\n",
@@ -137,7 +198,7 @@ int main(int argc, char** argv) {
             const double tol = std::max(relThreshold * std::fabs(base.value),
                                         ciMult * (base.ciHalfWidth + now.ciHalfWidth));
             const double delta = now.value - base.value;
-            const BadDirection bad = badDirectionFor(base.unit);
+            const BadDirection bad = badDirectionFor(name, base.unit);
             const bool regressed =
                 (bad == BadDirection::Higher && delta > tol) ||
                 (bad == BadDirection::Lower && -delta > tol) ||
@@ -150,10 +211,54 @@ int main(int argc, char** argv) {
                 ++regressions;
             }
         }
-        std::printf("bench_check %s: %d compared, %d regressed, %d missing\n",
-                    baseArtifact.c_str(), compared, regressions, missing);
+
+        // Milestone ratios against a (possibly historical) reference file:
+        // e.g. the batched sweep's legs/sec against the pre-batch release's
+        // execution-driven baseline. These only ever compare fresh values,
+        // so a stale regular baseline cannot mask a lost milestone.
+        int lostMilestones = 0;
+        if (!speedups.empty()) {
+            std::string refArtifact;
+            const auto reference = loadMetrics(
+                speedupBaselinePath.empty() ? baselinePath : speedupBaselinePath,
+                &refArtifact);
+            for (const SpeedupGate& gate : speedups) {
+                const auto ref = reference.find(gate.refMetric);
+                const auto now = fresh.find(gate.freshMetric);
+                if (ref == reference.end() || now == fresh.end()) {
+                    std::fprintf(stderr, "MISSING  speedup gate %s -> %s: metric absent\n",
+                                 gate.refMetric.c_str(), gate.freshMetric.c_str());
+                    ++lostMilestones;
+                    continue;
+                }
+                if (ref->second.value <= 0.0) {
+                    std::fprintf(stderr, "ILL-CONDITIONED speedup reference %s: %.6g\n",
+                                 gate.refMetric.c_str(), ref->second.value);
+                    ++lostMilestones;
+                    continue;
+                }
+                const double ratio = now->second.value / ref->second.value;
+                if (ratio < gate.minRatio) {
+                    std::fprintf(stderr,
+                                 "LOST MILESTONE %s / %s = %.3f < required %.3f\n",
+                                 gate.freshMetric.c_str(), gate.refMetric.c_str(), ratio,
+                                 gate.minRatio);
+                    ++lostMilestones;
+                } else {
+                    std::printf("milestone %s / %s = %.3fx (>= %.3fx)\n",
+                                gate.freshMetric.c_str(), gate.refMetric.c_str(), ratio,
+                                gate.minRatio);
+                }
+            }
+        }
+
+        std::printf("bench_check %s: %d compared, %d regressed, %d missing, "
+                    "%d ill-conditioned\n",
+                    baseArtifact.c_str(), compared, regressions, missing, illConditioned);
         // A metric that vanished from the export is a broken gate, not noise.
-        return regressions > 0 || missing > 0 ? 1 : 0;
+        return regressions > 0 || missing > 0 || illConditioned > 0 || lostMilestones > 0
+                   ? 1
+                   : 0;
     } catch (const JsonParseError& e) {
         std::fprintf(stderr, "bench_check: %s\n", e.what());
         return 2;

@@ -138,6 +138,28 @@ if ! cmp -s "$det_base" "$noreplay_json"; then
     exit 1
 fi
 
+echo "== batch smoke: sweep JSON identical with --no-batch and odd --batch sizes =="
+# Batched multi-map replay is a pure scheduling change: the one-lane-at-a-time
+# path (--no-batch) and awkward batch sizes (1 lane; 7 lanes, which splits a
+# trial group unevenly) must reproduce the default export byte for byte.
+# det_base above is the default (batched) --threads 1 export; this runs under
+# whatever sanitizers this leg configured, so lane-state aliasing bugs surface
+# here before the timing gates ever see them.
+for mode in no-batch 1 7; do
+    batch_json="$build_dir/ci_batch_$mode.json"
+    case "$mode" in
+        no-batch) batch_flag="--no-batch" ;;
+        *) batch_flag="--batch $mode" ;;
+    esac
+    # shellcheck disable=SC2086 # batch_flag is intentionally word-split
+    "$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
+        --scale tiny --threads 2 $batch_flag --json "$batch_json" > /dev/null
+    if ! cmp -s "$det_base" "$batch_json"; then
+        echo "ci: FAIL — sweep JSON differs between default batching and $batch_flag" >&2
+        exit 1
+    fi
+done
+
 echo "== telemetry smoke: live /metrics + /progress scrape, journal, identical JSON =="
 # A sweep with the full telemetry plane attached (exporter on an ephemeral
 # port + NDJSON leg journal) is scraped while it runs via `voltcache top`
@@ -248,12 +270,22 @@ done
 # unsanitized runs, with a generous relative threshold on top of the stored
 # CI half-widths.
 if [ "$sanitize" = "OFF" ]; then
-    for artifact in micro perf; do
-        "$build_dir/tools/bench_check" \
-            --baseline "$repo_root/bench/baselines/BENCH_$artifact.json" \
-            --fresh "$build_dir/BENCH_$artifact.json" \
-            --rel-threshold 0.5
-    done
+    "$build_dir/tools/bench_check" \
+        --baseline "$repo_root/bench/baselines/BENCH_micro.json" \
+        --fresh "$build_dir/BENCH_micro.json" \
+        --rel-threshold 0.5
+    # The perf gate additionally holds the batched-replay milestone: the
+    # default sweep's single-thread legs/sec must stay ahead of the
+    # pre-batching release's execution-driven rate (the pinned snapshot in
+    # BENCH_perf_prebatch.json) by at least 1.10x. The ratio is deliberately
+    # below the ~1.3-1.6x measured on a quiet machine: this runs on shared
+    # CI hardware and must only catch the milestone being *lost*, not noise.
+    "$build_dir/tools/bench_check" \
+        --baseline "$repo_root/bench/baselines/BENCH_perf.json" \
+        --fresh "$build_dir/BENCH_perf.json" \
+        --rel-threshold 0.5 \
+        --speedup-baseline "$repo_root/bench/baselines/BENCH_perf_prebatch.json" \
+        --speedup "sweep.exec_legs_per_sec/threads1:sweep.legs_per_sec/threads1:1.10"
 else
     echo "   (skipping micro/perf timing gate: sanitizers distort timings;"
     echo "    rerun with VOLTCACHE_CI_SANITIZE=OFF to enforce it)"

@@ -15,7 +15,7 @@
 //   voltcache sweep [--trials N] [--benchmarks a,b,...] [--scale S]
 //             [--threads N] [--mv V1,V2,...] [--json FILE] [--trace FILE]
 //             [--profile FILE] [--progress] [--no-replay] [--analytic-check]
-//             [--check-z Z] [--corrupt-mapgen SCALE]
+//             [--check-z Z] [--corrupt-mapgen SCALE] [--batch N] [--no-batch]
 //       the Fig. 10/11/12 sweep, printed as one table; --json exports the
 //       full result (with CI half-widths and the forensics block), --trace
 //       a Chrome trace of the most recent events (open in Perfetto),
@@ -91,7 +91,7 @@ Args parseArgs(int argc, char** argv, int first) {
         if (token.rfind("--", 0) == 0 || token == "-o") {
             const std::string key = token == "-o" ? "out" : token.substr(2);
             if (key == "bbr" || key == "progress" || key == "no-replay" ||
-                key == "analytic-check" || key == "once") { // boolean flags
+                key == "no-batch" || key == "analytic-check" || key == "once") { // boolean flags
                 args.flags[key] = "1";
                 continue;
             }
@@ -353,6 +353,8 @@ int cmdSweep(const Args& args) {
     // control (any value != 1 must make --analytic-check fail).
     config.systemTemplate.faultRateScale = std::stod(args.get("corrupt-mapgen", "1"));
     config.useReplay = !args.flags.contains("no-replay");
+    config.useBatch = !args.flags.contains("no-batch");
+    config.batchLanes = static_cast<std::uint32_t>(std::stoul(args.get("batch", "0")));
     if (args.flags.contains("progress")) {
         // ETA from an EWMA of the sweep's legs/sec; ticks are serialized
         // under the progress lock, so the mutable lambda state is safe.
@@ -955,6 +957,9 @@ int usage() {
                  "      [--profile FILE]  (self-profile: per-phase span times + metrics)\n"
                  "      [--no-replay]  (disable the record-once/replay-many fast path;\n"
                  "       results are bit-identical either way)\n"
+                 "      [--batch N]  (lanes per replay batch; 0 = engine default 32)\n"
+                 "      [--no-batch]  (replay each leg individually instead of batching\n"
+                 "       trials through one decoded tape; bit-identical either way)\n"
                  "      [--analytic-check] [--check-z Z]  (gate the MC result against\n"
                  "       the closed-form FFW/BBR models; nonzero exit on divergence)\n"
                  "      [--corrupt-mapgen SCALE]  (deliberately scale the sampled fault\n"
