@@ -25,6 +25,7 @@
 #include "schemes/factory.h"
 #include "schemes/ffw.h"
 #include "schemes/word_disable.h"
+#include "serve/store.h"
 #include "workload/workload.h"
 
 namespace {
@@ -525,6 +526,70 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
         metric.ciHalfWidth = confidenceInterval(frac).halfWidth;
         metric.unit = "frac";
         metric.samples = frac.count();
+        metrics.push_back(metric);
+    }
+
+    // The serve-layer headline: legs per second through the content-
+    // addressed store, cold (every leg simulates and populates) vs warm
+    // (every leg is a store hit — no trace recording, no simulation). The
+    // warm/cold ratio is the CI speedup gate (bench_check --speedup): both
+    // rates come from the same run on the same machine, so the ratio is
+    // machine-independent.
+    {
+        // Cold: a fresh store per rep, so every rep pays full simulation
+        // plus the insert path.
+        SweepConfig config = tinySweepConfig(1);
+        const auto legs = static_cast<double>(sweepLegCount(config));
+        RunningStats cold;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            serve::LegStore store({.byteBudget = 64ull << 20, .directory = ""});
+            config.resultSource = &store;
+            const auto start = Clock::now();
+            benchmark::DoNotOptimize(runSweep(config));
+            cold.add(legs / secondsSince(start));
+        }
+        metrics.push_back(metricOf("serve.cold_legs_per_sec", cold));
+
+        // Warm: one shared store pre-filled by a priming run; every rep is
+        // pure digest + lookup + reduction.
+        serve::LegStore store({.byteBudget = 64ull << 20, .directory = ""});
+        config.resultSource = &store;
+        benchmark::DoNotOptimize(runSweep(config));
+        RunningStats warm;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            benchmark::DoNotOptimize(runSweep(config));
+            warm.add(legs / secondsSince(start));
+        }
+        metrics.push_back(metricOf("serve.warm_legs_per_sec", warm));
+    }
+
+    // Raw store hit latency: one lookup of a resident entry (hash the key
+    // map slot, splice to the LRU front, copy the 484-byte slot, bump one
+    // relaxed counter). Guards the per-leg overhead a warm sweep pays.
+    {
+        serve::LegStore store({.byteBudget = 1ull << 20, .directory = ""});
+        LegResult value;
+        value.normRuntime = 1.0;
+        Digest256 key{};
+        key[0] = 1;
+        store.store(key, value);
+        constexpr int kLookupsPerRep = 100000;
+        RunningStats nanos;
+        LegResult out;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            for (int i = 0; i < kLookupsPerRep; ++i) {
+                benchmark::DoNotOptimize(store.lookup(key, out));
+            }
+            nanos.add(secondsSince(start) * 1e9 / kLookupsPerRep);
+        }
+        voltcache::bench::BenchMetric metric;
+        metric.name = "serve.hit_lookup_ns";
+        metric.value = nanos.mean();
+        metric.ciHalfWidth = confidenceInterval(nanos).halfWidth;
+        metric.unit = "ns";
+        metric.samples = nanos.count();
         metrics.push_back(metric);
     }
     return metrics;

@@ -1,0 +1,142 @@
+#include "common/hash.h"
+
+#include <bit>
+#include <cstring>
+
+namespace voltcache {
+
+namespace {
+
+// FIPS 180-4 section 4.2.2: first 32 bits of the fractional parts of the
+// cube roots of the first 64 primes.
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+std::uint32_t loadBigEndian32(const std::uint8_t* bytes) noexcept {
+    return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+           (static_cast<std::uint32_t>(bytes[1]) << 16) |
+           (static_cast<std::uint32_t>(bytes[2]) << 8) |
+           static_cast<std::uint32_t>(bytes[3]);
+}
+
+} // namespace
+
+void Sha256::reset() noexcept {
+    // Section 5.3.3: fractional parts of the square roots of the first 8 primes.
+    state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    bufferedBytes_ = 0;
+    totalBytes_ = 0;
+}
+
+void Sha256::processBlock(const std::uint8_t* block) noexcept {
+    std::uint32_t w[64];
+    for (int t = 0; t < 16; ++t) w[t] = loadBigEndian32(block + 4 * t);
+    for (int t = 16; t < 64; ++t) {
+        const std::uint32_t s0 = std::rotr(w[t - 15], 7) ^ std::rotr(w[t - 15], 18) ^
+                                 (w[t - 15] >> 3);
+        const std::uint32_t s1 = std::rotr(w[t - 2], 17) ^ std::rotr(w[t - 2], 19) ^
+                                 (w[t - 2] >> 10);
+        w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    for (int t = 0; t < 64; ++t) {
+        const std::uint32_t bigSigma1 =
+            std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+        const std::uint32_t choose = (e & f) ^ (~e & g);
+        const std::uint32_t temp1 = h + bigSigma1 + choose + kRoundConstants[t] + w[t];
+        const std::uint32_t bigSigma0 =
+            std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+        const std::uint32_t majority = (a & b) ^ (a & c) ^ (b & c);
+        const std::uint32_t temp2 = bigSigma0 + majority;
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+}
+
+void Sha256::update(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    totalBytes_ += size;
+    if (bufferedBytes_ > 0) {
+        const std::size_t take = std::min(size, buffer_.size() - bufferedBytes_);
+        std::memcpy(buffer_.data() + bufferedBytes_, bytes, take);
+        bufferedBytes_ += take;
+        bytes += take;
+        size -= take;
+        if (bufferedBytes_ < buffer_.size()) return;
+        processBlock(buffer_.data());
+        bufferedBytes_ = 0;
+    }
+    while (size >= buffer_.size()) {
+        processBlock(bytes);
+        bytes += buffer_.size();
+        size -= buffer_.size();
+    }
+    if (size > 0) {
+        std::memcpy(buffer_.data(), bytes, size);
+        bufferedBytes_ = size;
+    }
+}
+
+Digest256 Sha256::finish() noexcept {
+    const std::uint64_t messageBits = totalBytes_ * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0x00;
+    while (bufferedBytes_ != 56) update(&zero, 1);
+    std::uint8_t length[8];
+    for (int i = 0; i < 8; ++i) {
+        length[i] = static_cast<std::uint8_t>(messageBits >> (8 * (7 - i)));
+    }
+    update(length, sizeof(length));
+
+    Digest256 digest;
+    for (int i = 0; i < 8; ++i) {
+        digest[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    }
+    return digest;
+}
+
+std::string digestToHex(const Digest256& digest) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(digest.size() * 2);
+    for (const std::uint8_t byte : digest) {
+        hex.push_back(kHex[byte >> 4]);
+        hex.push_back(kHex[byte & 0xF]);
+    }
+    return hex;
+}
+
+void HashWriter::f64(double value) noexcept { u64(std::bit_cast<std::uint64_t>(value)); }
+
+} // namespace voltcache

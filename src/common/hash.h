@@ -1,0 +1,89 @@
+// SHA-256 — the content-address function of the serve-layer result store.
+//
+// Own implementation (FIPS 180-4), dependency-free like the rest of
+// `common/`: the digest keys leg results across processes and machines, so
+// it must be stable forever and cannot hide behind a platform library. The
+// streaming class hashes incrementally; HashWriter adds the field-tagged
+// framing the leg keys are built from (every field is hashed explicitly —
+// never raw struct bytes, which would bake padding and ABI into the key).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace voltcache {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+public:
+    Sha256() noexcept { reset(); }
+
+    void reset() noexcept;
+    void update(const void* data, std::size_t size) noexcept;
+    void update(std::string_view text) noexcept { update(text.data(), text.size()); }
+
+    /// Finalize and return the digest. The stream is consumed; call reset()
+    /// to reuse the object.
+    [[nodiscard]] Digest256 finish() noexcept;
+
+    /// One-shot convenience.
+    [[nodiscard]] static Digest256 digest(std::string_view data) noexcept {
+        Sha256 h;
+        h.update(data);
+        return h.finish();
+    }
+
+private:
+    void processBlock(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 8> state_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t bufferedBytes_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/// Lowercase hex rendering (64 characters).
+[[nodiscard]] std::string digestToHex(const Digest256& digest);
+
+/// Field-tagged streaming front end for building content keys: scalars are
+/// hashed in a fixed-width little-endian encoding, strings length-prefixed,
+/// so two different field sequences can never collide by concatenation.
+class HashWriter {
+public:
+    void u8(std::uint8_t value) noexcept { hash_.update(&value, 1); }
+    void u32(std::uint32_t value) noexcept {
+        std::uint8_t bytes[4];
+        for (int i = 0; i < 4; ++i) bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+        hash_.update(bytes, sizeof(bytes));
+    }
+    void u64(std::uint64_t value) noexcept {
+        std::uint8_t bytes[8];
+        for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+        hash_.update(bytes, sizeof(bytes));
+    }
+    void i32(std::int32_t value) noexcept { u32(static_cast<std::uint32_t>(value)); }
+    /// Doubles hash by IEEE-754 bit pattern: the key must distinguish every
+    /// representable parameter value, not an approximation of it.
+    void f64(double value) noexcept;
+    void boolean(bool value) noexcept { u8(value ? 1 : 0); }
+    void str(std::string_view text) noexcept {
+        u64(text.size());
+        hash_.update(text);
+    }
+    void bytes(const void* data, std::size_t size) noexcept {
+        u64(size);
+        hash_.update(data, size);
+    }
+    void digest(const Digest256& d) noexcept { hash_.update(d.data(), d.size()); }
+
+    [[nodiscard]] Digest256 finish() noexcept { return hash_.finish(); }
+
+private:
+    Sha256 hash_;
+};
+
+} // namespace voltcache

@@ -1,5 +1,6 @@
 #include "common/socket.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -17,6 +18,13 @@ namespace {
 
 [[noreturn]] void throwErrno(const char* what) {
     throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+timeval toTimeval(std::chrono::milliseconds timeout) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    return tv;
 }
 
 sockaddr_in loopbackAddress(std::uint16_t port) {
@@ -92,6 +100,33 @@ bool Socket::recvUntil(std::string& out, std::string_view delimiter,
     return out.find(delimiter) != std::string::npos;
 }
 
+void Socket::setRecvTimeout(std::chrono::milliseconds timeout) noexcept {
+    const timeval tv = toTimeval(timeout);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::setSendTimeout(std::chrono::milliseconds timeout) noexcept {
+    const timeval tv = toTimeval(timeout);
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Socket::RecvStatus Socket::recvSome(std::string& out, std::size_t maxBytes) noexcept {
+    char buffer[4096];
+    const std::size_t want = std::min(maxBytes, sizeof(buffer));
+    if (want == 0) return RecvStatus::Data;
+    while (true) {
+        const ssize_t n = ::recv(fd_, buffer, want, 0);
+        if (n > 0) {
+            out.append(buffer, static_cast<std::size_t>(n));
+            return RecvStatus::Data;
+        }
+        if (n == 0) return RecvStatus::Eof;
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::Timeout;
+        return RecvStatus::Error;
+    }
+}
+
 TcpListener::TcpListener(std::uint16_t port) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throwErrno("socket");
@@ -139,11 +174,8 @@ Socket tcpConnect(const std::string& host, std::uint16_t port,
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throwErrno("socket");
     Socket socket(fd);
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    socket.setRecvTimeout(timeout);
+    socket.setSendTimeout(timeout);
     sockaddr_in addr = loopbackAddress(port);
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
         throwErrno("connect");

@@ -44,6 +44,26 @@ public:
     bool recvUntil(std::string& out, std::string_view delimiter,
                    std::size_t maxBytes = 64 * 1024);
 
+    /// Per-connection kernel timeouts (SO_RCVTIMEO / SO_SNDTIMEO): a recv
+    /// past the deadline returns RecvStatus::Timeout instead of blocking
+    /// forever, and a send to a peer that stopped draining fails rather than
+    /// wedging the writer. Zero disables the timeout.
+    void setRecvTimeout(std::chrono::milliseconds timeout) noexcept;
+    void setSendTimeout(std::chrono::milliseconds timeout) noexcept;
+
+    /// Outcome of one bounded receive step (recvSome).
+    enum class RecvStatus : std::uint8_t {
+        Data,     ///< bytes were appended to the buffer
+        Eof,      ///< orderly shutdown by the peer
+        Timeout,  ///< SO_RCVTIMEO elapsed with nothing to read
+        Error,    ///< any other socket error
+    };
+
+    /// One bounded recv: append up to `maxBytes` to `out` and classify the
+    /// outcome. The building block of the serve protocol's line reader — it
+    /// never loops, so the caller owns the request-size and deadline policy.
+    RecvStatus recvSome(std::string& out, std::size_t maxBytes = 4096) noexcept;
+
 private:
     int fd_ = -1;
 };

@@ -46,19 +46,7 @@ std::uint64_t chipSeed(std::uint64_t base, int voltageMv, std::uint32_t trial) {
     return mixer.next();
 }
 
-struct LegMetrics {
-    bool linkFailed = false;
-    double normRuntime = 0.0;
-    double l2PerKilo = 0.0;
-    double normEpi = 0.0;
-    double busyFrac = 0.0;
-    double ifetchFrac = 0.0;
-    double dmemFrac = 0.0;
-    double branchFrac = 0.0;
-    LegForensics forensics;
-};
-
-void accumulate(SweepCell& cell, const LegMetrics& metrics) {
+void accumulate(SweepCell& cell, const LegResult& metrics) {
     if (metrics.linkFailed) {
         ++cell.linkFailures;
         return;
@@ -80,6 +68,7 @@ struct BenchmarkContext {
     std::string name;
     Module module;
     Module bbrModule;
+    Digest256 digest{};                   ///< moduleDigest, when a store probes
     SystemResult ref760;                  ///< conventional cache at Vccmin
     std::vector<SystemResult> defectFree; ///< one per operating point
     /// Recorded architectural traces (plain + BBR layout) every trial leg
@@ -139,6 +128,7 @@ public:
         : legs_(obs::MetricsRegistry::global().counter("sweep.legs")),
           replayed_(obs::MetricsRegistry::global().counter("sweep.legs_replayed")),
           executed_(obs::MetricsRegistry::global().counter("sweep.legs_executed")),
+          cached_(obs::MetricsRegistry::global().counter("sweep.legs_cached")),
           batches_(obs::MetricsRegistry::global().counter("sweep.batches")),
           batchLanes_(obs::MetricsRegistry::global().counter("sweep.batch_lanes")) {}
 
@@ -149,6 +139,11 @@ public:
         } else {
             executed_.add();
         }
+    }
+
+    void legDoneCached() {
+        legs_.add();
+        cached_.add();
     }
 
     void batchDone(std::uint64_t lanes) {
@@ -183,6 +178,7 @@ private:
     obs::Counter legs_;
     obs::Counter replayed_;
     obs::Counter executed_;
+    obs::Counter cached_;
     obs::Counter batches_;
     obs::Counter batchLanes_;
     std::map<std::pair<SchemeKind, int>, Handles> handles_;
@@ -203,6 +199,97 @@ std::vector<SchemeKind> paperSchemes() {
             SchemeKind::FbaPlus,   SchemeKind::IdcPlus,           SchemeKind::FfwBbr};
 }
 
+Digest256 moduleDigest(const Module& module) {
+    HashWriter h;
+    h.str("voltcache.module.v1");
+    h.u64(module.functions.size());
+    for (const Function& fn : module.functions) {
+        h.str(fn.name);
+        h.u64(fn.blocks.size());
+        for (const BasicBlock& block : fn.blocks) {
+            h.str(block.label);
+            h.u64(block.insts.size());
+            for (const Instruction& inst : block.insts) {
+                h.u32(static_cast<std::uint32_t>(inst.op));
+                h.u8(inst.rd);
+                h.u8(inst.rs1);
+                h.u8(inst.rs2);
+                h.i32(inst.imm);
+            }
+            h.u64(block.relocs.size());
+            for (const Relocation& reloc : block.relocs) {
+                h.u32(reloc.instIndex);
+                h.u32(static_cast<std::uint32_t>(reloc.kind));
+                h.u32(reloc.targetBlock);
+                h.str(reloc.targetFunction);
+                h.u32(reloc.literalIndex);
+            }
+            h.u64(block.literalPool.size());
+            for (const std::int32_t word : block.literalPool) h.i32(word);
+        }
+        h.u64(fn.sharedLiteralPool.size());
+        for (const std::int32_t word : fn.sharedLiteralPool) h.i32(word);
+    }
+    h.u64(module.data.size());
+    for (const DataSegment& segment : module.data) {
+        h.u32(segment.baseAddr);
+        h.u64(segment.words.size());
+        for (const std::int32_t word : segment.words) h.i32(word);
+    }
+    h.str(module.entryFunction);
+    return h.finish();
+}
+
+Digest256 legDigest(const Digest256& moduleDigest, SchemeKind scheme,
+                    const OperatingPoint& point, std::uint64_t chipSeed,
+                    const SystemConfig& t) {
+    HashWriter h;
+    h.str("voltcache.leg.v1");
+    h.digest(moduleDigest);
+    h.u32(static_cast<std::uint32_t>(scheme));
+    h.str(schemeName(scheme)); // belt and braces if kinds are ever renumbered
+    h.f64(point.voltage.millivolts());
+    h.f64(point.frequency.megahertz());
+    h.f64(point.pFailBit);
+    h.u64(chipSeed);
+    // L1 organization (shared by both caches).
+    h.u32(t.l1Org.sizeBytes);
+    h.u32(t.l1Org.blockBytes);
+    h.u32(t.l1Org.associativity);
+    h.u32(t.l1Org.wordBytes);
+    h.u32(t.l1Org.addressBits);
+    h.u32(static_cast<std::uint32_t>(t.l1Org.dataCell));
+    h.u32(static_cast<std::uint32_t>(t.l1Org.tagCell));
+    h.u64(t.maxInstructions);
+    h.f64(t.dramLatencyNs);
+    h.u32(t.maxBlockWords);
+    h.f64(t.faultRateScale);
+    // Energy parameters (every reference value shifts EPI).
+    h.f64(t.energy.coreDynamicPerInstr);
+    h.f64(t.energy.l1AccessEnergy);
+    h.f64(t.energy.l2AccessEnergy);
+    h.f64(t.energy.l2WriteEnergy);
+    h.f64(t.energy.dramAccessEnergy);
+    h.f64(t.energy.auxAccessEnergy);
+    h.f64(t.energy.coreL1StaticPower);
+    h.f64(t.energy.l2StaticPower);
+    h.f64(t.energy.referenceVoltage.millivolts());
+    // Pipeline + predictor configuration.
+    h.u32(t.pipeline.issueWidth);
+    h.u32(t.pipeline.mispredictPenalty);
+    h.u32(t.pipeline.mulLatency);
+    h.u32(t.pipeline.divLatency);
+    h.u64(t.pipeline.maxInstructions);
+    h.boolean(t.pipeline.takenBranchFetchBubble);
+    h.boolean(t.pipeline.dcachePortOccupancy);
+    h.boolean(t.pipeline.extraDcacheCycleStalls);
+    h.u32(t.pipeline.predictor.bhtEntries);
+    h.u32(t.pipeline.predictor.btbEntries);
+    h.u32(t.pipeline.predictor.btbWays);
+    h.u32(t.pipeline.predictor.rasEntries);
+    return h.finish();
+}
+
 SweepResult runSweep(const SweepConfig& config) {
     const obs::Span sweepSpan("sweep");
     std::vector<std::string> benchmarks = config.benchmarks;
@@ -221,28 +308,92 @@ SweepResult runSweep(const SweepConfig& config) {
                                              : std::thread::hardware_concurrency();
     if (requested == 0) requested = 4;
 
-    // --- Phase 1: shared immutable per-benchmark contexts. ---
+    // --- Phase 1a: modules + content digests (cheap, always built). ---
     SystemConfig baseTemplate = config.systemTemplate;
     baseTemplate.maxInstructions = config.maxInstructions;
 
     // Replay needs the legs to run exactly what was recorded: external
     // observers must watch real execution, so their presence disables the
-    // fast path wholesale.
+    // fast path wholesale — and the result store with it (a cached leg skips
+    // execution entirely, so observers would see nothing).
     const bool replayEnabled = config.useReplay && config.systemTemplate.observers.empty();
+    const bool cacheEnabled =
+        config.resultSource != nullptr && config.systemTemplate.observers.empty();
     const bool anyBbrScheme =
         std::any_of(schemes.begin(), schemes.end(),
                     [](SchemeKind kind) { return schemeNeedsBbrLinking(kind); });
 
     std::vector<BenchmarkContext> contexts(benchmarks.size());
     std::vector<std::exception_ptr> contextErrors(benchmarks.size());
-    const auto buildContext = [&](std::size_t b) {
-        const obs::Span span("context");
+    const auto buildModules = [&](std::size_t b) {
         try {
             BenchmarkContext& ctx = contexts[b];
             ctx.name = benchmarks[b];
             ctx.module = buildBenchmark(ctx.name, config.scale);
             ctx.bbrModule = ctx.module; // deep copy
             applyBbrTransforms(ctx.bbrModule, config.systemTemplate.maxBlockWords);
+            if (cacheEnabled) ctx.digest = moduleDigest(ctx.module);
+        } catch (...) {
+            contextErrors[b] = std::current_exception();
+        }
+    };
+    runIndexed(benchmarks.size(), std::min<unsigned>(requested, benchmarks.size()),
+               buildModules);
+    for (const std::exception_ptr& error : contextErrors) {
+        if (error) std::rethrow_exception(error);
+    }
+
+    // --- Phase 2: flatten the grid into legs, in canonical order. ---
+    std::vector<Leg> legs;
+    legs.reserve(benchmarks.size() * points.size() * schemes.size() * config.trials);
+    for (std::uint32_t b = 0; b < benchmarks.size(); ++b) {
+        for (std::uint32_t p = 0; p < points.size(); ++p) {
+            for (std::uint32_t s = 0; s < schemes.size(); ++s) {
+                // Defect-free kinds are deterministic: one trial suffices.
+                const std::uint32_t trials =
+                    schemes[s] == SchemeKind::Robust8T ? std::min(1u, config.trials)
+                                                       : config.trials;
+                for (std::uint32_t t = 0; t < trials; ++t) {
+                    legs.push_back(Leg{b, p, s, t});
+                }
+            }
+        }
+    }
+
+    // --- Phase 2a: probe the result store before committing to any heavy
+    // work. A hit fills the leg's canonical slot directly; a benchmark whose
+    // legs all hit never records a trace or runs its reference simulations.
+    std::vector<LegResult> slots(legs.size());
+    std::vector<char> fromStore(legs.size(), 0);
+    std::vector<Digest256> legKeys;
+    if (cacheEnabled) {
+        const obs::Span probeSpan("store_probe");
+        legKeys.resize(legs.size());
+        for (std::size_t i = 0; i < legs.size(); ++i) {
+            const Leg& leg = legs[i];
+            const int voltageMv = mv(points[leg.point].voltage);
+            legKeys[i] = legDigest(contexts[leg.benchmark].digest, schemes[leg.scheme],
+                                   points[leg.point],
+                                   chipSeed(config.baseSeed, voltageMv, leg.trial),
+                                   baseTemplate);
+            if (config.resultSource->lookup(legKeys[i], slots[i])) fromStore[i] = 1;
+        }
+    }
+    std::vector<char> needSimulation(benchmarks.size(), cacheEnabled ? 0 : 1);
+    if (cacheEnabled) {
+        for (std::size_t i = 0; i < legs.size(); ++i) {
+            if (fromStore[i] == 0) needSimulation[legs[i].benchmark] = 1;
+        }
+    }
+
+    // --- Phase 1b: heavy per-benchmark artifacts (trace recording, the
+    // 760mV reference, per-point defect-free runs), only where a leg will
+    // actually simulate. ---
+    const auto buildContext = [&](std::size_t b) {
+        const obs::Span span("context");
+        try {
+            if (needSimulation[b] == 0) return;
+            BenchmarkContext& ctx = contexts[b];
 
             // Conventional cache pinned at Vccmin = 760mV: the Fig. 12
             // normalization baseline (and the functional reference checksum).
@@ -328,33 +479,19 @@ SweepResult runSweep(const SweepConfig& config) {
         reg.gauge("trace.resident_bytes_peak").setMax(static_cast<double>(residentBytes));
     }
 
-    // --- Phase 2: flatten the grid into legs, in canonical order. ---
-    std::vector<Leg> legs;
-    legs.reserve(benchmarks.size() * points.size() * schemes.size() * config.trials);
-    for (std::uint32_t b = 0; b < benchmarks.size(); ++b) {
-        for (std::uint32_t p = 0; p < points.size(); ++p) {
-            for (std::uint32_t s = 0; s < schemes.size(); ++s) {
-                // Defect-free kinds are deterministic: one trial suffices.
-                const std::uint32_t trials =
-                    schemes[s] == SchemeKind::Robust8T ? std::min(1u, config.trials)
-                                                       : config.trials;
-                for (std::uint32_t t = 0; t < trials; ++t) {
-                    legs.push_back(Leg{b, p, s, t});
-                }
-            }
-        }
-    }
-
-    // --- Phase 2b: group replayable legs into batched work units. ---
-    // One unit is either a single leg (execution-driven, or batching off)
-    // or a TrialBatch: consecutive replayable legs of one (benchmark,
-    // point, layout) group, capped at batchLanes, that stream the decoded
-    // tape together. Unit composition only affects scheduling — every leg
-    // still writes its own canonical slot, so the reduction (and the JSON)
-    // is byte-identical to the unbatched engine.
+    // --- Phase 2b: group legs into work units. ---
+    // One unit is a single leg (execution-driven, or batching off), a
+    // TrialBatch — consecutive replayable legs of one (benchmark, point,
+    // layout) group, capped at batchLanes, that stream the decoded tape
+    // together — or a cached group: store-served legs of one (benchmark,
+    // point) window, whose "execution" just replays bookkeeping. Unit
+    // composition only affects scheduling — every leg still writes its own
+    // canonical slot, so the reduction (and the JSON) is byte-identical to
+    // the unbatched, uncached engine.
     struct WorkUnit {
         std::vector<std::size_t> legIdx;
         bool batched = false;
+        bool cached = false;
     };
     constexpr std::uint32_t kDefaultBatchLanes = 32;
     const std::uint32_t laneCap =
@@ -376,16 +513,24 @@ SweepResult runSweep(const SweepConfig& config) {
         while (i < legs.size()) {
             std::vector<std::size_t> plainGroup;
             std::vector<std::size_t> bbrGroup;
+            std::vector<std::size_t> cachedGroup;
             std::size_t j = i;
             for (; j < legs.size() && legs[j].benchmark == legs[i].benchmark &&
                    legs[j].point == legs[i].point;
                  ++j) {
+                if (fromStore[j] != 0) {
+                    cachedGroup.push_back(j);
+                    continue;
+                }
                 const SchemeKind kind = schemes[legs[j].scheme];
                 if (batching && contexts[legs[j].benchmark].traces.canReplay(kind)) {
                     (schemeNeedsBbrLinking(kind) ? bbrGroup : plainGroup).push_back(j);
                 } else {
-                    units.push_back(WorkUnit{{j}, false});
+                    units.push_back(WorkUnit{{j}, false, false});
                 }
+            }
+            if (!cachedGroup.empty()) {
+                units.push_back(WorkUnit{std::move(cachedGroup), false, true});
             }
             pushChunked(plainGroup);
             pushChunked(bbrGroup);
@@ -410,12 +555,13 @@ SweepResult runSweep(const SweepConfig& config) {
             event.voltageMv = mv(points[leg.point].voltage);
             event.trial = leg.trial;
             event.replayed = contexts[leg.benchmark].traces.canReplay(schemes[leg.scheme]);
+            event.cached = fromStore[i] != 0;
             config.onLegEvent(event);
         }
     }
 
-    // --- Phase 3: workers pull legs and fill pre-sized slots. ---
-    std::vector<LegMetrics> slots(legs.size());
+    // --- Phase 3: workers pull legs and fill pre-sized slots (cached slots
+    // were already filled by the phase-2a probe). ---
     std::vector<std::exception_ptr> legErrors(legs.size());
     std::vector<std::atomic<std::size_t>> pendingPerBenchmark(benchmarks.size());
     for (const Leg& leg : legs) {
@@ -424,6 +570,7 @@ SweepResult runSweep(const SweepConfig& config) {
     std::atomic<std::size_t> legsCompleted{0};
     std::atomic<std::size_t> legsReplayed{0};
     std::atomic<std::size_t> legsExecuted{0};
+    std::atomic<std::size_t> legsCached{0};
     std::size_t benchmarksCompleted = 0;
     std::mutex progressMutex;
 
@@ -448,7 +595,7 @@ SweepResult runSweep(const SweepConfig& config) {
     // batched paths (the computation is per lane either way).
     const auto harvestLeg = [&](const Leg& leg, const SystemResult& res) {
         const BenchmarkContext& ctx = contexts[leg.benchmark];
-        LegMetrics metrics;
+        LegResult metrics;
         metrics.linkFailed = res.linkFailed;
         metrics.forensics = res.forensics;
         if (!res.linkFailed) {
@@ -484,6 +631,7 @@ SweepResult runSweep(const SweepConfig& config) {
             tick.legsTotal = legs.size();
             tick.legsReplayed = legsReplayed.load(std::memory_order_relaxed);
             tick.legsExecuted = legsExecuted.load(std::memory_order_relaxed);
+            tick.legsCached = legsCached.load(std::memory_order_relaxed);
             tick.workers = workers;
             config.onProgress(tick);
         }
@@ -511,6 +659,7 @@ SweepResult runSweep(const SweepConfig& config) {
         tick.legsTotal = legs.size();
         tick.legsReplayed = legsReplayed.load(std::memory_order_relaxed);
         tick.legsExecuted = legsExecuted.load(std::memory_order_relaxed);
+        tick.legsCached = legsCached.load(std::memory_order_relaxed);
         tick.workers = workerCount;
         config.onProgress(tick);
     };
@@ -539,7 +688,7 @@ SweepResult runSweep(const SweepConfig& config) {
             startedNs = steadyNowNs();
             config.onLegEvent(event);
         }
-        LegMetrics metrics; // hoisted so the Finished event can report the outcome
+        LegResult metrics; // hoisted so the Finished event can report the outcome
         try {
             SystemConfig sys = baseTemplate;
             sys.scheme = scheme;
@@ -558,6 +707,7 @@ SweepResult runSweep(const SweepConfig& config) {
             metrics = harvestLeg(leg, res);
             slots[index] = metrics;
             counters.record(scheme, mv(point.voltage), metrics.linkFailed);
+            if (cacheEnabled) config.resultSource->store(legKeys[index], metrics);
         } catch (...) {
             legErrors[index] = std::current_exception();
         }
@@ -635,13 +785,14 @@ SweepResult runSweep(const SweepConfig& config) {
         for (std::size_t i = 0; i < unit.legIdx.size(); ++i) {
             const std::size_t index = unit.legIdx[i];
             const Leg& leg = legs[index];
-            LegMetrics metrics;
+            LegResult metrics;
             if (ran) {
                 try {
                     metrics = harvestLeg(leg, lanes[i].result);
                     slots[index] = metrics;
                     counters.record(schemes[leg.scheme], mv(points[leg.point].voltage),
                                     metrics.linkFailed);
+                    if (cacheEnabled) config.resultSource->store(legKeys[index], metrics);
                 } catch (...) {
                     legErrors[index] = std::current_exception();
                 }
@@ -670,10 +821,57 @@ SweepResult runSweep(const SweepConfig& config) {
         activeWorkers.fetch_sub(1, std::memory_order_relaxed);
     };
 
+    // One cached group: the legs' slots are already filled from the store —
+    // only the bookkeeping a simulated leg would have done remains (events,
+    // counters, progress), in canonical order within the unit.
+    const auto runCached = [&](const WorkUnit& unit, unsigned workerId,
+                               LegCounters& counters) {
+        activeWorkers.fetch_add(1, std::memory_order_relaxed);
+        const bool hooked = static_cast<bool>(config.onLegEvent);
+        for (const std::size_t index : unit.legIdx) {
+            const Leg& leg = legs[index];
+            SweepLegEvent event;
+            std::uint64_t startedNs = 0;
+            if (hooked) {
+                event.leg = index;
+                event.worker = workerId;
+                event.benchmark = contexts[leg.benchmark].name;
+                event.scheme = schemes[leg.scheme];
+                event.voltageMv = mv(points[leg.point].voltage);
+                event.trial = leg.trial;
+                event.cached = true;
+                event.phase = SweepLegEvent::Phase::Started;
+                startedNs = steadyNowNs();
+                config.onLegEvent(event);
+            }
+            counters.record(schemes[leg.scheme], mv(points[leg.point].voltage),
+                            slots[index].linkFailed);
+            counters.legDoneCached();
+            legsCompleted.fetch_add(1, std::memory_order_relaxed);
+            legsCached.fetch_add(1, std::memory_order_relaxed);
+            if (hooked) {
+                event.phase = SweepLegEvent::Phase::Finished;
+                event.durationNs = steadyNowNs() - startedNs;
+                event.linkFailed = slots[index].linkFailed;
+                event.failCause = slots[index].forensics.failCause;
+                config.onLegEvent(event);
+            }
+            if (pendingPerBenchmark[leg.benchmark].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                finishBenchmark(leg.benchmark);
+            } else {
+                legTick(workers);
+            }
+        }
+        activeWorkers.fetch_sub(1, std::memory_order_relaxed);
+    };
+
     const auto runUnit = [&](std::size_t unitIndex, unsigned workerId,
                              LegCounters& counters) {
         const WorkUnit& unit = units[unitIndex];
-        if (unit.batched) {
+        if (unit.cached) {
+            runCached(unit, workerId, counters);
+        } else if (unit.batched) {
             runBatch(unit, workerId, counters);
         } else {
             runLeg(unit.legIdx.front(), workerId, counters);

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/stats.h"
 #include "core/system.h"
 #include "workload/workload.h"
@@ -45,6 +46,7 @@ struct SweepProgress {
     std::size_t legsTotal = 0;     ///< legs in this sweep
     std::size_t legsReplayed = 0;  ///< legs served by the trace-replay fast path
     std::size_t legsExecuted = 0;  ///< legs that ran execution-driven
+    std::size_t legsCached = 0;    ///< legs served from the result store (no sim)
     unsigned workers = 0;          ///< worker threads executing legs
 };
 
@@ -64,10 +66,55 @@ struct SweepLegEvent {
     int voltageMv = 0;
     std::uint32_t trial = 0;
     bool replayed = false;         ///< served by the trace-replay fast path
+    bool cached = false;           ///< served from the result store (no simulation)
     std::uint64_t durationNs = 0;  ///< Finished only
     bool linkFailed = false;       ///< Finished only
     LinkFailCause failCause = LinkFailCause::None; ///< Finished only
 };
+
+/// The per-leg result slot: exactly what the canonical reduction consumes,
+/// so a leg served from a result store is indistinguishable — byte for byte,
+/// through every RunningStats accumulation — from one that simulated.
+struct LegResult {
+    bool linkFailed = false;
+    double normRuntime = 0.0;
+    double l2PerKilo = 0.0;
+    double normEpi = 0.0;
+    double busyFrac = 0.0;
+    double ifetchFrac = 0.0;
+    double dmemFrac = 0.0;
+    double branchFrac = 0.0;
+    LegForensics forensics;
+};
+
+/// Injectable content-addressed result source consulted before any leg
+/// simulates (src/serve/store.h implements it as an LRU + on-disk segment).
+/// lookup() fills `out` and returns true on a hit; store() is called with
+/// every freshly simulated leg. Both run concurrently from sweep workers
+/// and must be thread-safe.
+class LegResultSource {
+public:
+    virtual ~LegResultSource() = default;
+    virtual bool lookup(const Digest256& key, LegResult& out) = 0;
+    virtual void store(const Digest256& key, const LegResult& value) = 0;
+};
+
+/// Content hash of a module image: functions, blocks, instructions,
+/// relocations, literal pools, data segments, and the entry symbol. Two
+/// modules with equal digests produce identical simulations under equal
+/// configs — the module component of the leg content key.
+[[nodiscard]] Digest256 moduleDigest(const Module& module);
+
+/// Content key of one Monte Carlo leg: module digest, scheme, operating
+/// point (voltage / frequency / pFailBit), chip seed, and every SystemConfig
+/// field that can change the simulated outcome (L1 geometry, DRAM latency,
+/// BBR block cap, fault-rate scale, energy parameters, pipeline and
+/// predictor configuration, instruction cap). Fields are hashed explicitly,
+/// field by field — never as raw struct bytes — so the key is stable across
+/// compilers and ABIs.
+[[nodiscard]] Digest256 legDigest(const Digest256& moduleDigest, SchemeKind scheme,
+                                  const OperatingPoint& point, std::uint64_t chipSeed,
+                                  const SystemConfig& systemTemplate);
 
 struct SweepConfig {
     std::vector<std::string> benchmarks;    ///< empty = all ten
@@ -106,6 +153,15 @@ struct SweepConfig {
     /// a smaller resident state footprint (~200KB per lane: two tag
     /// arrays, scheme state, L2 counters, pipeline scoreboard).
     std::uint32_t batchLanes = 0;
+    /// Content-addressed result source (`voltcache serve`'s store). When
+    /// set, every leg's digest is probed before phase 1 commits to any
+    /// heavy work: hits skip record/replay/execution entirely (benchmarks
+    /// whose legs all hit never even record their traces), misses simulate
+    /// as usual and populate the source. Cached legs feed the reduction the
+    /// exact slots a cold run would have produced, so the sweep JSON stays
+    /// byte-identical. Ignored when observers are attached (observers must
+    /// watch real execution). The source outlives the call; nullptr = off.
+    LegResultSource* resultSource = nullptr;
     /// Invoked after each benchmark's last leg completes (boundary ticks)
     /// and on leg completion at most every ~200ms (leg ticks), serialized
     /// under the progress lock (safe to print / write from). Empty = no

@@ -44,6 +44,17 @@ void ProgressBoard::finish() {
     done_ = true;
 }
 
+void ProgressBoard::beginJob(const std::string& job) {
+    const std::uint64_t now = nowNs();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    done_ = false;
+    latest_ = Tick{};
+    ewmaLegsPerSec_ = 0.0;
+    lastTickNs_ = now;
+    lastTickLegs_ = 0;
+}
+
 double ProgressBoard::ewmaLegsPerSec() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return ewmaLegsPerSec_;
@@ -66,6 +77,7 @@ std::string ProgressBoard::toJson() {
     json.member("tool", "voltcache");
     json.member("kind", "progress");
     json.member("done", done_);
+    if (!job_.empty()) json.member("job", job_);
     json.member("elapsedSeconds", static_cast<double>(now - startNs_) * 1e-9);
     json.key("benchmarks");
     json.beginObject();
@@ -79,6 +91,7 @@ std::string ProgressBoard::toJson() {
     json.member("total", static_cast<std::uint64_t>(latest_.legsTotal));
     json.member("replayed", static_cast<std::uint64_t>(latest_.legsReplayed));
     json.member("executed", static_cast<std::uint64_t>(latest_.legsExecuted));
+    json.member("cached", static_cast<std::uint64_t>(latest_.legsCached));
     json.endObject();
     json.member("workers", latest_.workers);
     json.member("ewmaLegsPerSec", ewmaLegsPerSec_);

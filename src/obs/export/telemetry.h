@@ -44,6 +44,7 @@ public:
         std::size_t legsTotal = 0;
         std::size_t legsReplayed = 0;
         std::size_t legsExecuted = 0;
+        std::size_t legsCached = 0;   ///< legs served from a result store
         unsigned workers = 0;
     };
 
@@ -57,6 +58,12 @@ public:
     /// Mark the sweep finished (the final /progress documents report done).
     void finish();
 
+    /// Start a new unit of work on the same board (`voltcache serve` reuses
+    /// one board across jobs): labels subsequent /progress documents with
+    /// `job`, clears the done flag, and resets the EWMA throughput estimate
+    /// so one job's tail does not pollute the next job's ETA.
+    void beginJob(const std::string& job);
+
     /// Render the /progress document. Includes per-phase span attribution
     /// (when the profiler is enabled) and counter rates since the previous
     /// toJson() call.
@@ -68,6 +75,7 @@ public:
 private:
     mutable std::mutex mutex_;
     Tick latest_;
+    std::string job_;
     bool done_ = false;
     std::uint64_t startNs_ = 0;
     std::uint64_t lastTickNs_ = 0;

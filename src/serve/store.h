@@ -1,0 +1,123 @@
+// Content-addressed leg-result store for `voltcache serve`.
+//
+// LegStore implements core's LegResultSource: keys are the 32-byte leg
+// digests from core/sweep.h (module image + scheme + operating point + chip
+// seed + every result-affecting SystemConfig field), values are the exact
+// per-leg reduction slots (LegResult). The sweep probes the store before
+// committing to any heavy work, so a fully warm job never records a trace
+// or simulates a single leg — and because the value is the reduction slot
+// itself, a cached sweep stays byte-identical to a cold one.
+//
+// Two tiers:
+//   * In-memory LRU under a byte budget (`--store-budget`). Insertions move
+//     entries to the front; evictions pop the tail. Hits touch.
+//   * Optional append-only on-disk segment (`--store DIR/legs.vcs`) that
+//     survives restarts. Every record carries a SHA-256 of (key || payload);
+//     records failing verification on load are counted and skipped, a stale
+//     header (magic/payload-size mismatch after a format change) discards
+//     the whole file — it is a cache, losing it costs re-simulation only.
+//
+// Thread safety: one mutex guards the LRU and the segment writer. lookup()
+// and store() are called concurrently from sweep workers; the serial probe
+// pass in runSweep keeps the hot path mostly uncontended.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "core/sweep.h"
+#include "obs/metrics.h"
+
+namespace voltcache::serve {
+
+/// Fixed on-disk payload size of one serialized LegResult (version
+/// kSegmentMagic): 1 linkFailed byte, 7 metric doubles as raw IEEE-754 bits
+/// little-endian, and the full LegForensics (52 u64 histogram/count slots +
+/// hasFfw/hasBbr/failCause bytes). Fixed size keeps segment framing intact
+/// even when a record's body is corrupt.
+inline constexpr std::size_t kLegPayloadBytes = 484;
+
+/// Serialize one reduction slot into the fixed little-endian payload.
+[[nodiscard]] std::string encodeLegResult(const LegResult& value);
+
+/// Inverse of encodeLegResult. Returns false (leaving `out` unspecified) on
+/// a size or enum-range mismatch.
+[[nodiscard]] bool decodeLegResult(std::string_view payload, LegResult& out);
+
+class LegStore final : public LegResultSource {
+public:
+    struct Options {
+        std::uint64_t byteBudget = 256ull << 20; ///< in-memory LRU budget
+        std::string directory;                   ///< empty = memory-only
+    };
+
+    /// Point-in-time view of the store counters (also exported as
+    /// serve.store.* through the metrics registry).
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t loaded = 0;   ///< entries restored from the segment
+        std::uint64_t rejected = 0; ///< corrupt segment records skipped
+        std::uint64_t entries = 0;  ///< live LRU entries
+        std::uint64_t bytes = 0;    ///< accounted LRU bytes
+    };
+
+    /// Opens (or creates) the segment when options.directory is non-empty
+    /// and restores every digest-verified record into the LRU. Throws
+    /// std::runtime_error when the directory is unusable.
+    explicit LegStore(const Options& options);
+    ~LegStore() override;
+
+    LegStore(const LegStore&) = delete;
+    LegStore& operator=(const LegStore&) = delete;
+
+    bool lookup(const Digest256& key, LegResult& out) override;
+    void store(const Digest256& key, const LegResult& value) override;
+
+    /// Flush the segment writer (graceful-shutdown path; the destructor
+    /// flushes too).
+    void flush();
+
+    [[nodiscard]] Stats stats() const;
+
+private:
+    struct DigestHasher {
+        std::size_t operator()(const Digest256& key) const noexcept;
+    };
+
+    using Entry = std::pair<Digest256, LegResult>;
+
+    void loadSegment(const std::string& path);
+    void openSegmentForAppend(const std::string& path, bool truncate);
+    void insertLocked(const Digest256& key, const LegResult& value, bool persist);
+    void evictLocked();
+
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<Digest256, std::list<Entry>::iterator, DigestHasher> index_;
+    std::uint64_t byteBudget_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::ofstream segment_; ///< open iff a directory was configured
+    Stats stats_;
+
+    // serve.store.* handles resolved once; Counter::add / Gauge::set are
+    // single relaxed atomics, keeping lookup() cheap enough to bench.
+    obs::Counter hitsMetric_;
+    obs::Counter missesMetric_;
+    obs::Counter insertsMetric_;
+    obs::Counter evictionsMetric_;
+    obs::Gauge entriesMetric_;
+    obs::Gauge bytesMetric_;
+};
+
+} // namespace voltcache::serve

@@ -35,9 +35,22 @@
 //             [--json FILE] [--trace FILE]
 //       one instrumented leg: run + L1 + link + locality stats and the full
 //       metrics-registry snapshot
+//   voltcache serve [--port P] [--store DIR] [--store-budget MB]
+//             [--threads N] [--journal FILE] [--telemetry-port N]
+//       sweep-as-a-service daemon: NDJSON jobs over loopback TCP, fair
+//       round-robin across client sessions, every leg memoized in a
+//       content-addressed result store (src/serve). SIGINT/SIGTERM drain
+//       gracefully: in-flight legs finish, the store segment flushes
+//   voltcache submit <host:port> [--op sweep|run|verify] [sweep flags]
+//             [--json FILE] [--progress] [--id LABEL] [--timeout MS]
+//       send one job to a running `voltcache serve`, stream its events, and
+//       write the returned sweep document (byte-identical to the direct
+//       `voltcache sweep --json` path) to --json
 //   voltcache list
 //       available benchmarks and schemes
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -67,6 +80,8 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "workload/locality.h"
 #include "workload/workload.h"
 
@@ -433,6 +448,7 @@ int cmdSweep(const Args& args) {
             tick.legsTotal = progress.legsTotal;
             tick.legsReplayed = progress.legsReplayed;
             tick.legsExecuted = progress.legsExecuted;
+            tick.legsCached = progress.legsCached;
             tick.workers = progress.workers;
             boardRef.update(tick);
             if (chained) chained(progress);
@@ -940,6 +956,180 @@ int cmdTop(const Args& args) {
     return 0;
 }
 
+/// The running daemon, for the async-signal-safe SIGINT/SIGTERM handler
+/// (Server::requestStop is two atomic stores — no locks, no allocation).
+std::atomic<serve::Server*> g_server{nullptr};
+
+void handleStopSignal(int /*signum*/) {
+    serve::Server* server = g_server.load(std::memory_order_acquire);
+    if (server != nullptr) server->requestStop();
+}
+
+int cmdServe(const Args& args) {
+    serve::ServeOptions options;
+    options.port = static_cast<std::uint16_t>(std::stoul(args.get("port", "0")));
+    options.storeDirectory = args.get("store", "");
+    options.storeBudgetBytes =
+        std::stoull(args.get("store-budget", "256")) << 20; // MB → bytes
+    options.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+    options.journalPath = args.get("journal", "");
+    if (args.flags.contains("idle-timeout")) {
+        options.idleTimeout =
+            std::chrono::milliseconds(std::stoul(args.get("idle-timeout", "600000")));
+    }
+
+    // --telemetry-port: same exporter as `sweep`, but long-lived — the board
+    // is re-labelled per job (beginJob) so /progress always describes the
+    // job currently on the executor.
+    std::optional<obs::ProgressBoard> board;
+    std::optional<obs::TelemetryServer> telemetry;
+    if (args.flags.contains("telemetry-port")) {
+        board.emplace();
+        telemetry.emplace(
+            static_cast<std::uint16_t>(std::stoul(args.get("telemetry-port", "0"))),
+            *board);
+        options.board = &*board;
+        obs::Profiler::reset();
+        obs::Profiler::setEnabled(true);
+        std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%u\n",
+                     static_cast<unsigned>(telemetry->port()));
+    }
+
+    serve::Server server(options);
+    g_server.store(&server, std::memory_order_release);
+    struct sigaction action {};
+    action.sa_handler = handleStopSignal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+
+    server.run();
+    g_server.store(nullptr, std::memory_order_release);
+
+    const serve::Server::Totals totals = server.totals();
+    const serve::LegStore::Stats store = server.store().stats();
+    std::printf("serve: drained after %llu connection(s), %llu job(s) "
+                "(%llu rejected, %llu errored)\n",
+                static_cast<unsigned long long>(totals.connections),
+                static_cast<unsigned long long>(totals.jobsCompleted),
+                static_cast<unsigned long long>(totals.jobsRejected),
+                static_cast<unsigned long long>(totals.jobErrors));
+    std::printf("store: %llu hits / %llu misses, %llu entries "
+                "(%llu loaded, %llu rejected, %llu evicted)\n",
+                static_cast<unsigned long long>(store.hits),
+                static_cast<unsigned long long>(store.misses),
+                static_cast<unsigned long long>(store.entries),
+                static_cast<unsigned long long>(store.loaded),
+                static_cast<unsigned long long>(store.rejected),
+                static_cast<unsigned long long>(store.evictions));
+    return 0;
+}
+
+int cmdSubmit(const Args& args) {
+    if (args.positional.empty()) {
+        throw std::runtime_error("submit: need host:port (e.g. 127.0.0.1:7420)");
+    }
+    const std::size_t colon = args.positional.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= args.positional.size()) {
+        throw std::runtime_error("submit: target must be host:port");
+    }
+    const std::string host = args.positional.substr(0, colon);
+    const auto port =
+        static_cast<std::uint16_t>(std::stoul(args.positional.substr(colon + 1)));
+
+    serve::JobRequest job;
+    job.op = args.get("op", "sweep");
+    job.id = args.get("id", "");
+    job.benchmarks = args.get("benchmarks", "");
+    job.schemes = args.get("schemes", "");
+    job.scale = args.get("scale", "small");
+    job.mv = args.get("mv", "");
+    job.trials = static_cast<std::uint32_t>(
+        std::stoul(args.get("trials", job.op == "run" ? "1" : "3")));
+    job.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+    if (args.flags.contains("seed")) job.seed = std::stoull(args.get("seed", "0"));
+    job.maxInstructions = std::stoull(args.get("max-instructions", "0"));
+    job.progress = args.flags.contains("progress");
+
+    // The receive timeout must cover the whole job, not one read.
+    const auto timeout =
+        std::chrono::milliseconds(std::stoul(args.get("timeout", "600000")));
+    net::Socket socket = net::tcpConnect(host, port, timeout);
+    if (!socket.sendAll(serve::jobToJson(job) + "\n")) {
+        throw std::runtime_error("submit: send failed");
+    }
+
+    serve::LineReader reader(socket, serve::kMaxResponseLineBytes);
+    std::string line;
+    while (true) {
+        const serve::LineReader::Status status = reader.next(line);
+        if (status == serve::LineReader::Status::Timeout) {
+            throw std::runtime_error("submit: timed out waiting for the server");
+        }
+        if (status != serve::LineReader::Status::Line) {
+            throw std::runtime_error("submit: connection closed before the result");
+        }
+        const JsonValue event = parseJson(line);
+        const std::string kind = event.stringOr("ev", "");
+        if (kind == "accepted") {
+            if (job.progress) {
+                std::fprintf(stderr, "submit: accepted (queue depth %llu)\n",
+                             static_cast<unsigned long long>(
+                                 event.numberOr("queue", 0.0)));
+            }
+            continue;
+        }
+        if (kind == "progress") {
+            std::fprintf(stderr, "submit: %.0f/%.0f legs (%.0f cached)\n",
+                         event.numberOr("legsCompleted", 0.0),
+                         event.numberOr("legsTotal", 0.0),
+                         event.numberOr("legsCached", 0.0));
+            continue;
+        }
+        if (kind == "error") {
+            std::fprintf(stderr, "submit: server error: %s\n",
+                         event.stringOr("message", "?").c_str());
+            return 1;
+        }
+        if (kind != "result") continue;
+
+        // The next line is the raw sweep document, framed by "bytes".
+        const auto documentBytes =
+            static_cast<std::size_t>(event.numberOr("bytes", 0.0));
+        std::string document;
+        if (reader.next(document) != serve::LineReader::Status::Line) {
+            throw std::runtime_error("submit: document line missing");
+        }
+        if (document.size() != documentBytes) {
+            throw std::runtime_error("submit: document framing mismatch (" +
+                                     std::to_string(document.size()) + " vs " +
+                                     std::to_string(documentBytes) + " bytes)");
+        }
+        if (args.flags.contains("json")) {
+            // writeTextFile appends the same trailing newline as cmdSweep,
+            // keeping the artifact byte-identical to the direct path.
+            writeTextFile(args.get("json", ""), document);
+        }
+        const bool ok = [&event] {
+            const JsonValue* value = event.find("ok");
+            return value == nullptr || value->asBool();
+        }();
+        std::printf("submit: id=%s ok=%d legs=%llu cached=%llu hits=%llu "
+                    "misses=%llu hitRate=%.4f elapsed=%.3fs\n",
+                    event.stringOr("id", "").c_str(), ok ? 1 : 0,
+                    static_cast<unsigned long long>(event.numberOr("legs", 0.0)),
+                    static_cast<unsigned long long>(
+                        event.numberOr("legsCached", 0.0)),
+                    static_cast<unsigned long long>(event.numberOr("storeHits", 0.0)),
+                    static_cast<unsigned long long>(
+                        event.numberOr("storeMisses", 0.0)),
+                    event.numberOr("hitRate", 0.0),
+                    event.numberOr("elapsedSeconds", 0.0));
+        return ok ? 0 : 1;
+    }
+}
+
 int usage() {
     std::fprintf(stderr,
                  "usage: voltcache <command> [options]\n"
@@ -973,6 +1163,16 @@ int usage() {
                  "  top <host:port> [--interval MS] [--iterations N] [--once]\n"
                  "      [--metrics-out FILE] [--progress-out FILE]\n"
                  "      (refreshing dashboard over a live --telemetry-port endpoint)\n"
+                 "  serve [--port P] [--store DIR] [--store-budget MB] [--threads N]\n"
+                 "      [--journal FILE] [--telemetry-port N] [--idle-timeout MS]\n"
+                 "      (sweep-as-a-service daemon with a content-addressed leg-result\n"
+                 "       store; SIGINT/SIGTERM drain gracefully)\n"
+                 "  submit <host:port> [--op sweep|run|verify] [--trials N]\n"
+                 "      [--benchmarks a,b,...] [--schemes a,b,...] [--scale S]\n"
+                 "      [--mv V1,V2,...] [--threads N] [--seed N] [--max-instructions N]\n"
+                 "      [--id LABEL] [--json FILE] [--progress] [--timeout MS]\n"
+                 "      (send one job to a running serve daemon; --json receives the\n"
+                 "       byte-identical sweep document)\n"
                  "  model [--mv V1,V2,...] [--need WORDS] [--json FILE]\n"
                  "      (closed-form FFW/BBR curves, no simulation)\n"
                  "  profile <profile.json|sweep.json>  (render span times / forensics)\n"
@@ -995,6 +1195,8 @@ int main(int argc, char** argv) {
         if (command == "yield") return cmdYield(args);
         if (command == "sweep") return cmdSweep(args);
         if (command == "top") return cmdTop(args);
+        if (command == "serve") return cmdServe(args);
+        if (command == "submit") return cmdSubmit(args);
         if (command == "model") return cmdModel(args);
         if (command == "profile") return cmdProfile(args);
         if (command == "list") return cmdList();
