@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "schemes/conventional.h"
 #include "schemes/factory.h"
 #include "schemes/ffw.h"
@@ -586,6 +587,35 @@ std::vector<voltcache::bench::BenchMetric> perfProbe() {
         }
         voltcache::bench::BenchMetric metric;
         metric.name = "serve.hit_lookup_ns";
+        metric.value = nanos.mean();
+        metric.ciHalfWidth = confidenceInterval(nanos).halfWidth;
+        metric.unit = "ns";
+        metric.samples = nanos.count();
+        metrics.push_back(metric);
+    }
+
+    // Per-leg trace stamping cost: the exact work a traced sweep leg adds —
+    // derive the deterministic child span id from the root context and check
+    // the store's relaxed "is anyone collecting" guard. Guards the claim
+    // that tracing is cheap enough to leave on: this must stay sub-
+    // microsecond (it is two short SHA-256 compressions plus one atomic
+    // load), orders of magnitude below what a leg simulation costs.
+    {
+        const obs::TraceContext context = obs::makeRootContext("bench");
+        constexpr int kStampsPerRep = 100000;
+        RunningStats nanos;
+        for (int rep = 0; rep < kPerfReps; ++rep) {
+            const auto start = Clock::now();
+            for (int i = 0; i < kStampsPerRep; ++i) {
+                auto span = obs::childSpanId(context, static_cast<std::uint64_t>(i));
+                benchmark::DoNotOptimize(span);
+                bool collecting = obs::JobTraceStore::collecting();
+                benchmark::DoNotOptimize(collecting);
+            }
+            nanos.add(secondsSince(start) * 1e9 / kStampsPerRep);
+        }
+        voltcache::bench::BenchMetric metric;
+        metric.name = "trace.ctx_overhead_ns";
         metric.value = nanos.mean();
         metric.ciHalfWidth = confidenceInterval(nanos).halfWidth;
         metric.unit = "ns";

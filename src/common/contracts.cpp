@@ -1,0 +1,11 @@
+#include "common/contracts.h"
+
+namespace voltcache::detail {
+
+std::atomic<ContractHook> g_contractHook{nullptr};
+
+ContractHook setContractHook(ContractHook hook) noexcept {
+    return g_contractHook.exchange(hook, std::memory_order_acq_rel);
+}
+
+} // namespace voltcache::detail

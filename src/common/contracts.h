@@ -4,6 +4,7 @@
 // and Monte Carlo drivers can fail loudly instead of corrupting results.
 #pragma once
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -19,10 +20,30 @@ public:
 };
 
 namespace detail {
+
+/// Observer invoked at the failure site, before the exception is built. The
+/// sweep executor catches leg exceptions and rethrows the canonical first one
+/// later, so this is the only point that still sees the failing expression in
+/// situ — the flight recorder (obs/flight_recorder.h) installs its dump here.
+/// The hook must not throw and must not assume heap integrity.
+using ContractHook = void (*)(const char* kind, const char* expr, const char* file,
+                              int line) noexcept;
+
+/// Installed hook, or nullptr (the default). Defined in contracts.cpp.
+extern std::atomic<ContractHook> g_contractHook;
+
+/// Install/replace the hook; returns the previous one. Passing nullptr
+/// uninstalls.
+ContractHook setContractHook(ContractHook hook) noexcept;
+
 [[noreturn]] inline void contractFail(const char* kind, const char* expr, const char* file,
                                       int line) {
+    if (const ContractHook hook = g_contractHook.load(std::memory_order_acquire)) {
+        hook(kind, expr, file, line);
+    }
     throw ContractViolation(kind, expr, file, line);
 }
+
 } // namespace detail
 
 } // namespace voltcache

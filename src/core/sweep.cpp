@@ -541,6 +541,41 @@ SweepResult runSweep(const SweepConfig& config) {
     const unsigned workers =
         std::min<unsigned>(requested, std::max<std::size_t>(units.size(), 1));
 
+    // Job tracing: observational only. Every leg event carries the owning
+    // job's (traceHi, traceLo) and a child span id derived deterministically
+    // from the canonical leg index, and finished legs feed the JobTraceStore
+    // when that job is collecting. None of it touches slots, scheduling
+    // decisions, or the reduction — the sweep JSON stays byte-identical.
+    const bool traced = config.trace.valid();
+    const auto stampTrace = [&](SweepLegEvent& event) {
+        if (!traced) return;
+        event.traceHi = config.trace.traceHi;
+        event.traceLo = config.trace.traceLo;
+        event.spanId = obs::childSpanId(config.trace, event.leg);
+    };
+    const auto recordLegSpan = [&](std::size_t index, unsigned workerId,
+                                   std::uint64_t startNs, std::uint64_t durationNs,
+                                   bool replayed, bool cached, bool linkFailed) {
+        if (!traced || !obs::JobTraceStore::collecting()) return;
+        const Leg& leg = legs[index];
+        obs::JobSpan span;
+        span.name = "leg";
+        span.spanId = obs::childSpanId(config.trace, index);
+        span.parentSpanId = config.trace.spanId;
+        span.startNs = startNs;
+        span.durationNs = durationNs;
+        span.worker = workerId;
+        span.leg = true;
+        span.benchmark = contexts[leg.benchmark].name;
+        span.scheme = std::string(schemeName(schemes[leg.scheme]));
+        span.voltageMv = mv(points[leg.point].voltage);
+        span.trial = leg.trial;
+        span.replayed = replayed;
+        span.cached = cached;
+        span.linkFailed = linkFailed;
+        obs::JobTraceStore::global().record(config.trace, std::move(span));
+    };
+
     // Leg lifecycle: every leg is announced once, in canonical order, from
     // the coordinating thread before any worker starts.
     if (config.onLegEvent) {
@@ -556,6 +591,7 @@ SweepResult runSweep(const SweepConfig& config) {
             event.trial = leg.trial;
             event.replayed = contexts[leg.benchmark].traces.canReplay(schemes[leg.scheme]);
             event.cached = fromStore[i] != 0;
+            stampTrace(event);
             config.onLegEvent(event);
         }
     }
@@ -676,6 +712,7 @@ SweepResult runSweep(const SweepConfig& config) {
         const bool hooked = static_cast<bool>(config.onLegEvent);
         SweepLegEvent event;
         std::uint64_t startedNs = 0;
+        if (hooked || traced) startedNs = steadyNowNs();
         if (hooked) {
             event.leg = index;
             event.worker = workerId;
@@ -684,12 +721,17 @@ SweepResult runSweep(const SweepConfig& config) {
             event.voltageMv = mv(point.voltage);
             event.trial = leg.trial;
             event.replayed = replayed;
+            stampTrace(event);
             event.phase = SweepLegEvent::Phase::Started;
-            startedNs = steadyNowNs();
             config.onLegEvent(event);
         }
         LegResult metrics; // hoisted so the Finished event can report the outcome
         try {
+            // ci.sh negative control: trip a contract at the requested
+            // canonical leg (1-based) to exercise the flight recorder's
+            // contract-hook dump path end to end.
+            VC_CHECK(config.failAtLeg == 0 ||
+                     index + 1 != static_cast<std::size_t>(config.failAtLeg));
             SystemConfig sys = baseTemplate;
             sys.scheme = scheme;
             sys.op = point;
@@ -714,13 +756,16 @@ SweepResult runSweep(const SweepConfig& config) {
         counters.legDone(replayed);
         legsCompleted.fetch_add(1, std::memory_order_relaxed);
         (replayed ? legsReplayed : legsExecuted).fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t legNs = (hooked || traced) ? steadyNowNs() - startedNs : 0;
         if (hooked) {
             event.phase = SweepLegEvent::Phase::Finished;
-            event.durationNs = steadyNowNs() - startedNs;
+            event.durationNs = legNs;
             event.linkFailed = metrics.linkFailed;
             event.failCause = metrics.forensics.failCause;
             config.onLegEvent(event);
         }
+        recordLegSpan(index, workerId, startedNs, legNs, replayed,
+                      /*cached=*/false, metrics.linkFailed);
         if (pendingPerBenchmark[leg.benchmark].fetch_sub(1, std::memory_order_acq_rel) ==
             1) {
             finishBenchmark(leg.benchmark);
@@ -749,6 +794,7 @@ SweepResult runSweep(const SweepConfig& config) {
             event.voltageMv = mv(points[leg.point].voltage);
             event.trial = leg.trial;
             event.replayed = true;
+            stampTrace(event);
         };
         if (hooked) {
             for (const std::size_t index : unit.legIdx) {
@@ -763,6 +809,11 @@ SweepResult runSweep(const SweepConfig& config) {
         try {
             for (std::size_t i = 0; i < unit.legIdx.size(); ++i) {
                 const Leg& leg = legs[unit.legIdx[i]];
+                // Same negative-control contract as runLeg — a batched leg
+                // must still be able to trip the flight recorder.
+                VC_CHECK(config.failAtLeg == 0 ||
+                         unit.legIdx[i] + 1 !=
+                             static_cast<std::size_t>(config.failAtLeg));
                 SystemConfig sys = baseTemplate;
                 sys.scheme = schemes[leg.scheme];
                 sys.op = points[leg.point];
@@ -811,6 +862,10 @@ SweepResult runSweep(const SweepConfig& config) {
                 event.failCause = metrics.forensics.failCause;
                 config.onLegEvent(event);
             }
+            // Same even attribution on the trace timeline: the lanes tile
+            // the batch's wall window sequentially.
+            recordLegSpan(index, workerId, startedNs + i * laneNs, laneNs,
+                          /*replayed=*/true, /*cached=*/false, metrics.linkFailed);
             if (pendingPerBenchmark[leg.benchmark].fetch_sub(
                     1, std::memory_order_acq_rel) == 1) {
                 finishBenchmark(leg.benchmark);
@@ -832,6 +887,7 @@ SweepResult runSweep(const SweepConfig& config) {
             const Leg& leg = legs[index];
             SweepLegEvent event;
             std::uint64_t startedNs = 0;
+            if (hooked || traced) startedNs = steadyNowNs();
             if (hooked) {
                 event.leg = index;
                 event.worker = workerId;
@@ -840,8 +896,8 @@ SweepResult runSweep(const SweepConfig& config) {
                 event.voltageMv = mv(points[leg.point].voltage);
                 event.trial = leg.trial;
                 event.cached = true;
+                stampTrace(event);
                 event.phase = SweepLegEvent::Phase::Started;
-                startedNs = steadyNowNs();
                 config.onLegEvent(event);
             }
             counters.record(schemes[leg.scheme], mv(points[leg.point].voltage),
@@ -849,13 +905,20 @@ SweepResult runSweep(const SweepConfig& config) {
             counters.legDoneCached();
             legsCompleted.fetch_add(1, std::memory_order_relaxed);
             legsCached.fetch_add(1, std::memory_order_relaxed);
+            const std::uint64_t legNs =
+                (hooked || traced) ? steadyNowNs() - startedNs : 0;
             if (hooked) {
                 event.phase = SweepLegEvent::Phase::Finished;
-                event.durationNs = steadyNowNs() - startedNs;
+                event.durationNs = legNs;
                 event.linkFailed = slots[index].linkFailed;
                 event.failCause = slots[index].forensics.failCause;
                 config.onLegEvent(event);
             }
+            // Store hits render as zero-cost spans; legNs (the lookup/
+            // bookkeeping wall time) survives as the span's wallNs arg.
+            recordLegSpan(index, workerId, startedNs, legNs,
+                          /*replayed=*/false, /*cached=*/true,
+                          slots[index].linkFailed);
             if (pendingPerBenchmark[leg.benchmark].fetch_sub(
                     1, std::memory_order_acq_rel) == 1) {
                 finishBenchmark(leg.benchmark);

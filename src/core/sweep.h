@@ -27,6 +27,7 @@
 #include "common/hash.h"
 #include "common/stats.h"
 #include "core/system.h"
+#include "obs/trace_context.h"
 #include "workload/workload.h"
 
 namespace voltcache {
@@ -70,6 +71,13 @@ struct SweepLegEvent {
     std::uint64_t durationNs = 0;  ///< Finished only
     bool linkFailed = false;       ///< Finished only
     LinkFailCause failCause = LinkFailCause::None; ///< Finished only
+    /// Owning job's trace context (SweepConfig::trace); zero when the sweep
+    /// is untraced. spanId is the leg's deterministic child span —
+    /// obs::childSpanId(config.trace, leg index) — so a replayed job
+    /// reproduces the identical span tree.
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
+    std::uint64_t spanId = 0;
 };
 
 /// The per-leg result slot: exactly what the canonical reduction consumes,
@@ -173,6 +181,18 @@ struct SweepConfig {
     /// callback must be thread-safe and must not block (drop, don't stall).
     /// Empty = zero overhead on the leg hot path.
     std::function<void(const SweepLegEvent&)> onLegEvent;
+    /// Owning job's trace context (obs/trace_context.h). When valid, every
+    /// SweepLegEvent carries it plus the leg's deterministic child span id,
+    /// and finished legs are recorded into the JobTraceStore when that job
+    /// is collecting. Purely observational: tracing never disables replay,
+    /// batching, or the result store, and never touches the reduction — the
+    /// sweep JSON stays byte-identical with tracing on or off.
+    obs::TraceContext trace;
+    /// Fault-injection knob for the crash-handling negative control
+    /// (ci.sh): when nonzero, the leg with canonical index failAtLeg-1
+    /// deliberately fails a VC_CHECK before simulating, exercising the
+    /// contract-hook → flight-recorder dump path end to end. 0 = off.
+    std::uint32_t failAtLeg = 0;
 };
 
 /// Aggregated results of one (scheme, voltage) cell.

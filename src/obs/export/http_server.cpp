@@ -37,6 +37,10 @@ void HttpServer::route(std::string path, Handler handler) {
     routes_[std::move(path)] = std::move(handler);
 }
 
+void HttpServer::routePrefix(std::string prefix, PrefixHandler handler) {
+    prefixRoutes_[std::move(prefix)] = std::move(handler);
+}
+
 void HttpServer::start() {
     thread_ = std::thread([this] { run(); });
 }
@@ -84,13 +88,27 @@ void HttpServer::handle(net::Socket& client) {
         return;
     }
     const auto it = routes_.find(path);
+    const PrefixHandler* prefixHandler = nullptr;
+    std::string_view suffix;
     if (it == routes_.end()) {
+        // Longest matching prefix wins (map order is lexicographic, so walk
+        // in reverse to meet longer candidates first among shared stems).
+        for (auto pit = prefixRoutes_.rbegin(); pit != prefixRoutes_.rend(); ++pit) {
+            if (path.size() >= pit->first.size() &&
+                path.compare(0, pit->first.size(), pit->first) == 0) {
+                prefixHandler = &pit->second;
+                suffix = std::string_view(path).substr(pit->first.size());
+                break;
+            }
+        }
+    }
+    if (it == routes_.end() && prefixHandler == nullptr) {
         response = {404, "text/plain; charset=utf-8", "no such route: " + path + "\n"};
         client.sendAll(renderResponse(response));
         return;
     }
     try {
-        response = it->second();
+        response = it != routes_.end() ? it->second() : (*prefixHandler)(suffix);
     } catch (const std::exception& e) {
         response = {500, "text/plain; charset=utf-8",
                     std::string("handler error: ") + e.what() + "\n"};

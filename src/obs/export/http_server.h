@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "common/socket.h"
@@ -33,6 +34,9 @@ public:
     };
     /// Called on the exporter thread with the request path (query stripped).
     using Handler = std::function<Response()>;
+    /// Prefix-route handler: receives the path suffix after the registered
+    /// prefix ("/trace/job-7" under prefix "/trace/" → "job-7").
+    using PrefixHandler = std::function<Response(std::string_view suffix)>;
 
     /// Binds 127.0.0.1:`port` (0 = ephemeral). Register routes, then start().
     explicit HttpServer(std::uint16_t port);
@@ -43,6 +47,11 @@ public:
     /// Register an exact-match GET route ("/metrics"). Not thread-safe with
     /// respect to start(); register everything first.
     void route(std::string path, Handler handler);
+
+    /// Register a GET prefix route ("/trace/"). Exact routes win; among
+    /// prefix routes the longest matching prefix wins. Register before
+    /// start(), like route().
+    void routePrefix(std::string prefix, PrefixHandler handler);
 
     /// Launch the exporter thread.
     void start();
@@ -63,6 +72,7 @@ private:
 
     net::TcpListener listener_;
     std::map<std::string, Handler> routes_;
+    std::map<std::string, PrefixHandler> prefixRoutes_;
     std::thread thread_;
     std::atomic<std::uint64_t> served_{0};
 };

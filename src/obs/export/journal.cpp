@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
 #include "common/json.h"
+#include "obs/trace_context.h"
 
 namespace voltcache::obs {
 
@@ -66,10 +68,13 @@ bool SpscEventRing::tryPop(JournalEvent& event) noexcept {
 } // namespace detail
 
 LegJournal::LegJournal(const std::string& path, std::size_t producers,
-                       std::size_t ringCapacity, bool autoDrain)
-    : out_(path), epoch_(std::chrono::steady_clock::now()),
+                       std::size_t ringCapacity, bool autoDrain,
+                       std::uint64_t maxBytes)
+    : path_(path), maxBytes_(maxBytes), out_(path),
+      epoch_(std::chrono::steady_clock::now()),
       droppedCounter_(MetricsRegistry::global().counter("journal.dropped")),
-      eventCounter_(MetricsRegistry::global().counter("journal.events")) {
+      eventCounter_(MetricsRegistry::global().counter("journal.events")),
+      rotationCounter_(MetricsRegistry::global().counter("journal.rotations")) {
     if (!out_) throw std::runtime_error("LegJournal: cannot write '" + path + "'");
     if (producers == 0) producers = 1;
     const std::size_t capacity = std::bit_ceil(std::max<std::size_t>(ringCapacity, 2));
@@ -134,8 +139,27 @@ void LegJournal::close() {
 }
 
 void LegJournal::writeLine(const JournalEvent& event) {
-    out_ << journalEventToJson(event) << '\n';
+    const std::string line = journalEventToJson(event);
+    if (maxBytes_ != 0 && currentBytes_ != 0 &&
+        currentBytes_ + line.size() + 1 > maxBytes_) {
+        rotate();
+    }
+    out_ << line << '\n';
+    currentBytes_ += line.size() + 1;
     written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Single-rotation policy: the live file becomes `path.1` (replacing the
+// previous generation), so the on-disk footprint is bounded by ~2·maxBytes.
+// Only the drainer thread writes, so no lock is needed.
+void LegJournal::rotate() {
+    out_.flush();
+    out_.close();
+    std::rename(path_.c_str(), (path_ + ".1").c_str());
+    out_.open(path_, std::ios::trunc);
+    currentBytes_ = 0;
+    rotations_.fetch_add(1, std::memory_order_relaxed);
+    rotationCounter_.add();
 }
 
 std::string journalEventToJson(const JournalEvent& event) {
@@ -151,6 +175,14 @@ std::string journalEventToJson(const JournalEvent& event) {
     json.member("mv", static_cast<std::int64_t>(event.voltageMv));
     json.member("trial", event.trial);
     json.member("replay", event.replayed);
+    json.member("cached", event.cached);
+    if ((event.traceHi | event.traceLo) != 0) {
+        TraceContext context;
+        context.traceHi = event.traceHi;
+        context.traceLo = event.traceLo;
+        json.member("trace", traceIdHex(context));
+        json.member("span", spanIdHex(event.spanId));
+    }
     if (event.phase == JournalEvent::Phase::Finished) {
         json.member("durationNs", event.durationNs);
         json.member("outcome", event.linkFailed ? "link_failed" : "ok");

@@ -44,11 +44,16 @@ struct JournalEvent {
     std::int32_t voltageMv = 0;
     std::uint32_t trial = 0;
     bool replayed = false;          ///< served by the trace-replay fast path
+    bool cached = false;            ///< slot filled from the content-addressed store
     bool linkFailed = false;        ///< Finished only
     char failCause[16] = {};        ///< Finished only ("none" when healthy)
     std::uint64_t durationNs = 0;   ///< Finished only
     std::uint64_t timestampNs = 0;  ///< stamped at emit(), relative to journal epoch
     std::uint64_t sequence = 0;     ///< per-producer, stamped at emit()
+    // Owning job's trace context (obs/trace_context.h); all zero = untraced.
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
+    std::uint64_t spanId = 0; ///< the leg's deterministic child span id
 
     /// Truncating copy helpers for the two name fields.
     void setBenchmark(std::string_view name) noexcept;
@@ -81,8 +86,13 @@ public:
     /// 1 + workerId. `ringCapacity` is rounded up to a power of two.
     /// `autoDrain=false` skips the drainer thread — tests drive drainOnce()
     /// by hand to make overflow accounting deterministic.
+    /// `maxBytes` caps the journal file: when a written line would push the
+    /// current file past the cap, the file is rotated to `path + ".1"`
+    /// (replacing any previous rotation) and writing restarts on a fresh
+    /// `path`. 0 = unbounded (the default).
     LegJournal(const std::string& path, std::size_t producers,
-               std::size_t ringCapacity = 4096, bool autoDrain = true);
+               std::size_t ringCapacity = 4096, bool autoDrain = true,
+               std::uint64_t maxBytes = 0);
     ~LegJournal();
     LegJournal(const LegJournal&) = delete;
     LegJournal& operator=(const LegJournal&) = delete;
@@ -107,18 +117,28 @@ public:
     [[nodiscard]] std::uint64_t dropped() const noexcept {
         return dropped_.load(std::memory_order_relaxed);
     }
+    /// Rotations performed so far (only possible when maxBytes > 0).
+    [[nodiscard]] std::uint64_t rotations() const noexcept {
+        return rotations_.load(std::memory_order_relaxed);
+    }
 
 private:
     void writeLine(const JournalEvent& event);
+    void rotate();
 
+    std::string path_;
+    std::uint64_t maxBytes_ = 0;
+    std::uint64_t currentBytes_ = 0; ///< drainer thread only
     std::ofstream out_;
     std::vector<std::unique_ptr<detail::SpscEventRing>> rings_;
     std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> sequences_;
     std::chrono::steady_clock::time_point epoch_;
     std::atomic<std::uint64_t> written_{0};
     std::atomic<std::uint64_t> dropped_{0};
-    Counter droppedCounter_; ///< "journal.dropped" in the global registry
-    Counter eventCounter_;   ///< "journal.events"
+    std::atomic<std::uint64_t> rotations_{0};
+    Counter droppedCounter_;  ///< "journal.dropped" in the global registry
+    Counter eventCounter_;    ///< "journal.events"
+    Counter rotationCounter_; ///< "journal.rotations"
     std::atomic_bool stop_{false};
     bool closed_ = false;
     std::thread drainer_;

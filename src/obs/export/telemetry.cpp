@@ -3,8 +3,10 @@
 #include <chrono>
 
 #include "common/json.h"
+#include "common/version.h"
 #include "obs/export/prometheus.h"
 #include "obs/span.h"
+#include "obs/trace_context.h"
 
 namespace voltcache::obs {
 
@@ -154,9 +156,53 @@ TelemetryServer::TelemetryServer(std::uint16_t port, ProgressBoard& board)
         response.body = board.toJson();
         return response;
     });
-    server_.route("/healthz", [] {
+    const std::uint64_t bootNs = nowNs();
+    server_.route("/healthz", [bootNs] {
+        // Build identity + uptime + store occupancy: enough for a probe to
+        // tell a fresh daemon from a wedged one and an empty store from a
+        // warm one, without parsing the whole /metrics exposition.
+        double storeEntries = 0.0;
+        double storeBytes = 0.0;
+        for (const MetricSnapshot& metric : MetricsRegistry::global().snapshot()) {
+            if (metric.name == "serve.store.entries") storeEntries = metric.value;
+            if (metric.name == "serve.store.bytes") storeBytes = metric.value;
+        }
+        JsonWriter json;
+        json.beginObject();
+        json.member("status", "ok");
+        json.member("version", buildVersion());
+        json.member("uptimeSeconds",
+                    static_cast<double>(nowNs() - bootNs) * 1e-9);
+        json.key("store");
+        json.beginObject();
+        json.member("entries", storeEntries);
+        json.member("bytes", storeBytes);
+        json.endObject();
+        json.endObject();
         HttpServer::Response response;
-        response.body = "ok\n";
+        response.contentType = "application/json";
+        response.body = json.str() + "\n";
+        return response;
+    });
+    // Per-job span trees from the PR 10 trace collector: /trace lists the
+    // recent jobs, /trace/<job-or-trace-id> renders Chrome trace JSON.
+    server_.route("/trace", [] {
+        HttpServer::Response response;
+        response.contentType = "application/json";
+        response.body = JobTraceStore::global().indexJson() + "\n";
+        return response;
+    });
+    server_.routePrefix("/trace/", [](std::string_view suffix) {
+        HttpServer::Response response;
+        const std::string body =
+            JobTraceStore::global().toChromeJson(suffix);
+        if (body.empty()) {
+            response.status = 404;
+            response.body = "no trace for '" + std::string(suffix) + "'\n";
+            return response;
+        }
+        response.contentType = "application/json";
+        response.body = body + "\n";
         return response;
     });
     server_.start();

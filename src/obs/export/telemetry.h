@@ -1,11 +1,17 @@
 // Live telemetry plane: the HTTP exporter and the sweep progress board.
 //
-// TelemetryServer serves three routes on a dedicated exporter thread:
-//   GET /metrics  — Prometheus text exposition of MetricsRegistry::global()
-//   GET /progress — live sweep progress JSON from a ProgressBoard (legs,
-//                   benchmarks, EWMA throughput + ETA, per-phase span
-//                   attribution, counter rates since the previous scrape)
-//   GET /healthz  — "ok"
+// TelemetryServer serves five routes on a dedicated exporter thread:
+//   GET /metrics     — Prometheus text exposition of MetricsRegistry::global()
+//   GET /progress    — live sweep progress JSON from a ProgressBoard (legs,
+//                      benchmarks, EWMA throughput + ETA, per-phase span
+//                      attribution, counter rates since the previous scrape)
+//   GET /healthz     — JSON health document: status, build version (git
+//                      describe), uptime seconds, serve.store occupancy
+//   GET /trace       — index of recently traced jobs (obs/trace_context.h)
+//   GET /trace/<job> — one job's span tree as Chrome trace-event JSON, by
+//                      job label or 32-hex trace id (load it in
+//                      chrome://tracing / Perfetto, or render with
+//                      `voltcache trace`)
 //
 // ProgressBoard is the core-type-free mirror of the sweep's progress ticks:
 // runSweep's onProgress hook feeds update(), /progress (and `voltcache top`)

@@ -7,8 +7,10 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace voltcache::obs {
 namespace {
@@ -103,6 +105,7 @@ void Profiler::reset() {
 }
 
 Span::Span(const char* name) noexcept {
+    if (flightRecorderArmed()) flight_ = flightSpanEnter(name);
     if (!g_profilingEnabled.load(std::memory_order_relaxed)) return;
     name_ = name;
     ThreadShard& shard = threadShard();
@@ -112,6 +115,7 @@ Span::Span(const char* name) noexcept {
 }
 
 Span::~Span() {
+    if (flight_) flightSpanExit();
     if (name_ == nullptr) return;
     const std::uint64_t end = nowNs();
     const std::uint64_t total = end > startNs_ ? end - startNs_ : 0;
@@ -139,6 +143,9 @@ Span::~Span() {
     it->second.observe(total);
     if (TraceSink* sink = traceSink()) {
         sink->recordSpan(name_, "prof", startNs_, total);
+    }
+    if (JobTraceStore::collecting()) {
+        JobTraceStore::global().recordCurrent(name_, startNs_, total);
     }
 }
 

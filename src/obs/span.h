@@ -52,6 +52,12 @@ public:
 /// One timed scope. Construct with a string literal; the destructor closes
 /// the span. Non-copyable and non-movable: the per-thread stack stores raw
 /// parent pointers into enclosing stack frames.
+///
+/// Two optional observers ride the same scope: the flight recorder's active
+/// span stack (obs/flight_recorder.h — one extra relaxed load when no
+/// recorder is installed), and the per-job trace collector
+/// (obs/trace_context.h — closed spans are attributed to the current job's
+/// trace context when a collection is open).
 class Span {
 public:
     explicit Span(const char* name) noexcept;
@@ -64,6 +70,7 @@ private:
     Span* parent_ = nullptr;
     std::uint64_t startNs_ = 0;
     std::uint64_t childNs_ = 0; ///< accumulated totals of closed children
+    bool flight_ = false; ///< pushed onto the flight recorder's span stack
 };
 
 } // namespace voltcache::obs

@@ -50,6 +50,7 @@ Request parseRequest(std::string_view line) {
         if (const JsonValue* progress = doc.find("progress")) {
             job.progress = progress->asBool();
         }
+        job.trace = doc.stringOr("trace", "");
         request.kind = Request::Kind::Job;
         request.job = std::move(job);
     } catch (const JsonParseError& e) {
@@ -73,6 +74,7 @@ std::string jobToJson(const JobRequest& job) {
     json.member("seed", job.seed);
     if (job.maxInstructions != 0) json.member("maxInstructions", job.maxInstructions);
     if (job.progress) json.member("progress", true);
+    if (!job.trace.empty()) json.member("trace", job.trace);
     json.endObject();
     return json.str();
 }
@@ -85,12 +87,14 @@ std::string pongEvent() {
     return json.str();
 }
 
-std::string acceptedEvent(const std::string& id, std::size_t queueDepth) {
+std::string acceptedEvent(const std::string& id, std::size_t queueDepth,
+                          const std::string& trace) {
     JsonWriter json;
     json.beginObject();
     json.member("ev", "accepted");
     json.member("id", id);
     json.member("queue", static_cast<std::uint64_t>(queueDepth));
+    if (!trace.empty()) json.member("trace", trace);
     json.endObject();
     return json.str();
 }
@@ -142,6 +146,7 @@ std::string resultEvent(const std::string& id, const ResultSummary& s) {
         json.member("analyticPassed", s.analyticPassed);
         json.member("maxZ", s.maxZ);
     }
+    if (!s.trace.empty()) json.member("trace", s.trace);
     json.member("bytes", static_cast<std::uint64_t>(s.documentBytes));
     json.endObject();
     return json.str();

@@ -60,6 +60,11 @@ struct JobRequest {
     std::uint64_t seed = 0xC0FFEE;
     std::uint64_t maxInstructions = 0;
     bool progress = false;  ///< stream progress events for this job
+    /// 32-hex-char trace id (obs/trace_context.h) chosen by the client
+    /// (`voltcache submit` mints one). Empty = the server mints one at
+    /// admission. Echoed on accepted/result events so the client can fetch
+    /// `/trace/<id>` from the telemetry plane afterwards.
+    std::string trace;
 };
 
 struct Request {
@@ -89,11 +94,14 @@ struct ResultSummary {
     bool analyticPassed = false;
     double maxZ = 0.0;
     std::size_t documentBytes = 0;
+    std::string trace;           ///< the job's 32-hex trace id ("" = untraced)
 };
 
-/// Response event builders (no trailing newline).
+/// Response event builders (no trailing newline). `trace` is the job's
+/// 32-hex trace id; empty omits the field.
 [[nodiscard]] std::string pongEvent();
-[[nodiscard]] std::string acceptedEvent(const std::string& id, std::size_t queueDepth);
+[[nodiscard]] std::string acceptedEvent(const std::string& id, std::size_t queueDepth,
+                                        const std::string& trace = {});
 [[nodiscard]] std::string errorEvent(const std::string& id, std::string_view message);
 [[nodiscard]] std::string progressEvent(const std::string& id, const SweepProgress& p);
 [[nodiscard]] std::string resultEvent(const std::string& id, const ResultSummary& s);

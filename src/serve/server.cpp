@@ -9,7 +9,9 @@
 #include "common/version.h"
 #include "core/analytic_gate.h"
 #include "core/report.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "workload/workload.h"
 
 namespace voltcache::serve {
@@ -99,9 +101,13 @@ obs::JournalEvent journalEventFrom(const SweepLegEvent& event) {
     line.voltageMv = event.voltageMv;
     line.trial = event.trial;
     line.replayed = event.replayed;
+    line.cached = event.cached;
     line.linkFailed = event.linkFailed;
     line.durationNs = event.durationNs;
     line.setFailCause(linkFailCauseName(event.failCause));
+    line.traceHi = event.traceHi;
+    line.traceLo = event.traceLo;
+    line.spanId = event.spanId;
     return line;
 }
 
@@ -116,7 +122,14 @@ Server::Server(const ServeOptions& options)
                                   ? options_.threads
                                   : std::thread::hardware_concurrency();
         if (maxWorkers == 0) maxWorkers = 4;
-        journal_.emplace(options_.journalPath, maxWorkers + 1);
+        journal_.emplace(options_.journalPath, maxWorkers + 1,
+                         /*ringCapacity=*/4096, /*autoDrain=*/true,
+                         options_.journalMaxBytes);
+    }
+    if (!options_.flightRecordPath.empty()) {
+        obs::FlightRecorder::Options flight;
+        flight.path = options_.flightRecordPath;
+        obs::FlightRecorder::install(flight);
     }
 }
 
@@ -263,16 +276,25 @@ void Server::sessionLoop(const std::shared_ptr<Session>& session) {
                               errorEvent(request.job.id, "server is shutting down"));
                     break;
                 }
+                // Admission mints the job's trace id when the client did not
+                // choose one (or chose a malformed one), so the accepted
+                // event always names the id `/trace/<id>` will answer to.
+                JobRequest job = request.job;
+                obs::TraceContext probe;
+                if (!obs::parseTraceIdHex(job.trace, probe)) {
+                    job.trace = obs::traceIdHex(obs::makeRootContext(
+                        job.id.empty() ? job.op : job.id));
+                }
                 std::size_t depth = 0;
                 {
                     const std::lock_guard<std::mutex> lock(stateMutex_);
-                    session->queue.push_back(request.job);
+                    session->queue.push_back(job);
                     depth = queueDepthLocked();
                 }
                 obs::MetricsRegistry::global().set("serve.queue_depth", {},
                                                    static_cast<double>(depth));
                 jobsCv_.notify_one();
-                writeLine(*session, acceptedEvent(request.job.id, depth));
+                writeLine(*session, acceptedEvent(job.id, depth, job.trace));
                 break;
             }
         }
@@ -329,19 +351,26 @@ void Server::runJob(Session& session, const JobRequest& request) {
     auto& registry = obs::MetricsRegistry::global();
     registry.add("serve.jobs", {{"op", request.op}});
     registry.add("serve.session.jobs", {{"session", std::to_string(session.id)}});
+    // Admission minted (or validated) the id, so this parse only fails for a
+    // job queued by an older client path — tracing just stays off then.
+    obs::TraceContext trace;
+    const bool traced = obs::parseTraceIdHex(request.trace, trace);
+    const std::string jobLabel =
+        request.op + ":" + (request.id.empty() ? "job" : request.id);
+    obs::FlightRecorder* flight = obs::FlightRecorder::instance();
     try {
         SweepConfig config = configFromJob(request);
         if (config.threads == 0) config.threads = options_.threads;
         config.resultSource = &store_;
+        if (traced) config.trace = trace;
         const LegStore::Stats before = store_.stats();
-        if (options_.board != nullptr) {
-            options_.board->beginJob(request.op + ":" +
-                                     (request.id.empty() ? "job" : request.id));
-        }
+        if (options_.board != nullptr) options_.board->beginJob(jobLabel);
+        if (traced) obs::JobTraceStore::global().beginJob(jobLabel, trace);
+        if (flight != nullptr) flight->noteJob(jobLabel, trace);
         // The last boundary tick carries the final sweep-wide counters.
         SweepProgress last;
-        config.onProgress = [this, &session, &request,
-                             &last](const SweepProgress& progress) {
+        config.onProgress = [this, &session, &request, &last,
+                             flight](const SweepProgress& progress) {
             last = progress;
             if (options_.board != nullptr) {
                 obs::ProgressBoard::Tick tick;
@@ -357,22 +386,46 @@ void Server::runJob(Session& session, const JobRequest& request) {
                 tick.workers = progress.workers;
                 options_.board->update(tick);
             }
+            if (flight != nullptr) {
+                obs::FlightProgress fp;
+                fp.benchmarksCompleted = progress.completed;
+                fp.benchmarksTotal = progress.total;
+                fp.legsCompleted = progress.legsCompleted;
+                fp.legsTotal = progress.legsTotal;
+                fp.legsReplayed = progress.legsReplayed;
+                fp.legsExecuted = progress.legsExecuted;
+                fp.legsCached = progress.legsCached;
+                fp.workers = progress.workers;
+                flight->noteProgress(fp);
+                flight->noteMetrics();
+            }
             if (request.progress) {
                 writeLine(session, progressEvent(request.id, progress));
             }
         };
-        if (journal_.has_value()) {
-            config.onLegEvent = [this](const SweepLegEvent& event) {
+        if (journal_.has_value() || flight != nullptr) {
+            config.onLegEvent = [this, flight](const SweepLegEvent& event) {
+                const obs::JournalEvent line = journalEventFrom(event);
+                if (flight != nullptr) flight->noteLegEvent(line);
+                if (!journal_.has_value()) return;
                 const std::size_t producer =
                     event.phase == SweepLegEvent::Phase::Enqueued
                         ? 0
                         : std::min<std::size_t>(event.worker + 1,
                                                 journal_->producers() - 1);
-                journal_->emit(producer, journalEventFrom(event));
+                journal_->emit(producer, line);
             };
         }
 
-        const SweepResult result = runSweep(config);
+        SweepResult result;
+        {
+            // obs::Span phase spans closed inside this scope attribute to
+            // this job's trace (the executor runs one job at a time).
+            const obs::ScopedTraceContext scope(traced ? trace
+                                                        : obs::TraceContext{});
+            result = runSweep(config);
+        }
+        if (traced) obs::JobTraceStore::global().endJob(trace);
         if (options_.board != nullptr) options_.board->finish();
 
         SweepExportMeta meta;
@@ -412,10 +465,12 @@ void Server::runJob(Session& session, const JobRequest& request) {
             summary.maxZ = analytic->maxZ();
         }
         summary.documentBytes = document.size();
+        summary.trace = request.trace;
         writeLine(session, resultEvent(request.id, summary));
         writeLine(session, document);
         jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
     } catch (const std::exception& e) {
+        if (traced) obs::JobTraceStore::global().endJob(trace);
         jobErrors_.fetch_add(1, std::memory_order_relaxed);
         registry.add("serve.job_errors", {});
         writeLine(session, errorEvent(request.id, e.what()));

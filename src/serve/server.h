@@ -47,6 +47,15 @@ struct ServeOptions {
     std::uint64_t storeBudgetBytes = 256ull << 20;
     unsigned threads = 0;              ///< default sweep workers per job
     std::string journalPath;           ///< empty = no NDJSON leg journal
+    /// Rotate the journal when it would exceed this many bytes (the live
+    /// file moves to `<path>.1`, replacing the previous generation). 0 =
+    /// unbounded.
+    std::uint64_t journalMaxBytes = 0;
+    /// Crash flight recorder (obs/flight_recorder.h): install a process-wide
+    /// recorder dumping to this path on SIGSEGV / SIGABRT / contract
+    /// failure, fed from every job's leg events and progress ticks. Empty =
+    /// off.
+    std::string flightRecordPath;
     /// Close a connection with no request, no queued job, and no running
     /// job for this long (per-connection read deadline).
     std::chrono::milliseconds idleTimeout{600000};

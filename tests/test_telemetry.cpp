@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,7 +21,9 @@
 #include "obs/export/journal.h"
 #include "obs/export/prometheus.h"
 #include "obs/export/telemetry.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 #include "power/dvfs.h"
 
 namespace voltcache {
@@ -190,6 +193,49 @@ TEST(MetricsDelta, SnapshotDeltaAdvancesThePreviousSnapshot) {
     EXPECT_EQ(again[0].delta, 0u);
 }
 
+// Scrapers race writers in production (the exporter thread snapshots while
+// the sweep's workers publish): deltas must never tear, go negative, or
+// lose counts — the accumulated deltas plus one final settle-up must equal
+// exactly what the writers added.
+TEST(MetricsDelta, SnapshotDeltaIsExactUnderConcurrentWriters) {
+    obs::MetricsRegistry registry;
+    constexpr int kWriters = 4;
+    constexpr std::uint64_t kAddsPerWriter = 20'000;
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&registry, &go, w] {
+            while (!go.load(std::memory_order_acquire)) {}
+            obs::Counter counter = registry.counter(
+                "contended", {{"writer", std::to_string(w)}});
+            for (std::uint64_t i = 0; i < kAddsPerWriter; ++i) counter.add();
+        });
+    }
+
+    obs::TimedMetricsSnapshot prev = registry.snapshotTimed();
+    go.store(true, std::memory_order_release);
+    std::uint64_t accumulated = 0;
+    for (int scrape = 0; scrape < 50; ++scrape) {
+        for (const obs::MetricRate& rate : registry.snapshotDelta(prev)) {
+            accumulated += rate.delta;
+        }
+    }
+    for (std::thread& writer : writers) writer.join();
+    for (const obs::MetricRate& rate : registry.snapshotDelta(prev)) {
+        accumulated += rate.delta;
+    }
+    EXPECT_EQ(accumulated, static_cast<std::uint64_t>(kWriters) * kAddsPerWriter);
+
+    // And the timed snapshot agrees with the settled registry.
+    std::uint64_t total = 0;
+    for (const MetricSnapshot& metric : registry.snapshotTimed().metrics) {
+        if (metric.name == "contended") total += metric.count;
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(kWriters) * kAddsPerWriter);
+}
+
 // ---- HTTP server ----
 
 TEST(HttpServer, ServesRoutesAnd404s) {
@@ -206,6 +252,66 @@ TEST(HttpServer, ServesRoutesAnd404s) {
                  std::runtime_error);
     EXPECT_GE(server.requestsServed(), 2u);
     server.stop();
+}
+
+TEST(HttpServer, PrefixRoutesYieldToExactAndLongestPrefixWins) {
+    obs::HttpServer server(0);
+    server.route("/trace", [] {
+        obs::HttpServer::Response response;
+        response.body = "index";
+        return response;
+    });
+    server.routePrefix("/trace/", [](std::string_view suffix) {
+        obs::HttpServer::Response response;
+        response.body = "job:" + std::string(suffix);
+        return response;
+    });
+    server.routePrefix("/trace/raw/", [](std::string_view suffix) {
+        obs::HttpServer::Response response;
+        response.body = "raw:" + std::string(suffix);
+        return response;
+    });
+    server.start();
+    ASSERT_NE(server.port(), 0);
+    const auto port = server.port();
+    EXPECT_EQ(net::httpGet("127.0.0.1", port, "/trace"), "index");
+    EXPECT_EQ(net::httpGet("127.0.0.1", port, "/trace/job-7"), "job:job-7");
+    EXPECT_EQ(net::httpGet("127.0.0.1", port, "/trace/raw/job-7"), "raw:job-7");
+    EXPECT_THROW((void)net::httpGet("127.0.0.1", port, "/tracery"),
+                 std::runtime_error);
+    server.stop();
+}
+
+// --telemetry-port 0 must bind an ephemeral port and serve the enriched
+// /healthz (build identity, uptime, store occupancy) plus the /trace index.
+TEST(Telemetry, EphemeralPortZeroBindsAndServesHealthAndTraceRoutes) {
+    obs::ProgressBoard board;
+    obs::TelemetryServer server(0, board);
+    ASSERT_NE(server.port(), 0);
+
+    // Two ephemeral exporters coexist on distinct ports.
+    obs::ProgressBoard board2;
+    obs::TelemetryServer server2(0, board2);
+    ASSERT_NE(server2.port(), 0);
+    EXPECT_NE(server.port(), server2.port());
+
+    const JsonValue health =
+        parseJson(net::httpGet("127.0.0.1", server.port(), "/healthz"));
+    EXPECT_EQ(health.stringOr("status", ""), "ok");
+    EXPECT_FALSE(health.stringOr("version", "").empty());
+    EXPECT_GE(health.numberOr("uptimeSeconds", -1.0), 0.0);
+    const JsonValue* storeDoc = health.find("store");
+    ASSERT_NE(storeDoc, nullptr);
+    EXPECT_GE(storeDoc->numberOr("entries", -1.0), 0.0);
+    EXPECT_GE(storeDoc->numberOr("bytes", -1.0), 0.0);
+
+    // /trace serves the job index; /trace/<unknown> is a clean 404.
+    const JsonValue index =
+        parseJson(net::httpGet("127.0.0.1", server.port(), "/trace"));
+    EXPECT_EQ(index.stringOr("kind", ""), "traceIndex");
+    EXPECT_THROW(
+        (void)net::httpGet("127.0.0.1", server.port(), "/trace/not-a-job"),
+        std::runtime_error);
 }
 
 // ---- NDJSON leg journal ----
@@ -278,6 +384,83 @@ TEST(LegJournal, DropsInsteadOfBlockingWhenTheRingSaturates) {
     std::remove(path.c_str());
 }
 
+TEST(LegJournal, StampsTraceContextAndCachedFlagOnLines) {
+    const std::string path = tempPath("journal_trace.ndjson");
+    obs::LegJournal journal(path, 1, 8, /*autoDrain=*/false);
+    obs::TraceContext context;
+    ASSERT_TRUE(obs::parseTraceIdHex("0123456789abcdef0123456789abcdef", context));
+
+    obs::JournalEvent traced;
+    traced.phase = obs::JournalEvent::Phase::Finished;
+    traced.setBenchmark("crc32");
+    traced.cached = true;
+    traced.traceHi = context.traceHi;
+    traced.traceLo = context.traceLo;
+    traced.spanId = obs::childSpanId(context, 0);
+    journal.emit(0, traced);
+    obs::JournalEvent untraced;
+    untraced.setBenchmark("crc32");
+    journal.emit(0, untraced);
+    journal.close();
+
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const JsonValue first = parseJson(line);
+    EXPECT_EQ(first.stringOr("trace", ""), "0123456789abcdef0123456789abcdef");
+    EXPECT_EQ(first.stringOr("span", ""), obs::spanIdHex(traced.spanId));
+    const JsonValue* cached = first.find("cached");
+    ASSERT_NE(cached, nullptr);
+    EXPECT_TRUE(cached->asBool());
+    // Untraced lines carry no trace/span keys at all.
+    ASSERT_TRUE(std::getline(in, line));
+    const JsonValue second = parseJson(line);
+    EXPECT_EQ(second.find("trace"), nullptr);
+    EXPECT_EQ(second.find("span"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(LegJournal, RotatesAtTheByteCapAndKeepsOneGeneration) {
+    const std::string path = tempPath("journal_rotate.ndjson");
+    // ~150-byte lines against a 400-byte cap: every few writes rotate.
+    obs::LegJournal journal(path, 1, 64, /*autoDrain=*/false,
+                            /*maxBytes=*/400);
+    obs::JournalEvent event;
+    event.phase = obs::JournalEvent::Phase::Finished;
+    event.setBenchmark("basicmath");
+    event.setScheme("ffw+bbr");
+    event.voltageMv = 400;
+    event.durationNs = 123456;
+    for (std::uint32_t i = 0; i < 24; ++i) {
+        event.leg = i;
+        journal.emit(0, event);
+        (void)journal.drainOnce();
+    }
+    journal.close();
+    EXPECT_EQ(journal.written(), 24u);
+    EXPECT_GE(journal.rotations(), 1u);
+
+    // Live file and exactly one rotated generation, both bounded and valid
+    // NDJSON; together they hold the newest lines (older ones rotated away).
+    std::uint64_t kept = 0;
+    for (const std::string& file : {path, path + ".1"}) {
+        std::ifstream in(file);
+        ASSERT_TRUE(in.good()) << file;
+        std::string line;
+        std::uint64_t bytes = 0;
+        while (std::getline(in, line)) {
+            EXPECT_NO_THROW((void)parseJson(line));
+            bytes += line.size() + 1;
+            ++kept;
+        }
+        EXPECT_LE(bytes, 400u + 200u) << file; // cap + one in-flight line
+    }
+    EXPECT_LT(kept, 24u);  // rotation discarded the oldest generation
+    EXPECT_GT(kept, 0u);
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
 TEST(LegJournal, OutOfRangeProducerCountsAsDrop) {
     const std::string path = tempPath("journal_range.ndjson");
     obs::LegJournal journal(path, 1, 8, /*autoDrain=*/false);
@@ -324,6 +507,13 @@ TEST(Telemetry, LiveScrapeDuringSweepAndByteIdenticalExport) {
     const std::string journalPath = tempPath("journal_live.ndjson");
     obs::LegJournal journal(journalPath, 1 + 2, 4096);
 
+    // The full PR 10 plane rides along too: end-to-end job tracing and the
+    // armed flight recorder, both of which must also leave the export alone.
+    const std::string flightPath = tempPath("flight_live.json");
+    obs::FlightRecorder::Options flightOptions;
+    flightOptions.path = flightPath;
+    obs::FlightRecorder& flight = obs::FlightRecorder::install(flightOptions);
+
     std::atomic<std::size_t> enqueued{0};
     std::atomic<std::size_t> started{0};
     std::atomic<std::size_t> finished{0};
@@ -332,6 +522,9 @@ TEST(Telemetry, LiveScrapeDuringSweepAndByteIdenticalExport) {
     bool scraped = false;
 
     SweepConfig instrumented = tinySweep(2);
+    instrumented.trace = obs::makeRootContext("live-test");
+    obs::JobTraceStore::global().clear();
+    obs::JobTraceStore::global().beginJob("live-test", instrumented.trace);
     instrumented.onLegEvent = [&](const SweepLegEvent& event) {
         obs::JournalEvent line;
         switch (event.phase) {
@@ -357,6 +550,11 @@ TEST(Telemetry, LiveScrapeDuringSweepAndByteIdenticalExport) {
         line.replayed = event.replayed;
         line.linkFailed = event.linkFailed;
         line.durationNs = event.durationNs;
+        line.cached = event.cached;
+        line.traceHi = event.traceHi;
+        line.traceLo = event.traceLo;
+        line.spanId = event.spanId;
+        flight.noteLegEvent(line);
         journal.emit(event.phase == SweepLegEvent::Phase::Enqueued ? 0
                                                                    : event.worker + 1,
                      line);
@@ -383,6 +581,7 @@ TEST(Telemetry, LiveScrapeDuringSweepAndByteIdenticalExport) {
     };
 
     const SweepResult result = runSweep(instrumented);
+    obs::JobTraceStore::global().endJob(instrumented.trace);
     board.finish();
     journal.close();
 
@@ -412,6 +611,14 @@ TEST(Telemetry, LiveScrapeDuringSweepAndByteIdenticalExport) {
     }
     EXPECT_EQ(lines, journal.written());
     std::remove(journalPath.c_str());
+
+    // ...the trace store collected one span per leg plus the root...
+    const JsonValue trace =
+        parseJson(obs::JobTraceStore::global().toChromeJson("live-test"));
+    EXPECT_EQ(trace.stringOr("kind", ""), "trace");
+    EXPECT_GE(trace.numberOr("spanCount", 0.0), static_cast<double>(legCount));
+    EXPECT_GT(flight.eventsNoted(), 0u);
+    obs::JobTraceStore::global().clear();
 
     // ...and observation never changed the result: byte-identical export.
     EXPECT_EQ(exportJson(result, instrumented), referenceJson);

@@ -175,9 +175,17 @@ tele_journal="$build_dir/ci_tele.ndjson"
 tele_log="$build_dir/ci_tele.log"
 tele_metrics="$build_dir/ci_tele_metrics.txt"
 tele_progress="$build_dir/ci_tele_progress.json"
+tele_trace="$build_dir/ci_tele_trace.json"
+tele_flight="$build_dir/ci_tele_flight.json"
+rm -f "$tele_trace" "$tele_flight"
+# The instrumented run carries the ENTIRE observability plane: exporter,
+# capped journal, job tracing, and an armed flight recorder. The plain run
+# below has none of it; the exports must still match byte for byte.
 "$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
     --scale tiny --threads 2 --telemetry-port 0 --telemetry-linger 10 \
-    --journal "$tele_journal" --json "$tele_json" > /dev/null 2> "$tele_log" &
+    --journal "$tele_journal" --journal-max-bytes 1048576 \
+    --trace-job "$tele_trace" --flight-record "$tele_flight" \
+    --json "$tele_json" > /dev/null 2> "$tele_log" &
 tele_pid=$!
 tele_port=""
 i=0
@@ -221,14 +229,64 @@ if ! grep -q '"ev":"finished"' "$tele_journal"; then
     echo "ci: FAIL — journal has no finished leg events" >&2
     exit 1
 fi
+# The healthy run collected a span per leg and rendered it as Chrome trace
+# JSON — and never tripped the flight recorder.
+if [ ! -s "$tele_trace" ]; then
+    echo "ci: FAIL — traced sweep wrote no trace file" >&2
+    exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$tele_trace" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("kind") == "trace", doc.get("kind")
+assert doc.get("spanCount", 0) > 0, "trace collected no spans"
+assert doc.get("traceEvents"), "trace has no Chrome trace events"
+EOF
+fi
+"$build_dir/tools/voltcache" trace "$tele_trace" > /dev/null
+# The recorder pre-opens its file at install (dumping must be allocation-
+# free), so a healthy run leaves it present but empty.
+if [ -s "$tele_flight" ]; then
+    echo "ci: FAIL — flight recorder dumped on a healthy sweep" >&2
+    exit 1
+fi
 # Observation must never change the result: the same sweep without any
-# telemetry produces a byte-identical JSON export.
+# telemetry, tracing, or flight recorder produces a byte-identical export.
 "$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32,basicmath \
     --scale tiny --threads 2 --json "$tele_plain" > /dev/null
 if ! cmp -s "$tele_json" "$tele_plain"; then
     echo "ci: FAIL — sweep JSON differs with the telemetry plane attached" >&2
     exit 1
 fi
+
+echo "== flight recorder negative control: induced leg failure leaves a parseable dump =="
+# Trip a VC_CHECK at the Nth leg with the recorder armed. The sweep must
+# fail (nonzero exit), the dump must be one well-formed JSON object naming
+# the contract and carrying ring events, and the renderer must read it.
+flight_dump="$build_dir/ci_flight.json"
+rm -f "$flight_dump"
+if "$build_dir/tools/voltcache" sweep --trials 2 --benchmarks crc32 \
+    --scale tiny --threads 2 --fail-at-leg 3 --flight-record "$flight_dump" \
+    --json "$build_dir/ci_flight_sweep.json" > /dev/null 2>&1; then
+    echo "ci: FAIL — --fail-at-leg did not fail the sweep" >&2
+    exit 1
+fi
+if [ ! -s "$flight_dump" ]; then
+    echo "ci: FAIL — crashing sweep left no flight dump" >&2
+    exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$flight_dump" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("kind") == "flight", doc.get("kind")
+assert doc.get("reason") == "Check", doc.get("reason")
+assert "failAtLeg" in doc.get("detail", ""), doc.get("detail")
+assert doc.get("events"), "flight dump captured no ring events"
+EOF
+fi
+"$build_dir/tools/voltcache" trace "$flight_dump" > /dev/null
 
 echo "== serve smoke: daemon round trip, warm hits, byte-identical JSON, graceful stop =="
 # Launch the sweep service on an ephemeral port with an on-disk store, submit
@@ -244,7 +302,7 @@ serve_second="$build_dir/ci_serve_second.json"
 serve_summary="$build_dir/ci_serve_summary.txt"
 rm -rf "$serve_dir"
 "$build_dir/tools/voltcache" serve --port 0 --store "$serve_dir" \
-    > /dev/null 2> "$serve_log" &
+    --telemetry-port 0 > /dev/null 2> "$serve_log" &
 serve_pid=$!
 serve_port=""
 i=0
@@ -281,6 +339,27 @@ if ! awk -F'hitRate=' '/^submit:/ { split($2, f, " "); if (f[1] >= 0.90) found =
                        END { exit found ? 0 : 1 }' "$serve_summary"; then
     echo "ci: FAIL — second submission was not served from the store:" >&2
     cat "$serve_summary" >&2
+    kill "$serve_pid" 2> /dev/null || true
+    exit 1
+fi
+# Every submission is traced end to end: the summary echoes the job's trace
+# id and the daemon serves the span-tree index over /trace on its
+# telemetry port.
+if ! grep -q 'trace=' "$serve_summary"; then
+    echo "ci: FAIL — submit summary does not echo the trace id" >&2
+    kill "$serve_pid" 2> /dev/null || true
+    exit 1
+fi
+serve_tele_port=$(sed -n 's/^telemetry: listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+    "$serve_log" 2> /dev/null | head -n 1)
+if [ -z "$serve_tele_port" ]; then
+    echo "ci: FAIL — serve never announced its telemetry port" >&2
+    kill "$serve_pid" 2> /dev/null || true
+    exit 1
+fi
+if ! "$build_dir/tools/voltcache" trace "127.0.0.1:$serve_tele_port" \
+    | grep -q 'spans'; then
+    echo "ci: FAIL — /trace index is not served or renders empty" >&2
     kill "$serve_pid" 2> /dev/null || true
     exit 1
 fi

@@ -45,7 +45,14 @@
 //             [--json FILE] [--progress] [--id LABEL] [--timeout MS]
 //       send one job to a running `voltcache serve`, stream its events, and
 //       write the returned sweep document (byte-identical to the direct
-//       `voltcache sweep --json` path) to --json
+//       `voltcache sweep --json` path) to --json. Mints a 128-bit trace id
+//       for the job (or forwards --trace-id) and reports it back, so the
+//       daemon's /trace/<id> endpoint and `voltcache trace` can render the
+//       job's span tree end to end
+//   voltcache trace <host:port | trace.json | flight.json> [--job J]
+//       render a job trace (Chrome trace-event JSON from --trace-job,
+//       /trace/<job>, or a fetch from a live telemetry endpoint) or a
+//       flight-recorder crash dump as a human-readable span/event table
 //   voltcache list
 //       available benchmarks and schemes
 #include <atomic>
@@ -77,9 +84,11 @@
 #include "isa/disasm.h"
 #include "obs/export/journal.h"
 #include "obs/export/telemetry.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "workload/locality.h"
@@ -370,6 +379,31 @@ int cmdSweep(const Args& args) {
     config.useReplay = !args.flags.contains("no-replay");
     config.useBatch = !args.flags.contains("no-batch");
     config.batchLanes = static_cast<std::uint32_t>(std::stoul(args.get("batch", "0")));
+    // --fail-at-leg: deliberately fail a VC_CHECK inside the Nth leg (1-based)
+    // — the flight recorder's negative control (ci.sh asserts the dump).
+    config.failAtLeg =
+        static_cast<std::uint32_t>(std::stoul(args.get("fail-at-leg", "0")));
+
+    // --flight-record: arm the async-signal-safe black box. Installed before
+    // any worker starts so a crash anywhere in the sweep lands in the dump.
+    obs::FlightRecorder* flight = nullptr;
+    if (args.flags.contains("flight-record")) {
+        obs::FlightRecorder::Options flightOptions;
+        flightOptions.path = args.get("flight-record", "");
+        flight = &obs::FlightRecorder::install(flightOptions);
+    }
+
+    // --trace-job FILE: end-to-end job tracing for this sweep — mint a root
+    // context, stamp every leg event with its deterministic child span, and
+    // write the collected span tree as Chrome trace JSON after the run.
+    obs::TraceContext traceContext;
+    const bool traceJob = args.flags.contains("trace-job");
+    if (traceJob) {
+        traceContext = obs::makeRootContext("sweep");
+        config.trace = traceContext;
+    }
+    if (flight != nullptr) flight->noteJob("sweep", traceContext);
+
     if (args.flags.contains("progress")) {
         // ETA from an EWMA of the sweep's legs/sec; ticks are serialized
         // under the progress lock, so the mutable lambda state is safe.
@@ -458,13 +492,20 @@ int cmdSweep(const Args& args) {
     // --journal: bounded NDJSON leg lifecycle journal. Rings are sized
     // before runSweep computes its worker count, so mirror its sizing rule
     // (runSweep may clamp down to the leg count, never up).
+    // --journal-max-bytes caps the file; at the cap it rotates to <path>.1.
+    // The same leg-event stream also feeds the flight recorder's ring.
     std::optional<obs::LegJournal> journal;
     if (args.flags.contains("journal")) {
         unsigned maxWorkers = config.threads != 0 ? config.threads
                                                   : std::thread::hardware_concurrency();
         if (maxWorkers == 0) maxWorkers = 4;
-        journal.emplace(args.get("journal", ""), maxWorkers + 1);
-        config.onLegEvent = [&journalRef = *journal](const SweepLegEvent& event) {
+        journal.emplace(args.get("journal", ""), maxWorkers + 1,
+                        /*ringCapacity=*/4096, /*autoDrain=*/true,
+                        std::stoull(args.get("journal-max-bytes", "0")));
+    }
+    if (journal.has_value() || flight != nullptr) {
+        obs::LegJournal* journalPtr = journal.has_value() ? &*journal : nullptr;
+        config.onLegEvent = [journalPtr, flight](const SweepLegEvent& event) {
             obs::JournalEvent line;
             switch (event.phase) {
                 case SweepLegEvent::Phase::Enqueued:
@@ -484,13 +525,40 @@ int cmdSweep(const Args& args) {
             line.voltageMv = event.voltageMv;
             line.trial = event.trial;
             line.replayed = event.replayed;
+            line.cached = event.cached;
             line.linkFailed = event.linkFailed;
             line.durationNs = event.durationNs;
             line.setFailCause(linkFailCauseName(event.failCause));
-            // Producer 0 is the coordinator (Enqueued); worker w uses 1+w.
-            const std::size_t producer =
-                event.phase == SweepLegEvent::Phase::Enqueued ? 0 : event.worker + 1;
-            journalRef.emit(producer, line);
+            line.traceHi = event.traceHi;
+            line.traceLo = event.traceLo;
+            line.spanId = event.spanId;
+            if (flight != nullptr) flight->noteLegEvent(line);
+            if (journalPtr != nullptr) {
+                // Producer 0 is the coordinator (Enqueued); worker w uses 1+w.
+                const std::size_t producer =
+                    event.phase == SweepLegEvent::Phase::Enqueued ? 0
+                                                                  : event.worker + 1;
+                journalPtr->emit(producer, line);
+            }
+        };
+    }
+    if (flight != nullptr) {
+        // Mirror progress ticks (and a bounded metrics snapshot) into the
+        // black box so a crash dump shows how far the sweep got.
+        auto chained = std::move(config.onProgress);
+        config.onProgress = [flight, chained](const SweepProgress& progress) {
+            obs::FlightProgress snap;
+            snap.benchmarksCompleted = progress.completed;
+            snap.benchmarksTotal = progress.total;
+            snap.legsCompleted = progress.legsCompleted;
+            snap.legsTotal = progress.legsTotal;
+            snap.legsReplayed = progress.legsReplayed;
+            snap.legsExecuted = progress.legsExecuted;
+            snap.legsCached = progress.legsCached;
+            snap.workers = progress.workers;
+            flight->noteProgress(snap);
+            flight->noteMetrics();
+            if (chained) chained(progress);
         };
     }
 
@@ -506,8 +574,22 @@ int cmdSweep(const Args& args) {
     }
     const auto wallStart = std::chrono::steady_clock::now();
 
+    // The trace scope makes obs::Span phase spans attribute to this job; it
+    // must close before endJob so late spans never land in a closed trace.
+    std::optional<obs::ScopedTraceContext> traceScope;
+    if (traceJob) {
+        obs::JobTraceStore::global().beginJob("sweep", traceContext);
+        traceScope.emplace(traceContext);
+    }
+
     const SweepResult result = runSweep(config);
 
+    if (traceJob) {
+        traceScope.reset();
+        obs::JobTraceStore::global().endJob(traceContext);
+        writeTextFile(args.get("trace-job", ""),
+                      obs::JobTraceStore::global().toChromeJson("sweep"));
+    }
     if (board.has_value()) board->finish();
     if (journal.has_value()) journal->close();
 
@@ -854,6 +936,225 @@ int cmdProfile(const Args& args) {
                              "' (expected \"profile\" or \"sweep\")");
 }
 
+/// Human-readable rendering of the PR 10 tracing artifacts: a job's span
+/// tree (Chrome trace-event JSON from --trace-job or GET /trace/<job>), a
+/// flight-recorder crash dump ("kind":"flight"), or the /trace index. The
+/// positional is a file when one exists at that path, otherwise host:port of
+/// a live telemetry endpoint (--job picks the job; without it, the index).
+int cmdTrace(const Args& args) {
+    if (args.positional.empty()) {
+        throw std::runtime_error(
+            "trace: need <host:port>, a trace JSON file, or a flight dump");
+    }
+    std::string body;
+    if (std::ifstream in(args.positional); in) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        body = text.str();
+    } else {
+        const std::size_t colon = args.positional.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= args.positional.size()) {
+            throw std::runtime_error("trace: '" + args.positional +
+                                     "' is neither a readable file nor host:port");
+        }
+        const std::string host = args.positional.substr(0, colon);
+        const auto port = static_cast<std::uint16_t>(
+            std::stoul(args.positional.substr(colon + 1)));
+        const std::string path = args.flags.contains("job")
+                                     ? "/trace/" + args.get("job", "")
+                                     : "/trace";
+        body = net::httpGet(host, port, path);
+    }
+    const JsonValue doc = parseJson(body);
+    const std::string kind = doc.stringOr("kind", "");
+
+    if (kind == "traceIndex") {
+        TextTable table({"job", "trace", "spans", "dropped", "state"});
+        if (const JsonValue* jobs = doc.find("jobs"); jobs != nullptr) {
+            for (const JsonValue& job : jobs->items) {
+                table.addRow({job.stringOr("job", "?"), job.stringOr("trace", "?"),
+                              std::to_string(static_cast<std::uint64_t>(
+                                  job.numberOr("spans", 0.0))),
+                              std::to_string(static_cast<std::uint64_t>(
+                                  job.numberOr("droppedSpans", 0.0))),
+                              [&job] {
+                                  const JsonValue* open = job.find("open");
+                                  return open != nullptr && open->asBool() ? "open"
+                                                                           : "closed";
+                              }()});
+            }
+        }
+        std::fputs(table.render().c_str(), stdout);
+        std::printf("(fetch one with `voltcache trace <host:port> --job <job>`)\n");
+        return 0;
+    }
+
+    if (kind == "trace") {
+        const JsonValue* open = doc.find("open");
+        std::printf("trace: job=%s trace=%s spans=%llu dropped=%llu (%s)\n",
+                    doc.stringOr("job", "?").c_str(),
+                    doc.stringOr("trace", "?").c_str(),
+                    static_cast<unsigned long long>(doc.numberOr("spanCount", 0.0)),
+                    static_cast<unsigned long long>(
+                        doc.numberOr("droppedSpans", 0.0)),
+                    open != nullptr && open->asBool() ? "open" : "closed");
+        const JsonValue* events = doc.find("traceEvents");
+        if (events == nullptr || events->items.empty()) {
+            std::printf("no spans recorded\n");
+            return 0;
+        }
+        // Timeline rows relative to the job's first span; cached legs show a
+        // zero-cost duration (the store-lookup wall time lives in wallNs).
+        std::uint64_t legs = 0;
+        std::uint64_t cached = 0;
+        std::uint64_t replayed = 0;
+        for (const JsonValue& event : events->items) {
+            if (event.stringOr("cat", "").rfind("leg", 0) != 0) continue;
+            ++legs;
+            if (const JsonValue* eventArgs = event.find("args");
+                eventArgs != nullptr) {
+                if (const JsonValue* c = eventArgs->find("cached");
+                    c != nullptr && c->asBool()) {
+                    ++cached;
+                }
+                if (const JsonValue* r = eventArgs->find("replayed");
+                    r != nullptr && r->asBool()) {
+                    ++replayed;
+                }
+            }
+        }
+        std::printf("legs %llu (%llu replayed, %llu cached/zero-cost), "
+                    "%zu spans total\n",
+                    static_cast<unsigned long long>(legs),
+                    static_cast<unsigned long long>(replayed),
+                    static_cast<unsigned long long>(cached),
+                    events->items.size());
+        const auto limit =
+            static_cast<std::size_t>(std::stoul(args.get("limit", "40")));
+        TextTable table({"span", "worker", "start ms", "dur ms", "notes"});
+        std::size_t shown = 0;
+        for (const JsonValue& event : events->items) {
+            if (shown == limit) break;
+            ++shown;
+            std::string notes;
+            if (const JsonValue* eventArgs = event.find("args");
+                eventArgs != nullptr) {
+                const auto flag = [&notes, eventArgs](const char* name) {
+                    const JsonValue* value = eventArgs->find(name);
+                    if (value == nullptr || !value->asBool()) return;
+                    if (!notes.empty()) notes += ",";
+                    notes += name;
+                };
+                flag("replayed");
+                flag("cached");
+                flag("linkFailed");
+            }
+            table.addRow({event.stringOr("name", "?"),
+                          std::to_string(static_cast<std::uint64_t>(
+                              event.numberOr("tid", 0.0))),
+                          formatDouble(event.numberOr("ts", 0.0) * 1e-3, 3),
+                          formatDouble(event.numberOr("dur", 0.0) * 1e-3, 3),
+                          notes});
+        }
+        std::fputs(table.render().c_str(), stdout);
+        if (events->items.size() > shown) {
+            std::printf("... %zu more spans (raise --limit, or load the JSON in "
+                        "Perfetto)\n",
+                        events->items.size() - shown);
+        }
+        return 0;
+    }
+
+    if (kind == "flight") {
+        std::printf("flight dump: reason=%s%s%s\n",
+                    doc.stringOr("reason", "?").c_str(),
+                    doc.find("detail") != nullptr ? " detail=" : "",
+                    doc.stringOr("detail", "").c_str());
+        if (doc.find("job") != nullptr) {
+            std::printf("job=%s trace=%s\n", doc.stringOr("job", "?").c_str(),
+                        doc.stringOr("trace", "-").c_str());
+        }
+        if (const JsonValue* progress = doc.find("progress"); progress != nullptr) {
+            std::printf("progress: %llu/%llu legs (%llu replayed, %llu executed, "
+                        "%llu cached), %llu/%llu benchmarks, %u workers\n",
+                        static_cast<unsigned long long>(
+                            progress->numberOr("legsCompleted", 0.0)),
+                        static_cast<unsigned long long>(
+                            progress->numberOr("legsTotal", 0.0)),
+                        static_cast<unsigned long long>(
+                            progress->numberOr("legsReplayed", 0.0)),
+                        static_cast<unsigned long long>(
+                            progress->numberOr("legsExecuted", 0.0)),
+                        static_cast<unsigned long long>(
+                            progress->numberOr("legsCached", 0.0)),
+                        static_cast<unsigned long long>(
+                            progress->numberOr("benchmarksCompleted", 0.0)),
+                        static_cast<unsigned long long>(
+                            progress->numberOr("benchmarksTotal", 0.0)),
+                        static_cast<unsigned>(progress->numberOr("workers", 0.0)));
+        }
+        if (const JsonValue* threads = doc.find("threads");
+            threads != nullptr && !threads->items.empty()) {
+            std::printf("active span stacks at dump time:\n");
+            std::size_t index = 0;
+            for (const JsonValue& thread : threads->items) {
+                std::string stack;
+                if (const JsonValue* spans = thread.find("spans");
+                    spans != nullptr) {
+                    for (const JsonValue& span : spans->items) {
+                        if (!stack.empty()) stack += " > ";
+                        stack += span.string;
+                    }
+                }
+                std::printf("  thread %zu: %s\n", index++,
+                            stack.empty() ? "(idle)" : stack.c_str());
+            }
+        }
+        const JsonValue* events = doc.find("events");
+        std::printf("events: %llu noted, %llu dropped, ring holds %zu\n",
+                    static_cast<unsigned long long>(
+                        doc.numberOr("eventsNoted", 0.0)),
+                    static_cast<unsigned long long>(
+                        doc.numberOr("eventsDropped", 0.0)),
+                    events != nullptr ? events->items.size() : 0);
+        if (events != nullptr && !events->items.empty()) {
+            TextTable table({"seq", "ev", "leg", "worker", "benchmark", "scheme",
+                             "mv", "trial", "dur ms", "outcome"});
+            for (const JsonValue& event : events->items) {
+                const JsonValue* duration = event.find("durationNs");
+                table.addRow(
+                    {std::to_string(
+                         static_cast<std::uint64_t>(event.numberOr("seq", 0.0))),
+                     event.stringOr("ev", "?"),
+                     std::to_string(
+                         static_cast<std::uint64_t>(event.numberOr("leg", 0.0))),
+                     std::to_string(static_cast<std::uint64_t>(
+                         event.numberOr("worker", 0.0))),
+                     event.stringOr("benchmark", "?"), event.stringOr("scheme", "?"),
+                     std::to_string(
+                         static_cast<int>(event.numberOr("mv", 0.0))),
+                     std::to_string(
+                         static_cast<std::uint64_t>(event.numberOr("trial", 0.0))),
+                     duration != nullptr
+                         ? formatDouble(duration->asNumber() * 1e-6, 3)
+                         : "-",
+                     event.stringOr("outcome", "-")});
+            }
+            std::fputs(table.render().c_str(), stdout);
+        }
+        if (const JsonValue* metrics = doc.find("metrics");
+            metrics != nullptr && !metrics->items.empty()) {
+            std::printf("metrics mirror: %zu entries (newest refresh before the "
+                        "dump)\n",
+                        metrics->items.size());
+        }
+        return 0;
+    }
+
+    throw std::runtime_error("unrecognized document kind '" + kind +
+                             "' (expected \"trace\", \"traceIndex\" or \"flight\")");
+}
+
 /// Refreshing terminal dashboard over a live telemetry endpoint: scrape
 /// GET /progress (and optionally /metrics), render benchmarks / legs /
 /// throughput / ETA / span attribution / counter rates, repeat until the
@@ -973,6 +1274,8 @@ int cmdServe(const Args& args) {
         std::stoull(args.get("store-budget", "256")) << 20; // MB → bytes
     options.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
     options.journalPath = args.get("journal", "");
+    options.journalMaxBytes = std::stoull(args.get("journal-max-bytes", "0"));
+    options.flightRecordPath = args.get("flight-record", "");
     if (args.flags.contains("idle-timeout")) {
         options.idleTimeout =
             std::chrono::milliseconds(std::stoul(args.get("idle-timeout", "600000")));
@@ -1051,6 +1354,16 @@ int cmdSubmit(const Args& args) {
     if (args.flags.contains("seed")) job.seed = std::stoull(args.get("seed", "0"));
     job.maxInstructions = std::stoull(args.get("max-instructions", "0"));
     job.progress = args.flags.contains("progress");
+    // End-to-end tracing: the client mints the job's 128-bit trace id (or
+    // forwards --trace-id) so the whole path — queue, executor, every leg —
+    // is queryable afterwards at /trace/<id> or via `voltcache trace`.
+    job.trace = args.get("trace-id", "");
+    if (job.trace.empty()) {
+        job.trace = obs::traceIdHex(
+            obs::makeRootContext(job.id.empty() ? "submit" : job.id));
+    } else if (obs::TraceContext probe; !obs::parseTraceIdHex(job.trace, probe)) {
+        throw std::runtime_error("submit: --trace-id must be 32 hex chars");
+    }
 
     // The receive timeout must cover the whole job, not one read.
     const auto timeout =
@@ -1074,9 +1387,11 @@ int cmdSubmit(const Args& args) {
         const std::string kind = event.stringOr("ev", "");
         if (kind == "accepted") {
             if (job.progress) {
-                std::fprintf(stderr, "submit: accepted (queue depth %llu)\n",
+                std::fprintf(stderr,
+                             "submit: accepted (queue depth %llu, trace %s)\n",
                              static_cast<unsigned long long>(
-                                 event.numberOr("queue", 0.0)));
+                                 event.numberOr("queue", 0.0)),
+                             event.stringOr("trace", job.trace).c_str());
             }
             continue;
         }
@@ -1116,7 +1431,7 @@ int cmdSubmit(const Args& args) {
             return value == nullptr || value->asBool();
         }();
         std::printf("submit: id=%s ok=%d legs=%llu cached=%llu hits=%llu "
-                    "misses=%llu hitRate=%.4f elapsed=%.3fs\n",
+                    "misses=%llu hitRate=%.4f elapsed=%.3fs trace=%s\n",
                     event.stringOr("id", "").c_str(), ok ? 1 : 0,
                     static_cast<unsigned long long>(event.numberOr("legs", 0.0)),
                     static_cast<unsigned long long>(
@@ -1125,7 +1440,8 @@ int cmdSubmit(const Args& args) {
                     static_cast<unsigned long long>(
                         event.numberOr("storeMisses", 0.0)),
                     event.numberOr("hitRate", 0.0),
-                    event.numberOr("elapsedSeconds", 0.0));
+                    event.numberOr("elapsedSeconds", 0.0),
+                    event.stringOr("trace", job.trace).c_str());
         return ok ? 0 : 1;
     }
 }
@@ -1160,19 +1476,36 @@ int usage() {
                  "       sweep so external scrapers can collect the final state)\n"
                  "      [--journal FILE]  (NDJSON leg lifecycle journal: one line per\n"
                  "       enqueue/start/finish; bounded, drops rather than stalls)\n"
+                 "      [--journal-max-bytes N]  (rotate the journal to FILE.1 at N\n"
+                 "       bytes; 0 = unbounded)\n"
+                 "      [--trace-job FILE]  (end-to-end job tracing: mint a trace id,\n"
+                 "       stamp every leg with its deterministic span, write the span\n"
+                 "       tree as Chrome trace JSON — render with `voltcache trace`)\n"
+                 "      [--flight-record FILE]  (async-signal-safe crash flight\n"
+                 "       recorder: recent leg events + progress + metrics + span\n"
+                 "       stacks, dumped on SIGSEGV/SIGABRT/contract failure)\n"
+                 "      [--fail-at-leg N]  (deliberately fail a contract check inside\n"
+                 "       the Nth leg — the flight recorder's negative control)\n"
                  "  top <host:port> [--interval MS] [--iterations N] [--once]\n"
                  "      [--metrics-out FILE] [--progress-out FILE]\n"
                  "      (refreshing dashboard over a live --telemetry-port endpoint)\n"
                  "  serve [--port P] [--store DIR] [--store-budget MB] [--threads N]\n"
-                 "      [--journal FILE] [--telemetry-port N] [--idle-timeout MS]\n"
+                 "      [--journal FILE] [--journal-max-bytes N] [--telemetry-port N]\n"
+                 "      [--flight-record FILE] [--idle-timeout MS]\n"
                  "      (sweep-as-a-service daemon with a content-addressed leg-result\n"
-                 "       store; SIGINT/SIGTERM drain gracefully)\n"
+                 "       store; SIGINT/SIGTERM drain gracefully; every job's span tree\n"
+                 "       is served at GET /trace/<job> on the telemetry port)\n"
                  "  submit <host:port> [--op sweep|run|verify] [--trials N]\n"
                  "      [--benchmarks a,b,...] [--schemes a,b,...] [--scale S]\n"
                  "      [--mv V1,V2,...] [--threads N] [--seed N] [--max-instructions N]\n"
                  "      [--id LABEL] [--json FILE] [--progress] [--timeout MS]\n"
-                 "      (send one job to a running serve daemon; --json receives the\n"
-                 "       byte-identical sweep document)\n"
+                 "      [--trace-id HEX32]  (send one job to a running serve daemon;\n"
+                 "       --json receives the byte-identical sweep document; the job's\n"
+                 "       trace id is minted client-side and echoed in the summary)\n"
+                 "  trace <host:port | trace.json | flight.json> [--job J] [--limit N]\n"
+                 "      (render a job's span tree or a flight-recorder crash dump;\n"
+                 "       host:port fetches /trace or /trace/<--job> from a live\n"
+                 "       telemetry endpoint)\n"
                  "  model [--mv V1,V2,...] [--need WORDS] [--json FILE]\n"
                  "      (closed-form FFW/BBR curves, no simulation)\n"
                  "  profile <profile.json|sweep.json>  (render span times / forensics)\n"
@@ -1199,6 +1532,7 @@ int main(int argc, char** argv) {
         if (command == "submit") return cmdSubmit(args);
         if (command == "model") return cmdModel(args);
         if (command == "profile") return cmdProfile(args);
+        if (command == "trace") return cmdTrace(args);
         if (command == "list") return cmdList();
         return usage();
     } catch (const std::exception& e) {
